@@ -1,0 +1,334 @@
+//! GridGraph-style 2-level grid streaming kernels (Zhu et al., ATC 2015).
+//!
+//! The engine streams interval-partitioned shards in the grid order that
+//! keeps the written vertex range small — column-major for pull-style
+//! PageRank, row-major for push-style traversal — and parallelizes across
+//! disjoint interval groups, mirroring GridGraph's selective-scheduling
+//! sweeps. Runs are measured by wall clock.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use gaasx_core::RunOutcome;
+use gaasx_graph::partition::GridPartition;
+use gaasx_graph::{CooGraph, GraphError, VertexId};
+
+use crate::cpu::{default_threads, HostPowerModel};
+
+/// The GridGraph-style CPU engine.
+#[derive(Debug, Clone)]
+pub struct GridGraphCpu {
+    /// Worker threads.
+    pub threads: usize,
+    /// Power model for energy conversion.
+    pub power: HostPowerModel,
+}
+
+impl GridGraphCpu {
+    /// Engine with the machine's default parallelism.
+    pub fn new() -> Self {
+        GridGraphCpu {
+            threads: default_threads(),
+            power: HostPowerModel::xeon_bronze(),
+        }
+    }
+
+    /// Engine with an explicit thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads > 0, "threads must be positive");
+        GridGraphCpu {
+            threads,
+            ..GridGraphCpu::new()
+        }
+    }
+
+    fn grid(&self, graph: &CooGraph) -> Result<GridPartition, GraphError> {
+        // GridGraph picks P so an interval's vertex state fits in cache;
+        // 4 intervals per thread keeps the sweep balanced.
+        let p = (self.threads * 4).max(4) as u32;
+        GridPartition::with_num_intervals(graph, p)
+    }
+
+    /// PageRank by streaming destination-interval columns in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Returns a graph error for an empty graph.
+    pub fn pagerank(
+        &self,
+        graph: &CooGraph,
+        damping: f64,
+        iterations: u32,
+    ) -> Result<RunOutcome<Vec<f64>>, GraphError> {
+        let grid = self.grid(graph)?;
+        let n = graph.num_vertices() as usize;
+        let deg = graph.out_degrees();
+        let inv_deg: Vec<f64> = deg.iter().map(|&d| 1.0 / f64::from(d.max(1))).collect();
+        let p = grid.num_intervals() as usize;
+        let mut ranks = vec![1.0f64; n];
+        let start = Instant::now();
+
+        for _ in 0..iterations {
+            let mut acc = vec![0.0f64; n];
+            // Hand each worker a disjoint set of destination intervals, so
+            // its writable `acc` region is private.
+            std::thread::scope(|scope| {
+                let ranks = &ranks;
+                let inv_deg = &inv_deg;
+                let grid = &grid;
+                let mut rest: &mut [f64] = &mut acc;
+                let mut offset = 0usize;
+                let cols_per_thread = p.div_ceil(self.threads);
+                for t in 0..self.threads {
+                    let col_lo = t * cols_per_thread;
+                    let col_hi = ((t + 1) * cols_per_thread).min(p);
+                    if col_lo >= col_hi {
+                        break;
+                    }
+                    let range_lo = grid.interval(col_lo as u32).start() as usize;
+                    let range_hi = grid.interval((col_hi - 1) as u32).end() as usize;
+                    let (mine, tail) = rest.split_at_mut(range_hi - offset);
+                    rest = tail;
+                    let my_offset = offset;
+                    offset = range_hi;
+                    debug_assert_eq!(my_offset, range_lo);
+                    scope.spawn(move || {
+                        for col in col_lo..col_hi {
+                            for row in 0..p {
+                                let Some(shard) = grid.shard(row as u32, col as u32) else {
+                                    continue;
+                                };
+                                for e in shard.edges() {
+                                    mine[e.dst.index() - my_offset] +=
+                                        ranks[e.src.index()] * inv_deg[e.src.index()];
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            for v in 0..n {
+                ranks[v] = (1.0 - damping) + damping * acc[v];
+            }
+        }
+
+        let elapsed = start.elapsed().as_nanos() as f64;
+        let report = self.power.report(
+            "cpu-gridgraph",
+            "pagerank",
+            elapsed,
+            iterations,
+            graph.num_edges() as u64,
+        );
+        Ok(RunOutcome {
+            result: ranks,
+            report,
+        })
+    }
+
+    /// SSSP by edge-streaming supersteps with atomic distance relaxation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a graph error for an empty graph or out-of-range source.
+    pub fn sssp(
+        &self,
+        graph: &CooGraph,
+        source: VertexId,
+    ) -> Result<RunOutcome<Vec<f64>>, GraphError> {
+        self.traversal(graph, source, false)
+    }
+
+    /// BFS: the SSSP sweep with unit weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns a graph error for an empty graph or out-of-range source.
+    pub fn bfs(
+        &self,
+        graph: &CooGraph,
+        source: VertexId,
+    ) -> Result<RunOutcome<Vec<f64>>, GraphError> {
+        self.traversal(graph, source, true)
+    }
+
+    fn traversal(
+        &self,
+        graph: &CooGraph,
+        source: VertexId,
+        unit_weights: bool,
+    ) -> Result<RunOutcome<Vec<f64>>, GraphError> {
+        if source.raw() >= graph.num_vertices() {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: source.raw(),
+                num_vertices: graph.num_vertices(),
+            });
+        }
+        let grid = self.grid(graph)?;
+        let n = graph.num_vertices() as usize;
+        let p = grid.num_intervals() as usize;
+        let start = Instant::now();
+
+        let dist: Vec<AtomicU64> = (0..n)
+            .map(|v| {
+                AtomicU64::new(if v == source.index() {
+                    0f64.to_bits()
+                } else {
+                    f64::INFINITY.to_bits()
+                })
+            })
+            .collect();
+        let mut supersteps = 0u32;
+
+        loop {
+            let changed = AtomicBool::new(false);
+            std::thread::scope(|scope| {
+                let dist = &dist;
+                let grid = &grid;
+                let changed = &changed;
+                let rows_per_thread = p.div_ceil(self.threads);
+                for t in 0..self.threads {
+                    let row_lo = t * rows_per_thread;
+                    let row_hi = ((t + 1) * rows_per_thread).min(p);
+                    if row_lo >= row_hi {
+                        break;
+                    }
+                    scope.spawn(move || {
+                        for row in row_lo..row_hi {
+                            for col in 0..p {
+                                let Some(shard) = grid.shard(row as u32, col as u32) else {
+                                    continue;
+                                };
+                                for e in shard.edges() {
+                                    let dv =
+                                        f64::from_bits(dist[e.src.index()].load(Ordering::Relaxed));
+                                    if !dv.is_finite() {
+                                        continue;
+                                    }
+                                    let w =
+                                        if unit_weights { 1.0 } else { f64::from(e.weight) };
+                                    let cand = dv + w;
+                                    if atomic_min(&dist[e.dst.index()], cand) {
+                                        changed.store(true, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            supersteps += 1;
+            if !changed.load(Ordering::Relaxed) || supersteps as usize >= n {
+                break;
+            }
+        }
+
+        let result: Vec<f64> = dist
+            .iter()
+            .map(|d| f64::from_bits(d.load(Ordering::Relaxed)))
+            .collect();
+        let elapsed = start.elapsed().as_nanos() as f64;
+        let name = if unit_weights { "bfs" } else { "sssp" };
+        let report = self.power.report(
+            "cpu-gridgraph",
+            name,
+            elapsed,
+            supersteps,
+            graph.num_edges() as u64,
+        );
+        Ok(RunOutcome { result, report })
+    }
+}
+
+impl Default for GridGraphCpu {
+    fn default() -> Self {
+        GridGraphCpu::new()
+    }
+}
+
+/// Atomic `min` on f64 bits; returns true if the value decreased.
+/// Non-negative finite f64 values order identically to their bit patterns.
+fn atomic_min(cell: &AtomicU64, candidate: f64) -> bool {
+    let cand_bits = candidate.to_bits();
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        if f64::from_bits(cur) <= candidate {
+            return false;
+        }
+        match cell.compare_exchange_weak(cur, cand_bits, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use gaasx_graph::generators;
+
+    #[test]
+    fn pagerank_matches_oracle() {
+        let g = generators::rmat(&generators::RmatConfig::new(1 << 8, 2000).with_seed(6)).unwrap();
+        let cpu = GridGraphCpu::with_threads(4);
+        let out = cpu.pagerank(&g, 0.85, 5).unwrap();
+        let want = reference::pagerank(&g, 0.85, 5);
+        for (a, b) in out.result.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sssp_matches_dijkstra() {
+        let g = generators::rmat(&generators::RmatConfig::new(1 << 8, 2000).with_seed(7)).unwrap();
+        let cpu = GridGraphCpu::with_threads(4);
+        let out = cpu.sssp(&g, VertexId::new(0)).unwrap();
+        assert_eq!(out.result, reference::dijkstra(&g, VertexId::new(0)));
+    }
+
+    #[test]
+    fn bfs_matches_reference() {
+        let g = generators::rmat(&generators::RmatConfig::new(1 << 7, 900).with_seed(8)).unwrap();
+        let cpu = GridGraphCpu::with_threads(3);
+        let out = cpu.bfs(&g, VertexId::new(2)).unwrap();
+        assert_eq!(out.result, reference::bfs(&g, VertexId::new(2)));
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let g = generators::path_graph(20);
+        let cpu = GridGraphCpu::with_threads(1);
+        let out = cpu.sssp(&g, VertexId::new(0)).unwrap();
+        assert_eq!(out.result[19], 19.0);
+    }
+
+    #[test]
+    fn report_measures_time_and_energy() {
+        let g = generators::paper_fig7_graph();
+        let cpu = GridGraphCpu::with_threads(2);
+        let out = cpu.pagerank(&g, 0.85, 3).unwrap();
+        assert!(out.report.elapsed_ns > 0.0);
+        assert!(out.report.energy.total_nj() > 0.0);
+        assert_eq!(out.report.engine, "cpu-gridgraph");
+    }
+
+    #[test]
+    fn atomic_min_behaves() {
+        let cell = AtomicU64::new(f64::INFINITY.to_bits());
+        assert!(atomic_min(&cell, 5.0));
+        assert!(!atomic_min(&cell, 7.0));
+        assert!(atomic_min(&cell, 2.0));
+        assert_eq!(f64::from_bits(cell.load(Ordering::Relaxed)), 2.0);
+    }
+
+    #[test]
+    fn rejects_bad_source() {
+        let g = generators::path_graph(3);
+        assert!(GridGraphCpu::new().sssp(&g, VertexId::new(5)).is_err());
+    }
+}

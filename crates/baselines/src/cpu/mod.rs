@@ -1,0 +1,32 @@
+//! CPU software baselines: real, runnable, measured kernels.
+//!
+//! Three framework styles from the paper's Table III comparison:
+//!
+//! * [`GridGraphCpu`] — GridGraph-style 2-level grid streaming
+//!   (edge-centric sweeps over interval-partitioned shards, multithreaded);
+//! * [`GapbsCpu`] — GAPBS-style optimized direct kernels (pull PageRank,
+//!   queue BFS, heap Dijkstra);
+//! * [`GraphChiCpu`] — GraphChi-style shard-ordered collaborative
+//!   filtering.
+//!
+//! Unlike the PIM engines these run for real and are measured by wall
+//! clock; [`HostPowerModel`] converts measured time into energy the way the
+//! paper converts RAPL readings (idle-subtracted dynamic power).
+
+mod gapbs;
+mod graphchi;
+mod gridgraph;
+mod power;
+
+pub use gapbs::GapbsCpu;
+pub use graphchi::GraphChiCpu;
+pub use gridgraph::GridGraphCpu;
+pub use power::HostPowerModel;
+
+/// Default thread count for the parallel kernels.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(16)
+}

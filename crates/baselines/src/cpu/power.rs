@@ -1,0 +1,68 @@
+//! Host power models converting measured wall-clock into energy.
+
+use gaasx_sim::RunReport;
+use serde::{Deserialize, Serialize};
+
+/// Dynamic (idle-subtracted) power draw of a host executing a graph kernel.
+///
+/// The paper measures CPU power with Intel RAPL and "subtract\[s\] out
+/// measured system idle power before comparing against the power of our
+/// accelerator design" (§V-A). A memory-bound graph kernel on the paper's
+/// Xeon Bronze 3104 draws on the order of 10 W above idle; that constant —
+/// together with the measured runtimes — reproduces the paper's
+/// energy-ratio magnitudes (≈5400× vs. the 1.66 W accelerator at ≈800×
+/// slowdown implies ≈11 W).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HostPowerModel {
+    /// Idle-subtracted active power, watts.
+    pub dynamic_power_w: f64,
+}
+
+impl HostPowerModel {
+    /// The Xeon-Bronze-class model described above.
+    pub fn xeon_bronze() -> Self {
+        HostPowerModel {
+            dynamic_power_w: 11.0,
+        }
+    }
+
+    /// Builds a report for a measured software run. All energy is recorded
+    /// in the `static_nj` bucket (power × time); software engines have no
+    /// crossbar component breakdown.
+    pub fn report(
+        &self,
+        engine: &str,
+        algorithm: &str,
+        elapsed_ns: f64,
+        iterations: u32,
+        num_edges: u64,
+    ) -> RunReport {
+        let mut r = RunReport::new(engine, algorithm, "unlabeled");
+        r.elapsed_ns = elapsed_ns;
+        r.iterations = iterations;
+        r.num_edges = num_edges;
+        // W × ns = nJ.
+        r.energy.static_nj = self.dynamic_power_w * elapsed_ns;
+        r
+    }
+}
+
+impl Default for HostPowerModel {
+    fn default() -> Self {
+        HostPowerModel::xeon_bronze()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let m = HostPowerModel { dynamic_power_w: 10.0 };
+        let r = m.report("cpu", "pagerank", 1e9, 5, 100);
+        // 10 W for 1 s = 10 J = 1e10 nJ.
+        assert!((r.energy.total_nj() - 1e10).abs() < 1.0);
+        assert_eq!(r.iterations, 5);
+    }
+}

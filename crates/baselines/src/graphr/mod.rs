@@ -1,0 +1,21 @@
+//! GraphR: the dense-mapping ReRAM crossbar baseline (Song et al.,
+//! HPCA 2018), simulated as the GaaS-X paper does (§V-A): "We simulate the
+//! micro architectural characteristics of GraphR (e.g. dense mapping to
+//! crossbars) using our custom cycle-accurate simulator with the same
+//! technology parameters ... We also keep same number of parallel compute
+//! elements (2048) in both GaaS-X and GraphR."
+//!
+//! The behavioural differences from GaaS-X, per §II-C:
+//!
+//! * every non-empty `T×T` adjacency tile is converted sparse→dense and all
+//!   `T²` values are *written* to a compute crossbar (the write redundancy
+//!   of Fig 5);
+//! * PageRank processes an entire tile per MAC operation — maximum
+//!   parallelism, but every zero cell computes too (compute redundancy);
+//! * BFS/SSSP "can process only one row at a time in the graph tile,
+//!   leading to lower parallelism", and the engine re-streams every tile
+//!   each superstep because it has no CAM to find active sources.
+
+mod engine;
+
+pub use engine::{GraphR, GraphRConfig};

@@ -1,0 +1,105 @@
+//! Tesseract: the DRAM-based PIM baseline (Ahn et al., ISCA 2015), modeled
+//! through the ratios the paper itself chains together.
+//!
+//! §V-B: "Overall GaaS-X achieves 7.7x speedup and 22x energy savings over
+//! GraphR which in turn shows up to 4x performance and 4x-10x energy
+//! efficiency gains over Tesseract." Like the GRAM comparison, the paper
+//! never re-simulates Tesseract; it composes previously reported ratios —
+//! so this model derives a Tesseract report by scaling a GraphR report the
+//! same way.
+
+use gaasx_sim::RunReport;
+use serde::{Deserialize, Serialize};
+
+/// GraphR-vs-Tesseract improvement ratios (GraphR is the faster one).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TesseractModel {
+    /// GraphR's speedup over Tesseract (paper: "up to 4x").
+    pub graphr_speedup_over: f64,
+    /// GraphR's energy-efficiency gain over Tesseract (paper: "4x-10x").
+    pub graphr_energy_over: f64,
+}
+
+impl TesseractModel {
+    /// Mid-range ratios from the GraphR paper as cited by GaaS-X: the "up
+    /// to 4×" performance claim de-rated to a typical 2.5×, energy at the
+    /// 4–10× band's geometric middle.
+    pub fn typical() -> Self {
+        TesseractModel {
+            graphr_speedup_over: 2.5,
+            graphr_energy_over: 6.3,
+        }
+    }
+
+    /// The most favourable published point for GraphR.
+    pub fn best_case_for_graphr() -> Self {
+        TesseractModel {
+            graphr_speedup_over: 4.0,
+            graphr_energy_over: 10.0,
+        }
+    }
+
+    /// Derives a Tesseract report from a GraphR report of the same run:
+    /// slower and less efficient by the configured ratios.
+    pub fn report_from_graphr(&self, graphr: &RunReport) -> RunReport {
+        let mut report = graphr.clone();
+        report.engine = "tesseract".into();
+        report.elapsed_ns *= self.graphr_speedup_over;
+        let scale = self.graphr_energy_over;
+        report.energy.mac_nj *= scale;
+        report.energy.cam_nj *= scale;
+        report.energy.write_nj *= scale;
+        report.energy.sfu_nj *= scale;
+        report.energy.buffer_nj *= scale;
+        report.energy.static_nj *= scale;
+        // DRAM-PIM op mixes are not comparable to crossbar ops.
+        report.ops.mac_ops = 0;
+        report.ops.cam_searches = 0;
+        report.ops.cells_written = 0;
+        report.rows_per_mac = gaasx_sim::Histogram::new(1);
+        report
+    }
+}
+
+impl Default for TesseractModel {
+    fn default() -> Self {
+        TesseractModel::typical()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graphr_report() -> RunReport {
+        let mut r = RunReport::new("graphr", "pagerank", "LJ");
+        r.elapsed_ns = 1e6;
+        r.energy.mac_nj = 1e6;
+        r.iterations = 5;
+        r.num_edges = 100;
+        r
+    }
+
+    #[test]
+    fn tesseract_is_slower_than_graphr() {
+        let g = graphr_report();
+        let t = TesseractModel::typical().report_from_graphr(&g);
+        assert_eq!(t.engine, "tesseract");
+        assert!(t.elapsed_ns > g.elapsed_ns);
+        assert!(t.energy.total_nj() > g.energy.total_nj());
+        assert_eq!(t.workload, "LJ");
+    }
+
+    #[test]
+    fn chained_ratio_reaches_the_papers_composition() {
+        // GaaS-X 7.7× over GraphR composed with GraphR "up to 4×" over
+        // Tesseract puts GaaS-X up to ≈31× over Tesseract.
+        let g = graphr_report();
+        let t = TesseractModel::best_case_for_graphr().report_from_graphr(&g);
+        let mut gaasx = RunReport::new("gaasx", "pagerank", "LJ");
+        gaasx.elapsed_ns = g.elapsed_ns / 7.7;
+        gaasx.energy.mac_nj = g.energy.total_nj() / 22.0;
+        assert!((gaasx.speedup_over(&t) - 7.7 * 4.0).abs() < 0.5);
+        assert!((gaasx.energy_savings_over(&t) - 220.0).abs() < 1.0);
+    }
+}

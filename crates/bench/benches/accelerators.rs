@@ -1,0 +1,97 @@
+//! Simulation-throughput benchmarks of the PIM engines: how fast the
+//! simulator runs whole algorithm executions (edges simulated per second).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use gaasx_baselines::{GraphR, GraphRConfig};
+use gaasx_core::algorithms::{Bfs, CollaborativeFiltering, PageRank, Sssp};
+use gaasx_core::{GaasX, GaasXConfig};
+use gaasx_graph::bipartite::BipartiteGraph;
+use gaasx_graph::datasets::PaperDataset;
+use gaasx_graph::VertexId;
+
+fn bench_gaasx(c: &mut Criterion) {
+    let graph = PaperDataset::WikiVote.instantiate_graph(0.1).unwrap();
+    let edges = graph.num_edges() as u64;
+    let src = VertexId::new(0);
+    let mut group = c.benchmark_group("gaasx_sim");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(edges));
+    group.bench_function("pagerank_x3", |b| {
+        b.iter(|| {
+            GaasX::new(GaasXConfig::paper())
+                .run(&PageRank::fixed_iterations(3), &graph)
+                .unwrap()
+        })
+    });
+    group.bench_function("bfs", |b| {
+        b.iter(|| {
+            GaasX::new(GaasXConfig::paper())
+                .run(&Bfs::from_source(src), &graph)
+                .unwrap()
+        })
+    });
+    group.bench_function("sssp", |b| {
+        b.iter(|| {
+            GaasX::new(GaasXConfig::paper())
+                .run(&Sssp::from_source(src), &graph)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_graphr(c: &mut Criterion) {
+    let graph = PaperDataset::WikiVote.instantiate_graph(0.1).unwrap();
+    let edges = graph.num_edges() as u64;
+    let mut group = c.benchmark_group("graphr_sim");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(edges));
+    group.bench_function("pagerank_x3", |b| {
+        b.iter(|| {
+            GraphR::new(GraphRConfig::paper())
+                .pagerank(&graph, 0.85, 3)
+                .unwrap()
+        })
+    });
+    group.bench_function("sssp", |b| {
+        b.iter(|| {
+            GraphR::new(GraphRConfig::paper())
+                .sssp(&graph, VertexId::new(0))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_cf(c: &mut Criterion) {
+    let ratings = BipartiteGraph::synthetic(100, 30, 1500, 5).unwrap();
+    let cf = CollaborativeFiltering {
+        features: 8,
+        epochs: 1,
+        learning_rate: 0.02,
+        regularization: 0.02,
+        seed: 3,
+    };
+    let mut group = c.benchmark_group("cf_sim");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ratings.num_ratings() as u64));
+    group.bench_function("gaasx_epoch", |b| {
+        b.iter(|| {
+            GaasX::new(GaasXConfig::paper())
+                .run(&cf, &ratings)
+                .unwrap()
+        })
+    });
+    group.bench_function("graphr_epoch", |b| {
+        b.iter(|| {
+            GraphR::new(GraphRConfig::paper())
+                .cf(&ratings, 8, 1, 0.02, 0.02, 3)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gaasx, bench_graphr, bench_cf);
+criterion_main!(benches);

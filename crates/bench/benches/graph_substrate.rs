@@ -1,0 +1,59 @@
+//! Benchmarks of the graph substrate: generation, locality, partitioning,
+//! and index construction throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use gaasx_graph::generators::{localize, rmat, LocalityConfig, RmatConfig};
+use gaasx_graph::partition::{GridPartition, TraversalOrder};
+use gaasx_graph::stats::TileDensityProfile;
+use gaasx_graph::{Csc, Csr};
+
+const EDGES: usize = 100_000;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generation");
+    group.throughput(Throughput::Elements(EDGES as u64));
+    group.sample_size(20);
+    group.bench_function("rmat_100k_edges", |b| {
+        b.iter(|| rmat(&RmatConfig::new(1 << 14, EDGES).with_seed(7)).unwrap())
+    });
+    let g = rmat(&RmatConfig::new(1 << 14, EDGES).with_seed(7)).unwrap();
+    group.bench_function("localize_100k_edges", |b| {
+        b.iter(|| localize(black_box(&g), &LocalityConfig::new(0.6)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_indexing(c: &mut Criterion) {
+    let g = rmat(&RmatConfig::new(1 << 14, EDGES).with_seed(9)).unwrap();
+    let mut group = c.benchmark_group("indexing");
+    group.throughput(Throughput::Elements(EDGES as u64));
+    group.sample_size(20);
+    group.bench_function("csr_build", |b| b.iter(|| Csr::from_coo(black_box(&g))));
+    group.bench_function("csc_build", |b| b.iter(|| Csc::from_coo(black_box(&g))));
+    group.bench_function("grid_partition_16x16_intervals", |b| {
+        b.iter(|| GridPartition::with_num_intervals(black_box(&g), 16).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let g = rmat(&RmatConfig::new(1 << 14, EDGES).with_seed(11)).unwrap();
+    let grid = GridPartition::with_num_intervals(&g, 16).unwrap();
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(20);
+    group.bench_function("tile_density_profile", |b| {
+        b.iter(|| TileDensityProfile::compute(black_box(&g), 16).unwrap())
+    });
+    group.bench_function("stream_column_major", |b| {
+        b.iter(|| {
+            grid.stream(TraversalOrder::ColumnMajor)
+                .map(|s| s.num_edges())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_indexing, bench_analysis);
+criterion_main!(benches);

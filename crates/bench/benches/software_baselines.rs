@@ -1,0 +1,56 @@
+//! Benchmarks of the real (measured) software baselines — these numbers
+//! are the CPU side of Figs 15/16, so their own performance matters.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use gaasx_baselines::cpu::{GapbsCpu, GraphChiCpu, GridGraphCpu};
+use gaasx_baselines::reference;
+use gaasx_graph::bipartite::BipartiteGraph;
+use gaasx_graph::datasets::PaperDataset;
+use gaasx_graph::VertexId;
+
+fn bench_gridgraph(c: &mut Criterion) {
+    let graph = PaperDataset::Slashdot.instantiate_graph(0.1).unwrap();
+    let edges = graph.num_edges() as u64;
+    let src = VertexId::new(0);
+    let mut group = c.benchmark_group("cpu_gridgraph");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(edges));
+    let cpu = GridGraphCpu::with_threads(4);
+    group.bench_function("pagerank_x3", |b| {
+        b.iter(|| cpu.pagerank(&graph, 0.85, 3).unwrap())
+    });
+    group.bench_function("sssp", |b| b.iter(|| cpu.sssp(&graph, src).unwrap()));
+    group.finish();
+}
+
+fn bench_gapbs(c: &mut Criterion) {
+    let graph = PaperDataset::Slashdot.instantiate_graph(0.1).unwrap();
+    let edges = graph.num_edges() as u64;
+    let src = VertexId::new(0);
+    let mut group = c.benchmark_group("cpu_gapbs");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(edges));
+    let cpu = GapbsCpu::with_threads(4);
+    group.bench_function("pagerank_x3", |b| {
+        b.iter(|| cpu.pagerank(&graph, 0.85, 3).unwrap())
+    });
+    group.bench_function("bfs", |b| b.iter(|| cpu.bfs(&graph, src).unwrap()));
+    group.bench_function("dijkstra", |b| b.iter(|| reference::dijkstra(&graph, src)));
+    group.finish();
+}
+
+fn bench_graphchi(c: &mut Criterion) {
+    let ratings = BipartiteGraph::synthetic(2_000, 200, 50_000, 5).unwrap();
+    let mut group = c.benchmark_group("cpu_graphchi");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ratings.num_ratings() as u64));
+    let chi = GraphChiCpu::new();
+    group.bench_function("cf_epoch_f32", |b| {
+        b.iter(|| chi.cf(&ratings, 32, 1, 0.01, 0.02, 7).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gridgraph, bench_gapbs, bench_graphchi);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Regenerates Fig 12: GaaS-X energy savings over GraphR.
+
+use gaasx_bench::experiments::{fig12, run_matrix};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let matrix = run_matrix(gaasx_bench::cap_edges(), gaasx_bench::pr_iterations())?;
+    println!("{}", fig12(&matrix));
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig 13: CDF of rows accumulated per MAC operation.
+
+use gaasx_bench::experiments::{fig13, run_matrix};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let matrix = run_matrix(gaasx_bench::cap_edges(), gaasx_bench::pr_iterations())?;
+    println!("{}", fig13(&matrix));
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig 14: GaaS-X vs GRAM comparison.
+
+use gaasx_bench::experiments::{fig14, run_matrix};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let matrix = run_matrix(gaasx_bench::cap_edges(), gaasx_bench::pr_iterations())?;
+    println!("{}", fig14(&matrix));
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Regenerates Fig 15: speedup over CPU and GPU software frameworks.
+
+use gaasx_bench::experiments::{fig15, run_matrix, run_software};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cap = gaasx_bench::cap_edges();
+    let iters = gaasx_bench::pr_iterations();
+    let matrix = run_matrix(cap, iters)?;
+    let sw = run_software(&matrix, cap, iters)?;
+    println!("{}", fig15(&sw));
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Regenerates Fig 16: energy savings over CPU and GPU frameworks.
+
+use gaasx_bench::experiments::{fig16, run_matrix, run_software};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cap = gaasx_bench::cap_edges();
+    let iters = gaasx_bench::pr_iterations();
+    let matrix = run_matrix(cap, iters)?;
+    let sw = run_software(&matrix, cap, iters)?;
+    println!("{}", fig16(&sw));
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//! Regenerates Fig 17: collaborative filtering comparison.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // CF simulates per-rating feature MACs; cap ratings below the graph cap.
+    let cap = (gaasx_bench::cap_edges() / 6).max(2_000);
+    println!("{}", gaasx_bench::experiments::fig17(cap, 32, 3)?);
+    Ok(())
+}

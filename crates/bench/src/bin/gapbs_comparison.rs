@@ -1,0 +1,12 @@
+//! Regenerates the §V-B GAPBS comparison paragraph.
+
+use gaasx_bench::experiments::{gapbs_comparison, run_matrix, run_software};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cap = gaasx_bench::cap_edges();
+    let iters = gaasx_bench::pr_iterations();
+    let matrix = run_matrix(cap, iters)?;
+    let sw = run_software(&matrix, cap, iters)?;
+    println!("{}", gapbs_comparison(&sw));
+    Ok(())
+}

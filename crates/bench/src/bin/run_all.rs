@@ -1,0 +1,50 @@
+//! Runs every experiment and writes the rendered tables to `results/`.
+
+use std::fs;
+use std::time::Instant;
+
+use gaasx_bench::experiments as exp;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cap = gaasx_bench::cap_edges();
+    let iters = gaasx_bench::pr_iterations();
+    let start = Instant::now();
+    fs::create_dir_all("results")?;
+
+    let mut sections: Vec<(&str, String)> = vec![
+        ("table1", exp::table1()),
+        ("table2", exp::table2(cap)?),
+        ("table3", exp::table3()),
+        ("fig5", exp::fig5(cap)?),
+    ];
+
+    eprintln!("[run_all] simulating GaaS-X + GraphR matrix (cap {cap} edges)...");
+    let matrix = exp::run_matrix(cap, iters)?;
+    sections.push(("fig11", exp::fig11(&matrix)));
+    sections.push(("fig12", exp::fig12(&matrix)));
+    sections.push(("fig13", exp::fig13(&matrix)));
+    sections.push(("fig14", exp::fig14(&matrix)));
+
+    eprintln!("[run_all] running software baselines...");
+    let sw = exp::run_software(&matrix, cap, iters)?;
+    sections.push(("fig15", exp::fig15(&sw)));
+    sections.push(("fig16", exp::fig16(&sw)));
+    sections.push(("gapbs", exp::gapbs_comparison(&sw)));
+
+    eprintln!("[run_all] collaborative filtering...");
+    sections.push(("fig17", exp::fig17((cap / 6).max(2_000), 32, 3)?));
+
+    let mut combined = String::new();
+    for (name, body) in &sections {
+        fs::write(format!("results/{name}.md"), body)?;
+        combined.push_str(body);
+        combined.push_str("\n\n");
+        println!("{body}\n");
+    }
+    fs::write("results/all.md", &combined)?;
+    eprintln!(
+        "[run_all] done in {:.1}s; wrote results/*.md",
+        start.elapsed().as_secs_f64()
+    );
+    Ok(())
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table I: GaaS-X architecture parameters.
+
+fn main() {
+    println!("{}", gaasx_bench::experiments::table1());
+}

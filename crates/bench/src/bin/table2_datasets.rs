@@ -1,0 +1,6 @@
+//! Regenerates Table II: graph dataset characteristics.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("{}", gaasx_bench::experiments::table2(gaasx_bench::cap_edges())?);
+    Ok(())
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table III: baseline system configurations.
+
+fn main() {
+    println!("{}", gaasx_bench::experiments::table3());
+}

@@ -1,0 +1,210 @@
+//! Breadth-first search mapped to SpMV-add (paper §IV, Equation 2).
+
+use gaasx_graph::partition::TraversalOrder;
+use gaasx_graph::{CooGraph, VertexId};
+
+use crate::algorithms::{AlgoRun, Algorithm};
+use crate::engine::{partition_for_streaming, CellLayout, Engine};
+use crate::error::CoreError;
+
+/// Distances beyond this cannot be driven as MAC inputs.
+const MAX_ENCODABLE_DIST: f64 = 65_534.0;
+
+/// BFS on GaaS-X.
+///
+/// Identical to SSSP with all edge weights fixed at 1: the paper notes BFS
+/// runs "without the overhead of loading edge weights into MAC crossbars
+/// but setting the edge weight columns to a fixed value of 1" — so data
+/// loading writes only the CAM pairs ([`CellLayout::Preset`]), saving the
+/// MAC programming entirely.
+///
+/// Unlike the paper's full-range sweep, the engine only searches sources on
+/// the current frontier (their distance changed last superstep), which is
+/// the natural BFS work-list; the cost difference shows up as fewer CAM
+/// searches, not a different result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bfs {
+    /// Start vertex.
+    pub source: VertexId,
+}
+
+impl Bfs {
+    /// BFS from the given source.
+    pub fn from_source(source: VertexId) -> Self {
+        Bfs { source }
+    }
+}
+
+impl Algorithm for Bfs {
+    type Input = CooGraph;
+    type Output = Vec<f64>;
+
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+
+    fn input_edges(input: &CooGraph) -> u64 {
+        input.num_edges() as u64
+    }
+
+    fn execute(
+        &self,
+        engine: &mut Engine,
+        graph: &CooGraph,
+    ) -> Result<AlgoRun<Vec<f64>>, CoreError> {
+        let n = graph.num_vertices() as usize;
+        if self.source.index() >= n {
+            return Err(CoreError::InvalidInput(format!(
+                "source {} out of range for {n} vertices",
+                self.source
+            )));
+        }
+        // All weight cells read as 1; set once, never per edge.
+        engine.preset_mac(1)?;
+        let grid = partition_for_streaming(graph)?;
+        let capacity = engine.block_capacity();
+
+        let mut dist = vec![f64::INFINITY; n];
+        dist[self.source.index()] = 0.0;
+        let mut frontier = vec![false; n];
+        frontier[self.source.index()] = true;
+        let mut supersteps = 0;
+
+        loop {
+            let mut next = vec![false; n];
+            let mut changed = false;
+            for shard in grid.stream(TraversalOrder::RowMajor) {
+                for chunk in shard.edges().chunks(capacity) {
+                    if !chunk.iter().any(|e| frontier[e.src.index()]) {
+                        continue;
+                    }
+                    let block = engine.load_block(chunk, CellLayout::Preset)?;
+                    for &src in &block.distinct_srcs().to_vec() {
+                        if !frontier[src.index()] {
+                            continue;
+                        }
+                        let d = dist[src.index()];
+                        engine.attr_read(8);
+                        if d > MAX_ENCODABLE_DIST {
+                            continue;
+                        }
+                        let hits = engine.search_src(src);
+                        let results =
+                            engine.propagate_rows(&hits, &[0, 1], &[1, d.round() as u32])?;
+                        for (row, sum) in results {
+                            let dst = block.edge(row).dst;
+                            let cand = sum as f64;
+                            if engine.sfu_less_than(cand, dist[dst.index()]) {
+                                dist[dst.index()] = engine.sfu_min(cand, dist[dst.index()]);
+                                engine.attr_write(8);
+                                next[dst.index()] = true;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            engine.end_block();
+            supersteps += 1;
+            if !changed {
+                break;
+            }
+            frontier = next;
+        }
+        engine.output_write(8 * n as u64);
+
+        Ok(AlgoRun {
+            output: dist,
+            iterations: supersteps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GaasXConfig;
+    use gaasx_graph::generators;
+
+    fn run(graph: &CooGraph, source: u32) -> Vec<f64> {
+        let mut engine = Engine::new(GaasXConfig::small()).unwrap();
+        Bfs::from_source(VertexId::new(source))
+            .execute(&mut engine, graph)
+            .unwrap()
+            .output
+    }
+
+    /// Queue-based BFS oracle (hop counts).
+    fn oracle(graph: &CooGraph, source: u32) -> Vec<f64> {
+        use std::collections::VecDeque;
+        let n = graph.num_vertices() as usize;
+        let csr = gaasx_graph::Csr::from_coo(graph);
+        let mut dist = vec![f64::INFINITY; n];
+        dist[source as usize] = 0.0;
+        let mut q = VecDeque::from([source]);
+        while let Some(v) = q.pop_front() {
+            for (u, _) in csr.neighbors(VertexId::new(v)) {
+                if dist[u.index()].is_infinite() {
+                    dist[u.index()] = dist[v as usize] + 1.0;
+                    q.push_back(u.raw());
+                }
+            }
+        }
+        dist
+    }
+
+    #[test]
+    fn hop_counts_on_path() {
+        let g = generators::path_graph(6);
+        assert_eq!(run(&g, 0), vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn ignores_edge_weights() {
+        // Heavy weights must not affect hop counts.
+        let g = CooGraph::from_edges(
+            3,
+            vec![
+                gaasx_graph::Edge::new(0, 1, 99.0),
+                gaasx_graph::Edge::new(1, 2, 99.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(run(&g, 0), vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn matches_oracle_on_rmat() {
+        let g = generators::rmat(&generators::RmatConfig::new(1 << 6, 500).with_seed(2)).unwrap();
+        assert_eq!(run(&g, 0), oracle(&g, 0));
+    }
+
+    #[test]
+    fn star_is_one_hop() {
+        let g = generators::star_graph(30);
+        let d = run(&g, 0);
+        assert!(d[1..].iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn bfs_loads_no_mac_cells() {
+        let g = generators::path_graph(8);
+        let mut engine = Engine::new(GaasXConfig::small()).unwrap();
+        let _ = Bfs::from_source(VertexId::new(0))
+            .execute(&mut engine, &g)
+            .unwrap();
+        let r = engine.finish("gaasx", "bfs", "path", 1, 7);
+        // Every programmed cell is a CAM cell: divisible by the 256 devices
+        // per CAM row, with zero MAC-cell contribution.
+        assert_eq!(r.ops.cells_written % 256, 0);
+    }
+
+    #[test]
+    fn rejects_bad_source() {
+        let g = generators::path_graph(3);
+        let mut engine = Engine::new(GaasXConfig::small()).unwrap();
+        assert!(Bfs::from_source(VertexId::new(3))
+            .execute(&mut engine, &g)
+            .is_err());
+    }
+}

@@ -1,0 +1,219 @@
+//! Connected components by min-label propagation.
+//!
+//! The paper positions GaaS-X as covering the SpMV algorithm family
+//! ("traversal, machine learning"); connected components is the canonical
+//! remaining traversal kernel (it appears in GAPBS and every framework the
+//! paper compares against). The mapping is the SpMV-add pattern of SSSP
+//! with the distance replaced by a component label and `min` as the reduce:
+//! labels start as vertex ids, and every superstep each active vertex
+//! pushes its label to its out-neighbors through a CAM search plus a
+//! transposed MAC over the preset unit column.
+
+use gaasx_graph::partition::TraversalOrder;
+use gaasx_graph::CooGraph;
+
+use crate::algorithms::{AlgoRun, Algorithm};
+use crate::engine::{partition_for_streaming, CellLayout, Engine};
+use crate::error::CoreError;
+
+/// Labels propagate as MAC inputs, so they must fit the 16-bit input path.
+const MAX_ENCODABLE_LABEL: u32 = 65_535;
+
+/// Connected components on GaaS-X.
+///
+/// Propagation follows directed edges; run on
+/// [`CooGraph::symmetrized`] input to obtain *weakly* connected components
+/// (the usual notion, and what the tests validate against a union–find
+/// oracle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConnectedComponents;
+
+impl ConnectedComponents {
+    /// Creates the algorithm.
+    pub fn new() -> Self {
+        ConnectedComponents
+    }
+}
+
+impl Algorithm for ConnectedComponents {
+    type Input = CooGraph;
+    type Output = Vec<u32>;
+
+    fn name(&self) -> &'static str {
+        "cc"
+    }
+
+    fn input_edges(input: &CooGraph) -> u64 {
+        input.num_edges() as u64
+    }
+
+    fn execute(
+        &self,
+        engine: &mut Engine,
+        graph: &CooGraph,
+    ) -> Result<AlgoRun<Vec<u32>>, CoreError> {
+        let n = graph.num_vertices() as usize;
+        if n == 0 {
+            return Ok(AlgoRun {
+                output: Vec::new(),
+                iterations: 0,
+            });
+        }
+        if n as u64 > u64::from(MAX_ENCODABLE_LABEL) + 1 {
+            return Err(CoreError::InvalidInput(format!(
+                "{n} vertices exceed the {}-label device input range",
+                MAX_ENCODABLE_LABEL + 1
+            )));
+        }
+        // Labels ride the preset unit column like BFS hop counts: no MAC
+        // programming during data loading.
+        engine.preset_mac(1)?;
+        let grid = partition_for_streaming(graph)?;
+        let capacity = engine.block_capacity();
+
+        let mut label: Vec<u32> = (0..n as u32).collect();
+        let mut active = vec![true; n];
+        let mut supersteps = 0;
+
+        loop {
+            let mut next = vec![false; n];
+            let mut changed = false;
+            for shard in grid.stream(TraversalOrder::RowMajor) {
+                for chunk in shard.edges().chunks(capacity) {
+                    if !chunk.iter().any(|e| active[e.src.index()]) {
+                        continue;
+                    }
+                    let block = engine.load_block(chunk, CellLayout::Preset)?;
+                    for &src in &block.distinct_srcs().to_vec() {
+                        if !active[src.index()] {
+                            continue;
+                        }
+                        engine.attr_read(4);
+                        let hits = engine.search_src(src);
+                        // Single unit column: out[row] = label(src) × 1.
+                        let results =
+                            engine.propagate_rows(&hits, &[0], &[label[src.index()]])?;
+                        for (row, pushed) in results {
+                            let dst = block.edge(row).dst;
+                            let pushed = pushed as u32;
+                            if engine.sfu_less_than(
+                                f64::from(pushed),
+                                f64::from(label[dst.index()]),
+                            ) {
+                                label[dst.index()] = pushed;
+                                engine.attr_write(4);
+                                next[dst.index()] = true;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            engine.end_block();
+            supersteps += 1;
+            if !changed || supersteps as usize > n {
+                break;
+            }
+            active = next;
+        }
+        engine.output_write(4 * n as u64);
+
+        Ok(AlgoRun {
+            output: label,
+            iterations: supersteps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GaasXConfig;
+    use gaasx_graph::generators;
+
+    fn run(graph: &CooGraph) -> Vec<u32> {
+        let mut engine = Engine::new(GaasXConfig::small()).unwrap();
+        ConnectedComponents::new()
+            .execute(&mut engine, graph)
+            .unwrap()
+            .output
+    }
+
+    /// Union–find oracle over undirected reachability.
+    fn oracle(graph: &CooGraph) -> Vec<u32> {
+        let n = graph.num_vertices() as usize;
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = x;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        for e in graph.iter() {
+            let (a, b) = (find(&mut parent, e.src.index()), find(&mut parent, e.dst.index()));
+            if a != b {
+                parent[a.max(b)] = a.min(b);
+            }
+        }
+        (0..n).map(|v| find(&mut parent, v) as u32).collect()
+    }
+
+    #[test]
+    fn two_islands_get_two_labels() {
+        // 0-1-2 and 3-4, undirected.
+        let g = gaasx_graph::GraphBuilder::new(5)
+            .unweighted_edge(0, 1)
+            .unweighted_edge(1, 2)
+            .unweighted_edge(3, 4)
+            .symmetrize(true)
+            .build()
+            .unwrap();
+        assert_eq!(run(&g), vec![0, 0, 0, 3, 3]);
+    }
+
+    #[test]
+    fn matches_union_find_on_random_graph() {
+        let g = generators::rmat(&generators::RmatConfig::new(1 << 7, 300).with_seed(6))
+            .unwrap()
+            .symmetrized();
+        assert_eq!(run(&g), oracle(&g));
+    }
+
+    #[test]
+    fn isolated_vertices_keep_their_own_label() {
+        let g = CooGraph::empty(4);
+        assert_eq!(run(&g), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn single_component_cycle() {
+        let g = generators::cycle_graph(20);
+        assert!(run(&g).iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn rejects_oversized_graphs() {
+        let g = CooGraph::empty(70_000);
+        let mut engine = Engine::new(GaasXConfig::small()).unwrap();
+        assert!(ConnectedComponents::new().execute(&mut engine, &g).is_err());
+    }
+
+    #[test]
+    fn label_values_are_component_minima() {
+        let g = generators::rmat(&generators::RmatConfig::new(1 << 6, 200).with_seed(8))
+            .unwrap()
+            .symmetrized();
+        let labels = run(&g);
+        for (v, &l) in labels.iter().enumerate() {
+            assert!(l as usize <= v, "label {l} above vertex id {v}");
+            assert_eq!(labels[l as usize], l, "label must be its own root");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Algorithm mappings onto the GaaS-X engine (paper §IV).
+//!
+//! Each algorithm decomposes into the paper's two SpMV primitives:
+//!
+//! * **SpMV-multiply** — parallel aggregation of attributes at a vertex
+//!   (PageRank ranks, CF feature products) via CAM-search +
+//!   [`Engine::gather_rows`];
+//! * **SpMV-add** — parallel updates of neighbor attributes from an active
+//!   vertex (SSSP, BFS) via CAM-search + [`Engine::propagate_rows`].
+//!
+//! [`Engine`]: crate::engine::Engine
+
+mod bfs;
+mod cf;
+mod components;
+mod gcn;
+mod pagerank;
+pub mod signed;
+mod spmv;
+mod sssp;
+
+pub use bfs::Bfs;
+pub use cf::{CfModel, CollaborativeFiltering};
+pub use components::ConnectedComponents;
+pub use gcn::{GcnInput, GcnLayer};
+pub use pagerank::PageRank;
+pub use spmv::SpMV;
+pub use sssp::Sssp;
+
+use crate::engine::Engine;
+use crate::error::CoreError;
+
+/// Result of executing an algorithm: its output plus the iteration count
+/// the engine ran (supersteps / epochs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlgoRun<T> {
+    /// Algorithm output (ranks, distances, model, ...).
+    pub output: T,
+    /// Iterations executed until convergence or the configured cap.
+    pub iterations: u32,
+}
+
+/// A graph algorithm mappable onto the GaaS-X execution model.
+pub trait Algorithm {
+    /// Input workload type (directed graph, bipartite ratings, ...).
+    type Input: ?Sized;
+    /// Output type.
+    type Output;
+
+    /// Short lowercase name used in reports ("pagerank", "sssp", ...).
+    fn name(&self) -> &'static str;
+
+    /// Number of edges in the input, for throughput reporting.
+    fn input_edges(input: &Self::Input) -> u64;
+
+    /// Executes the algorithm on the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on invalid inputs (e.g. an out-of-range source
+    /// vertex) or internal device failures.
+    fn execute(
+        &self,
+        engine: &mut Engine,
+        input: &Self::Input,
+    ) -> Result<AlgoRun<Self::Output>, CoreError>;
+}

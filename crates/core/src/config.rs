@@ -1,0 +1,262 @@
+//! Accelerator configuration and the Table I component inventory.
+
+use serde::{Deserialize, Serialize};
+
+use gaasx_sim::des::SchedulePolicy;
+use gaasx_xbar::energy::DeviceEnergyModel;
+use gaasx_xbar::geometry::{CamGeometry, MacGeometry};
+use gaasx_xbar::Fidelity;
+
+use crate::error::CoreError;
+
+/// Complete configuration of a GaaS-X accelerator instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaasXConfig {
+    /// MAC crossbar geometry (per bank).
+    pub mac_geometry: MacGeometry,
+    /// CAM crossbar geometry (per bank).
+    pub cam_geometry: CamGeometry,
+    /// Number of CAM+MAC bank pairs (2048 in Table I).
+    pub num_banks: usize,
+    /// Numerical fidelity of the analog periphery.
+    pub fidelity: Fidelity,
+    /// Per-operation device energy/latency model.
+    pub energy: DeviceEnergyModel,
+    /// Relative sigma of analog device noise (0 disables; only observable
+    /// under [`Fidelity::Quantized`]).
+    pub noise_sigma: f64,
+    /// Seed for the noise model.
+    pub noise_seed: u64,
+    /// Bandwidth for streaming shards out of the storage ReRAM into the
+    /// compute arrays, GB/s. GaaS-X, like GraphR, keeps graph data in
+    /// on-package memory arrays, so this is internal-memory-class bandwidth.
+    pub stream_bandwidth_gbps: f64,
+    /// Bytes per streamed edge record (COO: two u32 ids + f32 weight).
+    pub edge_record_bytes: u64,
+    /// Block dispatch discipline: synchronous waves (default, a simple
+    /// controller) or event-driven earliest-available-bank scheduling.
+    pub scheduler: SchedulePolicy,
+}
+
+impl GaasXConfig {
+    /// The paper's Table I configuration: 2048 banks of 128×16 MAC +
+    /// 128×128 CAM crossbars.
+    pub fn paper() -> Self {
+        GaasXConfig {
+            mac_geometry: MacGeometry::paper(),
+            cam_geometry: CamGeometry::paper(),
+            num_banks: 2048,
+            fidelity: Fidelity::Exact,
+            energy: DeviceEnergyModel::paper(),
+            noise_sigma: 0.0,
+            noise_seed: 0,
+            stream_bandwidth_gbps: 128.0,
+            edge_record_bytes: 12,
+            scheduler: SchedulePolicy::Waves,
+        }
+    }
+
+    /// A small configuration (8 banks) for fast unit tests.
+    pub fn small() -> Self {
+        GaasXConfig {
+            num_banks: 8,
+            ..GaasXConfig::paper()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] on inconsistent geometries, zero
+    /// bank counts, or non-positive bandwidth.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        self.mac_geometry
+            .validate()
+            .map_err(|e| CoreError::InvalidConfig(format!("mac geometry: {e}")))?;
+        self.cam_geometry
+            .validate()
+            .map_err(|e| CoreError::InvalidConfig(format!("cam geometry: {e}")))?;
+        if self.num_banks == 0 {
+            return Err(CoreError::InvalidConfig("num_banks must be positive".into()));
+        }
+        if self.cam_geometry.rows != self.mac_geometry.rows {
+            return Err(CoreError::InvalidConfig(format!(
+                "cam rows {} must match mac rows {} (one edge per paired row)",
+                self.cam_geometry.rows, self.mac_geometry.rows
+            )));
+        }
+        if !(self.stream_bandwidth_gbps.is_finite() && self.stream_bandwidth_gbps > 0.0) {
+            return Err(CoreError::InvalidConfig(
+                "stream_bandwidth_gbps must be positive".into(),
+            ));
+        }
+        if self.edge_record_bytes == 0 {
+            return Err(CoreError::InvalidConfig(
+                "edge_record_bytes must be positive".into(),
+            ));
+        }
+        if !(self.noise_sigma.is_finite() && self.noise_sigma >= 0.0) {
+            return Err(CoreError::InvalidConfig(
+                "noise_sigma must be non-negative".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Edges resident across all banks at once (`num_banks × cam rows`).
+    pub fn resident_edges(&self) -> usize {
+        self.num_banks * self.cam_geometry.rows
+    }
+
+    /// Nanoseconds to stream `bytes` from storage into the compute arrays.
+    pub fn stream_ns(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.stream_bandwidth_gbps
+    }
+}
+
+impl Default for GaasXConfig {
+    fn default() -> Self {
+        GaasXConfig::paper()
+    }
+}
+
+/// One row of the paper's Table I component inventory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentSpec {
+    /// Component name.
+    pub name: &'static str,
+    /// Configuration string as printed in the table.
+    pub configuration: &'static str,
+    /// Area in mm² × 10⁻³ (the table's unit).
+    pub area_milli_mm2: f64,
+    /// Power in mW.
+    pub power_mw: f64,
+}
+
+/// The Table I inventory, verbatim from the paper.
+pub fn table1_components() -> Vec<ComponentSpec> {
+    vec![
+        ComponentSpec {
+            name: "MAC crossbar",
+            configuration: "128x16x8, 2-bits/cell, number: 2048",
+            area_milli_mm2: 51.2,
+            power_mw: 307.20,
+        },
+        ComponentSpec {
+            name: "DAC",
+            configuration: "2-bit, number: 256x2048",
+            area_milli_mm2: 0.08,
+            power_mw: 1.64,
+        },
+        ComponentSpec {
+            name: "S&H",
+            configuration: "number: 1152x2048",
+            area_milli_mm2: 72.00,
+            power_mw: 2.56,
+        },
+        ComponentSpec {
+            name: "ADC",
+            configuration: "6-bit, 1.2GSps, number: 512",
+            area_milli_mm2: 300.80,
+            power_mw: 328.96,
+        },
+        ComponentSpec {
+            name: "CAM crossbar",
+            configuration: "128x128, 1-bit/cell, number: 2048",
+            area_milli_mm2: 80.00,
+            power_mw: 614.40,
+        },
+        ComponentSpec {
+            name: "Central controller",
+            configuration: "",
+            area_milli_mm2: 1650.00,
+            power_mw: 50.00,
+        },
+        ComponentSpec {
+            name: "SFU",
+            configuration: "",
+            area_milli_mm2: 286.72,
+            power_mw: 33.87,
+        },
+        ComponentSpec {
+            name: "Output buffer",
+            configuration: "64 KB",
+            area_milli_mm2: 25.60,
+            power_mw: 34.88,
+        },
+        ComponentSpec {
+            name: "Input buffer",
+            configuration: "16 KB",
+            area_milli_mm2: 6.40,
+            power_mw: 8.72,
+        },
+        ComponentSpec {
+            name: "Attribute buffer",
+            configuration: "512 KB",
+            area_milli_mm2: 204.80,
+            power_mw: 279.04,
+        },
+    ]
+}
+
+/// Total accelerator area in mm² (paper: 2.69 mm²).
+pub fn table1_total_area_mm2() -> f64 {
+    table1_components()
+        .iter()
+        .map(|c| c.area_milli_mm2)
+        .sum::<f64>()
+        / 1_000.0
+}
+
+/// Total accelerator power in W (paper: 1.66 W).
+pub fn table1_total_power_w() -> f64 {
+    table1_components().iter().map(|c| c.power_mw).sum::<f64>() / 1_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid() {
+        GaasXConfig::paper().validate().unwrap();
+        GaasXConfig::small().validate().unwrap();
+    }
+
+    #[test]
+    fn paper_capacity() {
+        assert_eq!(GaasXConfig::paper().resident_edges(), 2048 * 128);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = GaasXConfig::paper();
+        c.num_banks = 0;
+        assert!(c.validate().is_err());
+        let mut c = GaasXConfig::paper();
+        c.cam_geometry.rows = 64;
+        assert!(c.validate().is_err());
+        let mut c = GaasXConfig::paper();
+        c.stream_bandwidth_gbps = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = GaasXConfig::paper();
+        c.noise_sigma = -1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn table1_totals_match_paper() {
+        // Paper: 2.69 mm² and 1.66 W (the printed component areas sum to
+        // 2.678 mm²; the paper's own total rounds to 2.69).
+        assert!((table1_total_area_mm2() - 2.69).abs() < 0.02);
+        assert!((table1_total_power_w() - 1.66).abs() < 0.01);
+    }
+
+    #[test]
+    fn stream_time_scales() {
+        let c = GaasXConfig::paper();
+        // 128 bytes at 128 GB/s = 1 ns.
+        assert!((c.stream_ns(128) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,852 @@
+//! The GaaS-X execution engine: controller-level primitives over the
+//! CAM/MAC crossbar banks.
+//!
+//! Algorithms program against this engine using the paper's five-phase
+//! model (§III-B):
+//!
+//! 1. *Initialization* — [`Engine::new`];
+//! 2. *Data loading* — [`Engine::load_block`] writes a block of ≤128 edges
+//!    into a CAM+MAC bank pair;
+//! 3. *CAM search* — [`Engine::search_src`] / [`Engine::search_dst`];
+//! 4. *MAC operation* — [`Engine::gather_rows`] (SpMV-multiply style
+//!    accumulation down columns) and [`Engine::propagate_rows`]
+//!    (SpMV-add style per-row sums through the transposed array);
+//! 5. *Special function execution* — the [`Sfu`] wrappers.
+//!
+//! ## Parallelism and timing
+//!
+//! Functionally a single working CAM+MAC pair executes every block (results
+//! are bit-identical to running on 2048 banks). Timing models the real
+//! parallelism under the configured [`SchedulePolicy`]: the default *wave*
+//! scheduler fills the `num_banks` banks with consecutive blocks — within a
+//! wave, streaming from the storage arrays is serial at
+//! `stream_bandwidth_gbps` while row programming and compute run
+//! bank-parallel, and waves overlap load-with-compute through the
+//! double-buffered pipeline model ([`gaasx_sim::pipeline`]) — while the
+//! *event-driven* alternative dispatches each block to the
+//! earliest-available bank with no barriers ([`gaasx_sim::des`]).
+
+use gaasx_graph::{CooGraph, Edge, GraphError, VertexId};
+use gaasx_sim::des::{BankScheduler, SchedulePolicy};
+use gaasx_sim::pipeline::PipelineClock;
+use gaasx_sim::{EnergyBreakdown, Histogram, OpSummary, RunReport, SramBuffer};
+use gaasx_xbar::{CamCrossbar, HitVector, MacCrossbar, MacDirection, XbarStats};
+
+use crate::config::GaasXConfig;
+use crate::error::CoreError;
+use crate::sfu::Sfu;
+
+/// Effective parallel lanes in the SFU (it contains multiple adders,
+/// comparators and multipliers, paper §III-B).
+const SFU_LANES: f64 = 16.0;
+
+/// How the MAC cells of a block are populated during data loading.
+pub enum CellLayout<'a> {
+    /// Write per-edge codes (e.g. edge weights, reciprocal out-degrees).
+    /// The closure returns the codes for one edge's MAC row.
+    PerEdge(&'a dyn Fn(&Edge) -> Vec<u32>),
+    /// All cells hold a fixed preset code; no per-edge MAC writes are
+    /// issued. This is the BFS optimization (§IV: BFS runs "without the
+    /// overhead of loading edge weights into MAC crossbars but setting the
+    /// edge weight columns to a fixed value of 1").
+    Preset,
+}
+
+impl std::fmt::Debug for CellLayout<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellLayout::PerEdge(_) => f.write_str("CellLayout::PerEdge(..)"),
+            CellLayout::Preset => f.write_str("CellLayout::Preset"),
+        }
+    }
+}
+
+/// A loaded block: the controller's metadata for one CAM+MAC bank fill.
+#[derive(Debug, Clone)]
+pub struct Block {
+    rows: Vec<Edge>,
+    distinct_srcs: Vec<VertexId>,
+    distinct_dsts: Vec<VertexId>,
+}
+
+impl Block {
+    /// The edge stored at a CAM/MAC row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` exceeds the block occupancy.
+    pub fn edge(&self, row: usize) -> Edge {
+        self.rows[row]
+    }
+
+    /// Number of edges in the block.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the block is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Distinct source vertices, ascending (the controller tracks loaded
+    /// vertex ranges as graph metadata, §III-A).
+    pub fn distinct_srcs(&self) -> &[VertexId] {
+        &self.distinct_srcs
+    }
+
+    /// Distinct destination vertices, ascending.
+    pub fn distinct_dsts(&self) -> &[VertexId] {
+        &self.distinct_dsts
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BlockCost {
+    stream_bytes: u64,
+    program_ns: f64,
+    compute_ns: f64,
+}
+
+/// The execution engine (see module docs).
+#[derive(Debug)]
+pub struct Engine {
+    config: GaasXConfig,
+    cam: CamCrossbar,
+    mac: MacCrossbar,
+    aux_mac: MacCrossbar,
+    sfu: Sfu,
+    input_buf: SramBuffer,
+    output_buf: SramBuffer,
+    attr_buf: SramBuffer,
+    rows_per_mac: Histogram,
+    costs: Vec<BlockCost>,
+    current: BlockCost,
+    in_block: bool,
+    extra_ns: f64,
+    compute_items: u64,
+    extra_aux_row_writes: u64,
+    extra_aux_cells: u64,
+}
+
+impl Engine {
+    /// Builds an engine from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the configuration is
+    /// inconsistent.
+    pub fn new(config: GaasXConfig) -> Result<Self, CoreError> {
+        config.validate()?;
+        let mut mac = MacCrossbar::new(config.mac_geometry, config.fidelity);
+        let mut aux_mac = MacCrossbar::new(config.mac_geometry, config.fidelity);
+        if config.noise_sigma > 0.0 {
+            mac.set_noise(Some(gaasx_xbar::noise::NoiseModel::new(
+                config.noise_sigma,
+                config.noise_seed,
+            )));
+            aux_mac.set_noise(Some(gaasx_xbar::noise::NoiseModel::new(
+                config.noise_sigma,
+                config.noise_seed.wrapping_add(1),
+            )));
+        }
+        Ok(Engine {
+            cam: CamCrossbar::new(config.cam_geometry),
+            mac,
+            aux_mac,
+            sfu: Sfu::new(),
+            input_buf: SramBuffer::input_16kb(),
+            output_buf: SramBuffer::output_64kb(),
+            attr_buf: SramBuffer::attribute_512kb(),
+            rows_per_mac: Histogram::new(config.mac_geometry.max_active_rows),
+            costs: Vec::new(),
+            current: BlockCost::default(),
+            in_block: false,
+            extra_ns: 0.0,
+            compute_items: 0,
+            extra_aux_row_writes: 0,
+            extra_aux_cells: 0,
+            config,
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &GaasXConfig {
+        &self.config
+    }
+
+    /// Maximum edges per block (CAM rows per bank).
+    pub fn block_capacity(&self) -> usize {
+        self.config.cam_geometry.rows
+    }
+
+    /// Weight precision of the MAC cells in bits.
+    pub fn weight_bits(&self) -> u32 {
+        self.config.mac_geometry.weight_bits()
+    }
+
+    /// Presets every MAC cell of the working bank to `code` without
+    /// counting writes — one-time array configuration (BFS's all-ones
+    /// weight columns).
+    ///
+    /// # Errors
+    ///
+    /// Returns a device error if `code` exceeds the cell range.
+    pub fn preset_mac(&mut self, code: u32) -> Result<(), CoreError> {
+        let g = self.config.mac_geometry;
+        // Validate the code once via a counted-then-reset probe write.
+        for row in 0..g.rows {
+            self.mac.write_row(row, &vec![code; g.cols])?;
+        }
+        self.mac.reset_stats();
+        Ok(())
+    }
+
+    /// Loads a block of edges into the working CAM+MAC bank (data loading
+    /// phase). Ends any previous block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if the block exceeds the bank
+    /// capacity, or a device error on bad cell codes.
+    pub fn load_block(&mut self, edges: &[Edge], cells: CellLayout<'_>) -> Result<Block, CoreError> {
+        if edges.len() > self.block_capacity() {
+            return Err(CoreError::InvalidInput(format!(
+                "block of {} edges exceeds bank capacity {}",
+                edges.len(),
+                self.block_capacity()
+            )));
+        }
+        self.end_block();
+        self.in_block = true;
+
+        self.cam.invalidate_all();
+        let mut srcs: Vec<VertexId> = Vec::with_capacity(edges.len());
+        let mut dsts: Vec<VertexId> = Vec::with_capacity(edges.len());
+        let mut program_ns = 0.0;
+        for (row, e) in edges.iter().enumerate() {
+            let key = (u128::from(e.src.raw()) << 32) | u128::from(e.dst.raw());
+            self.cam.write(row, key)?;
+            // The CAM key programs as one ternary word; the MAC row
+            // programs its values in the paired array concurrently — the
+            // slower of the two paces the row.
+            let cam_ns = self.config.energy.row_program_ns(1);
+            let mac_ns = if let CellLayout::PerEdge(f) = cells {
+                let codes = f(e);
+                let ns = self.config.energy.row_program_ns(codes.len());
+                self.mac.write_row(row, &codes)?;
+                ns
+            } else {
+                0.0
+            };
+            program_ns += cam_ns.max(mac_ns);
+            srcs.push(e.src);
+            dsts.push(e.dst);
+        }
+        srcs.sort_unstable();
+        srcs.dedup();
+        dsts.sort_unstable();
+        dsts.dedup();
+
+        let bytes = edges.len() as u64 * self.config.edge_record_bytes;
+        self.input_buf.write(bytes);
+        self.current.stream_bytes = bytes;
+        self.current.program_ns = program_ns;
+
+        Ok(Block {
+            rows: edges.to_vec(),
+            distinct_srcs: srcs,
+            distinct_dsts: dsts,
+        })
+    }
+
+    /// CAM search for all edges with the given source (row-wise key field).
+    pub fn search_src(&mut self, src: VertexId) -> HitVector {
+        self.current.compute_ns += self.config.energy.cam_search_ns;
+        self.cam
+            .search(u128::from(src.raw()) << 32, 0xFFFF_FFFF_0000_0000)
+    }
+
+    /// CAM search for all edges with the given destination.
+    pub fn search_dst(&mut self, dst: VertexId) -> HitVector {
+        self.current.compute_ns += self.config.energy.cam_search_ns;
+        self.cam.search(u128::from(dst.raw()), 0xFFFF_FFFF)
+    }
+
+    /// SpMV-multiply accumulation: sums `input(row) × cell[row][out_col]`
+    /// over the hit rows, chunked to the ≤16-row burst cap. Each input is
+    /// fetched from the attribute buffer (4 bytes). Returns the raw
+    /// accumulated code.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors (they indicate engine bugs, not bad user
+    /// input).
+    pub fn gather_rows(
+        &mut self,
+        hits: &HitVector,
+        input: &mut dyn FnMut(usize) -> u32,
+        out_col: usize,
+    ) -> Result<u64, CoreError> {
+        let mut total: u64 = 0;
+        let mut first = true;
+        for chunk in hits.chunks(self.config.mac_geometry.max_active_rows) {
+            let inputs: Vec<u32> = chunk
+                .iter()
+                .map(|&row| {
+                    self.attr_buf.read(4);
+                    input(row)
+                })
+                .collect();
+            let out = self.mac.mac(MacDirection::RowsToColumns, &chunk, &inputs)?;
+            self.rows_per_mac.record(chunk.len());
+            self.current.compute_ns += self.config.energy.mac_op_ns;
+            self.compute_items += chunk.len() as u64;
+            if first {
+                total = out[out_col];
+                first = false;
+            } else {
+                total = self.sfu_add_u64(total, out[out_col]);
+            }
+        }
+        Ok(total)
+    }
+
+    /// SpMV-add propagation through the transposed array: activates the
+    /// given columns with the given inputs and returns, for each hit row,
+    /// `Σ inputs[i] × cell[row][cols[i]]`. Hit rows are consumed in ≤16-row
+    /// groups (the ADC read-out cap), one MAC burst per group.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn propagate_rows(
+        &mut self,
+        hits: &HitVector,
+        cols: &[usize],
+        col_inputs: &[u32],
+    ) -> Result<Vec<(usize, u64)>, CoreError> {
+        let mut results = Vec::with_capacity(hits.count());
+        self.attr_buf.read(4 * col_inputs.len() as u64);
+        for chunk in hits.chunks(self.config.mac_geometry.max_active_rows) {
+            let out = self
+                .mac
+                .mac(MacDirection::ColumnsToRows, cols, col_inputs)?;
+            self.rows_per_mac.record(chunk.len());
+            self.current.compute_ns += self.config.energy.mac_op_ns;
+            self.compute_items += chunk.len() as u64;
+            for &row in &chunk {
+                results.push((row, out[row]));
+            }
+        }
+        Ok(results)
+    }
+
+    /// Writes one row of the auxiliary (vertex-attribute) MAC crossbar —
+    /// used by collaborative filtering to hold feature matrices. Counted as
+    /// data loading.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors for bad rows or codes.
+    pub fn write_aux_row(&mut self, row: usize, codes: &[u32]) -> Result<(), CoreError> {
+        self.aux_mac.write_row(row, codes)?;
+        let cost = self.config.energy.row_program_ns(codes.len());
+        if self.in_block {
+            self.current.program_ns += cost;
+        } else {
+            self.extra_ns += cost;
+        }
+        Ok(())
+    }
+
+    /// Re-materializes an auxiliary row already loaded (and charged) this
+    /// pass — the functional working array is multiplexed over the many
+    /// physical banks holding attribute data, so this records no device
+    /// activity. Charge the actual loading via [`Engine::write_aux_row`] or
+    /// [`Engine::load_aux_rows_parallel`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates device validation errors.
+    pub fn preload_aux_row(&mut self, row: usize, codes: &[u32]) -> Result<(), CoreError> {
+        self.aux_mac.preload_row(row, codes)?;
+        Ok(())
+    }
+
+    /// Charges the loading of `rows` attribute rows of `values_per_row`
+    /// logical values each, distributed across the banks of the current
+    /// wave: full programming energy, but wall time divided by the bank
+    /// count (each bank programs its share concurrently). Used for the
+    /// per-shard feature-matrix loading of collaborative filtering
+    /// (paper §IV: "The feature vectors of users and items corresponding to
+    /// the range of vertex IDs are loaded into different MAC crossbars").
+    pub fn load_aux_rows_parallel(&mut self, rows: usize, values_per_row: usize) {
+        self.extra_aux_row_writes += rows as u64;
+        self.extra_aux_cells +=
+            (rows * values_per_row * self.config.mac_geometry.slices) as u64;
+        let ns = rows as f64 * self.config.energy.row_program_ns(values_per_row)
+            / self.config.num_banks.max(1) as f64;
+        self.add_compute(ns);
+    }
+
+    /// MAC over the auxiliary crossbar, rows-to-columns direction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn aux_mac_rows(
+        &mut self,
+        active_rows: &[usize],
+        inputs: &[u32],
+    ) -> Result<Vec<u64>, CoreError> {
+        let out = self
+            .aux_mac
+            .mac(MacDirection::RowsToColumns, active_rows, inputs)?;
+        self.rows_per_mac.record(active_rows.len().max(1));
+        self.add_compute(self.config.energy.mac_op_ns);
+        self.compute_items += active_rows.len() as u64;
+        Ok(out)
+    }
+
+    /// MAC over the auxiliary crossbar, columns-to-rows direction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn aux_mac_cols(
+        &mut self,
+        active_cols: &[usize],
+        inputs: &[u32],
+    ) -> Result<Vec<u64>, CoreError> {
+        let out = self
+            .aux_mac
+            .mac(MacDirection::ColumnsToRows, active_cols, inputs)?;
+        self.rows_per_mac.record(active_cols.len().max(1));
+        self.add_compute(self.config.energy.mac_op_ns);
+        self.compute_items += active_cols.len() as u64;
+        Ok(out)
+    }
+
+    fn add_compute(&mut self, ns: f64) {
+        if self.in_block {
+            self.current.compute_ns += ns;
+        } else {
+            self.extra_ns += ns;
+        }
+    }
+
+    fn sfu_cost(&mut self) {
+        self.add_compute(self.config.energy.sfu_op_ns / SFU_LANES);
+    }
+
+    /// SFU scalar add.
+    pub fn sfu_add(&mut self, a: f64, b: f64) -> f64 {
+        self.sfu_cost();
+        self.sfu.add(a, b)
+    }
+
+    fn sfu_add_u64(&mut self, a: u64, b: u64) -> u64 {
+        self.sfu_cost();
+        self.sfu.add(a as f64, b as f64);
+        a + b
+    }
+
+    /// SFU scalar multiply.
+    pub fn sfu_mul(&mut self, a: f64, b: f64) -> f64 {
+        self.sfu_cost();
+        self.sfu.mul(a, b)
+    }
+
+    /// SFU scalar minimum.
+    pub fn sfu_min(&mut self, a: f64, b: f64) -> f64 {
+        self.sfu_cost();
+        self.sfu.min(a, b)
+    }
+
+    /// SFU scalar compare.
+    pub fn sfu_less_than(&mut self, a: f64, b: f64) -> bool {
+        self.sfu_cost();
+        self.sfu.less_than(a, b)
+    }
+
+    /// Reads `bytes` of vertex attributes from the on-chip attribute buffer.
+    pub fn attr_read(&mut self, bytes: u64) {
+        self.attr_buf.read(bytes);
+    }
+
+    /// Writes `bytes` of vertex attributes to the on-chip attribute buffer.
+    pub fn attr_write(&mut self, bytes: u64) {
+        self.attr_buf.write(bytes);
+    }
+
+    /// Writes `bytes` of results to the output buffer.
+    pub fn output_write(&mut self, bytes: u64) {
+        self.output_buf.write(bytes);
+    }
+
+    /// Closes the current block, committing its costs to the wave schedule.
+    pub fn end_block(&mut self) {
+        if self.in_block {
+            self.costs.push(self.current);
+            self.current = BlockCost::default();
+            self.in_block = false;
+        }
+    }
+
+    /// Total useful edge computations performed so far.
+    pub fn compute_items(&self) -> u64 {
+        self.compute_items
+    }
+
+    /// Assembles the final report: wave-scheduled makespan, energy
+    /// breakdown, op summary, and the rows-per-MAC histogram.
+    pub fn finish(
+        &mut self,
+        engine: &str,
+        algorithm: &str,
+        workload: &str,
+        iterations: u32,
+        num_edges: u64,
+    ) -> RunReport {
+        self.end_block();
+        let makespan = self.makespan_ns();
+        let cam_cells = self.cam.stats().cells_written;
+        let mac_cells = self.mac.stats().cells_written
+            + self.aux_mac.stats().cells_written
+            + self.extra_aux_cells;
+        let mut stats = XbarStats::new();
+        stats.merge(self.cam.stats());
+        stats.merge(self.mac.stats());
+        stats.merge(self.aux_mac.stats());
+
+        let e = &self.config.energy;
+        let buffer_nj =
+            self.input_buf.energy_nj() + self.output_buf.energy_nj() + self.attr_buf.energy_nj();
+        let energy = EnergyBreakdown {
+            mac_nj: stats.mac_ops as f64 * e.mac_op_pj / 1_000.0,
+            cam_nj: stats.cam_searches as f64 * e.cam_search_pj / 1_000.0,
+            write_nj: (mac_cells as f64 * e.cell_write_pj
+                + cam_cells as f64 * e.cam_bit_write_pj)
+                / 1_000.0,
+            sfu_nj: self.sfu.total_ops() as f64 * e.sfu_op_pj / 1_000.0,
+            buffer_nj,
+            static_nj: e.static_mw * makespan / 1_000.0,
+        };
+        let ops = OpSummary {
+            mac_ops: stats.mac_ops,
+            cam_searches: stats.cam_searches,
+            cells_written: stats.cells_written + self.extra_aux_cells,
+            row_writes: stats.row_writes + self.extra_aux_row_writes,
+            sfu_ops: self.sfu.total_ops(),
+            buffer_accesses: self.input_buf.accesses()
+                + self.output_buf.accesses()
+                + self.attr_buf.accesses(),
+            compute_items: self.compute_items,
+        };
+        let mut report = RunReport::new(engine, algorithm, workload);
+        report.iterations = iterations;
+        report.elapsed_ns = makespan;
+        report.energy = energy;
+        report.ops = ops;
+        report.rows_per_mac = self.rows_per_mac.clone();
+        report.num_edges = num_edges;
+        report
+    }
+
+    /// The scheduled makespan of all blocks committed so far, ns, under
+    /// the configured [`SchedulePolicy`].
+    pub fn makespan_ns(&self) -> f64 {
+        let body = match self.config.scheduler {
+            SchedulePolicy::Waves => {
+                let mut clock = PipelineClock::new();
+                for wave in self.costs.chunks(self.config.num_banks.max(1)) {
+                    let stream_ns: f64 = wave
+                        .iter()
+                        .map(|b| self.config.stream_ns(b.stream_bytes))
+                        .sum();
+                    let program_ns = wave.iter().map(|b| b.program_ns).fold(0.0, f64::max);
+                    let compute_ns = wave.iter().map(|b| b.compute_ns).fold(0.0, f64::max);
+                    clock.advance(stream_ns.max(program_ns), compute_ns);
+                }
+                clock.makespan()
+            }
+            SchedulePolicy::EventDriven => {
+                let mut sched = BankScheduler::new(self.config.num_banks.max(1));
+                for b in &self.costs {
+                    sched.dispatch(
+                        self.config.stream_ns(b.stream_bytes),
+                        b.program_ns,
+                        b.compute_ns,
+                    );
+                }
+                sched.makespan()
+            }
+        };
+        body + self.extra_ns
+    }
+}
+
+/// Streams a graph as blocks of at most `block_size` edges, ordered by the
+/// GridGraph-style shard layout (§II-B): the graph is partitioned into a
+/// 16×16 interval grid and non-empty shards are visited in the requested
+/// order, each chunked to the bank capacity.
+///
+/// # Errors
+///
+/// Returns a graph error if the graph has no vertices.
+pub fn partition_for_streaming(
+    graph: &CooGraph,
+) -> Result<gaasx_graph::partition::GridPartition, GraphError> {
+    gaasx_graph::partition::GridPartition::with_num_intervals(graph, 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaasx_graph::generators;
+
+    fn engine() -> Engine {
+        Engine::new(GaasXConfig::small()).unwrap()
+    }
+
+    fn fig7_block(engine: &mut Engine) -> Block {
+        let g = generators::paper_fig7_graph();
+        let cells = |e: &Edge| vec![e.weight as u32, 1];
+        engine
+            .load_block(g.edges(), CellLayout::PerEdge(&cells))
+            .unwrap()
+    }
+
+    #[test]
+    fn load_block_tracks_metadata() {
+        let mut e = engine();
+        let b = fig7_block(&mut e);
+        assert_eq!(b.len(), 8);
+        // Fig 7 graph has sources {1,2,3,4,5} (1-based) = {0,1,2,3,4}.
+        assert_eq!(b.distinct_srcs().len(), 5);
+        // Destinations are {2,3,4} (1-based).
+        assert_eq!(b.distinct_dsts().len(), 3);
+    }
+
+    #[test]
+    fn search_dst_matches_in_edges() {
+        let mut e = engine();
+        let b = fig7_block(&mut e);
+        // Vertex 2 (1-based) = id 1 has in-edges from 1, 3, 4 (Fig 7).
+        let hits = e.search_dst(VertexId::new(1));
+        assert_eq!(hits.count(), 3);
+        for row in hits.iter_ones() {
+            assert_eq!(b.edge(row).dst, VertexId::new(1));
+        }
+    }
+
+    #[test]
+    fn search_src_matches_out_edges() {
+        let mut e = engine();
+        let b = fig7_block(&mut e);
+        let hits = e.search_src(VertexId::new(4)); // vertex 5, out-edges to 3 and 4
+        assert_eq!(hits.count(), 2);
+        for row in hits.iter_ones() {
+            assert_eq!(b.edge(row).src, VertexId::new(4));
+        }
+    }
+
+    #[test]
+    fn gather_accumulates_weights() {
+        // The paper's worked example: accumulate incoming edge weights of
+        // vertex 2 (1-based): 6 + 5 + 8 = 19.
+        let mut e = engine();
+        let _b = fig7_block(&mut e);
+        let hits = e.search_dst(VertexId::new(1));
+        let sum = e.gather_rows(&hits, &mut |_| 1, 0).unwrap();
+        assert_eq!(sum, 19);
+    }
+
+    #[test]
+    fn propagate_adds_scalar_to_weights() {
+        // SSSP-style: dist(U)=10 plus each out-edge weight of vertex 5
+        // (1-based): edges (5,3,6) and (5,4,7) -> sums 16 and 17.
+        let mut e = engine();
+        let b = fig7_block(&mut e);
+        let hits = e.search_src(VertexId::new(4));
+        let results = e.propagate_rows(&hits, &[0, 1], &[1, 10]).unwrap();
+        let mut sums: Vec<(u32, u64)> = results
+            .iter()
+            .map(|&(row, sum)| (b.edge(row).dst.raw(), sum))
+            .collect();
+        sums.sort();
+        assert_eq!(sums, vec![(2, 16), (3, 17)]);
+    }
+
+    #[test]
+    fn chunking_splits_large_hit_vectors() {
+        let mut e = engine();
+        let g = generators::star_graph(40); // hub 0 -> 39 spokes
+        let cells = |_: &Edge| vec![1, 1];
+        let _b = e
+            .load_block(g.edges(), CellLayout::PerEdge(&cells))
+            .unwrap();
+        let hits = e.search_src(VertexId::new(0));
+        assert_eq!(hits.count(), 39);
+        let results = e.propagate_rows(&hits, &[0, 1], &[1, 0]).unwrap();
+        assert_eq!(results.len(), 39);
+        // 39 hits at a 16-row cap = 3 MAC bursts.
+        let hist = e.rows_per_mac.counts();
+        assert_eq!(hist[15], 2); // two full 16-row bursts
+        assert_eq!(hist[6], 1); // one 7-row burst
+    }
+
+    #[test]
+    fn block_capacity_enforced() {
+        let mut e = engine();
+        let g = generators::path_graph(200);
+        let cells = |_: &Edge| vec![1];
+        assert!(matches!(
+            e.load_block(g.edges(), CellLayout::PerEdge(&cells)),
+            Err(CoreError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn preset_layout_skips_mac_writes() {
+        let mut e = engine();
+        e.preset_mac(1).unwrap();
+        let g = generators::paper_fig2_graph();
+        let _b = e.load_block(g.edges(), CellLayout::Preset).unwrap();
+        let report = e.finish("t", "t", "t", 1, 10);
+        // Only CAM cells were programmed: 10 edges × 2×128 TCAM devices.
+        assert_eq!(report.ops.cells_written, 10 * 2 * 128);
+    }
+
+    #[test]
+    fn stale_rows_do_not_match_after_reload() {
+        let mut e = engine();
+        let big = generators::star_graph(20);
+        let cells = |_: &Edge| vec![1];
+        let _b1 = e.load_block(big.edges(), CellLayout::PerEdge(&cells)).unwrap();
+        let small = generators::path_graph(3); // edges (0,1), (1,2)
+        let _b2 = e.load_block(small.edges(), CellLayout::PerEdge(&cells)).unwrap();
+        // Searching src 0 must only match the one path edge, not stale star rows.
+        assert_eq!(e.search_src(VertexId::new(0)).count(), 1);
+    }
+
+    #[test]
+    fn makespan_pipelines_waves() {
+        let mut e = engine();
+        let g = generators::paper_fig7_graph();
+        let cells = |e: &Edge| vec![e.weight as u32, 1];
+        for _ in 0..3 {
+            let _b = e.load_block(g.edges(), CellLayout::PerEdge(&cells)).unwrap();
+            let hits = e.search_dst(VertexId::new(1));
+            let _ = e.gather_rows(&hits, &mut |_| 1, 0).unwrap();
+        }
+        e.end_block();
+        let m = e.makespan_ns();
+        assert!(m > 0.0);
+        // All three blocks fit one wave of 8 banks: load is the max program
+        // time (8 edges × one CAM/MAC row pair each, the 2-value MAC row
+        // pacing) vs serial stream; compute is one search + one MAC.
+        let row_ns = e.config().energy.row_program_ns(2);
+        let expected_load = (8.0 * row_ns).max(3.0 * e.config().stream_ns(8 * 12));
+        let expected_compute = 4.0 + 30.0 + 2.0 * (4.0 + 30.0 + 1.0 / 16.0);
+        assert!(m >= expected_load);
+        assert!(m <= expected_load + expected_compute + 1.0);
+    }
+
+    #[test]
+    fn event_driven_scheduler_is_close_to_the_wave_model() {
+        let run = |policy: SchedulePolicy| -> f64 {
+            let mut e = Engine::new(GaasXConfig {
+                num_banks: 4,
+                scheduler: policy,
+                ..GaasXConfig::small()
+            })
+            .unwrap();
+            let g = generators::rmat(&generators::RmatConfig::new(1 << 7, 2000).with_seed(3))
+                .unwrap();
+            let cells = |edge: &Edge| vec![edge.weight as u32, 1];
+            for chunk in g.edges().chunks(128) {
+                let block = e.load_block(chunk, CellLayout::PerEdge(&cells)).unwrap();
+                for &dst in &block.distinct_dsts().to_vec() {
+                    let hits = e.search_dst(dst);
+                    let _ = e.gather_rows(&hits, &mut |_| 1, 0).unwrap();
+                }
+            }
+            e.end_block();
+            e.makespan_ns()
+        };
+        let waves = run(SchedulePolicy::Waves);
+        let des = run(SchedulePolicy::EventDriven);
+        assert!(waves > 0.0 && des > 0.0);
+        let ratio = des / waves;
+        assert!((0.4..=2.0).contains(&ratio), "des {des} vs waves {waves}");
+    }
+
+    #[test]
+    fn report_has_energy_and_ops() {
+        let mut e = engine();
+        let _b = fig7_block(&mut e);
+        let hits = e.search_dst(VertexId::new(1));
+        let _ = e.gather_rows(&hits, &mut |_| 1, 0).unwrap();
+        let r = e.finish("gaasx", "test", "fig7", 1, 8);
+        assert!(r.elapsed_ns > 0.0);
+        assert!(r.energy.total_nj() > 0.0);
+        assert!(r.energy.write_nj > 0.0);
+        assert_eq!(r.ops.cam_searches, 1);
+        assert_eq!(r.ops.mac_ops, 1);
+        assert_eq!(r.ops.compute_items, 3);
+        assert_eq!(r.rows_per_mac.total(), 1);
+    }
+
+    #[test]
+    fn preload_aux_is_functional_but_free() {
+        let mut e = engine();
+        e.preload_aux_row(3, &[7, 8, 9]).unwrap();
+        let out = e.aux_mac_rows(&[3], &[2]).unwrap();
+        assert_eq!(&out[..3], &[14, 16, 18]);
+        let r = e.finish("t", "t", "t", 1, 0);
+        // One MAC op counted; zero cells charged for the preload.
+        assert_eq!(r.ops.mac_ops, 1);
+        assert_eq!(r.ops.cells_written, 0);
+    }
+
+    #[test]
+    fn parallel_aux_loading_charges_energy_and_scaled_time() {
+        let mut a = Engine::new(GaasXConfig::small()).unwrap();
+        let mut b = Engine::new(GaasXConfig {
+            num_banks: 1,
+            ..GaasXConfig::small()
+        })
+        .unwrap();
+        a.load_aux_rows_parallel(80, 16);
+        b.load_aux_rows_parallel(80, 16);
+        let ra = a.finish("t", "t", "t", 1, 0);
+        let rb = b.finish("t", "t", "t", 1, 0);
+        // Same energy (same cells programmed)...
+        assert_eq!(ra.ops.cells_written, rb.ops.cells_written);
+        assert_eq!(ra.ops.cells_written, 80 * 16 * 8);
+        assert!((ra.energy.write_nj - rb.energy.write_nj).abs() < 1e-9);
+        // ...but 8 banks load 8× faster than 1 bank.
+        assert!((rb.elapsed_ns / ra.elapsed_ns - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn preload_validates_like_write() {
+        let mut e = engine();
+        assert!(e.preload_aux_row(500, &[1]).is_err());
+        assert!(e.preload_aux_row(0, &[0x1_0000]).is_err());
+    }
+
+    #[test]
+    fn empty_hits_cost_nothing_in_mac() {
+        let mut e = engine();
+        let _b = fig7_block(&mut e);
+        let hits = e.search_dst(VertexId::new(0)); // vertex 1 has no in-edges
+        assert_eq!(hits.count(), 0);
+        let sum = e.gather_rows(&hits, &mut |_| 1, 0).unwrap();
+        assert_eq!(sum, 0);
+        let r = e.finish("t", "t", "t", 1, 8);
+        assert_eq!(r.ops.mac_ops, 0);
+    }
+}

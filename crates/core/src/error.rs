@@ -1,0 +1,65 @@
+//! Error type for the accelerator core.
+
+use std::fmt;
+
+use gaasx_graph::GraphError;
+use gaasx_xbar::XbarError;
+
+/// Errors raised while configuring or running the GaaS-X accelerator.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The underlying crossbar device rejected an operation.
+    Device(XbarError),
+    /// The graph substrate rejected an operation.
+    Graph(GraphError),
+    /// An accelerator configuration parameter was invalid.
+    InvalidConfig(String),
+    /// An algorithm received input it cannot process.
+    InvalidInput(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Device(e) => write!(f, "crossbar device error: {e}"),
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Device(e) => Some(e),
+            CoreError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<XbarError> for CoreError {
+    fn from(e: XbarError) -> Self {
+        CoreError::Device(e)
+    }
+}
+
+impl From<GraphError> for CoreError {
+    fn from(e: GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sources() {
+        use std::error::Error;
+        let e = CoreError::from(XbarError::InvalidParameter("x".into()));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("crossbar"));
+    }
+}

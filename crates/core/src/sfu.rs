@@ -1,0 +1,88 @@
+//! Special function unit model: scalar arithmetic with op accounting.
+//!
+//! The SFU (paper §III-A) holds "shift and add units (SA) and scalar
+//! arithmetic and logic units (sALU) to further process the MAC crossbar
+//! outputs", e.g. the min-reduction of SSSP's distance update or PageRank's
+//! damping step. Every arithmetic call routes through this struct so its
+//! operation count feeds the energy/latency model.
+
+use serde::{Deserialize, Serialize};
+
+/// Scalar ALU with operation counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Sfu {
+    adds: u64,
+    muls: u64,
+    mins: u64,
+    cmps: u64,
+}
+
+impl Sfu {
+    /// A fresh SFU with zeroed counters.
+    pub fn new() -> Self {
+        Sfu::default()
+    }
+
+    /// Scalar addition (also used for subtraction).
+    pub fn add(&mut self, a: f64, b: f64) -> f64 {
+        self.adds += 1;
+        a + b
+    }
+
+    /// Scalar multiplication.
+    pub fn mul(&mut self, a: f64, b: f64) -> f64 {
+        self.muls += 1;
+        a * b
+    }
+
+    /// Scalar minimum (SSSP/BFS distance reduction).
+    pub fn min(&mut self, a: f64, b: f64) -> f64 {
+        self.mins += 1;
+        a.min(b)
+    }
+
+    /// Scalar comparison.
+    pub fn less_than(&mut self, a: f64, b: f64) -> bool {
+        self.cmps += 1;
+        a < b
+    }
+
+    /// Total operations issued.
+    pub fn total_ops(&self) -> u64 {
+        self.adds + self.muls + self.mins + self.cmps
+    }
+
+    /// `(adds, muls, mins, cmps)` breakdown.
+    pub fn breakdown(&self) -> (u64, u64, u64, u64) {
+        (self.adds, self.muls, self.mins, self.cmps)
+    }
+
+    /// Resets the counters.
+    pub fn reset(&mut self) {
+        *self = Sfu::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_compute_and_count() {
+        let mut s = Sfu::new();
+        assert_eq!(s.add(1.0, 2.0), 3.0);
+        assert_eq!(s.mul(3.0, 4.0), 12.0);
+        assert_eq!(s.min(5.0, 2.0), 2.0);
+        assert!(s.less_than(1.0, 2.0));
+        assert_eq!(s.total_ops(), 4);
+        assert_eq!(s.breakdown(), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut s = Sfu::new();
+        s.add(1.0, 1.0);
+        s.reset();
+        assert_eq!(s.total_ops(), 0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Bipartite user–item rating graphs for collaborative filtering.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::coo::CooGraph;
+use crate::error::GraphError;
+use crate::types::Edge;
+
+/// An undirected bipartite rating graph between a user set and an item set.
+///
+/// This is the input to collaborative filtering in the paper (§IV): edges are
+/// `(user, item, rating)` triples, the Netflix workload being 480 K users ×
+/// 17.8 K movies with 99 M ratings.
+///
+/// Users and items have separate 0-based id spaces; [`BipartiteGraph::to_coo`]
+/// maps items after users in one combined space when a unified graph is
+/// needed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BipartiteGraph {
+    num_users: u32,
+    num_items: u32,
+    ratings: Vec<Rating>,
+}
+
+/// A single user→item rating.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rating {
+    /// User id in `0..num_users`.
+    pub user: u32,
+    /// Item id in `0..num_items`.
+    pub item: u32,
+    /// Rating value (Netflix scale: 1.0–5.0).
+    pub value: f32,
+}
+
+impl BipartiteGraph {
+    /// Creates a rating graph from explicit triples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if a user or item id is out
+    /// of range.
+    pub fn from_ratings(
+        num_users: u32,
+        num_items: u32,
+        ratings: Vec<Rating>,
+    ) -> Result<Self, GraphError> {
+        for r in &ratings {
+            if r.user >= num_users {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: r.user,
+                    num_vertices: num_users,
+                });
+            }
+            if r.item >= num_items {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: r.item,
+                    num_vertices: num_items,
+                });
+            }
+        }
+        Ok(BipartiteGraph {
+            num_users,
+            num_items,
+            ratings,
+        })
+    }
+
+    /// Generates a synthetic rating graph with power-law item popularity.
+    ///
+    /// Item popularity follows a Zipf-like distribution (exponent ≈ 0.8,
+    /// matching Netflix's head-heavy catalog); users are drawn uniformly.
+    /// Ratings are integers 1–5.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameter`] if either side is empty while
+    /// ratings are requested.
+    pub fn synthetic(
+        num_users: u32,
+        num_items: u32,
+        num_ratings: usize,
+        seed: u64,
+    ) -> Result<Self, GraphError> {
+        if (num_users == 0 || num_items == 0) && num_ratings > 0 {
+            return Err(GraphError::InvalidParameter(
+                "bipartite: cannot rate with an empty side".into(),
+            ));
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Zipf sampling via inverse-CDF over precomputed cumulative weights.
+        let exponent = 0.8f64;
+        let mut cum = Vec::with_capacity(num_items as usize);
+        let mut total = 0.0f64;
+        for i in 0..num_items {
+            total += 1.0 / ((i as f64 + 1.0).powf(exponent));
+            cum.push(total);
+        }
+        let mut ratings = Vec::with_capacity(num_ratings);
+        for _ in 0..num_ratings {
+            let user = rng.gen_range(0..num_users);
+            let r = rng.gen::<f64>() * total;
+            let item = match cum.binary_search_by(|c| c.partial_cmp(&r).expect("finite")) {
+                Ok(i) | Err(i) => (i as u32).min(num_items - 1),
+            };
+            let value = rng.gen_range(1..=5) as f32;
+            ratings.push(Rating { user, item, value });
+        }
+        Ok(BipartiteGraph {
+            num_users,
+            num_items,
+            ratings,
+        })
+    }
+
+    /// Number of users.
+    pub fn num_users(&self) -> u32 {
+        self.num_users
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> u32 {
+        self.num_items
+    }
+
+    /// Number of ratings.
+    pub fn num_ratings(&self) -> usize {
+        self.ratings.len()
+    }
+
+    /// The rating triples.
+    pub fn ratings(&self) -> &[Rating] {
+        &self.ratings
+    }
+
+    /// Iterates the rating triples.
+    pub fn iter(&self) -> std::slice::Iter<'_, Rating> {
+        self.ratings.iter()
+    }
+
+    /// Converts to a unified [`CooGraph`], mapping item `i` to vertex
+    /// `num_users + i`. Edges run user → item carrying the rating as weight.
+    pub fn to_coo(&self) -> CooGraph {
+        let n = self.num_users + self.num_items;
+        let edges = self
+            .ratings
+            .iter()
+            .map(|r| Edge::new(r.user, self.num_users + r.item, r.value))
+            .collect();
+        CooGraph::from_edges(n, edges).expect("bipartite ids validated at construction")
+    }
+
+    /// Per-item rating counts (popularity profile).
+    pub fn item_popularity(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.num_items as usize];
+        for r in &self.ratings {
+            counts[r.item as usize] += 1;
+        }
+        counts
+    }
+
+    /// Per-user rating counts.
+    pub fn user_activity(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.num_users as usize];
+        for r in &self.ratings {
+            counts[r.user as usize] += 1;
+        }
+        counts
+    }
+
+    /// Mean rating value, or `None` for an empty graph.
+    pub fn mean_rating(&self) -> Option<f32> {
+        if self.ratings.is_empty() {
+            return None;
+        }
+        Some(self.ratings.iter().map(|r| r.value).sum::<f32>() / self.ratings.len() as f32)
+    }
+}
+
+impl<'a> IntoIterator for &'a BipartiteGraph {
+    type Item = &'a Rating;
+    type IntoIter = std::slice::Iter<'a, Rating>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ratings.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_shapes() {
+        let g = BipartiteGraph::synthetic(100, 20, 1000, 42).unwrap();
+        assert_eq!(g.num_users(), 100);
+        assert_eq!(g.num_items(), 20);
+        assert_eq!(g.num_ratings(), 1000);
+        assert!(g.iter().all(|r| (1.0..=5.0).contains(&r.value)));
+    }
+
+    #[test]
+    fn synthetic_popularity_is_skewed() {
+        let g = BipartiteGraph::synthetic(500, 100, 20_000, 7).unwrap();
+        let pop = g.item_popularity();
+        // Head item should dominate the tail item by a wide margin.
+        assert!(pop[0] > 5 * pop[99].max(1), "head {} tail {}", pop[0], pop[99]);
+    }
+
+    #[test]
+    fn to_coo_offsets_items() {
+        let g = BipartiteGraph::from_ratings(
+            3,
+            2,
+            vec![Rating {
+                user: 2,
+                item: 1,
+                value: 4.0,
+            }],
+        )
+        .unwrap();
+        let coo = g.to_coo();
+        assert_eq!(coo.num_vertices(), 5);
+        assert_eq!(coo.edges()[0].dst.raw(), 3 + 1);
+    }
+
+    #[test]
+    fn validates_ids() {
+        let bad = BipartiteGraph::from_ratings(
+            1,
+            1,
+            vec![Rating {
+                user: 0,
+                item: 5,
+                value: 1.0,
+            }],
+        );
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn mean_rating_handles_empty() {
+        let g = BipartiteGraph::from_ratings(1, 1, vec![]).unwrap();
+        assert!(g.mean_rating().is_none());
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = BipartiteGraph::synthetic(10, 10, 100, 3).unwrap();
+        let b = BipartiteGraph::synthetic(10, 10, 100, 3).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,253 @@
+//! Compressed sparse row / column representations.
+//!
+//! The software baselines (GridGraph-, GAPBS- and GraphChi-style kernels in
+//! `gaasx-baselines`) operate on CSR/CSC, the formats the paper names in
+//! §II-B as the standard sparse encodings alongside COO.
+
+use serde::{Deserialize, Serialize};
+
+use crate::coo::CooGraph;
+use crate::types::{VertexId, Weight};
+
+/// Compressed sparse row: out-neighbors of each vertex, contiguous.
+///
+/// ```
+/// use gaasx_graph::{CooGraph, Csr, Edge};
+///
+/// let g = CooGraph::from_edges(3, vec![Edge::new(0, 1, 2.0), Edge::new(0, 2, 3.0)])?;
+/// let csr = Csr::from_coo(&g);
+/// let out: Vec<u32> = csr.neighbors(gaasx_graph::VertexId::new(0))
+///     .map(|(v, _)| v.raw())
+///     .collect();
+/// assert_eq!(out, vec![1, 2]);
+/// # Ok::<(), gaasx_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+    weights: Vec<Weight>,
+}
+
+/// Compressed sparse column: in-neighbors of each vertex, contiguous.
+///
+/// Structurally a [`Csr`] of the transposed graph; kept as a distinct type so
+/// pull-direction kernels cannot accidentally receive a push-direction index
+/// (C-NEWTYPE).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Csc {
+    inner: Csr,
+}
+
+impl Csr {
+    /// Builds the CSR index of `graph`.
+    ///
+    /// Runs in `O(V + E)` using a counting sort; the input edge order is not
+    /// disturbed and need not be sorted.
+    pub fn from_coo(graph: &CooGraph) -> Self {
+        let n = graph.num_vertices() as usize;
+        let mut counts = vec![0usize; n + 1];
+        for e in graph.iter() {
+            counts[e.src.index() + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![0u32; graph.num_edges()];
+        let mut weights = vec![0.0; graph.num_edges()];
+        for e in graph.iter() {
+            let slot = cursor[e.src.index()];
+            targets[slot] = e.dst.raw();
+            weights[slot] = e.weight;
+            cursor[e.src.index()] += 1;
+        }
+        Csr {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v.index() + 1] - self.offsets[v.index()]
+    }
+
+    /// Iterates `(neighbor, weight)` pairs of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        let range = self.offsets[v.index()]..self.offsets[v.index() + 1];
+        self.targets[range.clone()]
+            .iter()
+            .zip(&self.weights[range])
+            .map(|(&t, &w)| (VertexId::new(t), w))
+    }
+
+    /// Raw neighbor slice of `v` (indices only), for tight baseline kernels.
+    pub fn neighbor_slice(&self, v: VertexId) -> &[u32] {
+        &self.targets[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// Raw weight slice of `v`, parallel to [`Csr::neighbor_slice`].
+    pub fn weight_slice(&self, v: VertexId) -> &[Weight] {
+        &self.weights[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// The offsets array (`num_vertices + 1` entries).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+}
+
+impl Csc {
+    /// Builds the CSC index of `graph` (in-neighbor adjacency).
+    pub fn from_coo(graph: &CooGraph) -> Self {
+        Csc {
+            inner: Csr::from_coo(&graph.transposed()),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u32 {
+        self.inner.num_vertices()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.inner.num_edges()
+    }
+
+    /// In-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.inner.degree(v)
+    }
+
+    /// Iterates `(in_neighbor, weight)` pairs of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn in_neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        self.inner.neighbors(v)
+    }
+
+    /// Raw in-neighbor slice of `v`.
+    pub fn in_neighbor_slice(&self, v: VertexId) -> &[u32] {
+        self.inner.neighbor_slice(v)
+    }
+
+    /// Raw weight slice of `v`, parallel to [`Csc::in_neighbor_slice`].
+    pub fn in_weight_slice(&self, v: VertexId) -> &[Weight] {
+        self.inner.weight_slice(v)
+    }
+}
+
+impl From<&CooGraph> for Csr {
+    fn from(g: &CooGraph) -> Self {
+        Csr::from_coo(g)
+    }
+}
+
+impl From<&CooGraph> for Csc {
+    fn from(g: &CooGraph) -> Self {
+        Csc::from_coo(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Edge;
+
+    fn sample() -> CooGraph {
+        // Paper Fig 7(a): 5 vertices, 8 weighted edges.
+        crate::generators::paper_fig7_graph()
+    }
+
+    #[test]
+    fn csr_preserves_counts() {
+        let g = sample();
+        let csr = Csr::from_coo(&g);
+        assert_eq!(csr.num_vertices(), g.num_vertices());
+        assert_eq!(csr.num_edges(), g.num_edges());
+        let total: usize = VertexId::all(g.num_vertices())
+            .map(|v| csr.degree(v))
+            .sum();
+        assert_eq!(total, g.num_edges());
+    }
+
+    #[test]
+    fn csr_degrees_match_coo() {
+        let g = sample();
+        let csr = Csr::from_coo(&g);
+        let deg = g.out_degrees();
+        for v in VertexId::all(g.num_vertices()) {
+            assert_eq!(csr.degree(v) as u32, deg[v.index()]);
+        }
+    }
+
+    #[test]
+    fn csc_degrees_match_coo() {
+        let g = sample();
+        let csc = Csc::from_coo(&g);
+        let deg = g.in_degrees();
+        for v in VertexId::all(g.num_vertices()) {
+            assert_eq!(csc.in_degree(v) as u32, deg[v.index()]);
+        }
+    }
+
+    #[test]
+    fn neighbors_carry_weights() {
+        let g = CooGraph::from_edges(3, vec![Edge::new(0, 2, 7.5), Edge::new(0, 1, 2.5)]).unwrap();
+        let csr = Csr::from_coo(&g);
+        let mut pairs: Vec<(u32, f32)> = csr
+            .neighbors(VertexId::new(0))
+            .map(|(v, w)| (v.raw(), w))
+            .collect();
+        pairs.sort_by_key(|p| p.0);
+        assert_eq!(pairs, vec![(1, 2.5), (2, 7.5)]);
+    }
+
+    #[test]
+    fn csc_mirrors_reverse_edges() {
+        let g = sample();
+        let csc = Csc::from_coo(&g);
+        for e in g.iter() {
+            assert!(
+                csc.in_neighbors(e.dst).any(|(v, w)| v == e.src && w == e.weight),
+                "missing reverse of {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_vertex_has_no_neighbors() {
+        let g = CooGraph::from_edges(3, vec![Edge::new(0, 1, 1.0)]).unwrap();
+        let csr = Csr::from_coo(&g);
+        assert_eq!(csr.degree(VertexId::new(2)), 0);
+        assert_eq!(csr.neighbors(VertexId::new(2)).count(), 0);
+    }
+}

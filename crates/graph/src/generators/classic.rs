@@ -1,0 +1,139 @@
+//! Deterministic classic graphs for tests and examples.
+
+use crate::coo::CooGraph;
+use crate::types::Edge;
+
+/// Directed path `0 -> 1 -> ... -> n-1` with unit weights.
+///
+/// SSSP/BFS on a path has trivially checkable distances, making it the
+/// canonical traversal test fixture.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn path_graph(n: u32) -> CooGraph {
+    assert!(n > 0, "path_graph requires at least one vertex");
+    CooGraph::from_edges(n, (0..n - 1).map(|i| Edge::unweighted(i, i + 1)).collect())
+        .expect("path edges are in range")
+}
+
+/// Directed cycle `0 -> 1 -> ... -> n-1 -> 0` with unit weights.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn cycle_graph(n: u32) -> CooGraph {
+    assert!(n > 0, "cycle_graph requires at least one vertex");
+    CooGraph::from_edges(n, (0..n).map(|i| Edge::unweighted(i, (i + 1) % n)).collect())
+        .expect("cycle edges are in range")
+}
+
+/// Star with hub 0 and `n - 1` spokes `0 -> i`, unit weights.
+///
+/// A star concentrates an entire graph into one CAM hit-vector burst — the
+/// worst case for GaaS-X's 16-rows-per-MAC accumulation cap.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn star_graph(n: u32) -> CooGraph {
+    assert!(n > 0, "star_graph requires at least one vertex");
+    CooGraph::from_edges(n, (1..n).map(|i| Edge::unweighted(0, i)).collect())
+        .expect("star edges are in range")
+}
+
+/// Complete directed graph (no self loops), unit weights.
+///
+/// The fully dense case: sparse mapping holds zero advantage here, so it
+/// bounds the dense/sparse redundancy ratio at 1×.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn complete_graph(n: u32) -> CooGraph {
+    assert!(n > 0, "complete_graph requires at least one vertex");
+    let mut edges = Vec::with_capacity((n as usize) * (n as usize - 1));
+    for s in 0..n {
+        for d in 0..n {
+            if s != d {
+                edges.push(Edge::unweighted(s, d));
+            }
+        }
+    }
+    CooGraph::from_edges(n, edges).expect("complete edges are in range")
+}
+
+/// `rows × cols` 2-D grid with edges rightward and downward, unit weights.
+///
+/// Grids have bounded degree and strong locality — the opposite extreme from
+/// R-MAT, useful for road-network-style SSSP scenarios.
+///
+/// # Panics
+///
+/// Panics if `rows == 0` or `cols == 0`.
+pub fn grid_graph(rows: u32, cols: u32) -> CooGraph {
+    assert!(rows > 0 && cols > 0, "grid_graph requires positive dims");
+    let at = |r: u32, c: u32| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push(Edge::unweighted(at(r, c), at(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push(Edge::unweighted(at(r, c), at(r + 1, c)));
+            }
+        }
+    }
+    CooGraph::from_edges(rows * cols, edges).expect("grid edges are in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_counts() {
+        let g = path_graph(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degrees(), vec![1, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn cycle_counts() {
+        let g = cycle_graph(4);
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.out_degrees().iter().all(|&d| d == 1));
+        assert!(g.in_degrees().iter().all(|&d| d == 1));
+    }
+
+    #[test]
+    fn star_counts() {
+        let g = star_graph(6);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.out_degrees()[0], 5);
+    }
+
+    #[test]
+    fn complete_counts() {
+        let g = complete_graph(5);
+        assert_eq!(g.num_edges(), 20);
+        assert!((g.density() - 20.0 / 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_counts() {
+        let g = grid_graph(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        // Horizontal: 3 rows * 3; vertical: 2 * 4.
+        assert_eq!(g.num_edges(), 9 + 8);
+    }
+
+    #[test]
+    fn single_vertex_edge_cases() {
+        assert_eq!(path_graph(1).num_edges(), 0);
+        assert_eq!(star_graph(1).num_edges(), 0);
+        assert_eq!(grid_graph(1, 1).num_edges(), 0);
+    }
+}

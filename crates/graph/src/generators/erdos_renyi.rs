@@ -1,0 +1,120 @@
+//! Erdős–Rényi G(n, m) random graph generator.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::coo::CooGraph;
+use crate::error::GraphError;
+use crate::types::Edge;
+
+/// Configuration of an Erdős–Rényi `G(n, m)` run: `m` directed edges chosen
+/// uniformly at random among `n` vertices.
+///
+/// ER graphs have *no* hubs, making them the control workload when isolating
+/// how much of GaaS-X's advantage comes from power-law structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ErdosRenyiConfig {
+    /// Number of vertices.
+    pub num_vertices: u32,
+    /// Number of edges to emit.
+    pub num_edges: usize,
+    /// Maximum integral edge weight (uniform in `1..=max_weight`).
+    pub max_weight: u32,
+    /// RNG seed.
+    pub seed: u64,
+    /// Whether to suppress self loops.
+    pub drop_self_loops: bool,
+}
+
+impl ErdosRenyiConfig {
+    /// Creates a config with weight range `1..=16` and self loops dropped.
+    pub fn new(num_vertices: u32, num_edges: usize) -> Self {
+        ErdosRenyiConfig {
+            num_vertices,
+            num_edges,
+            max_weight: 16,
+            seed: 0x00e5_7ab1,
+            drop_self_loops: true,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the maximum integral edge weight.
+    pub fn with_max_weight(mut self, w: u32) -> Self {
+        self.max_weight = w;
+        self
+    }
+}
+
+/// Generates an Erdős–Rényi `G(n, m)` graph.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `num_vertices` is zero, or if
+/// self loops are suppressed on a single-vertex graph that must carry edges.
+pub fn erdos_renyi(config: &ErdosRenyiConfig) -> Result<CooGraph, GraphError> {
+    if config.num_vertices == 0 {
+        return Err(GraphError::InvalidParameter(
+            "erdos_renyi: num_vertices must be positive".into(),
+        ));
+    }
+    if config.drop_self_loops && config.num_vertices == 1 && config.num_edges > 0 {
+        return Err(GraphError::InvalidParameter(
+            "erdos_renyi: cannot place loop-free edges on a single vertex".into(),
+        ));
+    }
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut edges = Vec::with_capacity(config.num_edges);
+    while edges.len() < config.num_edges {
+        let src = rng.gen_range(0..config.num_vertices);
+        let dst = rng.gen_range(0..config.num_vertices);
+        if config.drop_self_loops && src == dst {
+            continue;
+        }
+        let weight = if config.max_weight == 1 {
+            1.0
+        } else {
+            rng.gen_range(1..=config.max_weight) as f32
+        };
+        edges.push(Edge::new(src, dst, weight));
+    }
+    CooGraph::from_edges(config.num_vertices, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_requested_edges() {
+        let g = erdos_renyi(&ErdosRenyiConfig::new(50, 300)).unwrap();
+        assert_eq!(g.num_vertices(), 50);
+        assert_eq!(g.num_edges(), 300);
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = ErdosRenyiConfig::new(40, 100).with_seed(11);
+        assert_eq!(erdos_renyi(&c).unwrap(), erdos_renyi(&c).unwrap());
+    }
+
+    #[test]
+    fn degrees_are_balanced() {
+        let g = erdos_renyi(&ErdosRenyiConfig::new(128, 4096).with_seed(2)).unwrap();
+        let deg = g.out_degrees();
+        let mean = 4096.0 / 128.0;
+        let max = *deg.iter().max().unwrap() as f64;
+        assert!(max < 3.0 * mean, "ER should not have hubs: max {max}");
+    }
+
+    #[test]
+    fn rejects_impossible_configs() {
+        assert!(erdos_renyi(&ErdosRenyiConfig::new(0, 1)).is_err());
+        assert!(erdos_renyi(&ErdosRenyiConfig::new(1, 1)).is_err());
+    }
+}

@@ -1,0 +1,237 @@
+//! R-MAT (recursive matrix) scale-free graph generator.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::coo::CooGraph;
+use crate::error::GraphError;
+use crate::types::Edge;
+
+/// Configuration of an R-MAT generation run.
+///
+/// R-MAT (Chakrabarti et al., 2004) recursively subdivides the adjacency
+/// matrix into quadrants with probabilities `(a, b, c, d)`; skewed
+/// probabilities yield the power-law degree distributions of real social and
+/// web graphs, which is exactly the sparsity structure GaaS-X exploits
+/// (≈ 90 % of non-empty 16×16 tiles below 10 % density, paper §II-C).
+///
+/// ```
+/// use gaasx_graph::generators::{rmat, RmatConfig};
+///
+/// let g = rmat(&RmatConfig::new(1 << 8, 1 << 10).with_seed(7))?;
+/// assert_eq!(g.num_vertices(), 256);
+/// assert_eq!(g.num_edges(), 1024);
+/// # Ok::<(), gaasx_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RmatConfig {
+    /// Number of vertices; rounded up to the next power of two internally.
+    pub num_vertices: u32,
+    /// Number of edges to emit.
+    pub num_edges: usize,
+    /// Quadrant probability `a` (top-left). Defaults to the Graph500 0.57.
+    pub a: f64,
+    /// Quadrant probability `b` (top-right). Defaults to 0.19.
+    pub b: f64,
+    /// Quadrant probability `c` (bottom-left). Defaults to 0.19.
+    pub c: f64,
+    /// Maximum edge weight; weights are drawn uniformly from `1..=max_weight`
+    /// (integral values, matching SSSP-style workloads). `1` makes the graph
+    /// effectively unweighted.
+    pub max_weight: u32,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+    /// If set, self loops are removed after generation (the edge count then
+    /// lands slightly under `num_edges`).
+    pub drop_self_loops: bool,
+}
+
+impl RmatConfig {
+    /// Creates a config with Graph500 default skew (a=0.57, b=c=0.19).
+    pub fn new(num_vertices: u32, num_edges: usize) -> Self {
+        RmatConfig {
+            num_vertices,
+            num_edges,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            max_weight: 16,
+            seed: 0x6aa5_71cf,
+            drop_self_loops: true,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the quadrant probabilities; `d` is implied as `1 - a - b - c`.
+    pub fn with_skew(mut self, a: f64, b: f64, c: f64) -> Self {
+        self.a = a;
+        self.b = b;
+        self.c = c;
+        self
+    }
+
+    /// Sets the maximum integral edge weight.
+    pub fn with_max_weight(mut self, w: u32) -> Self {
+        self.max_weight = w;
+        self
+    }
+
+    /// Implied bottom-right quadrant probability.
+    pub fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+
+    fn validate(&self) -> Result<(), GraphError> {
+        if self.num_vertices == 0 {
+            return Err(GraphError::InvalidParameter(
+                "rmat: num_vertices must be positive".into(),
+            ));
+        }
+        if self.max_weight == 0 {
+            return Err(GraphError::InvalidParameter(
+                "rmat: max_weight must be positive".into(),
+            ));
+        }
+        let d = self.d();
+        for (name, p) in [("a", self.a), ("b", self.b), ("c", self.c), ("d", d)] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(GraphError::InvalidParameter(format!(
+                    "rmat: probability {name}={p} outside [0, 1]"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Generates an R-MAT graph.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] for zero vertex counts or
+/// probabilities outside `[0, 1]`.
+pub fn rmat(config: &RmatConfig) -> Result<CooGraph, GraphError> {
+    config.validate()?;
+    let scale = 32 - (config.num_vertices.max(1) - 1).leading_zeros();
+    let n = 1u64 << scale;
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut edges = Vec::with_capacity(config.num_edges);
+    // Per-level probability noise (+-10%) keeps the degree distribution from
+    // the unnaturally repetitive structure of noiseless R-MAT.
+    while edges.len() < config.num_edges {
+        let (src, dst) = sample_cell(&mut rng, scale, config);
+        if config.drop_self_loops && src == dst {
+            continue;
+        }
+        let weight = if config.max_weight == 1 {
+            1.0
+        } else {
+            rng.gen_range(1..=config.max_weight) as f32
+        };
+        debug_assert!(u64::from(src) < n && u64::from(dst) < n);
+        edges.push(Edge::new(src, dst, weight));
+    }
+    CooGraph::from_edges(n as u32, edges)
+}
+
+fn sample_cell(rng: &mut SmallRng, scale: u32, config: &RmatConfig) -> (u32, u32) {
+    let mut src = 0u32;
+    let mut dst = 0u32;
+    for _ in 0..scale {
+        src <<= 1;
+        dst <<= 1;
+        let noise = 0.9 + 0.2 * rng.gen::<f64>();
+        let a = config.a * noise;
+        let b = config.b * noise;
+        let c = config.c * noise;
+        let total = a + b + c + config.d() * noise;
+        let r = rng.gen::<f64>() * total;
+        if r < a {
+            // top-left: neither bit set
+        } else if r < a + b {
+            dst |= 1;
+        } else if r < a + b + c {
+            src |= 1;
+        } else {
+            src |= 1;
+            dst |= 1;
+        }
+    }
+    (src, dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_requested_sizes() {
+        let g = rmat(&RmatConfig::new(100, 500)).unwrap();
+        // 100 rounds up to 128 vertices.
+        assert_eq!(g.num_vertices(), 128);
+        assert_eq!(g.num_edges(), 500);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let c = RmatConfig::new(1 << 6, 200).with_seed(99);
+        assert_eq!(rmat(&c).unwrap(), rmat(&c).unwrap());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = rmat(&RmatConfig::new(1 << 6, 200).with_seed(1)).unwrap();
+        let b = rmat(&RmatConfig::new(1 << 6, 200).with_seed(2)).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn skew_produces_hubs() {
+        // With Graph500 skew, the max out-degree should far exceed the mean.
+        let g = rmat(&RmatConfig::new(1 << 10, 8 * 1024).with_seed(5)).unwrap();
+        let deg = g.out_degrees();
+        let max = *deg.iter().max().unwrap() as f64;
+        let mean = 8.0 * 1024.0 / 1024.0;
+        assert!(max > 4.0 * mean, "max {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn uniform_skew_is_roughly_er() {
+        let g = rmat(&RmatConfig::new(1 << 10, 8 * 1024)
+            .with_skew(0.25, 0.25, 0.25)
+            .with_seed(5))
+        .unwrap();
+        let deg = g.out_degrees();
+        let max = *deg.iter().max().unwrap() as f64;
+        assert!(max < 40.0, "uniform rmat should have no big hubs, max {max}");
+    }
+
+    #[test]
+    fn no_self_loops_by_default() {
+        let g = rmat(&RmatConfig::new(1 << 5, 400).with_seed(3)).unwrap();
+        assert!(g.iter().all(|e| !e.is_self_loop()));
+    }
+
+    #[test]
+    fn rejects_bad_probabilities() {
+        let mut c = RmatConfig::new(8, 8);
+        c.a = 1.5;
+        assert!(rmat(&c).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_vertices() {
+        assert!(rmat(&RmatConfig::new(0, 8)).is_err());
+    }
+
+    #[test]
+    fn unit_weight_mode() {
+        let g = rmat(&RmatConfig::new(1 << 5, 100).with_max_weight(1)).unwrap();
+        assert!(g.iter().all(|e| e.weight == 1.0));
+    }
+}

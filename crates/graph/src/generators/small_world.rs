@@ -1,0 +1,176 @@
+//! Watts–Strogatz small-world graph generator.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::coo::CooGraph;
+use crate::error::GraphError;
+use crate::types::Edge;
+
+/// Configuration of a Watts–Strogatz run.
+///
+/// Starts from a ring lattice where each vertex connects to its `k`
+/// clockwise neighbors, then rewires each edge's destination uniformly at
+/// random with probability `beta`. Small `beta` keeps strong clustering
+/// with short global paths — a workload between the grid (`beta = 0`) and
+/// Erdős–Rényi (`beta = 1`) extremes, useful for traversal studies where
+/// diameter matters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmallWorldConfig {
+    /// Number of vertices.
+    pub num_vertices: u32,
+    /// Clockwise lattice neighbors per vertex (out-degree).
+    pub k: u32,
+    /// Rewiring probability in `[0, 1]`.
+    pub beta: f64,
+    /// Maximum integral edge weight (uniform in `1..=max_weight`).
+    pub max_weight: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SmallWorldConfig {
+    /// A ring of `num_vertices` with `k` neighbors and 10 % rewiring.
+    pub fn new(num_vertices: u32, k: u32) -> Self {
+        SmallWorldConfig {
+            num_vertices,
+            k,
+            beta: 0.1,
+            max_weight: 1,
+            seed: 0x5311_0a1d,
+        }
+    }
+
+    /// Sets the rewiring probability.
+    pub fn with_beta(mut self, beta: f64) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Generates a Watts–Strogatz small-world graph.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `k >= num_vertices`, `k` is
+/// zero with a non-trivial graph, or `beta` is outside `[0, 1]`.
+pub fn small_world(config: &SmallWorldConfig) -> Result<CooGraph, GraphError> {
+    let n = config.num_vertices;
+    if n == 0 {
+        return Err(GraphError::InvalidParameter(
+            "small_world: num_vertices must be positive".into(),
+        ));
+    }
+    if config.k == 0 || config.k >= n {
+        return Err(GraphError::InvalidParameter(format!(
+            "small_world: k {} outside 1..{n}",
+            config.k
+        )));
+    }
+    if !(0.0..=1.0).contains(&config.beta) {
+        return Err(GraphError::InvalidParameter(format!(
+            "small_world: beta {} outside [0, 1]",
+            config.beta
+        )));
+    }
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut edges = Vec::with_capacity((n * config.k) as usize);
+    for v in 0..n {
+        for hop in 1..=config.k {
+            let lattice_dst = (v + hop) % n;
+            let dst = if rng.gen::<f64>() < config.beta {
+                // Rewire to a uniform non-self destination.
+                let mut d = rng.gen_range(0..n - 1);
+                if d >= v {
+                    d += 1;
+                }
+                d
+            } else {
+                lattice_dst
+            };
+            let weight = if config.max_weight <= 1 {
+                1.0
+            } else {
+                rng.gen_range(1..=config.max_weight) as f32
+            };
+            edges.push(Edge::new(v, dst, weight));
+        }
+    }
+    CooGraph::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_when_beta_zero() {
+        let g = small_world(&SmallWorldConfig::new(10, 2).with_beta(0.0)).unwrap();
+        assert_eq!(g.num_edges(), 20);
+        assert!(g
+            .iter()
+            .all(|e| (e.dst.raw() + 10 - e.src.raw()) % 10 <= 2));
+    }
+
+    #[test]
+    fn out_degree_is_always_k() {
+        let g = small_world(&SmallWorldConfig::new(50, 4).with_beta(0.5)).unwrap();
+        assert!(g.out_degrees().iter().all(|&d| d == 4));
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = small_world(&SmallWorldConfig::new(40, 3).with_beta(1.0)).unwrap();
+        assert!(g.iter().all(|e| !e.is_self_loop()));
+    }
+
+    #[test]
+    fn rewiring_shortens_paths() {
+        // BFS eccentricity from vertex 0: the lattice needs ~n/k hops, the
+        // rewired graph far fewer.
+        let ecc = |beta: f64| -> f64 {
+            let g = small_world(&SmallWorldConfig::new(400, 2).with_beta(beta).with_seed(9))
+                .unwrap();
+            let csr = crate::Csr::from_coo(&g);
+            let mut dist = vec![f64::INFINITY; 400];
+            dist[0] = 0.0;
+            let mut frontier = vec![0u32];
+            let mut level = 0.0;
+            while !frontier.is_empty() {
+                let mut next = Vec::new();
+                for &v in &frontier {
+                    for (u, _) in csr.neighbors(crate::VertexId::new(v)) {
+                        if dist[u.index()].is_infinite() {
+                            dist[u.index()] = level + 1.0;
+                            next.push(u.raw());
+                        }
+                    }
+                }
+                frontier = next;
+                level += 1.0;
+            }
+            dist.iter().copied().filter(|d| d.is_finite()).fold(0.0, f64::max)
+        };
+        assert!(ecc(0.3) < 0.5 * ecc(0.0), "{} vs {}", ecc(0.3), ecc(0.0));
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(small_world(&SmallWorldConfig::new(0, 1)).is_err());
+        assert!(small_world(&SmallWorldConfig::new(10, 0)).is_err());
+        assert!(small_world(&SmallWorldConfig::new(10, 10)).is_err());
+        assert!(small_world(&SmallWorldConfig::new(10, 2).with_beta(1.5)).is_err());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let c = SmallWorldConfig::new(30, 3).with_beta(0.4).with_seed(5);
+        assert_eq!(small_world(&c).unwrap(), small_world(&c).unwrap());
+    }
+}

@@ -1,0 +1,62 @@
+//! Sparse graph substrate for the GaaS-X accelerator reproduction.
+//!
+//! This crate provides everything the accelerator and its baselines need to
+//! hold and shuffle graph data:
+//!
+//! * [`CooGraph`] — the coordinate-list representation that GaaS-X stores
+//!   natively in its CAM/MAC crossbars,
+//! * [`Csr`] / [`Csc`] — compressed representations used by the software
+//!   baselines,
+//! * [`partition`] — GridGraph-style 2-D grid partitioning into sub-shards
+//!   with vertex intervals (the on-disk layout GaaS-X adopts, paper §II-B),
+//! * [`generators`] — synthetic workloads (R-MAT scale-free graphs,
+//!   Erdős–Rényi, bipartite rating graphs, deterministic test graphs),
+//! * [`datasets`] — a catalog mirroring Table II of the paper,
+//! * [`stats`] — degree and tile-density statistics backing the paper's
+//!   motivation analysis (§II-C),
+//! * [`io`] — plain-text and binary edge-list readers/writers.
+//!
+//! # Example
+//!
+//! ```
+//! use gaasx_graph::prelude::*;
+//!
+//! let graph = generators::paper_fig7_graph();
+//! assert_eq!(graph.num_vertices(), 5);
+//! let grid = GridPartition::new(&graph, 2)?;
+//! assert!(grid.shards().count() > 0);
+//! # Ok::<(), gaasx_graph::GraphError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod builder;
+mod coo;
+mod csr;
+mod error;
+mod types;
+
+pub mod bipartite;
+pub mod datasets;
+pub mod disk;
+pub mod generators;
+pub mod io;
+pub mod partition;
+pub mod reorder;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use coo::CooGraph;
+pub use csr::{Csc, Csr};
+pub use error::GraphError;
+pub use types::{Edge, VertexId, Weight};
+
+/// Convenient glob-import of the most commonly used items.
+pub mod prelude {
+    pub use crate::bipartite::BipartiteGraph;
+    pub use crate::datasets::PaperDataset;
+    pub use crate::generators;
+    pub use crate::partition::{GridPartition, Interval, Shard, TraversalOrder};
+    pub use crate::{CooGraph, Csc, Csr, Edge, GraphBuilder, GraphError, VertexId, Weight};
+}

@@ -1,0 +1,177 @@
+//! Vertex reordering (relabeling) transforms.
+//!
+//! The paper's related work (§VI) cites lightweight graph reordering
+//! (Balaji & Lucia; Faldu et al.) as a locality lever for graph
+//! accelerators. Reordering directly moves the tile-density profile that
+//! dense-mapping redundancy depends on, so these transforms power the
+//! repository's locality ablations: `random` destroys community structure,
+//! `by_degree_descending` packs hubs together (hub-hub tiles become
+//! dense), and `apply_permutation` supports any externally computed order.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::coo::CooGraph;
+use crate::error::GraphError;
+use crate::types::{Edge, VertexId};
+
+/// Relabels vertices by `perm`, where `perm[old] = new`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `perm` is not a permutation
+/// of `0..num_vertices`.
+pub fn apply_permutation(graph: &CooGraph, perm: &[u32]) -> Result<CooGraph, GraphError> {
+    let n = graph.num_vertices() as usize;
+    if perm.len() != n {
+        return Err(GraphError::InvalidParameter(format!(
+            "permutation length {} does not match {} vertices",
+            perm.len(),
+            n
+        )));
+    }
+    let mut seen = vec![false; n];
+    for &p in perm {
+        if p as usize >= n || seen[p as usize] {
+            return Err(GraphError::InvalidParameter(
+                "not a permutation of the vertex set".into(),
+            ));
+        }
+        seen[p as usize] = true;
+    }
+    let edges = graph
+        .iter()
+        .map(|e| Edge {
+            src: VertexId::new(perm[e.src.index()]),
+            dst: VertexId::new(perm[e.dst.index()]),
+            weight: e.weight,
+        })
+        .collect();
+    CooGraph::from_edges(graph.num_vertices(), edges)
+}
+
+/// Random relabeling — the locality-destroying control.
+pub fn random(graph: &CooGraph, seed: u64) -> CooGraph {
+    let n = graph.num_vertices();
+    let mut perm: Vec<u32> = (0..n).collect();
+    perm.shuffle(&mut SmallRng::seed_from_u64(seed));
+    apply_permutation(graph, &perm).expect("shuffled identity is a permutation")
+}
+
+/// Relabels so vertices are ordered by descending total degree (hubs get
+/// the lowest ids). This is the "hub clustering" flavour of lightweight
+/// reordering: hub–hub adjacency concentrates in the top-left tiles.
+pub fn by_degree_descending(graph: &CooGraph) -> CooGraph {
+    let out = graph.out_degrees();
+    let inn = graph.in_degrees();
+    let mut order: Vec<u32> = (0..graph.num_vertices()).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(out[v as usize] + inn[v as usize]));
+    // order[rank] = old id; invert to perm[old] = rank.
+    let mut perm = vec![0u32; graph.num_vertices() as usize];
+    for (rank, &old) in order.iter().enumerate() {
+        perm[old as usize] = rank as u32;
+    }
+    apply_permutation(graph, &perm).expect("degree order is a permutation")
+}
+
+/// The inverse of a permutation (`inv[perm[v]] = v`), e.g. to map results
+/// computed on a reordered graph back to original ids.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `perm` is not a permutation.
+pub fn invert_permutation(perm: &[u32]) -> Result<Vec<u32>, GraphError> {
+    let n = perm.len();
+    let mut inv = vec![u32::MAX; n];
+    for (old, &new) in perm.iter().enumerate() {
+        if new as usize >= n || inv[new as usize] != u32::MAX {
+            return Err(GraphError::InvalidParameter(
+                "not a permutation of the vertex set".into(),
+            ));
+        }
+        inv[new as usize] = old as u32;
+    }
+    Ok(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::stats::TileDensityProfile;
+
+    #[test]
+    fn permutation_preserves_structure() {
+        let g = generators::paper_fig7_graph();
+        let perm = vec![4, 3, 2, 1, 0];
+        let p = apply_permutation(&g, &perm).unwrap();
+        assert_eq!(p.num_edges(), g.num_edges());
+        // Degree multiset is invariant.
+        let mut a = g.out_degrees();
+        let mut b = p.out_degrees();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        // Edge (0,1,6.0) maps to (4,3,6.0).
+        assert!(p.iter().any(|e| e.src.raw() == 4 && e.dst.raw() == 3 && e.weight == 6.0));
+    }
+
+    #[test]
+    fn rejects_non_permutations() {
+        let g = generators::path_graph(3);
+        assert!(apply_permutation(&g, &[0, 0, 1]).is_err());
+        assert!(apply_permutation(&g, &[0, 1]).is_err());
+        assert!(apply_permutation(&g, &[0, 1, 5]).is_err());
+    }
+
+    #[test]
+    fn random_reorder_destroys_tile_locality() {
+        let g = crate::datasets::PaperDataset::WikiVote
+            .instantiate_graph(0.2)
+            .unwrap();
+        let before = TileDensityProfile::compute(&g, 16).unwrap();
+        let shuffled = random(&g, 7);
+        let after = TileDensityProfile::compute(&shuffled, 16).unwrap();
+        assert!(
+            after.nonzero_tiles > 2 * before.nonzero_tiles,
+            "tiles {} -> {}",
+            before.nonzero_tiles,
+            after.nonzero_tiles
+        );
+    }
+
+    #[test]
+    fn degree_order_puts_hubs_first() {
+        let g = generators::star_graph(32);
+        let d = by_degree_descending(&g);
+        // The hub (old vertex 0, degree 31) must become vertex 0.
+        assert_eq!(d.out_degrees()[0], 31);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let perm = vec![2u32, 0, 3, 1];
+        let inv = invert_permutation(&perm).unwrap();
+        for (old, &new) in perm.iter().enumerate() {
+            assert_eq!(inv[new as usize] as usize, old);
+        }
+        assert!(invert_permutation(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn reorder_preserves_reachability_count() {
+        use crate::csr::Csr;
+        let g = generators::rmat(&generators::RmatConfig::new(1 << 6, 300).with_seed(4)).unwrap();
+        let r = random(&g, 3);
+        // Count vertices with any adjacency — invariant under relabeling.
+        let live = |g: &CooGraph| {
+            let csr = Csr::from_coo(g);
+            let inn = g.in_degrees();
+            VertexId::all(g.num_vertices())
+                .filter(|&v| csr.degree(v) > 0 || inn[v.index()] > 0)
+                .count()
+        };
+        assert_eq!(live(&g), live(&r));
+    }
+}

@@ -1,0 +1,162 @@
+//! Fundamental value types shared across the graph substrate.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Edge/attribute weight type used throughout the host-side representation.
+///
+/// On the device, weights are quantized to fixed point by the crossbar model
+/// (`gaasx-xbar`); the host representation keeps `f32` so oracles and
+/// baselines share one numeric type.
+pub type Weight = f32;
+
+/// Identifier of a vertex.
+///
+/// A newtype over `u32`, which comfortably covers the largest dataset in the
+/// paper (Orkut, 3.0 M vertices) while keeping edge storage at 12 bytes.
+///
+/// ```
+/// use gaasx_graph::VertexId;
+/// let v = VertexId::new(7);
+/// assert_eq!(v.index(), 7);
+/// assert_eq!(format!("{v}"), "v7");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct VertexId(u32);
+
+impl VertexId {
+    /// Creates a vertex identifier from its raw index.
+    pub const fn new(index: u32) -> Self {
+        VertexId(index)
+    }
+
+    /// Returns the raw index as `usize`, for slice indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(v: u32) -> Self {
+        VertexId(v)
+    }
+}
+
+impl From<VertexId> for u32 {
+    fn from(v: VertexId) -> Self {
+        v.0
+    }
+}
+
+/// A directed, weighted edge in coordinate-list (COO) form.
+///
+/// This is the unit GaaS-X loads into its crossbars: the `(src, dst)` pair
+/// goes to a CAM crossbar row and `weight` to the matching MAC crossbar row
+/// (paper Fig 7).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+    /// Edge weight (1.0 for unweighted graphs).
+    pub weight: Weight,
+}
+
+impl Edge {
+    /// Creates an edge from raw indices with an explicit weight.
+    ///
+    /// ```
+    /// use gaasx_graph::Edge;
+    /// let e = Edge::new(1, 2, 6.0);
+    /// assert_eq!(e.src.index(), 1);
+    /// assert_eq!(e.weight, 6.0);
+    /// ```
+    pub fn new(src: u32, dst: u32, weight: Weight) -> Self {
+        Edge {
+            src: VertexId::new(src),
+            dst: VertexId::new(dst),
+            weight,
+        }
+    }
+
+    /// Creates an unweighted edge (weight 1.0).
+    pub fn unweighted(src: u32, dst: u32) -> Self {
+        Edge::new(src, dst, 1.0)
+    }
+
+    /// Returns the edge with source and destination swapped.
+    pub fn reversed(self) -> Self {
+        Edge {
+            src: self.dst,
+            dst: self.src,
+            weight: self.weight,
+        }
+    }
+
+    /// Returns true if the edge is a self loop.
+    pub fn is_self_loop(self) -> bool {
+        self.src == self.dst
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} -> {}, w={})", self.src, self.dst, self.weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrip() {
+        let v = VertexId::new(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v.raw(), 42);
+        assert_eq!(u32::from(v), 42);
+        assert_eq!(VertexId::from(42u32), v);
+    }
+
+    #[test]
+    fn vertex_id_ordering() {
+        assert!(VertexId::new(1) < VertexId::new(2));
+        assert_eq!(VertexId::default(), VertexId::new(0));
+    }
+
+    #[test]
+    fn edge_reversal() {
+        let e = Edge::new(3, 9, 2.5);
+        let r = e.reversed();
+        assert_eq!(r.src.index(), 9);
+        assert_eq!(r.dst.index(), 3);
+        assert_eq!(r.weight, 2.5);
+        assert_eq!(r.reversed(), e);
+    }
+
+    #[test]
+    fn self_loop_detection() {
+        assert!(Edge::unweighted(4, 4).is_self_loop());
+        assert!(!Edge::unweighted(4, 5).is_self_loop());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Edge::new(1, 2, 6.0)), "(v1 -> v2, w=6)");
+    }
+}

@@ -1,0 +1,126 @@
+//! Per-component energy accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Energy spent by an execution, split by architectural component, in
+/// nanojoules.
+///
+/// Breakdown categories follow the paper's architecture (Fig 6): crossbar
+/// compute (MAC + CAM), cell programming, special-function units, on-chip
+/// buffers, and always-on static power integrated over the runtime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Analog MAC operations.
+    pub mac_nj: f64,
+    /// CAM searches.
+    pub cam_nj: f64,
+    /// ReRAM cell programming (data loading).
+    pub write_nj: f64,
+    /// Scalar SFU operations.
+    pub sfu_nj: f64,
+    /// On-chip SRAM buffer accesses.
+    pub buffer_nj: f64,
+    /// Static power × elapsed time.
+    pub static_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// An all-zero breakdown.
+    pub fn new() -> Self {
+        EnergyBreakdown::default()
+    }
+
+    /// Total energy in nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        self.mac_nj + self.cam_nj + self.write_nj + self.sfu_nj + self.buffer_nj + self.static_nj
+    }
+
+    /// Total energy in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.total_nj() / 1e6
+    }
+
+    /// Adds another breakdown into this one.
+    pub fn merge(&mut self, other: &EnergyBreakdown) {
+        self.mac_nj += other.mac_nj;
+        self.cam_nj += other.cam_nj;
+        self.write_nj += other.write_nj;
+        self.sfu_nj += other.sfu_nj;
+        self.buffer_nj += other.buffer_nj;
+        self.static_nj += other.static_nj;
+    }
+
+    /// Fraction of total energy attributed to cell programming — the
+    /// quantity GaaS-X's sparse mapping attacks (paper Fig 5).
+    pub fn write_fraction(&self) -> f64 {
+        let total = self.total_nj();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.write_nj / total
+        }
+    }
+
+    /// `(label, value_nj)` pairs for report rendering.
+    pub fn components(&self) -> [(&'static str, f64); 6] {
+        [
+            ("mac", self.mac_nj),
+            ("cam", self.cam_nj),
+            ("write", self.write_nj),
+            ("sfu", self.sfu_nj),
+            ("buffer", self.buffer_nj),
+            ("static", self.static_nj),
+        ]
+    }
+}
+
+impl std::ops::Add for EnergyBreakdown {
+    type Output = EnergyBreakdown;
+
+    fn add(mut self, rhs: EnergyBreakdown) -> EnergyBreakdown {
+        self.merge(&rhs);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_merge() {
+        let mut a = EnergyBreakdown {
+            mac_nj: 1.0,
+            cam_nj: 2.0,
+            write_nj: 3.0,
+            sfu_nj: 4.0,
+            buffer_nj: 5.0,
+            static_nj: 6.0,
+        };
+        assert_eq!(a.total_nj(), 21.0);
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.total_nj(), 42.0);
+        assert_eq!((b + b).total_nj(), 42.0);
+    }
+
+    #[test]
+    fn write_fraction() {
+        let e = EnergyBreakdown {
+            write_nj: 1.0,
+            mac_nj: 3.0,
+            ..Default::default()
+        };
+        assert!((e.write_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(EnergyBreakdown::new().write_fraction(), 0.0);
+    }
+
+    #[test]
+    fn unit_conversion() {
+        let e = EnergyBreakdown {
+            mac_nj: 2.5e6,
+            ..Default::default()
+        };
+        assert!((e.total_mj() - 2.5).abs() < 1e-12);
+    }
+}

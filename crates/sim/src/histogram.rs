@@ -1,0 +1,156 @@
+//! Integer-bucket histograms with CDF extraction (paper Fig 13).
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over 1-based integer buckets.
+///
+/// Bucket `i` (0-indexed) counts occurrences of value `i + 1`; this mirrors
+/// the "number of rows accumulated per MAC operation" histogram of Fig 13,
+/// where the x-axis runs 1..=16.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `buckets` buckets.
+    pub fn new(buckets: usize) -> Self {
+        Histogram {
+            counts: vec![0; buckets],
+        }
+    }
+
+    /// Wraps raw bucket counts.
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        Histogram { counts }
+    }
+
+    /// Records one occurrence of `value` (1-based); values beyond the last
+    /// bucket clamp into it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram has no buckets or `value == 0`.
+    pub fn record(&mut self, value: usize) {
+        assert!(!self.counts.is_empty(), "histogram has no buckets");
+        assert!(value >= 1, "histogram values are 1-based");
+        let idx = (value - 1).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// The raw bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total recorded occurrences.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Probability mass per bucket (empty histogram gives zeros).
+    pub fn pmf(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+
+    /// Cumulative distribution per bucket.
+    pub fn cdf(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.pmf()
+            .into_iter()
+            .map(|p| {
+                acc += p;
+                acc
+            })
+            .collect()
+    }
+
+    /// Fraction of mass at or below `value` (1-based).
+    pub fn fraction_at_most(&self, value: usize) -> f64 {
+        if value == 0 || self.counts.is_empty() {
+            return 0.0;
+        }
+        let idx = (value - 1).min(self.counts.len() - 1);
+        self.cdf()[idx]
+    }
+
+    /// Merges another histogram into this one, growing as needed.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+    }
+
+    /// Mean recorded value (1-based buckets), or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as f64 + 1.0) * c as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_cdf() {
+        let mut h = Histogram::new(4);
+        for v in [1, 1, 1, 2, 4] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[3, 1, 0, 1]);
+        let cdf = h.cdf();
+        assert!((cdf[0] - 0.6).abs() < 1e-12);
+        assert!((cdf[3] - 1.0).abs() < 1e-12);
+        assert!((h.fraction_at_most(2) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamps_overflow_values() {
+        let mut h = Histogram::new(2);
+        h.record(100);
+        assert_eq!(h.counts(), &[0, 1]);
+    }
+
+    #[test]
+    fn merge_grows() {
+        let mut a = Histogram::new(2);
+        a.record(1);
+        let mut b = Histogram::new(4);
+        b.record(4);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn mean_of_buckets() {
+        let mut h = Histogram::new(4);
+        h.record(1);
+        h.record(3);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(Histogram::new(3).mean(), 0.0);
+    }
+
+    #[test]
+    fn empty_pmf_is_zero() {
+        assert_eq!(Histogram::new(3).pmf(), vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,36 @@
+//! Cycle-level simulation kernel shared by the GaaS-X accelerator and its
+//! PIM baselines.
+//!
+//! The kernel deliberately separates *what happened* from *what it cost*:
+//! devices and accelerators record operation counts; this crate turns counts
+//! into nanoseconds and nanojoules and renders them into comparable
+//! reports. It provides:
+//!
+//! * [`EnergyBreakdown`] — per-component energy accounting,
+//! * [`buffer::SramBuffer`] — CACTI-class on-chip SRAM access models for the
+//!   paper's input/output/attribute buffers,
+//! * [`Histogram`] — e.g. the rows-accumulated-per-MAC distribution behind
+//!   Fig 13,
+//! * [`pipeline`] — the two-stage load/compute overlap model of the shard
+//!   streaming execution,
+//! * [`RunReport`] — the canonical result record each engine produces,
+//! * [`table::Table`] — plain-text table rendering for the experiment
+//!   binaries,
+//! * [`stats`] — geometric means and summary helpers used across figures.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod buffer;
+pub mod des;
+pub mod energy;
+pub mod histogram;
+pub mod pipeline;
+pub mod report;
+pub mod stats;
+pub mod table;
+
+pub use buffer::SramBuffer;
+pub use energy::EnergyBreakdown;
+pub use histogram::Histogram;
+pub use report::{OpSummary, RunReport};

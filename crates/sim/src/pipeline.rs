@@ -1,0 +1,139 @@
+//! Two-stage load/compute pipeline timing model.
+//!
+//! GaaS-X (like GraphR) streams sub-shards from storage into the crossbars
+//! while the previous shard computes; with double buffering the makespan of
+//! `n` shards is
+//!
+//! ```text
+//! load_0 + Σ_{i=1..n-1} max(load_i, compute_{i-1}) + compute_{n-1}
+//! ```
+//!
+//! which this module evaluates from per-shard load and compute times.
+
+/// Makespan of a two-stage pipeline with double buffering.
+///
+/// `loads[i]` and `computes[i]` are the stage times of shard `i` in any
+/// consistent time unit.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+///
+/// ```
+/// use gaasx_sim::pipeline::pipelined_makespan;
+///
+/// // Perfect overlap: 3 shards, load 10, compute 10 -> 10 + 2*10 + 10.
+/// assert_eq!(pipelined_makespan(&[10.0; 3], &[10.0; 3]), 40.0);
+/// ```
+pub fn pipelined_makespan(loads: &[f64], computes: &[f64]) -> f64 {
+    assert_eq!(
+        loads.len(),
+        computes.len(),
+        "pipeline stages must align per shard"
+    );
+    if loads.is_empty() {
+        return 0.0;
+    }
+    let mut total = loads[0];
+    for i in 1..loads.len() {
+        total += loads[i].max(computes[i - 1]);
+    }
+    total + computes[computes.len() - 1]
+}
+
+/// Makespan with no overlap (single buffering): the serial sum.
+pub fn serial_makespan(loads: &[f64], computes: &[f64]) -> f64 {
+    assert_eq!(
+        loads.len(),
+        computes.len(),
+        "pipeline stages must align per shard"
+    );
+    loads.iter().sum::<f64>() + computes.iter().sum::<f64>()
+}
+
+/// Incremental two-stage pipeline clock, for engines that discover shard
+/// costs on the fly instead of collecting them up front.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineClock {
+    load_ready: f64,
+    compute_done: f64,
+}
+
+impl PipelineClock {
+    /// A clock at time zero with both stages idle.
+    pub fn new() -> Self {
+        PipelineClock::default()
+    }
+
+    /// Accounts one shard: its load starts as soon as the load unit is free
+    /// and its compute starts once both the load finished and the compute
+    /// unit freed up. Returns the shard's compute completion time.
+    pub fn advance(&mut self, load: f64, compute: f64) -> f64 {
+        let load_done = self.load_ready + load;
+        self.load_ready = load_done;
+        let start = load_done.max(self.compute_done);
+        self.compute_done = start + compute;
+        self.compute_done
+    }
+
+    /// Current makespan (completion time of the last computed shard).
+    pub fn makespan(&self) -> f64 {
+        self.compute_done.max(self.load_ready)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_pipeline_is_zero() {
+        assert_eq!(pipelined_makespan(&[], &[]), 0.0);
+        assert_eq!(serial_makespan(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn single_shard_is_serial() {
+        assert_eq!(pipelined_makespan(&[5.0], &[7.0]), 12.0);
+    }
+
+    #[test]
+    fn compute_bound_hides_loads() {
+        // Loads of 1 hide entirely behind computes of 10 (after the first).
+        let m = pipelined_makespan(&[1.0; 4], &[10.0; 4]);
+        assert_eq!(m, 1.0 + 3.0 * 10.0 + 10.0);
+    }
+
+    #[test]
+    fn load_bound_hides_computes() {
+        let m = pipelined_makespan(&[10.0; 4], &[1.0; 4]);
+        assert_eq!(m, 10.0 + 3.0 * 10.0 + 1.0);
+    }
+
+    #[test]
+    fn pipeline_never_beats_critical_stage_or_exceeds_serial() {
+        let loads = [3.0, 8.0, 2.0, 5.0];
+        let computes = [6.0, 1.0, 9.0, 2.0];
+        let p = pipelined_makespan(&loads, &computes);
+        let s = serial_makespan(&loads, &computes);
+        assert!(p <= s);
+        assert!(p >= loads.iter().sum::<f64>().max(computes.iter().sum()));
+    }
+
+    #[test]
+    fn clock_matches_batch_formula() {
+        let loads = [3.0, 8.0, 2.0, 5.0];
+        let computes = [6.0, 1.0, 9.0, 2.0];
+        let mut clock = PipelineClock::new();
+        for (&l, &c) in loads.iter().zip(&computes) {
+            clock.advance(l, c);
+        }
+        assert!((clock.makespan() - pipelined_makespan(&loads, &computes)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_lengths_panic() {
+        pipelined_makespan(&[1.0], &[]);
+    }
+}

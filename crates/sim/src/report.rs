@@ -1,0 +1,180 @@
+//! Canonical run reports produced by every engine (GaaS-X and baselines).
+
+use serde::{Deserialize, Serialize};
+
+use crate::energy::EnergyBreakdown;
+use crate::histogram::Histogram;
+
+/// Operation counts of one run, summed over all hardware units.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpSummary {
+    /// Analog MAC bursts.
+    pub mac_ops: u64,
+    /// CAM searches.
+    pub cam_searches: u64,
+    /// ReRAM cells programmed.
+    pub cells_written: u64,
+    /// Row-programming bursts.
+    pub row_writes: u64,
+    /// Scalar SFU operations.
+    pub sfu_ops: u64,
+    /// On-chip buffer word accesses.
+    pub buffer_accesses: u64,
+    /// Useful multiply-accumulate *work items* (edge computations); for
+    /// dense engines this includes the redundant zero-cell computations,
+    /// which is exactly the Fig 5 comparison.
+    pub compute_items: u64,
+}
+
+impl OpSummary {
+    /// Adds another summary into this one.
+    pub fn merge(&mut self, other: &OpSummary) {
+        self.mac_ops += other.mac_ops;
+        self.cam_searches += other.cam_searches;
+        self.cells_written += other.cells_written;
+        self.row_writes += other.row_writes;
+        self.sfu_ops += other.sfu_ops;
+        self.buffer_accesses += other.buffer_accesses;
+        self.compute_items += other.compute_items;
+    }
+}
+
+/// The result record of one algorithm execution on one engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Engine name ("gaasx", "graphr", "cpu-gridgraph", ...).
+    pub engine: String,
+    /// Algorithm name ("pagerank", "sssp", ...).
+    pub algorithm: String,
+    /// Workload label (dataset abbreviation).
+    pub workload: String,
+    /// Iterations / supersteps executed.
+    pub iterations: u32,
+    /// Modeled (or measured) execution time in nanoseconds.
+    pub elapsed_ns: f64,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Operation counts.
+    pub ops: OpSummary,
+    /// Rows activated per MAC op (Fig 13); empty for non-crossbar engines.
+    pub rows_per_mac: Histogram,
+    /// Edges in the processed workload (for throughput derivation).
+    pub num_edges: u64,
+}
+
+impl RunReport {
+    /// Creates an empty report shell for an engine/algorithm/workload.
+    pub fn new(
+        engine: impl Into<String>,
+        algorithm: impl Into<String>,
+        workload: impl Into<String>,
+    ) -> Self {
+        RunReport {
+            engine: engine.into(),
+            algorithm: algorithm.into(),
+            workload: workload.into(),
+            iterations: 0,
+            elapsed_ns: 0.0,
+            energy: EnergyBreakdown::new(),
+            ops: OpSummary::default(),
+            rows_per_mac: Histogram::new(16),
+            num_edges: 0,
+        }
+    }
+
+    /// Execution time in milliseconds.
+    pub fn time_ms(&self) -> f64 {
+        self.elapsed_ns / 1e6
+    }
+
+    /// Execution time in seconds.
+    pub fn time_s(&self) -> f64 {
+        self.elapsed_ns / 1e9
+    }
+
+    /// Total energy in millijoules.
+    pub fn energy_mj(&self) -> f64 {
+        self.energy.total_mj()
+    }
+
+    /// Edge throughput in edges/second over the whole run (all iterations).
+    pub fn edges_per_second(&self) -> f64 {
+        if self.elapsed_ns == 0.0 {
+            return 0.0;
+        }
+        (self.num_edges * self.iterations as u64) as f64 / self.time_s()
+    }
+
+    /// How many times faster this run is than `other`
+    /// (`other.time / self.time`).
+    pub fn speedup_over(&self, other: &RunReport) -> f64 {
+        if self.elapsed_ns == 0.0 {
+            return f64::INFINITY;
+        }
+        other.elapsed_ns / self.elapsed_ns
+    }
+
+    /// How many times less energy this run used than `other`.
+    pub fn energy_savings_over(&self, other: &RunReport) -> f64 {
+        let own = self.energy.total_nj();
+        if own == 0.0 {
+            return f64::INFINITY;
+        }
+        other.energy.total_nj() / own
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(ns: f64, mac_nj: f64) -> RunReport {
+        let mut r = RunReport::new("e", "a", "w");
+        r.elapsed_ns = ns;
+        r.energy.mac_nj = mac_nj;
+        r.iterations = 1;
+        r.num_edges = 1000;
+        r
+    }
+
+    #[test]
+    fn conversions() {
+        let r = report(2e6, 3e6);
+        assert!((r.time_ms() - 2.0).abs() < 1e-12);
+        assert!((r.energy_mj() - 3.0).abs() < 1e-12);
+        assert!((r.edges_per_second() - 500_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn comparisons() {
+        let fast = report(1e6, 1e6);
+        let slow = report(7e6, 22e6);
+        assert!((fast.speedup_over(&slow) - 7.0).abs() < 1e-12);
+        assert!((fast.energy_savings_over(&slow) - 22.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_time_is_infinite_speedup() {
+        let z = report(0.0, 0.0);
+        let other = report(1.0, 1.0);
+        assert!(z.speedup_over(&other).is_infinite());
+        assert_eq!(z.edges_per_second(), 0.0);
+    }
+
+    #[test]
+    fn op_summary_merge() {
+        let mut a = OpSummary {
+            mac_ops: 1,
+            compute_items: 10,
+            ..Default::default()
+        };
+        a.merge(&OpSummary {
+            mac_ops: 2,
+            sfu_ops: 5,
+            ..Default::default()
+        });
+        assert_eq!(a.mac_ops, 3);
+        assert_eq!(a.sfu_ops, 5);
+        assert_eq!(a.compute_items, 10);
+    }
+}

@@ -1,0 +1,87 @@
+//! Summary statistics shared by the experiment harness.
+
+/// Geometric mean of strictly positive samples.
+///
+/// The paper reports every cross-dataset aggregate as a geometric mean
+/// (e.g. "the geometric mean of execution time speedup across all datasets
+/// and algorithms is 7.74"). Returns `None` for an empty slice or any
+/// non-positive sample.
+///
+/// ```
+/// use gaasx_sim::stats::geometric_mean;
+/// assert_eq!(geometric_mean(&[2.0, 8.0]), Some(4.0));
+/// ```
+pub fn geometric_mean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() || samples.iter().any(|&s| !s.is_finite() || s <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = samples.iter().map(|s| s.ln()).sum();
+    Some((log_sum / samples.len() as f64).exp())
+}
+
+/// Arithmetic mean, or `None` for an empty slice.
+pub fn mean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    Some(samples.iter().sum::<f64>() / samples.len() as f64)
+}
+
+/// Population standard deviation, or `None` for an empty slice.
+pub fn std_dev(samples: &[f64]) -> Option<f64> {
+    let m = mean(samples)?;
+    Some(
+        (samples.iter().map(|s| (s - m).powi(2)).sum::<f64>() / samples.len() as f64).sqrt(),
+    )
+}
+
+/// The `q`-quantile (0.0..=1.0) of the samples via nearest-rank.
+///
+/// Returns `None` for an empty slice or `q` outside `[0, 1]`.
+pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
+    if samples.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).saturating_sub(1);
+    Some(sorted[idx.min(sorted.len() - 1)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geometric_mean(&[4.0]), Some(4.0));
+        let g = geometric_mean(&[1.0, 10.0, 100.0]).unwrap();
+        assert!((g - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_rejects_bad_input() {
+        assert_eq!(geometric_mean(&[]), None);
+        assert_eq!(geometric_mean(&[1.0, 0.0]), None);
+        assert_eq!(geometric_mean(&[1.0, -2.0]), None);
+        assert_eq!(geometric_mean(&[f64::INFINITY]), None);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[1.0, 3.0]), Some(2.0));
+        assert_eq!(std_dev(&[2.0, 2.0]), Some(0.0));
+        assert!((std_dev(&[1.0, 3.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn quantiles() {
+        let s = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(quantile(&s, 0.0), Some(1.0));
+        assert_eq!(quantile(&s, 0.5), Some(3.0));
+        assert_eq!(quantile(&s, 1.0), Some(5.0));
+        assert_eq!(quantile(&s, 1.5), None);
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+}

@@ -1,0 +1,153 @@
+//! Plain-text table rendering for the experiment binaries.
+
+use std::fmt;
+
+/// A simple column-aligned text table.
+///
+/// ```
+/// use gaasx_sim::table::Table;
+///
+/// let mut t = Table::new(&["dataset", "speedup"]);
+/// t.row(&["WV", "7.7"]);
+/// let s = t.to_string();
+/// assert!(s.contains("dataset"));
+/// assert!(s.contains("WV"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells, long rows are
+    /// truncated to the header width.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        let mut row: Vec<String> = cells
+            .iter()
+            .take(self.headers.len())
+            .map(|s| s.to_string())
+            .collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Appends a row of already-owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        let refs: Vec<&str> = cells.iter().map(String::as_str).collect();
+        self.row(&refs)
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (cell, w) in cells.iter().zip(&widths) {
+                write!(f, " {cell:<w$} |")?;
+            }
+            writeln!(f)
+        };
+        render(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<1$}|", "", w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a ratio like the paper does: two significant decimals with a
+/// trailing `×`.
+pub fn ratio(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}×")
+    } else if x >= 10.0 {
+        format!("{x:.1}×")
+    } else {
+        format!("{x:.2}×")
+    }
+}
+
+/// Formats a count with thousands separators (`1_234_567 -> "1,234,567"`).
+pub fn count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(&["xx", "y"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("| a "));
+        assert!(lines[1].starts_with("|--"));
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    fn rows_pad_and_truncate() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["1"]);
+        t.row(&["1", "2", "3"]);
+        assert_eq!(t.num_rows(), 2);
+        assert!(t.to_string().lines().all(|l| l.matches('|').count() == 3));
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(ratio(7.74), "7.74×");
+        assert_eq!(ratio(22.4), "22.4×");
+        assert_eq!(ratio(805.44), "805×");
+    }
+
+    #[test]
+    fn count_formatting() {
+        assert_eq!(count(0), "0");
+        assert_eq!(count(999), "999");
+        assert_eq!(count(1_000), "1,000");
+        assert_eq!(count(1_234_567), "1,234,567");
+    }
+}

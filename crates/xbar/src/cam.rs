@@ -1,0 +1,252 @@
+//! Ternary content-addressable memory (TCAM) crossbar model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::XbarError;
+use crate::geometry::CamGeometry;
+use crate::hit_vector::HitVector;
+use crate::XbarStats;
+
+/// One stored CAM entry: up to 128 bits of content plus a valid flag.
+///
+/// GaaS-X packs an edge's `(src, dst)` vertex pair into one entry; the
+/// ternary search masks whichever field is not being matched (paper §IV:
+/// "The ternary CAM operation enables the flexibility to identify the edges
+/// corresponding to a particular source or destination vertex").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CamEntry {
+    /// The stored bits.
+    pub bits: u128,
+    /// Whether the row holds live data (cleared rows never match).
+    pub valid: bool,
+}
+
+/// A ReRAM TCAM crossbar (paper Fig 3(b)).
+///
+/// Each search broadcasts a `(key, mask)` pair to all rows in parallel; a
+/// row matches when every *unmasked* bit equals the key. The entire search
+/// costs one 4 ns CAM operation regardless of how many rows match.
+///
+/// ```
+/// use gaasx_xbar::{CamCrossbar, CamEntry};
+/// use gaasx_xbar::geometry::CamGeometry;
+///
+/// let mut cam = CamCrossbar::new(CamGeometry::paper());
+/// cam.write(0, 0xAB_01)?; // e.g. src=0xAB, dst=0x01
+/// cam.write(1, 0xCD_01)?;
+/// // Search dst field (low 8 bits) for 0x01, masking the src field.
+/// let hits = cam.search(0x01, 0xFF);
+/// assert_eq!(hits.count(), 2);
+/// # Ok::<(), gaasx_xbar::XbarError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CamCrossbar {
+    geometry: CamGeometry,
+    entries: Vec<CamEntry>,
+    width_mask: u128,
+    stats: XbarStats,
+}
+
+impl CamCrossbar {
+    /// Creates an empty CAM with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid; construct via a validated
+    /// [`CamGeometry`] to avoid this.
+    pub fn new(geometry: CamGeometry) -> Self {
+        geometry.validate().expect("invalid CAM geometry");
+        let width_mask = if geometry.width_bits == 128 {
+            u128::MAX
+        } else {
+            (1u128 << geometry.width_bits) - 1
+        };
+        CamCrossbar {
+            geometry,
+            entries: vec![
+                CamEntry {
+                    bits: 0,
+                    valid: false
+                };
+                geometry.rows
+            ],
+            width_mask,
+            stats: XbarStats::new(),
+        }
+    }
+
+    /// The geometry this CAM was built with.
+    pub fn geometry(&self) -> CamGeometry {
+        self.geometry
+    }
+
+    /// Number of rows currently holding valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+
+    /// Writes an entry into `row`, counting the cell programming cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::RowOutOfRange`] if `row` exceeds the geometry.
+    pub fn write(&mut self, row: usize, bits: u128) -> Result<(), XbarError> {
+        if row >= self.geometry.rows {
+            return Err(XbarError::RowOutOfRange {
+                row,
+                rows: self.geometry.rows,
+            });
+        }
+        self.entries[row] = CamEntry {
+            bits: bits & self.width_mask,
+            valid: true,
+        };
+        self.stats.row_writes += 1;
+        // A TCAM cell is a complementary ReRAM pair: 2 device writes per bit.
+        self.stats.cells_written += 2 * self.geometry.width_bits as u64;
+        Ok(())
+    }
+
+    /// Invalidates `row` without counting a programming burst (valid bits
+    /// live in CMOS latches).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::RowOutOfRange`] if `row` exceeds the geometry.
+    pub fn invalidate(&mut self, row: usize) -> Result<(), XbarError> {
+        if row >= self.geometry.rows {
+            return Err(XbarError::RowOutOfRange {
+                row,
+                rows: self.geometry.rows,
+            });
+        }
+        self.entries[row].valid = false;
+        Ok(())
+    }
+
+    /// Invalidates every row (start of a new shard load).
+    pub fn invalidate_all(&mut self) {
+        for e in &mut self.entries {
+            e.valid = false;
+        }
+    }
+
+    /// Ternary search: returns the hit vector of valid rows where
+    /// `(stored ^ key) & mask == 0`. Bits outside the geometry width are
+    /// ignored. One call = one 4 ns CAM operation.
+    pub fn search(&mut self, key: u128, mask: u128) -> HitVector {
+        self.stats.cam_searches += 1;
+        let key = key & self.width_mask;
+        let mask = mask & self.width_mask;
+        let mut hv = HitVector::new(self.geometry.rows);
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.valid && (e.bits ^ key) & mask == 0 {
+                hv.set(i);
+            }
+        }
+        hv
+    }
+
+    /// Reads back the entry at `row` (peripheral read, not a search).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::RowOutOfRange`] if `row` exceeds the geometry.
+    pub fn read(&self, row: usize) -> Result<CamEntry, XbarError> {
+        self.entries
+            .get(row)
+            .copied()
+            .ok_or(XbarError::RowOutOfRange {
+                row,
+                rows: self.geometry.rows,
+            })
+    }
+
+    /// Device operation counters.
+    pub fn stats(&self) -> &XbarStats {
+        &self.stats
+    }
+
+    /// Resets the operation counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = XbarStats::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cam() -> CamCrossbar {
+        CamCrossbar::new(CamGeometry::paper())
+    }
+
+    #[test]
+    fn exact_search() {
+        let mut c = cam();
+        c.write(0, 42).unwrap();
+        c.write(5, 43).unwrap();
+        let hv = c.search(42, u128::MAX);
+        assert_eq!(hv.iter_ones().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn ternary_mask_ignores_fields() {
+        let mut c = cam();
+        // Entries share the low byte but differ in the next byte.
+        c.write(0, 0x01_10).unwrap();
+        c.write(1, 0x02_10).unwrap();
+        c.write(2, 0x02_20).unwrap();
+        let hv = c.search(0x10, 0xFF);
+        assert_eq!(hv.count(), 2);
+    }
+
+    #[test]
+    fn invalid_rows_never_match() {
+        let mut c = cam();
+        c.write(0, 7).unwrap();
+        c.invalidate(0).unwrap();
+        assert_eq!(c.search(7, u128::MAX).count(), 0);
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut c = cam();
+        c.write(0, 1).unwrap();
+        c.write(1, 2).unwrap();
+        c.search(1, u128::MAX);
+        assert_eq!(c.stats().row_writes, 2);
+        assert_eq!(c.stats().cam_searches, 1);
+        assert_eq!(c.stats().cells_written, 2 * 2 * 128);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut c = cam();
+        assert!(c.write(128, 0).is_err());
+        assert!(c.invalidate(500).is_err());
+        assert!(c.read(128).is_err());
+    }
+
+    #[test]
+    fn width_mask_truncates() {
+        let mut c = CamCrossbar::new(CamGeometry {
+            rows: 4,
+            width_bits: 8,
+        });
+        c.write(0, 0x1FF).unwrap(); // stored as 0xFF
+        assert_eq!(c.read(0).unwrap().bits, 0xFF);
+        assert_eq!(c.search(0xFF, u128::MAX).count(), 1);
+    }
+
+    #[test]
+    fn invalidate_all_clears() {
+        let mut c = cam();
+        for i in 0..10 {
+            c.write(i, i as u128).unwrap();
+        }
+        c.invalidate_all();
+        assert_eq!(c.occupancy(), 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for crossbar device operations.
+
+use std::fmt;
+
+/// Errors raised by crossbar device models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XbarError {
+    /// A row index exceeded the crossbar geometry.
+    RowOutOfRange {
+        /// Requested row.
+        row: usize,
+        /// Rows available.
+        rows: usize,
+    },
+    /// A column index exceeded the crossbar geometry.
+    ColumnOutOfRange {
+        /// Requested column.
+        col: usize,
+        /// Columns available.
+        cols: usize,
+    },
+    /// An input vector length did not match the crossbar dimension.
+    DimensionMismatch {
+        /// What the caller supplied.
+        got: usize,
+        /// What the geometry requires.
+        expected: usize,
+        /// Which dimension was violated.
+        what: &'static str,
+    },
+    /// More rows were activated in one MAC burst than the periphery allows.
+    TooManyActiveRows {
+        /// Rows requested.
+        requested: usize,
+        /// Hardware limit (16 in the paper's configuration).
+        limit: usize,
+    },
+    /// A geometry or model parameter was invalid.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for XbarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XbarError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range for {rows}-row crossbar")
+            }
+            XbarError::ColumnOutOfRange { col, cols } => {
+                write!(f, "column {col} out of range for {cols}-column crossbar")
+            }
+            XbarError::DimensionMismatch {
+                got,
+                expected,
+                what,
+            } => write!(f, "{what} length {got} does not match expected {expected}"),
+            XbarError::TooManyActiveRows { requested, limit } => write!(
+                f,
+                "{requested} active rows exceed the {limit}-row accumulation limit"
+            ),
+            XbarError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for XbarError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_limits() {
+        let e = XbarError::TooManyActiveRows {
+            requested: 20,
+            limit: 16,
+        };
+        assert!(e.to_string().contains("16-row"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Fixed-point quantization between host `f32` values and crossbar codes.
+//!
+//! MAC crossbars store unsigned codes of `weight_bits` precision (16 bits in
+//! the paper's geometry). The [`Quantizer`] owns the scale between real
+//! values and codes so every layer (accelerator, baselines, oracles) agrees
+//! on the representable range.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::XbarError;
+
+/// A linear quantizer: `code = round(value / step)`, saturating at the code
+/// range of `bits` unsigned bits.
+///
+/// ```
+/// use gaasx_xbar::fixed::Quantizer;
+///
+/// let q = Quantizer::for_max_value(16.0, 16)?;
+/// let code = q.encode(7.25);
+/// assert!((q.decode(code) - 7.25).abs() < 2.0 * q.step());
+/// # Ok::<(), gaasx_xbar::XbarError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quantizer {
+    step: f32,
+    bits: u32,
+}
+
+impl Quantizer {
+    /// Creates a quantizer with an explicit step size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidParameter`] if `step` is not positive and
+    /// finite, or `bits` is outside `1..=32`.
+    pub fn new(step: f32, bits: u32) -> Result<Self, XbarError> {
+        if !(step.is_finite() && step > 0.0) {
+            return Err(XbarError::InvalidParameter(format!(
+                "quantizer step must be positive and finite, got {step}"
+            )));
+        }
+        if bits == 0 || bits > 32 {
+            return Err(XbarError::InvalidParameter(format!(
+                "quantizer bits {bits} outside 1..=32"
+            )));
+        }
+        Ok(Quantizer { step, bits })
+    }
+
+    /// Creates a quantizer whose full code range spans `[0, max_value]`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Quantizer::new`].
+    pub fn for_max_value(max_value: f32, bits: u32) -> Result<Self, XbarError> {
+        if !(max_value.is_finite() && max_value > 0.0) {
+            return Err(XbarError::InvalidParameter(format!(
+                "quantizer max_value must be positive and finite, got {max_value}"
+            )));
+        }
+        if bits == 0 || bits > 32 {
+            return Err(XbarError::InvalidParameter(format!(
+                "quantizer bits {bits} outside 1..=32"
+            )));
+        }
+        let levels = ((1u64 << bits) - 1) as f32;
+        Quantizer::new(max_value / levels, bits)
+    }
+
+    /// The quantization step.
+    pub fn step(&self) -> f32 {
+        self.step
+    }
+
+    /// Code precision in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Largest representable code.
+    pub fn max_code(&self) -> u32 {
+        (((1u64 << self.bits) - 1) as u32).max(1)
+    }
+
+    /// Largest representable value.
+    pub fn max_value(&self) -> f32 {
+        self.max_code() as f32 * self.step
+    }
+
+    /// Encodes a value, clamping negatives to zero and saturating above the
+    /// representable range.
+    pub fn encode(&self, value: f32) -> u32 {
+        if !value.is_finite() || value <= 0.0 {
+            return 0;
+        }
+        let code = (value / self.step).round();
+        if code >= self.max_code() as f32 {
+            self.max_code()
+        } else {
+            code as u32
+        }
+    }
+
+    /// Decodes a code back to a value.
+    pub fn decode(&self, code: u32) -> f32 {
+        code.min(self.max_code()) as f32 * self.step
+    }
+
+    /// Decodes an accumulated sum of products of two coded operands, i.e.
+    /// `Σ code_a · code_b` where both sides used `self` and `other`.
+    pub fn decode_product_sum(&self, other: &Quantizer, sum: u64) -> f32 {
+        sum as f32 * self.step * other.step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_within_step() {
+        let q = Quantizer::for_max_value(10.0, 12).unwrap();
+        for v in [0.0f32, 0.1, 3.7, 9.99, 10.0] {
+            let back = q.decode(q.encode(v));
+            assert!((back - v).abs() <= q.step(), "{v} -> {back}");
+        }
+    }
+
+    #[test]
+    fn saturates_and_clamps() {
+        let q = Quantizer::for_max_value(4.0, 4).unwrap();
+        assert_eq!(q.encode(100.0), q.max_code());
+        assert_eq!(q.encode(-3.0), 0);
+        assert_eq!(q.encode(f32::NAN), 0);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Quantizer::new(0.0, 8).is_err());
+        assert!(Quantizer::new(1.0, 0).is_err());
+        assert!(Quantizer::new(1.0, 33).is_err());
+        assert!(Quantizer::for_max_value(-1.0, 8).is_err());
+    }
+
+    #[test]
+    fn product_sum_decoding() {
+        let qa = Quantizer::new(0.5, 8).unwrap();
+        let qb = Quantizer::new(0.25, 8).unwrap();
+        // (2 * 0.5) * (4 * 0.25) = 1.0; coded product-sum = 8.
+        assert!((qa.decode_product_sum(&qb, 8) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_value_is_representable() {
+        let q = Quantizer::for_max_value(16.0, 16).unwrap();
+        assert!((q.max_value() - 16.0).abs() < 1e-3);
+        assert_eq!(q.encode(16.0), q.max_code());
+    }
+}

@@ -1,0 +1,181 @@
+//! Crossbar array geometries (Table I of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::XbarError;
+
+/// Geometry of a MAC crossbar bank.
+///
+/// Table I: "MAC crossbar, 128×16×8, 2-bits/cell" — 128 rows by 16 logical
+/// columns, each logical value spread over 8 physical bit-slice columns of
+/// 2 bits each (16-bit weights). The paper additionally caps each analog
+/// accumulation at 16 active rows so a 6-bit ADC suffices (§V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MacGeometry {
+    /// Number of word lines.
+    pub rows: usize,
+    /// Number of logical columns (values per row).
+    pub cols: usize,
+    /// Physical bit-slice columns per logical value.
+    pub slices: usize,
+    /// Bits stored per cell.
+    pub bits_per_cell: u32,
+    /// Maximum rows activated in one analog accumulation.
+    pub max_active_rows: usize,
+    /// DAC resolution in bits (input streamed `dac_bits` per step).
+    pub dac_bits: u32,
+    /// ADC resolution in bits.
+    pub adc_bits: u32,
+}
+
+impl MacGeometry {
+    /// The paper's Table I configuration.
+    pub fn paper() -> Self {
+        MacGeometry {
+            rows: 128,
+            cols: 16,
+            slices: 8,
+            bits_per_cell: 2,
+            max_active_rows: 16,
+            dac_bits: 2,
+            adc_bits: 6,
+        }
+    }
+
+    /// Bits of weight precision per logical value.
+    pub fn weight_bits(&self) -> u32 {
+        self.slices as u32 * self.bits_per_cell
+    }
+
+    /// Physical cells per row (`cols × slices`).
+    pub fn cells_per_row(&self) -> usize {
+        self.cols * self.slices
+    }
+
+    /// Total physical cells in the array.
+    pub fn total_cells(&self) -> usize {
+        self.rows * self.cells_per_row()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidParameter`] for zero dimensions, weight
+    /// precision above 32 bits, or an active-row cap beyond the row count.
+    pub fn validate(&self) -> Result<(), XbarError> {
+        if self.rows == 0 || self.cols == 0 || self.slices == 0 {
+            return Err(XbarError::InvalidParameter(
+                "mac geometry: dimensions must be positive".into(),
+            ));
+        }
+        if self.bits_per_cell == 0 || self.weight_bits() > 32 {
+            return Err(XbarError::InvalidParameter(format!(
+                "mac geometry: unsupported weight precision {} bits",
+                self.weight_bits()
+            )));
+        }
+        if self.max_active_rows == 0 || self.max_active_rows > self.rows {
+            return Err(XbarError::InvalidParameter(format!(
+                "mac geometry: max_active_rows {} outside 1..={}",
+                self.max_active_rows, self.rows
+            )));
+        }
+        if self.dac_bits == 0 || self.adc_bits == 0 {
+            return Err(XbarError::InvalidParameter(
+                "mac geometry: converter resolutions must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for MacGeometry {
+    fn default() -> Self {
+        MacGeometry::paper()
+    }
+}
+
+/// Geometry of a CAM crossbar bank.
+///
+/// Table I: "CAM crossbar, 128×128, 1-bit/cell" — 128 entries of 128
+/// ternary-searchable bits. GaaS-X packs one `(src, dst)` pair per entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CamGeometry {
+    /// Number of storable entries (rows).
+    pub rows: usize,
+    /// Searchable bits per entry.
+    pub width_bits: u32,
+}
+
+impl CamGeometry {
+    /// The paper's Table I configuration.
+    pub fn paper() -> Self {
+        CamGeometry {
+            rows: 128,
+            width_bits: 128,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidParameter`] for zero dimensions or widths
+    /// beyond the 128-bit search-key type.
+    pub fn validate(&self) -> Result<(), XbarError> {
+        if self.rows == 0 {
+            return Err(XbarError::InvalidParameter(
+                "cam geometry: rows must be positive".into(),
+            ));
+        }
+        if self.width_bits == 0 || self.width_bits > 128 {
+            return Err(XbarError::InvalidParameter(format!(
+                "cam geometry: width {} outside 1..=128",
+                self.width_bits
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for CamGeometry {
+    fn default() -> Self {
+        CamGeometry::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mac_geometry() {
+        let g = MacGeometry::paper();
+        assert_eq!(g.weight_bits(), 16);
+        assert_eq!(g.cells_per_row(), 128);
+        assert_eq!(g.total_cells(), 128 * 128);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn paper_cam_geometry() {
+        CamGeometry::paper().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_geometries_rejected() {
+        let mut g = MacGeometry::paper();
+        g.max_active_rows = 0;
+        assert!(g.validate().is_err());
+        let mut g = MacGeometry::paper();
+        g.max_active_rows = 1000;
+        assert!(g.validate().is_err());
+        let mut g = MacGeometry::paper();
+        g.slices = 20; // 40-bit weights unsupported
+        assert!(g.validate().is_err());
+        let mut c = CamGeometry::paper();
+        c.width_bits = 200;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,225 @@
+//! Hit vectors: the bitmap a CAM search returns.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A bitmap identifying which crossbar rows matched a CAM search.
+///
+/// The paper (§III-A): "The CAM crossbars have capabilities to perform
+/// parallel searches for a specific data and generate a hit vector (bit map
+/// identifying the rows with matches)". The hit vector is then fed to the
+/// MAC crossbar's input-vector control to activate only the matching rows.
+///
+/// ```
+/// use gaasx_xbar::HitVector;
+///
+/// let mut hv = HitVector::new(128);
+/// hv.set(3);
+/// hv.set(70);
+/// assert_eq!(hv.count(), 2);
+/// assert_eq!(hv.iter_ones().collect::<Vec<_>>(), vec![3, 70]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HitVector {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl HitVector {
+    /// Creates an all-zero hit vector covering `len` rows.
+    pub fn new(len: usize) -> Self {
+        HitVector {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Creates a hit vector from set row indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is `>= len`.
+    pub fn from_indices(len: usize, indices: &[usize]) -> Self {
+        let mut hv = HitVector::new(len);
+        for &i in indices {
+            hv.set(i);
+        }
+        hv
+    }
+
+    /// Number of rows covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no rows are covered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets row `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn set(&mut self, index: usize) {
+        assert!(index < self.len, "hit index {index} out of {}", self.len);
+        self.words[index / 64] |= 1 << (index % 64);
+    }
+
+    /// Clears row `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn clear(&mut self, index: usize) {
+        assert!(index < self.len, "hit index {index} out of {}", self.len);
+        self.words[index / 64] &= !(1 << (index % 64));
+    }
+
+    /// Whether row `index` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.len, "hit index {index} out of {}", self.len);
+        self.words[index / 64] & (1 << (index % 64)) != 0
+    }
+
+    /// Number of set rows.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether any row is set.
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Iterates the set row indices in ascending order.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            hv: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Splits the set rows into chunks of at most `chunk` indices — the
+    /// accelerator uses this to respect the 16-row accumulation cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0`.
+    pub fn chunks(&self, chunk: usize) -> Vec<Vec<usize>> {
+        assert!(chunk > 0, "chunk size must be positive");
+        let ones: Vec<usize> = self.iter_ones().collect();
+        ones.chunks(chunk).map(<[usize]>::to_vec).collect()
+    }
+
+    /// Bitwise AND with another hit vector of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn and(&self, other: &HitVector) -> HitVector {
+        assert_eq!(self.len, other.len, "hit vector length mismatch");
+        HitVector {
+            len: self.len,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+}
+
+/// Iterator over set bits of a [`HitVector`].
+#[derive(Debug)]
+pub struct IterOnes<'a> {
+    hv: &'a HitVector,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.hv.words.len() {
+                return None;
+            }
+            self.current = self.hv.words[self.word_idx];
+        }
+    }
+}
+
+impl fmt::Display for HitVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HitVector[{}/{} set]", self.count(), self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut hv = HitVector::new(70);
+        hv.set(0);
+        hv.set(69);
+        assert!(hv.get(0) && hv.get(69) && !hv.get(1));
+        hv.clear(0);
+        assert!(!hv.get(0));
+        assert_eq!(hv.count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn set_out_of_range_panics() {
+        HitVector::new(4).set(4);
+    }
+
+    #[test]
+    fn iter_crosses_word_boundaries() {
+        let hv = HitVector::from_indices(130, &[0, 63, 64, 129]);
+        assert_eq!(hv.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 129]);
+    }
+
+    #[test]
+    fn chunking_respects_cap() {
+        let indices: Vec<usize> = (0..40).collect();
+        let hv = HitVector::from_indices(128, &indices);
+        let chunks = hv.chunks(16);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].len(), 16);
+        assert_eq!(chunks[2].len(), 8);
+    }
+
+    #[test]
+    fn and_intersects() {
+        let a = HitVector::from_indices(10, &[1, 2, 3]);
+        let b = HitVector::from_indices(10, &[2, 3, 4]);
+        assert_eq!(a.and(&b).iter_ones().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_vector_behaves() {
+        let hv = HitVector::new(0);
+        assert!(hv.is_empty());
+        assert!(!hv.any());
+        assert_eq!(hv.iter_ones().count(), 0);
+    }
+}

@@ -1,0 +1,523 @@
+//! Analog multiply-and-accumulate crossbar model.
+
+use crate::error::XbarError;
+use crate::geometry::MacGeometry;
+use crate::noise::NoiseModel;
+use crate::XbarStats;
+
+/// Orientation of a MAC operation on a transposable crossbar.
+///
+/// The paper (§III-A) requires MAC crossbars that "perform the MAC operation
+/// selectively on data elements either row wise or column wise (i.e. they
+/// are transposable crossbars \[29\])": traversal algorithms accumulate edge
+/// weights down columns, while collaborative filtering also needs the
+/// transposed direction over vertex-attribute matrices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub enum MacDirection {
+    /// Activate rows, accumulate along bit lines into per-column sums.
+    #[default]
+    RowsToColumns,
+    /// Activate columns, accumulate along word lines into per-row sums.
+    ColumnsToRows,
+}
+
+/// Numerical fidelity of the analog periphery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum Fidelity {
+    /// Ideal periphery: exact integer dot products. Use for algorithm
+    /// validation; cost accounting is identical to `Quantized`.
+    #[default]
+    Exact,
+    /// Bit-sliced periphery: inputs stream `dac_bits` per step, each slice
+    /// column is sampled by the `adc_bits` ADC and *saturates* at its full
+    /// scale before shift-and-add reconstruction — the behaviour of real
+    /// silicon when more charge accumulates than the converter can resolve.
+    Quantized,
+}
+
+/// A ReRAM MAC crossbar (paper Fig 3(a)) storing unsigned fixed-point codes.
+///
+/// Functionally the array computes, for an operation with active rows `R`
+/// and per-row digital inputs `x_r`:
+///
+/// ```text
+/// out[c] = Σ_{r ∈ R} x_r · cell[r][c]        (RowsToColumns)
+/// ```
+///
+/// Costs are tracked in [`XbarStats`]: one MAC op per call, DAC conversions
+/// per active line per input step, and ADC samples per produced value per
+/// input step per slice.
+///
+/// ```
+/// use gaasx_xbar::{Fidelity, MacCrossbar, MacDirection};
+/// use gaasx_xbar::geometry::MacGeometry;
+///
+/// let mut mac = MacCrossbar::new(MacGeometry::paper(), Fidelity::Exact);
+/// mac.write_row(0, &[3, 0, 5])?;
+/// mac.write_row(1, &[2, 1, 0])?;
+/// let out = mac.mac(MacDirection::RowsToColumns, &[0, 1], &[10, 100])?;
+/// assert_eq!(&out[..3], &[3 * 10 + 2 * 100, 100, 5 * 10]);
+/// # Ok::<(), gaasx_xbar::XbarError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MacCrossbar {
+    geometry: MacGeometry,
+    fidelity: Fidelity,
+    /// Logical codes, row-major `rows × cols`.
+    cells: Vec<u32>,
+    noise: Option<NoiseModel>,
+    stats: XbarStats,
+    input_bits: u32,
+}
+
+impl MacCrossbar {
+    /// Creates a zeroed crossbar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid; validate a custom [`MacGeometry`]
+    /// first.
+    pub fn new(geometry: MacGeometry, fidelity: Fidelity) -> Self {
+        geometry.validate().expect("invalid MAC geometry");
+        MacCrossbar {
+            geometry,
+            fidelity,
+            cells: vec![0; geometry.rows * geometry.cols],
+            noise: None,
+            stats: XbarStats::new(),
+            input_bits: 16,
+        }
+    }
+
+    /// Attaches a device-variation noise model (only observable under
+    /// [`Fidelity::Quantized`]).
+    pub fn set_noise(&mut self, noise: Option<NoiseModel>) {
+        self.noise = noise;
+    }
+
+    /// The geometry this crossbar was built with.
+    pub fn geometry(&self) -> MacGeometry {
+        self.geometry
+    }
+
+    /// The configured fidelity mode.
+    pub fn fidelity(&self) -> Fidelity {
+        self.fidelity
+    }
+
+    /// Largest storable cell code.
+    pub fn max_code(&self) -> u32 {
+        (((1u64 << self.geometry.weight_bits()) - 1) as u32).max(1)
+    }
+
+    /// Writes `codes` into the leading cells of `row`, zeroing the rest.
+    /// Counts one row-programming burst and `len × slices` cell writes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::RowOutOfRange`] or
+    /// [`XbarError::DimensionMismatch`] if `codes` exceeds the column count,
+    /// or [`XbarError::InvalidParameter`] if a code exceeds the cell range.
+    pub fn write_row(&mut self, row: usize, codes: &[u32]) -> Result<(), XbarError> {
+        if row >= self.geometry.rows {
+            return Err(XbarError::RowOutOfRange {
+                row,
+                rows: self.geometry.rows,
+            });
+        }
+        if codes.len() > self.geometry.cols {
+            return Err(XbarError::DimensionMismatch {
+                got: codes.len(),
+                expected: self.geometry.cols,
+                what: "row codes",
+            });
+        }
+        let max = self.max_code();
+        for &c in codes {
+            if c > max {
+                return Err(XbarError::InvalidParameter(format!(
+                    "code {c} exceeds {}-bit cell range",
+                    self.geometry.weight_bits()
+                )));
+            }
+        }
+        let base = row * self.geometry.cols;
+        self.cells[base..base + codes.len()].copy_from_slice(codes);
+        for c in &mut self.cells[base + codes.len()..base + self.geometry.cols] {
+            *c = 0;
+        }
+        self.stats.row_writes += 1;
+        self.stats.cells_written += (codes.len() * self.geometry.slices) as u64;
+        Ok(())
+    }
+
+    /// Writes a single cell. Counts one row burst and `slices` cell writes.
+    ///
+    /// # Errors
+    ///
+    /// Range and code errors as in [`MacCrossbar::write_row`].
+    pub fn write_cell(&mut self, row: usize, col: usize, code: u32) -> Result<(), XbarError> {
+        if row >= self.geometry.rows {
+            return Err(XbarError::RowOutOfRange {
+                row,
+                rows: self.geometry.rows,
+            });
+        }
+        if col >= self.geometry.cols {
+            return Err(XbarError::ColumnOutOfRange {
+                col,
+                cols: self.geometry.cols,
+            });
+        }
+        if code > self.max_code() {
+            return Err(XbarError::InvalidParameter(format!(
+                "code {code} exceeds {}-bit cell range",
+                self.geometry.weight_bits()
+            )));
+        }
+        self.cells[row * self.geometry.cols + col] = code;
+        self.stats.row_writes += 1;
+        self.stats.cells_written += self.geometry.slices as u64;
+        Ok(())
+    }
+
+    /// Reads back a cell code (digital peripheral read).
+    ///
+    /// # Errors
+    ///
+    /// Returns a range error if the coordinates exceed the geometry.
+    pub fn read_cell(&self, row: usize, col: usize) -> Result<u32, XbarError> {
+        if row >= self.geometry.rows {
+            return Err(XbarError::RowOutOfRange {
+                row,
+                rows: self.geometry.rows,
+            });
+        }
+        if col >= self.geometry.cols {
+            return Err(XbarError::ColumnOutOfRange {
+                col,
+                cols: self.geometry.cols,
+            });
+        }
+        Ok(self.cells[row * self.geometry.cols + col])
+    }
+
+    /// Performs one selective MAC burst.
+    ///
+    /// `active` lists the activated lines (rows for
+    /// [`MacDirection::RowsToColumns`], columns otherwise) and `inputs[i]`
+    /// is the digital input driven onto `active[i]`. Returns one accumulated
+    /// sum per crossed line (per column, or per row when transposed).
+    ///
+    /// # Errors
+    ///
+    /// * [`XbarError::TooManyActiveRows`] if `active` exceeds the
+    ///   accumulation cap (16 in the paper config);
+    /// * [`XbarError::DimensionMismatch`] if `inputs` and `active` differ in
+    ///   length;
+    /// * range errors if an active index exceeds the geometry.
+    pub fn mac(
+        &mut self,
+        direction: MacDirection,
+        active: &[usize],
+        inputs: &[u32],
+    ) -> Result<Vec<u64>, XbarError> {
+        if active.len() > self.geometry.max_active_rows {
+            return Err(XbarError::TooManyActiveRows {
+                requested: active.len(),
+                limit: self.geometry.max_active_rows,
+            });
+        }
+        if active.len() != inputs.len() {
+            return Err(XbarError::DimensionMismatch {
+                got: inputs.len(),
+                expected: active.len(),
+                what: "mac inputs",
+            });
+        }
+        let (line_limit, out_len) = match direction {
+            MacDirection::RowsToColumns => (self.geometry.rows, self.geometry.cols),
+            MacDirection::ColumnsToRows => (self.geometry.cols, self.geometry.rows),
+        };
+        for &a in active {
+            if a >= line_limit {
+                return Err(match direction {
+                    MacDirection::RowsToColumns => XbarError::RowOutOfRange {
+                        row: a,
+                        rows: line_limit,
+                    },
+                    MacDirection::ColumnsToRows => XbarError::ColumnOutOfRange {
+                        col: a,
+                        cols: line_limit,
+                    },
+                });
+            }
+        }
+
+        let input_steps = self.input_bits.div_ceil(self.geometry.dac_bits) as u64;
+        self.stats.record_mac(active.len());
+        self.stats.dac_conversions += active.len() as u64 * input_steps;
+        self.stats.adc_samples += out_len as u64 * input_steps * self.geometry.slices as u64;
+
+        let out = match self.fidelity {
+            Fidelity::Exact => self.mac_exact(direction, active, inputs, out_len),
+            Fidelity::Quantized => self.mac_quantized(direction, active, inputs, out_len),
+        };
+        Ok(out)
+    }
+
+    fn cell(&self, row: usize, col: usize) -> u32 {
+        self.cells[row * self.geometry.cols + col]
+    }
+
+    fn crossed_cell(&self, direction: MacDirection, active: usize, out: usize) -> u32 {
+        match direction {
+            MacDirection::RowsToColumns => self.cell(active, out),
+            MacDirection::ColumnsToRows => self.cell(out, active),
+        }
+    }
+
+    fn mac_exact(
+        &self,
+        direction: MacDirection,
+        active: &[usize],
+        inputs: &[u32],
+        out_len: usize,
+    ) -> Vec<u64> {
+        let mut out = vec![0u64; out_len];
+        for (o, slot) in out.iter_mut().enumerate() {
+            for (&a, &x) in active.iter().zip(inputs) {
+                *slot += u64::from(x) * u64::from(self.crossed_cell(direction, a, o));
+            }
+        }
+        out
+    }
+
+    /// Bit-sliced evaluation: inputs stream `dac_bits` per step (LSB first),
+    /// weights are split into `slices` groups of `bits_per_cell`, each
+    /// (step, slice) partial is an analog sum that saturates at the ADC full
+    /// scale, then shift-and-add reconstructs the product sum.
+    fn mac_quantized(
+        &mut self,
+        direction: MacDirection,
+        active: &[usize],
+        inputs: &[u32],
+        out_len: usize,
+    ) -> Vec<u64> {
+        let g = self.geometry;
+        let dac_mask = (1u32 << g.dac_bits) - 1;
+        let cell_mask = (1u32 << g.bits_per_cell) - 1;
+        let adc_full_scale = (1u64 << g.adc_bits) - 1;
+        let steps = self.input_bits.div_ceil(g.dac_bits);
+        let mut out = vec![0u64; out_len];
+        for (o, slot) in out.iter_mut().enumerate() {
+            let mut acc = 0u64;
+            for step in 0..steps {
+                for slice in 0..g.slices as u32 {
+                    let mut partial = 0u64;
+                    for (&a, &x) in active.iter().zip(inputs) {
+                        let x_bits = (x >> (step * g.dac_bits)) & dac_mask;
+                        let w_bits = (self.crossed_cell(direction, a, o)
+                            >> (slice * g.bits_per_cell))
+                            & cell_mask;
+                        partial += u64::from(x_bits) * u64::from(w_bits);
+                    }
+                    if let Some(noise) = &mut self.noise {
+                        partial = noise.perturb_count(partial);
+                    }
+                    let sampled = partial.min(adc_full_scale);
+                    acc += sampled << (step * g.dac_bits + slice * g.bits_per_cell);
+                }
+            }
+            *slot = acc;
+        }
+        out
+    }
+
+    /// Device operation counters.
+    pub fn stats(&self) -> &XbarStats {
+        &self.stats
+    }
+
+    /// Resets the operation counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = XbarStats::new();
+    }
+
+    /// Zeroes all cells *without* counting writes (simulation reset, not a
+    /// device operation).
+    pub fn clear(&mut self) {
+        self.cells.fill(0);
+    }
+
+    /// Re-materializes a row *without* counting writes.
+    ///
+    /// The functional simulator multiplexes one working array over the many
+    /// physical banks that hold data concurrently; when a value set was
+    /// already loaded (and its programming cost counted) this call restores
+    /// it into the working array before an operation. It performs the same
+    /// validation as [`MacCrossbar::write_row`] but records no device
+    /// activity.
+    ///
+    /// # Errors
+    ///
+    /// Range and code errors as in [`MacCrossbar::write_row`].
+    pub fn preload_row(&mut self, row: usize, codes: &[u32]) -> Result<(), XbarError> {
+        if row >= self.geometry.rows {
+            return Err(XbarError::RowOutOfRange {
+                row,
+                rows: self.geometry.rows,
+            });
+        }
+        if codes.len() > self.geometry.cols {
+            return Err(XbarError::DimensionMismatch {
+                got: codes.len(),
+                expected: self.geometry.cols,
+                what: "row codes",
+            });
+        }
+        let max = self.max_code();
+        for &c in codes {
+            if c > max {
+                return Err(XbarError::InvalidParameter(format!(
+                    "code {c} exceeds {}-bit cell range",
+                    self.geometry.weight_bits()
+                )));
+            }
+        }
+        let base = row * self.geometry.cols;
+        self.cells[base..base + codes.len()].copy_from_slice(codes);
+        for c in &mut self.cells[base + codes.len()..base + self.geometry.cols] {
+            *c = 0;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(fidelity: Fidelity) -> MacCrossbar {
+        MacCrossbar::new(MacGeometry::paper(), fidelity)
+    }
+
+    #[test]
+    fn exact_dot_products() {
+        let mut m = mac(Fidelity::Exact);
+        m.write_row(2, &[1, 2, 3]).unwrap();
+        m.write_row(7, &[4, 5, 6]).unwrap();
+        let out = m.mac(MacDirection::RowsToColumns, &[2, 7], &[10, 1]).unwrap();
+        assert_eq!(&out[..3], &[14, 25, 36]);
+        assert!(out[3..].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn transposed_direction() {
+        let mut m = mac(Fidelity::Exact);
+        m.write_row(0, &[1, 2]).unwrap();
+        m.write_row(1, &[3, 4]).unwrap();
+        // Activate columns 0 and 1 with inputs (5, 6): out[r] = 5*c[r][0] + 6*c[r][1].
+        let out = m.mac(MacDirection::ColumnsToRows, &[0, 1], &[5, 6]).unwrap();
+        assert_eq!(out[0], 17);
+        assert_eq!(out[1], 39);
+    }
+
+    #[test]
+    fn quantized_matches_exact_within_adc_range() {
+        // Small operands keep every (step, slice) partial below the 6-bit
+        // ADC full scale, so quantized must equal exact.
+        let mut me = mac(Fidelity::Exact);
+        let mut mq = mac(Fidelity::Quantized);
+        for (r, codes) in [(0usize, [3u32, 7, 1]), (1, [2, 0, 5])] {
+            me.write_row(r, &codes).unwrap();
+            mq.write_row(r, &codes).unwrap();
+        }
+        let inputs = [9u32, 13];
+        let a = me.mac(MacDirection::RowsToColumns, &[0, 1], &inputs).unwrap();
+        let b = mq.mac(MacDirection::RowsToColumns, &[0, 1], &inputs).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quantized_saturates_on_overload() {
+        // 16 rows of max 2-bit slice content with max 2-bit input slices
+        // overloads a 6-bit ADC: the quantized result must fall below exact.
+        let mut me = mac(Fidelity::Exact);
+        let mut mq = mac(Fidelity::Quantized);
+        let rows: Vec<usize> = (0..16).collect();
+        for &r in &rows {
+            me.write_row(r, &[0xFFFF]).unwrap();
+            mq.write_row(r, &[0xFFFF]).unwrap();
+        }
+        let inputs = vec![0xFFFFu32; 16];
+        let exact = me.mac(MacDirection::RowsToColumns, &rows, &inputs).unwrap()[0];
+        let quant = mq.mac(MacDirection::RowsToColumns, &rows, &inputs).unwrap()[0];
+        assert!(quant < exact, "quant {quant} should saturate below {exact}");
+    }
+
+    #[test]
+    fn enforces_active_row_cap() {
+        let mut m = mac(Fidelity::Exact);
+        let rows: Vec<usize> = (0..17).collect();
+        let inputs = vec![1u32; 17];
+        assert!(matches!(
+            m.mac(MacDirection::RowsToColumns, &rows, &inputs),
+            Err(XbarError::TooManyActiveRows { limit: 16, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let mut m = mac(Fidelity::Exact);
+        assert!(m.mac(MacDirection::RowsToColumns, &[0, 1], &[1]).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_lines() {
+        let mut m = mac(Fidelity::Exact);
+        assert!(m.mac(MacDirection::RowsToColumns, &[500], &[1]).is_err());
+        assert!(m.mac(MacDirection::ColumnsToRows, &[16], &[1]).is_err());
+        assert!(m.write_row(128, &[1]).is_err());
+        assert!(m.write_cell(0, 16, 1).is_err());
+    }
+
+    #[test]
+    fn rejects_code_overflow() {
+        let mut m = mac(Fidelity::Exact);
+        assert!(m.write_row(0, &[0x1_0000]).is_err());
+        assert!(m.write_cell(0, 0, 0x1_0000).is_err());
+    }
+
+    #[test]
+    fn write_row_zeroes_tail() {
+        let mut m = mac(Fidelity::Exact);
+        m.write_row(0, &[9; 16]).unwrap();
+        m.write_row(0, &[1, 2]).unwrap();
+        assert_eq!(m.read_cell(0, 2).unwrap(), 0);
+        assert_eq!(m.read_cell(0, 15).unwrap(), 0);
+    }
+
+    #[test]
+    fn stats_account_periphery() {
+        let mut m = mac(Fidelity::Exact);
+        m.write_row(0, &[1, 2, 3]).unwrap();
+        m.mac(MacDirection::RowsToColumns, &[0], &[5]).unwrap();
+        let s = m.stats();
+        assert_eq!(s.mac_ops, 1);
+        assert_eq!(s.rows_activated, 1);
+        assert_eq!(s.row_writes, 1);
+        assert_eq!(s.cells_written, 3 * 8);
+        // 16-bit inputs at 2 bits/step = 8 steps; 16 outputs × 8 slices.
+        assert_eq!(s.dac_conversions, 8);
+        assert_eq!(s.adc_samples, 16 * 8 * 8);
+    }
+
+    #[test]
+    fn empty_activation_is_legal() {
+        let mut m = mac(Fidelity::Exact);
+        let out = m.mac(MacDirection::RowsToColumns, &[], &[]).unwrap();
+        assert!(out.iter().all(|&v| v == 0));
+        assert_eq!(m.stats().rows_per_mac.iter().sum::<u64>(), 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Device-variation noise injection for the analog MAC path.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Multiplicative Gaussian noise on analog partial sums, modeling ReRAM
+/// conductance variation and wire IR drop.
+///
+/// Applied per (input-step, bit-slice) partial before ADC sampling, i.e. at
+/// the point real variation enters the signal chain. The Box–Muller samples
+/// are seeded, so noisy runs stay reproducible.
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    sigma_rel: f64,
+    rng: SmallRng,
+}
+
+impl NoiseModel {
+    /// Creates a noise model with relative standard deviation `sigma_rel`
+    /// (e.g. `0.05` for 5 % variation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_rel` is negative or not finite.
+    pub fn new(sigma_rel: f64, seed: u64) -> Self {
+        assert!(
+            sigma_rel.is_finite() && sigma_rel >= 0.0,
+            "sigma_rel must be a non-negative finite number"
+        );
+        NoiseModel {
+            sigma_rel,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configured relative sigma.
+    pub fn sigma_rel(&self) -> f64 {
+        self.sigma_rel
+    }
+
+    /// Perturbs an analog count, returning a non-negative rounded value.
+    pub fn perturb_count(&mut self, value: u64) -> u64 {
+        if self.sigma_rel == 0.0 || value == 0 {
+            return value;
+        }
+        let gaussian = self.standard_normal();
+        let noisy = value as f64 * (1.0 + self.sigma_rel * gaussian);
+        noisy.round().max(0.0) as u64
+    }
+
+    /// Standard normal sample via Box–Muller.
+    fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let mut n = NoiseModel::new(0.0, 1);
+        assert_eq!(n.perturb_count(42), 42);
+    }
+
+    #[test]
+    fn noise_is_centered_and_scaled() {
+        let mut n = NoiseModel::new(0.05, 7);
+        let base = 1000u64;
+        let samples: Vec<u64> = (0..2000).map(|_| n.perturb_count(base)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        assert!((mean - 1000.0).abs() < 10.0, "mean {mean}");
+        let var = samples
+            .iter()
+            .map(|&s| (s as f64 - mean).powi(2))
+            .sum::<f64>()
+            / samples.len() as f64;
+        let sigma = var.sqrt();
+        assert!((sigma - 50.0).abs() < 10.0, "sigma {sigma}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = NoiseModel::new(0.1, 3);
+        let mut b = NoiseModel::new(0.1, 3);
+        for v in [10u64, 100, 1000] {
+            assert_eq!(a.perturb_count(v), b.perturb_count(v));
+        }
+    }
+
+    #[test]
+    fn zero_input_stays_zero() {
+        let mut n = NoiseModel::new(0.5, 1);
+        assert_eq!(n.perturb_count(0), 0);
+    }
+}

@@ -1,0 +1,336 @@
+//! Explicit models of the analog periphery: DAC, ADC, sample-and-hold, and
+//! the shift-and-add reduction tree.
+//!
+//! [`crate::MacCrossbar`] folds these components into its bit-sliced MAC
+//! evaluation for speed; this module exposes each stage as a standalone,
+//! testable unit so periphery-level studies (converter resolution, sharing
+//! ratios, sampling-rate limits) can be run without a full crossbar, and so
+//! the folded implementation has an independent reference to agree with.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::XbarError;
+
+/// A digital-to-analog converter of `bits` resolution.
+///
+/// Table I: 2-bit DACs, 256 per crossbar (one per row per bit-slice group).
+/// The DAC turns one `bits`-wide digital input slice into a word-line
+/// voltage level; a 16-bit input therefore streams over
+/// `ceil(16 / bits)` conversion steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dac {
+    bits: u32,
+}
+
+impl Dac {
+    /// Creates a DAC with the given resolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidParameter`] for zero or >16 bits.
+    pub fn new(bits: u32) -> Result<Self, XbarError> {
+        if bits == 0 || bits > 16 {
+            return Err(XbarError::InvalidParameter(format!(
+                "dac resolution {bits} outside 1..=16"
+            )));
+        }
+        Ok(Dac { bits })
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of conversion steps to stream an `input_bits`-wide value.
+    pub fn steps_for(&self, input_bits: u32) -> u32 {
+        input_bits.div_ceil(self.bits)
+    }
+
+    /// Extracts the digital slice driven at `step` (LSB-first).
+    pub fn slice(&self, value: u32, step: u32) -> u32 {
+        let mask = (1u32 << self.bits) - 1;
+        (value >> (step * self.bits)) & mask
+    }
+}
+
+/// An analog-to-digital converter of `bits` resolution: values above the
+/// full scale saturate (the physical behaviour the `Quantized` fidelity
+/// mode models).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Adc {
+    bits: u32,
+    sample_rate_gsps: f64,
+}
+
+impl Adc {
+    /// Creates an ADC (Table I: 6-bit at 1.2 GS/s).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidParameter`] for zero/large resolutions
+    /// or a non-positive sample rate.
+    pub fn new(bits: u32, sample_rate_gsps: f64) -> Result<Self, XbarError> {
+        if bits == 0 || bits > 16 {
+            return Err(XbarError::InvalidParameter(format!(
+                "adc resolution {bits} outside 1..=16"
+            )));
+        }
+        if !(sample_rate_gsps.is_finite() && sample_rate_gsps > 0.0) {
+            return Err(XbarError::InvalidParameter(
+                "adc sample rate must be positive".into(),
+            ));
+        }
+        Ok(Adc {
+            bits,
+            sample_rate_gsps,
+        })
+    }
+
+    /// The paper's Table I ADC: 6-bit, 1.2 GS/s.
+    pub fn paper() -> Self {
+        Adc {
+            bits: 6,
+            sample_rate_gsps: 1.2,
+        }
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Largest representable sample.
+    pub fn full_scale(&self) -> u64 {
+        (1u64 << self.bits) - 1
+    }
+
+    /// Samples an analog accumulation, saturating at full scale.
+    pub fn sample(&self, analog: u64) -> u64 {
+        analog.min(self.full_scale())
+    }
+
+    /// Whether `analog` would clip.
+    pub fn clips(&self, analog: u64) -> bool {
+        analog > self.full_scale()
+    }
+
+    /// Time to take `samples` conversions, ns.
+    pub fn conversion_ns(&self, samples: u64) -> f64 {
+        samples as f64 / self.sample_rate_gsps
+    }
+
+    /// Largest row count whose worst-case single-slice partial sum still
+    /// fits: with `dac_bits`-wide input slices and `cell_bits`-wide cells,
+    /// a row contributes at most `(2^dac − 1)(2^cell − 1)`.
+    pub fn max_safe_rows(&self, dac_bits: u32, cell_bits: u32) -> u64 {
+        let per_row = (((1u64 << dac_bits) - 1) * ((1u64 << cell_bits) - 1)).max(1);
+        self.full_scale() / per_row
+    }
+}
+
+/// A bank of sample-and-hold capacitors decoupling the analog column
+/// currents from the shared ADC (Table I: 1152 per crossbar).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampleHold {
+    slots: Vec<Option<u64>>,
+}
+
+impl SampleHold {
+    /// A bank with `slots` capacitors.
+    pub fn new(slots: usize) -> Self {
+        SampleHold {
+            slots: vec![None; slots],
+        }
+    }
+
+    /// Number of capacitors.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Captures an analog value into `slot`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::ColumnOutOfRange`] for a bad slot.
+    pub fn capture(&mut self, slot: usize, analog: u64) -> Result<(), XbarError> {
+        let cols = self.slots.len();
+        *self
+            .slots
+            .get_mut(slot)
+            .ok_or(XbarError::ColumnOutOfRange { col: slot, cols })? = Some(analog);
+        Ok(())
+    }
+
+    /// Releases the value held in `slot` (destructive read, like the
+    /// capacitor discharging into the ADC).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::ColumnOutOfRange`] for a bad slot or
+    /// [`XbarError::InvalidParameter`] if the slot holds nothing.
+    pub fn release(&mut self, slot: usize) -> Result<u64, XbarError> {
+        let cols = self.slots.len();
+        self.slots
+            .get_mut(slot)
+            .ok_or(XbarError::ColumnOutOfRange { col: slot, cols })?
+            .take()
+            .ok_or_else(|| XbarError::InvalidParameter(format!("slot {slot} holds no sample")))
+    }
+}
+
+/// The shift-and-add reduction combining per-(step, slice) ADC samples into
+/// the final digital dot product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShiftAdd {
+    dac_bits: u32,
+    cell_bits: u32,
+}
+
+impl ShiftAdd {
+    /// Creates the reducer for given input/weight slice widths.
+    pub fn new(dac_bits: u32, cell_bits: u32) -> Self {
+        ShiftAdd {
+            dac_bits,
+            cell_bits,
+        }
+    }
+
+    /// Weight of the partial at input `step` and weight `slice`:
+    /// `2^(step·dac_bits + slice·cell_bits)`.
+    pub fn weight(&self, step: u32, slice: u32) -> u64 {
+        1u64 << (step * self.dac_bits + slice * self.cell_bits)
+    }
+
+    /// Reduces `(step, slice, sample)` partials into the final value.
+    pub fn reduce(&self, partials: impl IntoIterator<Item = (u32, u32, u64)>) -> u64 {
+        partials
+            .into_iter()
+            .map(|(step, slice, sample)| sample * self.weight(step, slice))
+            .sum()
+    }
+}
+
+/// Reference bit-sliced dot product built from the standalone periphery
+/// stages — used by tests to validate [`crate::MacCrossbar`]'s folded
+/// implementation.
+pub fn reference_dot_product(
+    weights: &[u32],
+    inputs: &[u32],
+    dac: Dac,
+    adc: Adc,
+    slices: u32,
+    cell_bits: u32,
+    input_bits: u32,
+) -> u64 {
+    let sa = ShiftAdd::new(dac.bits(), cell_bits);
+    let cell_mask = (1u32 << cell_bits) - 1;
+    let mut partials = Vec::new();
+    for step in 0..dac.steps_for(input_bits) {
+        for slice in 0..slices {
+            let analog: u64 = weights
+                .iter()
+                .zip(inputs)
+                .map(|(&w, &x)| {
+                    u64::from(dac.slice(x, step)) * u64::from((w >> (slice * cell_bits)) & cell_mask)
+                })
+                .sum();
+            partials.push((step, slice, adc.sample(analog)));
+        }
+    }
+    sa.reduce(partials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::MacGeometry;
+    use crate::{Fidelity, MacCrossbar, MacDirection};
+
+    #[test]
+    fn dac_slices_lsb_first() {
+        let dac = Dac::new(2).unwrap();
+        assert_eq!(dac.steps_for(16), 8);
+        assert_eq!(dac.slice(0b1101_10, 0), 0b10);
+        assert_eq!(dac.slice(0b1101_10, 1), 0b01);
+        assert_eq!(dac.slice(0b1101_10, 2), 0b11);
+    }
+
+    #[test]
+    fn adc_saturates() {
+        let adc = Adc::paper();
+        assert_eq!(adc.full_scale(), 63);
+        assert_eq!(adc.sample(50), 50);
+        assert_eq!(adc.sample(100), 63);
+        assert!(adc.clips(64));
+        assert!(!adc.clips(63));
+    }
+
+    #[test]
+    fn adc_safe_rows_motivates_the_16_row_cap() {
+        // With 2-bit inputs and 2-bit cells, one row contributes ≤ 9, so a
+        // 6-bit ADC is only safe up to 7 rows at absolute worst case; the
+        // paper's 16-row cap relies on typical (sparse, small-valued)
+        // accumulations, which the ablation quantifies.
+        let adc = Adc::paper();
+        assert_eq!(adc.max_safe_rows(2, 2), 7);
+        assert_eq!(Adc::new(8, 1.2).unwrap().max_safe_rows(2, 2), 28);
+    }
+
+    #[test]
+    fn adc_timing() {
+        let adc = Adc::paper();
+        assert!((adc.conversion_ns(12) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_hold_is_destructive() {
+        let mut sh = SampleHold::new(4);
+        sh.capture(2, 99).unwrap();
+        assert_eq!(sh.release(2).unwrap(), 99);
+        assert!(sh.release(2).is_err());
+        assert!(sh.capture(9, 1).is_err());
+    }
+
+    #[test]
+    fn shift_add_weights() {
+        let sa = ShiftAdd::new(2, 2);
+        assert_eq!(sa.weight(0, 0), 1);
+        assert_eq!(sa.weight(1, 0), 4);
+        assert_eq!(sa.weight(0, 1), 4);
+        assert_eq!(sa.weight(3, 7), 1 << 20);
+        assert_eq!(sa.reduce([(0, 0, 3), (1, 0, 1)]), 7);
+    }
+
+    #[test]
+    fn reference_pipeline_matches_folded_quantized_mac() {
+        let geometry = MacGeometry::paper();
+        let mut mac = MacCrossbar::new(geometry, Fidelity::Quantized);
+        let weights: Vec<u32> = (0..8).map(|i| 0x1234 ^ (i * 977)).collect();
+        let inputs: Vec<u32> = (0..8).map(|i| 0xBEE ^ (i * 313)).collect();
+        for (r, &w) in weights.iter().enumerate() {
+            mac.write_row(r, &[w]).unwrap();
+        }
+        let active: Vec<usize> = (0..8).collect();
+        let folded = mac.mac(MacDirection::RowsToColumns, &active, &inputs).unwrap()[0];
+        let reference = reference_dot_product(
+            &weights,
+            &inputs,
+            Dac::new(geometry.dac_bits).unwrap(),
+            Adc::paper(),
+            geometry.slices as u32,
+            geometry.bits_per_cell,
+            16,
+        );
+        assert_eq!(folded, reference);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(Dac::new(0).is_err());
+        assert!(Dac::new(20).is_err());
+        assert!(Adc::new(0, 1.0).is_err());
+        assert!(Adc::new(6, 0.0).is_err());
+    }
+}

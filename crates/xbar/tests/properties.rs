@@ -1,0 +1,142 @@
+//! Property-based tests of the crossbar device models.
+
+use proptest::prelude::*;
+
+use gaasx_xbar::fixed::Quantizer;
+use gaasx_xbar::geometry::{CamGeometry, MacGeometry};
+use gaasx_xbar::{CamCrossbar, Fidelity, MacCrossbar, MacDirection};
+
+/// Strategy: cell contents for up to 16 rows × 16 cols plus matching
+/// active-row inputs.
+fn mac_setup() -> impl Strategy<Value = (Vec<Vec<u32>>, Vec<u32>)> {
+    let rows = prop::collection::vec(prop::collection::vec(0u32..=0xFFFF, 1..=16), 1..=16);
+    rows.prop_flat_map(|cells| {
+        let n = cells.len();
+        (
+            Just(cells),
+            prop::collection::vec(0u32..=0xFFFF, n..=n),
+        )
+    })
+}
+
+fn loaded_mac(cells: &[Vec<u32>]) -> MacCrossbar {
+    let mut mac = MacCrossbar::new(MacGeometry::paper(), Fidelity::Exact);
+    for (r, row) in cells.iter().enumerate() {
+        mac.write_row(r, row).unwrap();
+    }
+    mac
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The exact MAC equals the host-side dot product, per column.
+    #[test]
+    fn exact_mac_matches_host_math((cells, inputs) in mac_setup()) {
+        let mut mac = loaded_mac(&cells);
+        let active: Vec<usize> = (0..cells.len()).collect();
+        let out = mac.mac(MacDirection::RowsToColumns, &active, &inputs).unwrap();
+        for col in 0..16 {
+            let want: u64 = cells
+                .iter()
+                .zip(&inputs)
+                .map(|(row, &x)| u64::from(x) * u64::from(row.get(col).copied().unwrap_or(0)))
+                .sum();
+            prop_assert_eq!(out[col], want);
+        }
+    }
+
+    /// MAC is additive over disjoint activation sets.
+    #[test]
+    fn mac_is_additive_over_row_sets((cells, inputs) in mac_setup()) {
+        let mut mac = loaded_mac(&cells);
+        let n = cells.len();
+        let all: Vec<usize> = (0..n).collect();
+        let whole = mac.mac(MacDirection::RowsToColumns, &all, &inputs).unwrap();
+        let split = n / 2;
+        let a = mac
+            .mac(MacDirection::RowsToColumns, &all[..split], &inputs[..split])
+            .unwrap();
+        let b = mac
+            .mac(MacDirection::RowsToColumns, &all[split..], &inputs[split..])
+            .unwrap();
+        for col in 0..16 {
+            prop_assert_eq!(whole[col], a[col] + b[col]);
+        }
+    }
+
+    /// Quantized (ADC-saturating) outputs never exceed exact outputs.
+    #[test]
+    fn quantized_never_exceeds_exact((cells, inputs) in mac_setup()) {
+        let mut exact = loaded_mac(&cells);
+        let mut quant = MacCrossbar::new(MacGeometry::paper(), Fidelity::Quantized);
+        for (r, row) in cells.iter().enumerate() {
+            quant.write_row(r, row).unwrap();
+        }
+        let active: Vec<usize> = (0..cells.len()).collect();
+        let e = exact.mac(MacDirection::RowsToColumns, &active, &inputs).unwrap();
+        let q = quant.mac(MacDirection::RowsToColumns, &active, &inputs).unwrap();
+        for col in 0..16 {
+            prop_assert!(q[col] <= e[col], "col {}: {} > {}", col, q[col], e[col]);
+        }
+    }
+
+    /// Transposing the direction transposes the computation.
+    #[test]
+    fn transposed_mac_matches_host_math((cells, _inputs) in mac_setup()) {
+        let mut mac = loaded_mac(&cells);
+        // Drive the first min(cols, 16) columns with their index as input.
+        let active: Vec<usize> = (0..8).collect();
+        let inputs: Vec<u32> = (0..8).map(|i| i as u32 * 3 + 1).collect();
+        let out = mac.mac(MacDirection::ColumnsToRows, &active, &inputs).unwrap();
+        for (r, row) in cells.iter().enumerate() {
+            let want: u64 = active
+                .iter()
+                .zip(&inputs)
+                .map(|(&c, &x)| u64::from(x) * u64::from(row.get(c).copied().unwrap_or(0)))
+                .sum();
+            prop_assert_eq!(out[r], want);
+        }
+    }
+
+    /// CAM search equals a brute-force masked-match filter.
+    #[test]
+    fn cam_search_matches_brute_force(
+        entries in prop::collection::vec(any::<u64>(), 1..100),
+        key in any::<u64>(),
+        mask in any::<u64>(),
+    ) {
+        let mut cam = CamCrossbar::new(CamGeometry::paper());
+        for (i, &e) in entries.iter().enumerate() {
+            cam.write(i, u128::from(e)).unwrap();
+        }
+        let hits = cam.search(u128::from(key), u128::from(mask));
+        for (i, &e) in entries.iter().enumerate() {
+            let expect = (e ^ key) & mask == 0;
+            prop_assert_eq!(hits.get(i), expect, "row {}", i);
+        }
+        // Rows beyond the written range never match.
+        for i in entries.len()..128 {
+            prop_assert!(!hits.get(i));
+        }
+    }
+
+    /// Quantizer: encode∘decode error is bounded by one step, and encode
+    /// is monotone.
+    #[test]
+    fn quantizer_roundtrip_and_monotonicity(
+        max in 0.5f32..1000.0,
+        bits in 4u32..20,
+        a in 0.0f32..1.0,
+        b in 0.0f32..1.0,
+    ) {
+        let q = Quantizer::for_max_value(max, bits).unwrap();
+        let (va, vb) = (a * max, b * max);
+        // Half a step plus slack for f32 division landing a hair past the
+        // rounding boundary.
+        prop_assert!((q.decode(q.encode(va)) - va).abs() <= q.step() * 0.505);
+        if va <= vb {
+            prop_assert!(q.encode(va) <= q.encode(vb));
+        }
+    }
+}

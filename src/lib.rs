@@ -1,0 +1,33 @@
+//! # GaaS-X — facade crate
+//!
+//! A faithful, open reproduction of *GaaS-X: Graph Analytics Accelerator
+//! Supporting Sparse Data Representation using Crossbar Architectures*
+//! (ISCA 2020). This crate re-exports the workspace members so downstream
+//! users, the examples, and the integration tests see one coherent API:
+//!
+//! * [`graph`] — sparse graph substrate (COO/CSR/CSC, shards, generators),
+//! * [`xbar`] — ReRAM crossbar device models (MAC + CAM arrays),
+//! * [`sim`] — cycle-level time/energy accounting kernel,
+//! * [`core`] — the GaaS-X accelerator and its algorithm mappings,
+//! * [`baselines`] — GraphR, GRAM, CPU and GPU comparators plus oracles.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gaasx::core::{GaasX, GaasXConfig};
+//! use gaasx::core::algorithms::PageRank;
+//! use gaasx::graph::generators::{rmat, RmatConfig};
+//!
+//! let graph = rmat(&RmatConfig::new(1 << 8, 2048).with_seed(1))?;
+//! let mut accel = GaasX::new(GaasXConfig::paper());
+//! let outcome = accel.run(&PageRank::default(), &graph)?;
+//! println!("PageRank finished in {:.3} ms, {:.3} mJ",
+//!          outcome.report.time_ms(), outcome.report.energy_mj());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use gaasx_baselines as baselines;
+pub use gaasx_core as core;
+pub use gaasx_graph as graph;
+pub use gaasx_sim as sim;
+pub use gaasx_xbar as xbar;
