@@ -153,9 +153,9 @@ impl GapbsCpu {
         let start = Instant::now();
         let result = reference::dijkstra(graph, source);
         let elapsed = start.elapsed().as_nanos() as f64;
-        let report =
-            self.power
-                .report("cpu-gapbs", "sssp", elapsed, 1, graph.num_edges() as u64);
+        let report = self
+            .power
+            .report("cpu-gapbs", "sssp", elapsed, 1, graph.num_edges() as u64);
         Ok(RunOutcome { result, report })
     }
 }
@@ -199,7 +199,9 @@ mod tests {
         // O(E × supersteps). On a path this gap is extreme; just confirm
         // both give the right answer and GAPBS reports fewer "iterations".
         let g = generators::path_graph(200);
-        let gap = GapbsCpu::with_threads(1).sssp(&g, VertexId::new(0)).unwrap();
+        let gap = GapbsCpu::with_threads(1)
+            .sssp(&g, VertexId::new(0))
+            .unwrap();
         assert_eq!(gap.report.iterations, 1);
         assert_eq!(gap.result[199], 199.0);
     }

@@ -12,6 +12,7 @@ use std::time::Instant;
 use gaasx_core::RunOutcome;
 use gaasx_graph::partition::GridPartition;
 use gaasx_graph::{CooGraph, GraphError, VertexId};
+use gaasx_sim::{attribute_makespan, Phase, Tracer};
 
 use crate::cpu::{default_threads, HostPowerModel};
 
@@ -22,6 +23,41 @@ pub struct GridGraphCpu {
     pub threads: usize,
     /// Power model for energy conversion.
     pub power: HostPowerModel,
+    tracer: Tracer,
+}
+
+/// Wall-clock phase tally: spans here live on the measured time axis
+/// (ns since run start), one per parallel sweep or apply step.
+struct WallPhases<'a> {
+    tracer: &'a Tracer,
+    busy: [f64; 7],
+    counts: [u64; 7],
+}
+
+impl<'a> WallPhases<'a> {
+    fn new(tracer: &'a Tracer) -> Self {
+        WallPhases {
+            tracer,
+            busy: [0.0; 7],
+            counts: [0; 7],
+        }
+    }
+
+    fn record(&mut self, phase: Phase, start_ns: f64, end_ns: f64) {
+        let dur = (end_ns - start_ns).max(0.0);
+        self.busy[phase.index()] += dur;
+        self.counts[phase.index()] += 1;
+        self.tracer.emit(phase, start_ns, dur);
+    }
+
+    fn attribute(&self, elapsed_ns: f64) -> Vec<gaasx_sim::PhaseBreakdown> {
+        let tallies: Vec<(Phase, f64, u64)> = Phase::ALL
+            .iter()
+            .filter(|&&p| p != Phase::Dispatch)
+            .map(|&p| (p, self.busy[p.index()], self.counts[p.index()]))
+            .collect();
+        attribute_makespan(elapsed_ns, &tallies)
+    }
 }
 
 impl GridGraphCpu {
@@ -30,6 +66,7 @@ impl GridGraphCpu {
         GridGraphCpu {
             threads: default_threads(),
             power: HostPowerModel::xeon_bronze(),
+            tracer: Tracer::null(),
         }
     }
 
@@ -44,6 +81,18 @@ impl GridGraphCpu {
             threads,
             ..GridGraphCpu::new()
         }
+    }
+
+    /// Attaches a tracer; sweeps emit wall-clock phase spans through it.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Attaches a tracer; sweeps emit wall-clock phase spans through it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     fn grid(&self, graph: &CooGraph) -> Result<GridPartition, GraphError> {
@@ -70,10 +119,12 @@ impl GridGraphCpu {
         let inv_deg: Vec<f64> = deg.iter().map(|&d| 1.0 / f64::from(d.max(1))).collect();
         let p = grid.num_intervals() as usize;
         let mut ranks = vec![1.0f64; n];
+        let mut phases = WallPhases::new(&self.tracer);
         let start = Instant::now();
 
         for _ in 0..iterations {
             let mut acc = vec![0.0f64; n];
+            let sweep_start = start.elapsed().as_nanos() as f64;
             // Hand each worker a disjoint set of destination intervals, so
             // its writable `acc` region is private.
             std::thread::scope(|scope| {
@@ -111,19 +162,25 @@ impl GridGraphCpu {
                     });
                 }
             });
+            let apply_start = start.elapsed().as_nanos() as f64;
+            phases.record(Phase::MacGather, sweep_start, apply_start);
             for v in 0..n {
                 ranks[v] = (1.0 - damping) + damping * acc[v];
             }
+            phases.record(Phase::Sfu, apply_start, start.elapsed().as_nanos() as f64);
         }
 
         let elapsed = start.elapsed().as_nanos() as f64;
-        let report = self.power.report(
+        let mut report = self.power.report(
             "cpu-gridgraph",
             "pagerank",
             elapsed,
             iterations,
             graph.num_edges() as u64,
         );
+        report.phases = phases.attribute(elapsed);
+        self.tracer.gauge_set("elapsed_ns", elapsed);
+        self.tracer.flush();
         Ok(RunOutcome {
             result: ranks,
             report,
@@ -183,9 +240,11 @@ impl GridGraphCpu {
             })
             .collect();
         let mut supersteps = 0u32;
+        let mut phases = WallPhases::new(&self.tracer);
 
         loop {
             let changed = AtomicBool::new(false);
+            let sweep_start = start.elapsed().as_nanos() as f64;
             std::thread::scope(|scope| {
                 let dist = &dist;
                 let grid = &grid;
@@ -209,8 +268,11 @@ impl GridGraphCpu {
                                     if !dv.is_finite() {
                                         continue;
                                     }
-                                    let w =
-                                        if unit_weights { 1.0 } else { f64::from(e.weight) };
+                                    let w = if unit_weights {
+                                        1.0
+                                    } else {
+                                        f64::from(e.weight)
+                                    };
                                     let cand = dv + w;
                                     if atomic_min(&dist[e.dst.index()], cand) {
                                         changed.store(true, Ordering::Relaxed);
@@ -221,6 +283,11 @@ impl GridGraphCpu {
                     });
                 }
             });
+            phases.record(
+                Phase::MacPropagate,
+                sweep_start,
+                start.elapsed().as_nanos() as f64,
+            );
             supersteps += 1;
             if !changed.load(Ordering::Relaxed) || supersteps as usize >= n {
                 break;
@@ -233,13 +300,16 @@ impl GridGraphCpu {
             .collect();
         let elapsed = start.elapsed().as_nanos() as f64;
         let name = if unit_weights { "bfs" } else { "sssp" };
-        let report = self.power.report(
+        let mut report = self.power.report(
             "cpu-gridgraph",
             name,
             elapsed,
             supersteps,
             graph.num_edges() as u64,
         );
+        report.phases = phases.attribute(elapsed);
+        self.tracer.gauge_set("elapsed_ns", elapsed);
+        self.tracer.flush();
         Ok(RunOutcome { result, report })
     }
 }
@@ -315,6 +385,33 @@ mod tests {
         assert!(out.report.elapsed_ns > 0.0);
         assert!(out.report.energy.total_nj() > 0.0);
         assert_eq!(out.report.engine, "cpu-gridgraph");
+    }
+
+    #[test]
+    fn phases_cover_the_wall_clock() {
+        use gaasx_sim::{AggregateSink, Tracer};
+        use std::sync::Arc;
+
+        let g = generators::rmat(&generators::RmatConfig::new(1 << 7, 900).with_seed(3)).unwrap();
+        let sink = Arc::new(AggregateSink::new());
+        let cpu = GridGraphCpu::with_threads(2).with_tracer(Tracer::with_sink(sink.clone()));
+        let out = cpu.pagerank(&g, 0.85, 4).unwrap();
+        let r = &out.report;
+        assert!(!r.phases.is_empty());
+        assert_eq!(r.phases_total_sched_ns(), r.elapsed_ns);
+        let gather = r.phase(Phase::MacGather).unwrap();
+        assert_eq!(gather.count, 4);
+        let sfu = r.phase(Phase::Sfu).unwrap();
+        assert_eq!(sfu.count, 4);
+        // Spans reach the sink with the same busy totals.
+        let rollup = sink.phase_rollup();
+        let sunk = rollup.iter().find(|b| b.phase == Phase::MacGather).unwrap();
+        assert_eq!(sunk.busy_ns, gather.busy_ns);
+
+        let sssp = cpu.sssp(&g, VertexId::new(0)).unwrap();
+        let prop = sssp.report.phase(Phase::MacPropagate).unwrap();
+        assert_eq!(u64::from(sssp.report.iterations), prop.count);
+        assert_eq!(sssp.report.phases_total_sched_ns(), sssp.report.elapsed_ns);
     }
 
     #[test]

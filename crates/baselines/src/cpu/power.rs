@@ -59,7 +59,9 @@ mod tests {
 
     #[test]
     fn energy_is_power_times_time() {
-        let m = HostPowerModel { dynamic_power_w: 10.0 };
+        let m = HostPowerModel {
+            dynamic_power_w: 10.0,
+        };
         let r = m.report("cpu", "pagerank", 1e9, 5, 100);
         // 10 W for 1 s = 10 J = 1e10 nJ.
         assert!((r.energy.total_nj() - 1e10).abs() < 1.0);

@@ -195,8 +195,8 @@ mod tests {
     fn pagerank_time_scales_with_edges_and_iterations() {
         let gpu = GpuModel::titan_v();
         // Sizes chosen so the edge sweep dominates the 8 µs launch overhead.
-        let small = generators::rmat(&generators::RmatConfig::new(1 << 10, 100_000).with_seed(1))
-            .unwrap();
+        let small =
+            generators::rmat(&generators::RmatConfig::new(1 << 10, 100_000).with_seed(1)).unwrap();
         let big = generators::rmat(&generators::RmatConfig::new(1 << 10, 1_000_000).with_seed(1))
             .unwrap();
         let t_small = gpu.pagerank(&small, 10).elapsed_ns;

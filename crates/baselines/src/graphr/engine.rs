@@ -6,7 +6,9 @@ use gaasx_graph::bipartite::BipartiteGraph;
 use gaasx_graph::partition::{GridPartition, TraversalOrder};
 use gaasx_graph::CooGraph;
 use gaasx_sim::pipeline::PipelineClock;
-use gaasx_sim::{EnergyBreakdown, Histogram, OpSummary, RunReport, SramBuffer};
+use gaasx_sim::{
+    attribute_makespan, EnergyBreakdown, Histogram, OpSummary, Phase, RunReport, SramBuffer, Tracer,
+};
 use gaasx_xbar::energy::DeviceEnergyModel;
 
 /// Configuration of the GraphR baseline.
@@ -78,10 +80,15 @@ struct Tally {
     input_buf: SramBuffer,
     attr_buf: SramBuffer,
     output_buf: SramBuffer,
+    tracer: Tracer,
+    /// Functional (serial) time cursor for span placement, ns.
+    cursor_ns: f64,
+    phase_busy: [f64; 7],
+    phase_counts: [u64; 7],
 }
 
 impl Tally {
-    fn new(config: GraphRConfig) -> Self {
+    fn new(config: GraphRConfig, tracer: Tracer) -> Self {
         Tally {
             rows_per_mac: Histogram::new(config.tile_size as usize),
             config,
@@ -97,7 +104,21 @@ impl Tally {
             input_buf: SramBuffer::input_16kb(),
             attr_buf: SramBuffer::attribute_512kb(),
             output_buf: SramBuffer::output_64kb(),
+            tracer,
+            cursor_ns: 0.0,
+            phase_busy: [0.0; 7],
+            phase_counts: [0; 7],
         }
+    }
+
+    /// Tallies one operation's busy time and emits its span on the
+    /// functional (serial) time axis.
+    fn trace_op(&mut self, phase: Phase, dur_ns: f64, count: u64) {
+        self.phase_busy[phase.index()] += dur_ns;
+        self.phase_counts[phase.index()] += count;
+        let start = self.cursor_ns;
+        self.cursor_ns += dur_ns;
+        self.tracer.emit(phase, start, dur_ns);
     }
 
     /// Sparse→dense conversion and programming of one tile holding `nnz`
@@ -112,9 +133,14 @@ impl Tally {
         // Every dense row programs all T values (zeros included): the
         // timing face of the Fig 5 write redundancy.
         self.current.program_ns = self.config.tile_size as f64
-            * self.config.energy.row_program_ns(self.config.tile_size as usize);
+            * self
+                .config
+                .energy
+                .row_program_ns(self.config.tile_size as usize);
         self.row_writes += t;
         self.cells_written += t * t * self.config.slices;
+        let stream_ns = bytes as f64 / self.config.stream_bandwidth_gbps;
+        self.trace_op(Phase::LoadBlock, stream_ns + self.current.program_ns, 1);
     }
 
     /// One MAC burst activating `rows` tile rows; every activated row
@@ -123,7 +149,9 @@ impl Tally {
         debug_assert!(self.in_tile, "mac outside a loaded tile");
         self.mac_ops += 1;
         self.rows_per_mac.record(rows.max(1));
-        self.current.compute_ns += self.config.energy.mac_op_ns;
+        let ns = self.config.energy.mac_op_ns;
+        self.current.compute_ns += ns;
+        self.trace_op(Phase::MacGather, ns, 1);
         self.compute_items += rows as u64 * u64::from(self.config.tile_size);
     }
 
@@ -134,6 +162,7 @@ impl Tally {
             self.current.compute_ns += ns;
         }
         self.sfu_ops += ops;
+        self.trace_op(Phase::Sfu, ns, ops);
     }
 
     /// Charges loading `rows` attribute rows of `values` logical values
@@ -145,7 +174,9 @@ impl Tally {
         debug_assert!(self.in_tile, "feature load outside a tile");
         self.row_writes += rows;
         self.cells_written += rows * values as u64 * self.config.slices;
-        self.current.program_ns += rows as f64 * self.config.energy.row_program_ns(values);
+        let ns = rows as f64 * self.config.energy.row_program_ns(values);
+        self.current.program_ns += ns;
+        self.trace_op(Phase::LoadBlock, ns, 1);
     }
 
     fn end_tile(&mut self) {
@@ -158,15 +189,28 @@ impl Tally {
 
     fn finish(mut self, algorithm: &str, iterations: u32, num_edges: u64) -> RunReport {
         self.end_tile();
+        let pes = self.config.num_pe.max(1);
         let mut clock = PipelineClock::new();
-        for wave in self.costs.chunks(self.config.num_pe.max(1)) {
+        for (w, wave) in self.costs.chunks(pes).enumerate() {
             let stream_ns: f64 = wave
                 .iter()
                 .map(|t| t.stream_bytes as f64 / self.config.stream_bandwidth_gbps)
                 .sum();
             let program_ns = wave.iter().map(|t| t.program_ns).fold(0.0, f64::max);
             let compute_ns = wave.iter().map(|t| t.compute_ns).fold(0.0, f64::max);
-            clock.advance(stream_ns.max(program_ns), compute_ns);
+            let done = clock.advance(stream_ns.max(program_ns), compute_ns);
+            if self.tracer.enabled() {
+                // One dispatch event per tile; PE = position in the wave.
+                let compute_start = done - compute_ns;
+                for (i, t) in wave.iter().enumerate() {
+                    self.tracer
+                        .span(Phase::Dispatch, (compute_start - t.program_ns).max(0.0))
+                        .bank(i as u32)
+                        .attr("tile", w * pes + i)
+                        .attr("wave", w)
+                        .end(compute_start + t.compute_ns);
+                }
+            }
         }
         let makespan = clock.makespan() + self.extra_parallel_ns;
         let e = &self.config.energy;
@@ -191,6 +235,19 @@ impl Tally {
                 + self.output_buf.accesses(),
             compute_items: self.compute_items,
         };
+        let tallies: Vec<(Phase, f64, u64)> = Phase::ALL
+            .iter()
+            .filter(|&&p| p != Phase::Dispatch)
+            .map(|&p| (p, self.phase_busy[p.index()], self.phase_counts[p.index()]))
+            .collect();
+        let phases = attribute_makespan(makespan, &tallies);
+        if let Some(metrics) = self.tracer.metrics() {
+            metrics.publish_op_summary(&ops);
+        }
+        self.tracer.gauge_set("elapsed_ns", makespan);
+        self.tracer.gauge_set("energy_total_nj", energy.total_nj());
+        self.tracer.flush();
+
         let mut report = RunReport::new("graphr", algorithm, "unlabeled");
         report.iterations = iterations;
         report.elapsed_ns = makespan;
@@ -198,6 +255,7 @@ impl Tally {
         report.ops = ops;
         report.rows_per_mac = self.rows_per_mac;
         report.num_edges = num_edges;
+        report.phases = phases;
         report
     }
 }
@@ -206,17 +264,33 @@ impl Tally {
 #[derive(Debug, Clone)]
 pub struct GraphR {
     config: GraphRConfig,
+    tracer: Tracer,
 }
 
 impl GraphR {
     /// Creates a GraphR instance.
     pub fn new(config: GraphRConfig) -> Self {
-        GraphR { config }
+        GraphR {
+            config,
+            tracer: Tracer::null(),
+        }
     }
 
     /// The configuration.
     pub fn config(&self) -> &GraphRConfig {
         &self.config
+    }
+
+    /// Attaches a tracer that every subsequent run inherits (builder form).
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Attaches a tracer that every subsequent run inherits.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// PageRank: one full-tile MVM per non-empty tile per iteration.
@@ -233,7 +307,7 @@ impl GraphR {
         let grid = GridPartition::new(graph, self.config.tile_size)?;
         let n = graph.num_vertices() as usize;
         let deg = graph.out_degrees();
-        let mut tally = Tally::new(self.config.clone());
+        let mut tally = Tally::new(self.config.clone(), self.tracer.clone());
         let mut ranks = vec![1.0f64; n];
 
         for _ in 0..iterations {
@@ -312,7 +386,7 @@ impl GraphR {
         }
         let grid = GridPartition::new(graph, self.config.tile_size)?;
         let n = graph.num_vertices() as usize;
-        let mut tally = Tally::new(self.config.clone());
+        let mut tally = Tally::new(self.config.clone(), self.tracer.clone());
         let mut dist = vec![f64::INFINITY; n];
         dist[source.index()] = 0.0;
         let mut supersteps = 0u32;
@@ -338,7 +412,11 @@ impl GraphR {
                     if !dv.is_finite() {
                         continue;
                     }
-                    let w = if unit_weights { 1.0 } else { f64::from(e.weight) };
+                    let w = if unit_weights {
+                        1.0
+                    } else {
+                        f64::from(e.weight)
+                    };
                     let cand = dv + w;
                     if cand < dist[e.dst.index()] {
                         dist[e.dst.index()] = cand;
@@ -384,7 +462,7 @@ impl GraphR {
         use rand::{Rng, SeedableRng};
 
         let t = self.config.tile_size;
-        let mut tally = Tally::new(self.config.clone());
+        let mut tally = Tally::new(self.config.clone(), self.tracer.clone());
         let mut rng = SmallRng::seed_from_u64(seed);
         let scale = 0.5 / (features as f32).sqrt();
         let mut init = |n: u32| -> Vec<Vec<f32>> {
@@ -412,10 +490,7 @@ impl GraphR {
                 users.dedup();
                 // The tile's occupied lines bring their feature vectors
                 // into this PE's attribute crossbars.
-                tally.load_tile_features(
-                    (users.len() + items.len()) as u64 * rows_per_vector,
-                    16,
-                );
+                tally.load_tile_features((users.len() + items.len()) as u64 * rows_per_vector, 16);
 
                 // Dense feature MACs: per phase, per occupied line, the
                 // engine runs dual-rail feature ops across all T

@@ -163,8 +163,8 @@ mod tests {
 
     #[test]
     fn scale_free_graph_is_heavily_redundant() {
-        let g = generators::rmat(&generators::RmatConfig::new(1 << 12, 40_000).with_seed(9))
-            .unwrap();
+        let g =
+            generators::rmat(&generators::RmatConfig::new(1 << 12, 40_000).with_seed(9)).unwrap();
         let r = analyze(&g, 16, VertexId::new(0)).unwrap();
         assert!(
             r.write_ratio() > 5.0,

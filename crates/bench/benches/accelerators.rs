@@ -77,11 +77,7 @@ fn bench_cf(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(ratings.num_ratings() as u64));
     group.bench_function("gaasx_epoch", |b| {
-        b.iter(|| {
-            GaasX::new(GaasXConfig::paper())
-                .run(&cf, &ratings)
-                .unwrap()
-        })
+        b.iter(|| GaasX::new(GaasXConfig::paper()).run(&cf, &ratings).unwrap())
     });
     group.bench_function("graphr_epoch", |b| {
         b.iter(|| {

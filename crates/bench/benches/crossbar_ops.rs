@@ -8,7 +8,10 @@ use gaasx_xbar::{CamCrossbar, Fidelity, HitVector, MacCrossbar, MacDirection};
 
 fn bench_mac(c: &mut Criterion) {
     let mut group = c.benchmark_group("mac_crossbar");
-    for (name, fidelity) in [("exact", Fidelity::Exact), ("quantized", Fidelity::Quantized)] {
+    for (name, fidelity) in [
+        ("exact", Fidelity::Exact),
+        ("quantized", Fidelity::Quantized),
+    ] {
         let mut mac = MacCrossbar::new(MacGeometry::paper(), fidelity);
         for row in 0..16 {
             mac.write_row(row, &[(row as u32 + 1) * 3; 16]).unwrap();
@@ -28,7 +31,10 @@ fn bench_mac(c: &mut Criterion) {
     }
     let mut mac = MacCrossbar::new(MacGeometry::paper(), Fidelity::Exact);
     group.bench_function("write_row_16vals", |b| {
-        b.iter(|| mac.write_row(black_box(7), black_box(&[42u32; 16])).unwrap())
+        b.iter(|| {
+            mac.write_row(black_box(7), black_box(&[42u32; 16]))
+                .unwrap()
+        })
     });
     group.finish();
 }
@@ -37,7 +43,8 @@ fn bench_cam(c: &mut Criterion) {
     let mut group = c.benchmark_group("cam_crossbar");
     let mut cam = CamCrossbar::new(CamGeometry::paper());
     for row in 0..128 {
-        cam.write(row, ((row as u128) << 32) | (row as u128 % 16)).unwrap();
+        cam.write(row, ((row as u128) << 32) | (row as u128 % 16))
+            .unwrap();
     }
     group.bench_function("search_dst_field", |b| {
         b.iter(|| cam.search(black_box(5), 0xFFFF_FFFF))
@@ -52,7 +59,9 @@ fn bench_hit_vector(c: &mut Criterion) {
     let mut group = c.benchmark_group("hit_vector");
     let indices: Vec<usize> = (0..128).step_by(3).collect();
     let hv = HitVector::from_indices(128, &indices);
-    group.bench_function("iter_ones", |b| b.iter(|| black_box(&hv).iter_ones().count()));
+    group.bench_function("iter_ones", |b| {
+        b.iter(|| black_box(&hv).iter_ones().count())
+    });
     group.bench_function("chunks_of_16", |b| b.iter(|| black_box(&hv).chunks(16)));
     group.finish();
 }

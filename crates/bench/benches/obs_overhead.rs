@@ -1,0 +1,51 @@
+//! Overhead of the tracing layer on the hot simulation path.
+//!
+//! The acceptance bar: running with an enabled tracer draining into
+//! `NullSink` must stay within 5% of the fully untraced path (default
+//! `Tracer::null()`, which skips all event construction).
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use gaasx_core::algorithms::PageRank;
+use gaasx_core::{GaasX, GaasXConfig};
+use gaasx_graph::generators::{rmat, RmatConfig};
+use gaasx_graph::CooGraph;
+use gaasx_sim::{AggregateSink, NullSink, Tracer};
+
+fn demo_graph() -> CooGraph {
+    rmat(&RmatConfig::new(1 << 9, 4_000).with_seed(17)).unwrap()
+}
+
+fn pagerank_ns(accel: &mut GaasX, graph: &CooGraph) -> f64 {
+    accel
+        .run(&PageRank::fixed_iterations(3), graph)
+        .unwrap()
+        .report
+        .elapsed_ns
+}
+
+fn obs_overhead(c: &mut Criterion) {
+    let graph = demo_graph();
+    let mut group = c.benchmark_group("obs_overhead");
+    group.throughput(Throughput::Elements(graph.num_edges() as u64));
+
+    group.bench_function("pagerank_untraced", |b| {
+        let mut accel = GaasX::new(GaasXConfig::small());
+        b.iter(|| black_box(pagerank_ns(&mut accel, &graph)));
+    });
+    group.bench_function("pagerank_null_sink", |b| {
+        let mut accel =
+            GaasX::new(GaasXConfig::small()).with_tracer(Tracer::with_sink(Arc::new(NullSink)));
+        b.iter(|| black_box(pagerank_ns(&mut accel, &graph)));
+    });
+    group.bench_function("pagerank_aggregate_sink", |b| {
+        let mut accel = GaasX::new(GaasXConfig::small())
+            .with_tracer(Tracer::with_sink(Arc::new(AggregateSink::new())));
+        b.iter(|| black_box(pagerank_ns(&mut accel, &graph)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, obs_overhead);
+criterion_main!(benches);

@@ -53,7 +53,10 @@ fn main() {
     let local = localize(&base, &LocalityConfig::new(0.6).with_hub_exponent(1.4)).unwrap();
     for (name, g) in [
         ("p=0.6 randomly reordered", reorder::random(&local, 3)),
-        ("p=0.6 degree reordered", reorder::by_degree_descending(&local)),
+        (
+            "p=0.6 degree reordered",
+            reorder::by_degree_descending(&local),
+        ),
     ] {
         let (nnz, s, e) = measure(&g, units);
         t.row_owned(vec![name.into(), format!("{nnz:.2}"), ratio(s), ratio(e)]);

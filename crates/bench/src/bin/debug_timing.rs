@@ -1,22 +1,35 @@
 //! Internal scratch binary for calibrating the workload models.
 
+use gaasx_baselines::{GraphR, GraphRConfig};
 use gaasx_bench::*;
 use gaasx_core::algorithms::PageRank;
 use gaasx_core::{GaasX, GaasXConfig};
-use gaasx_baselines::{GraphR, GraphRConfig};
 use gaasx_graph::datasets::PaperDataset;
 use gaasx_graph::partition::GridPartition;
 
 fn main() {
     let cap = cap_edges();
-    for ds in [PaperDataset::WikiVote, PaperDataset::LiveJournal, PaperDataset::Orkut] {
+    for ds in [
+        PaperDataset::WikiVote,
+        PaperDataset::LiveJournal,
+        PaperDataset::Orkut,
+    ] {
         let g = load_graph(ds, cap).unwrap();
         let units = scaled_units(ds, cap);
         let grid = GridPartition::new(&g, 16).unwrap();
         let nnz = g.num_edges() as f64 / grid.num_nonempty_shards() as f64;
-        let mut gx = GaasX::new(GaasXConfig { num_banks: units, ..GaasXConfig::paper() });
-        let r1 = gx.run_labeled(&PageRank::fixed_iterations(3), &g, ds.abbrev()).unwrap().report;
-        let mut gr = GraphR::new(GraphRConfig { num_pe: units, ..GraphRConfig::paper() });
+        let mut gx = GaasX::new(GaasXConfig {
+            num_banks: units,
+            ..GaasXConfig::paper()
+        });
+        let r1 = gx
+            .run_labeled(&PageRank::fixed_iterations(3), &g, ds.abbrev())
+            .unwrap()
+            .report;
+        let mut gr = GraphR::new(GraphRConfig {
+            num_pe: units,
+            ..GraphRConfig::paper()
+        });
         let r2 = gr.pagerank(&g, 0.85, 3).unwrap().report;
         let one_row = r1.rows_per_mac.fraction_at_most(1);
         let over6 = 1.0 - r1.rows_per_mac.fraction_at_most(6);

@@ -1,6 +1,9 @@
 //! Regenerates Fig 5: dense-vs-sparse redundant writes/computations.
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("{}", gaasx_bench::experiments::fig5(gaasx_bench::cap_edges())?);
+    println!(
+        "{}",
+        gaasx_bench::experiments::fig5(gaasx_bench::cap_edges())?
+    );
     Ok(())
 }

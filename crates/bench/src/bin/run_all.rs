@@ -1,13 +1,32 @@
 //! Runs every experiment and writes the rendered tables to `results/`.
+//!
+//! `--trace <path>` additionally streams the trace-demo run's JSONL
+//! events to `<path>` (replay with the `trace_summary` binary).
 
 use std::fs;
+use std::path::PathBuf;
 use std::time::Instant;
 
 use gaasx_bench::experiments as exp;
+use gaasx_sim::{EnergyBreakdown, OpSummary};
+
+fn trace_arg() -> Result<Option<PathBuf>, String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            return match args.next() {
+                Some(path) => Ok(Some(PathBuf::from(path))),
+                None => Err("--trace requires a path argument".into()),
+            };
+        }
+    }
+    Ok(None)
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cap = gaasx_bench::cap_edges();
     let iters = gaasx_bench::pr_iterations();
+    let trace = trace_arg()?;
     let start = Instant::now();
     fs::create_dir_all("results")?;
 
@@ -24,6 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sections.push(("fig12", exp::fig12(&matrix)));
     sections.push(("fig13", exp::fig13(&matrix)));
     sections.push(("fig14", exp::fig14(&matrix)));
+    sections.push(("phases", exp::phase_table(&matrix)));
+
+    eprintln!("[run_all] trace demo...");
+    sections.push(("trace_demo", exp::trace_demo(trace.as_deref())?));
 
     eprintln!("[run_all] running software baselines...");
     let sw = exp::run_software(&matrix, cap, iters)?;
@@ -42,6 +65,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{body}\n");
     }
     fs::write("results/all.md", &combined)?;
+    let total_ops: OpSummary = matrix.iter().map(|e| e.gaasx.ops + e.graphr.ops).sum();
+    let total_energy: EnergyBreakdown = matrix
+        .iter()
+        .map(|e| e.gaasx.energy + e.graphr.energy)
+        .sum();
+    eprintln!(
+        "[run_all] simulated {} MAC ops / {} CAM searches / {:.1} mJ across the matrix",
+        total_ops.mac_ops,
+        total_ops.cam_searches,
+        total_energy.total_mj()
+    );
     eprintln!(
         "[run_all] done in {:.1}s; wrote results/*.md",
         start.elapsed().as_secs_f64()

@@ -31,9 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .report;
         let mut gr = GraphR::new(GraphRConfig::paper());
         let b = gr.pagerank(&graph, 0.85, iters)?.report;
-        let per = |r: &gaasx_sim::RunReport| {
-            r.elapsed_ns / (r.num_edges as f64 * f64::from(iters))
-        };
+        let per = |r: &gaasx_sim::RunReport| r.elapsed_ns / (r.num_edges as f64 * f64::from(iters));
         t.row_owned(vec![
             count(graph.num_edges() as u64),
             format!("{:.3}", per(&a)),

@@ -1,6 +1,9 @@
 //! Regenerates Table II: graph dataset characteristics.
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("{}", gaasx_bench::experiments::table2(gaasx_bench::cap_edges())?);
+    println!(
+        "{}",
+        gaasx_bench::experiments::table2(gaasx_bench::cap_edges())?
+    );
     Ok(())
 }

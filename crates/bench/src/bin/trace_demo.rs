@@ -1,0 +1,14 @@
+//! Regenerates the tracing demo: PageRank per-phase breakdown on one
+//! RMAT graph, GaaS-X vs GraphR. An optional path argument additionally
+//! streams the GaaS-X run's JSONL events there.
+
+use std::path::PathBuf;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = std::env::args().nth(1).map(PathBuf::from);
+    println!(
+        "{}",
+        gaasx_bench::experiments::trace_demo(trace.as_deref())?
+    );
+    Ok(())
+}

@@ -1,0 +1,30 @@
+//! Replays a JSONL event trace (from `--trace` or any `JsonlSink`) into
+//! per-phase and per-bank utilization tables.
+//!
+//! Usage: `trace_summary <trace.jsonl>`
+
+use std::fs;
+use std::process::ExitCode;
+
+use gaasx_bench::trace::TraceSummary;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: trace_summary <trace.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let text = match fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("trace_summary: cannot read {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let summary = TraceSummary::parse(&text);
+    if summary.spans.is_empty() && summary.skipped > 0 {
+        eprintln!("trace_summary: no recognizable events in {path}");
+        return ExitCode::FAILURE;
+    }
+    print!("Trace: {path}\n\n{}", summary.render());
+    ExitCode::SUCCESS
+}

@@ -18,7 +18,7 @@ use gaasx_graph::datasets::PaperDataset;
 use gaasx_graph::stats::{GraphSummary, TileDensityProfile};
 use gaasx_sim::stats::geometric_mean;
 use gaasx_sim::table::{count, ratio, Table};
-use gaasx_sim::{Histogram, RunReport};
+use gaasx_sim::{Histogram, JsonlSink, Phase, RunReport, Tracer};
 
 use crate::{load_graph, load_ratings, scale_for, traversal_source};
 
@@ -98,7 +98,12 @@ pub fn run_matrix(cap: usize, pr_iters: u32) -> BenchResult<Vec<MatrixEntry>> {
 
 /// Table I: the accelerator component inventory.
 pub fn table1() -> String {
-    let mut t = Table::new(&["Component", "Configuration", "Area (mm² × 10⁻³)", "Power (mW)"]);
+    let mut t = Table::new(&[
+        "Component",
+        "Configuration",
+        "Area (mm² × 10⁻³)",
+        "Power (mW)",
+    ]);
     for c in table1_components() {
         t.row_owned(vec![
             c.name.to_string(),
@@ -149,10 +154,17 @@ pub fn table2(cap: usize) -> BenchResult<String> {
     let nf = load_ratings(cap)?;
     t.row_owned(vec![
         "Netflix (NF)".into(),
-        format!("{} users", count(u64::from(PaperDataset::Netflix.full_vertices()))),
+        format!(
+            "{} users",
+            count(u64::from(PaperDataset::Netflix.full_vertices()))
+        ),
         count(PaperDataset::Netflix.full_edges() as u64),
         format!("{:.4}", scale_for(PaperDataset::Netflix, cap)),
-        format!("{}u/{}i", count(u64::from(nf.num_users())), count(u64::from(nf.num_items()))),
+        format!(
+            "{}u/{}i",
+            count(u64::from(nf.num_users())),
+            count(u64::from(nf.num_items()))
+        ),
         count(nf.num_ratings() as u64),
         "-".into(),
     ]);
@@ -193,7 +205,12 @@ pub fn table3() -> String {
 ///
 /// Propagates generator/analysis errors.
 pub fn fig5(cap: usize) -> BenchResult<String> {
-    let mut t = Table::new(&["Dataset", "Writes", "Computations (PR)", "Computations (SSSP)"]);
+    let mut t = Table::new(&[
+        "Dataset",
+        "Writes",
+        "Computations (PR)",
+        "Computations (SSSP)",
+    ]);
     let mut writes = Vec::new();
     let mut prs = Vec::new();
     let mut sssps = Vec::new();
@@ -232,10 +249,7 @@ fn mean(v: &[f64]) -> f64 {
     }
 }
 
-fn per_algo_table(
-    matrix: &[MatrixEntry],
-    metric: impl Fn(&MatrixEntry) -> f64,
-) -> (Table, f64) {
+fn per_algo_table(matrix: &[MatrixEntry], metric: impl Fn(&MatrixEntry) -> f64) -> (Table, f64) {
     let mut t = Table::new(&["Algorithm", "SD", "LJ", "WV", "WG", "AZ", "OR", "GeoMean"]);
     let mut all = Vec::new();
     for algo in ALGORITHMS {
@@ -613,7 +627,12 @@ pub fn fig17(cap: usize, features: usize, epochs: u32) -> BenchResult<String> {
     let gpu = GpuModel::titan_v().cf(&ratings, features, epochs);
 
     let project = 1.0 / scale;
-    let mut t = Table::new(&["Baseline", "Speedup", "Energy savings", "Speedup (projected)"]);
+    let mut t = Table::new(&[
+        "Baseline",
+        "Speedup",
+        "Energy savings",
+        "Speedup (projected)",
+    ]);
     t.row_owned(vec![
         "GraphChi (CPU)".into(),
         ratio(gx.report.speedup_over(&chi.report)),
@@ -643,6 +662,120 @@ pub fn fig17(cap: usize, features: usize, epochs: u32) -> BenchResult<String> {
         gx_rmse,
         chi_rmse,
         gr_rmse,
+    ))
+}
+
+/// Per-phase time shares for every (dataset, algorithm, engine) cell of
+/// the matrix — the observability companion to Figs 11–12.
+pub fn phase_table(matrix: &[MatrixEntry]) -> String {
+    let mut t = Table::new(&[
+        "Dataset",
+        "Algorithm",
+        "Engine",
+        "load",
+        "cam",
+        "gather",
+        "prop",
+        "sfu",
+    ]);
+    for e in matrix {
+        for (engine, report) in [("gaasx", &e.gaasx), ("graphr", &e.graphr)] {
+            let share = |phase| {
+                let ns = report.phase(phase).map_or(0.0, |p| p.sched_ns);
+                if report.elapsed_ns > 0.0 {
+                    format!("{:.1}%", 100.0 * ns / report.elapsed_ns)
+                } else {
+                    "-".into()
+                }
+            };
+            t.row_owned(vec![
+                e.dataset.abbrev().into(),
+                e.algorithm.into(),
+                engine.into(),
+                share(Phase::LoadBlock),
+                share(Phase::CamSearch),
+                share(Phase::MacGather),
+                share(Phase::MacPropagate),
+                share(Phase::Sfu),
+            ]);
+        }
+    }
+    format!(
+        "Per-phase execution time shares (scheduled attribution; \
+         each row sums to ~100% with init)\n\n{t}"
+    )
+}
+
+/// Tracing demo: PageRank on one RMAT graph, GaaS-X vs GraphR, with the
+/// per-phase breakdown side by side. When `trace` is given, the GaaS-X
+/// run streams its JSONL events there (replayable with `trace_summary`).
+///
+/// # Errors
+///
+/// Propagates generator, simulation, and trace-file errors.
+pub fn trace_demo(trace: Option<&std::path::Path>) -> BenchResult<String> {
+    use gaasx_graph::generators::{rmat, RmatConfig};
+
+    let iters = 5;
+    let graph = rmat(&RmatConfig::new(1 << 10, 8_000).with_seed(42))?;
+    let mut accel = GaasX::new(GaasXConfig::paper());
+    let mut note = String::new();
+    if let Some(path) = trace {
+        accel.set_tracer(Tracer::with_sink(std::sync::Arc::new(JsonlSink::create(
+            path,
+        )?)));
+        note = format!(
+            "\nJSONL events written to {} — replay with `cargo run --bin trace_summary -- {}`.\n",
+            path.display(),
+            path.display()
+        );
+    }
+    let gx = accel
+        .run_labeled(&PageRank::fixed_iterations(iters), &graph, "RMAT")?
+        .report;
+    let gr = GraphR::new(GraphRConfig::paper())
+        .pagerank(&graph, 0.85, iters)?
+        .report;
+
+    let mut t = Table::new(&[
+        "Phase",
+        "GaaS-X (ns)",
+        "GaaS-X share",
+        "Spans",
+        "GraphR (ns)",
+        "GraphR share",
+        "Spans",
+    ]);
+    for &phase in Phase::ALL.iter().filter(|&&p| p != Phase::Dispatch) {
+        let (a, b) = (gx.phase(phase), gr.phase(phase));
+        if a.is_none() && b.is_none() {
+            continue;
+        }
+        let cell = |p: Option<&gaasx_sim::PhaseBreakdown>, elapsed: f64| match p {
+            Some(p) => [
+                format!("{:.1}", p.sched_ns),
+                format!(
+                    "{:.1}%",
+                    100.0 * p.sched_ns / elapsed.max(f64::MIN_POSITIVE)
+                ),
+                p.count.to_string(),
+            ],
+            None => ["-".into(), "-".into(), "-".into()],
+        };
+        let [an, ashare, ac] = cell(a, gx.elapsed_ns);
+        let [bn, bshare, bc] = cell(b, gr.elapsed_ns);
+        t.row_owned(vec![phase.name().into(), an, ashare, ac, bn, bshare, bc]);
+    }
+    Ok(format!(
+        "Trace demo — PageRank on RMAT (|V|={}, |E|={}, {iters} iterations)\n\
+         Scheduled attribution: each engine's phase column sums to its \
+         elapsed time.\n\n{t}\n\
+         Elapsed — GaaS-X {:.0} ns, GraphR {:.0} ns (speedup {}).\n{note}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        gx.elapsed_ns,
+        gr.elapsed_ns,
+        ratio(gx.speedup_over(&gr)),
     ))
 }
 
@@ -690,5 +823,32 @@ mod tests {
         let s = fig17(2_000, 8, 1).unwrap();
         assert!(s.contains("GraphChi"));
         assert!(s.contains("RMSE"));
+    }
+
+    #[test]
+    fn phase_table_renders_shares() {
+        let matrix = run_matrix(TINY, 2).unwrap();
+        let s = phase_table(&matrix);
+        assert!(s.contains("gaasx"));
+        assert!(s.contains("graphr"));
+        assert!(s.contains('%'));
+    }
+
+    #[test]
+    fn trace_demo_round_trips_through_trace_summary() {
+        let path = std::env::temp_dir().join("gaasx_trace_demo_test.jsonl");
+        let s = trace_demo(Some(&path)).unwrap();
+        assert!(s.contains("load_block"));
+        assert!(s.contains("Elapsed"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let summary = crate::trace::TraceSummary::parse(&text);
+        assert!(summary.skipped == 0, "{} skipped lines", summary.skipped);
+        assert!(!summary.spans.is_empty());
+        let banks = summary.bank_rollup();
+        assert!(!banks.is_empty(), "dispatch spans should carry bank ids");
+        assert!(banks.iter().all(|&(_, _, _, util)| util <= 1.0 + 1e-9));
+        let rendered = summary.render();
+        assert!(rendered.contains("Per-bank utilization"));
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod trace;
 
 use gaasx_graph::bipartite::BipartiteGraph;
 use gaasx_graph::datasets::PaperDataset;

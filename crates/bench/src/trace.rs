@@ -1,0 +1,295 @@
+//! Offline replay of JSONL event traces written by
+//! [`gaasx_sim::JsonlSink`].
+//!
+//! The trace format is the stable single-line JSON emitted by
+//! `gaasx_sim::obs::span_to_json` (plus counter/gauge snapshot lines), so
+//! a tiny field scanner is enough — no JSON library involved. Unknown
+//! lines and unknown fields are skipped, which keeps the replayer usable
+//! on traces from newer writers.
+
+use gaasx_sim::table::Table;
+use gaasx_sim::Phase;
+
+/// One parsed span line of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    /// Execution phase.
+    pub phase: Phase,
+    /// Span start on the engine's modeled (or measured) time axis, ns.
+    pub start_ns: f64,
+    /// Span duration, ns.
+    pub dur_ns: f64,
+    /// Hardware unit id for dispatch spans.
+    pub bank: Option<u32>,
+}
+
+/// Everything recovered from one trace file.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// All span events, in file order.
+    pub spans: Vec<TraceSpan>,
+    /// Final counter snapshot (`name`, value).
+    pub counters: Vec<(String, u64)>,
+    /// Final gauge snapshot (`name`, value).
+    pub gauges: Vec<(String, f64)>,
+    /// Lines that did not parse as any known event type.
+    pub skipped: usize,
+}
+
+/// Extracts the raw text of `"key":<value>` from a JSON object line.
+///
+/// Values are terminated by `,`, `}`, or end of line; string values keep
+/// their quotes stripped. Returns `None` when the key is absent. Keys
+/// inside nested objects (the `attrs` map) are not matched because every
+/// top-level key this parser asks for appears before `attrs` in the
+/// writer's fixed field order.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)? + needle.len();
+    let rest = &line[at..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        let end = stripped.find('"')?;
+        Some(&stripped[..end])
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    field(line, key)?.parse().ok()
+}
+
+/// Parses one trace line; `None` for blank or unrecognized lines.
+pub fn parse_line(line: &str) -> Option<ParsedLine> {
+    let line = line.trim();
+    if line.is_empty() {
+        return None;
+    }
+    match field(line, "type")? {
+        "span" => {
+            let phase = Phase::from_name(field(line, "phase")?)?;
+            Some(ParsedLine::Span(TraceSpan {
+                phase,
+                start_ns: num_field(line, "start_ns")?,
+                dur_ns: num_field(line, "dur_ns")?,
+                bank: num_field(line, "bank").map(|b| b as u32),
+            }))
+        }
+        "counter" => Some(ParsedLine::Counter(
+            field(line, "name")?.to_string(),
+            field(line, "value")?.parse().ok()?,
+        )),
+        "gauge" => Some(ParsedLine::Gauge(
+            field(line, "name")?.to_string(),
+            num_field(line, "value")?,
+        )),
+        _ => None,
+    }
+}
+
+/// One successfully parsed trace line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParsedLine {
+    /// A phase span.
+    Span(TraceSpan),
+    /// A counter snapshot entry.
+    Counter(String, u64),
+    /// A gauge snapshot entry.
+    Gauge(String, f64),
+}
+
+impl TraceSummary {
+    /// Parses a whole JSONL trace.
+    pub fn parse(text: &str) -> TraceSummary {
+        let mut out = TraceSummary::default();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_line(line) {
+                Some(ParsedLine::Span(s)) => out.spans.push(s),
+                Some(ParsedLine::Counter(name, v)) => out.counters.push((name, v)),
+                Some(ParsedLine::Gauge(name, v)) => out.gauges.push((name, v)),
+                None => out.skipped += 1,
+            }
+        }
+        out
+    }
+
+    /// Per-phase `(phase, busy_ns, count)` rollup over all spans, in
+    /// [`Phase::ALL`] order, omitting phases with no spans.
+    pub fn phase_rollup(&self) -> Vec<(Phase, f64, u64)> {
+        let mut busy = [0.0f64; 7];
+        let mut counts = [0u64; 7];
+        for s in &self.spans {
+            busy[s.phase.index()] += s.dur_ns;
+            counts[s.phase.index()] += 1;
+        }
+        Phase::ALL
+            .iter()
+            .filter(|&&p| counts[p.index()] > 0)
+            .map(|&p| (p, busy[p.index()], counts[p.index()]))
+            .collect()
+    }
+
+    /// Per-bank `(bank, busy_ns, spans, utilization)` over banked spans,
+    /// sorted by bank id. Utilization is busy time over the banked window
+    /// (first banked start to last banked end).
+    pub fn bank_rollup(&self) -> Vec<(u32, f64, u64, f64)> {
+        let banked: Vec<&TraceSpan> = self.spans.iter().filter(|s| s.bank.is_some()).collect();
+        let Some(window) = banked_window(&banked) else {
+            return Vec::new();
+        };
+        let mut per: Vec<(u32, f64, u64)> = Vec::new();
+        for s in &banked {
+            let bank = s.bank.unwrap_or(0);
+            match per.iter_mut().find(|(b, _, _)| *b == bank) {
+                Some((_, busy, n)) => {
+                    *busy += s.dur_ns;
+                    *n += 1;
+                }
+                None => per.push((bank, s.dur_ns, 1)),
+            }
+        }
+        per.sort_by_key(|&(b, _, _)| b);
+        per.into_iter()
+            .map(|(b, busy, n)| {
+                let util = if window > 0.0 { busy / window } else { 0.0 };
+                (b, busy, n, util)
+            })
+            .collect()
+    }
+
+    /// Renders the phase table, the bank utilization table, and the final
+    /// counter snapshot as one report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let phases = self.phase_rollup();
+        let total_busy: f64 = phases.iter().map(|&(_, b, _)| b).sum();
+        let mut pt = Table::new(&["Phase", "Busy (ns)", "Spans", "Share"]);
+        for &(phase, busy, count) in &phases {
+            let share = if total_busy > 0.0 {
+                busy / total_busy
+            } else {
+                0.0
+            };
+            pt.row_owned(vec![
+                phase.name().to_string(),
+                format!("{busy:.1}"),
+                count.to_string(),
+                format!("{:.1}%", 100.0 * share),
+            ]);
+        }
+        out.push_str(&format!("Per-phase busy time\n\n{pt}\n"));
+
+        let banks = self.bank_rollup();
+        if banks.is_empty() {
+            out.push_str("No banked (dispatch) spans in trace.\n");
+        } else {
+            let mut bt = Table::new(&["Bank", "Busy (ns)", "Spans", "Utilization"]);
+            for &(bank, busy, n, util) in &banks {
+                bt.row_owned(vec![
+                    bank.to_string(),
+                    format!("{busy:.1}"),
+                    n.to_string(),
+                    format!("{:.1}%", 100.0 * util),
+                ]);
+            }
+            out.push_str(&format!("Per-bank utilization\n\n{bt}\n"));
+        }
+
+        if !self.counters.is_empty() || !self.gauges.is_empty() {
+            let mut mt = Table::new(&["Metric", "Value"]);
+            for (name, v) in &self.counters {
+                mt.row_owned(vec![name.clone(), v.to_string()]);
+            }
+            for (name, v) in &self.gauges {
+                mt.row_owned(vec![name.clone(), format!("{v:.1}")]);
+            }
+            out.push_str(&format!("Final metric snapshot\n\n{mt}\n"));
+        }
+        if self.skipped > 0 {
+            out.push_str(&format!("({} unrecognized lines skipped)\n", self.skipped));
+        }
+        out
+    }
+}
+
+fn banked_window(banked: &[&TraceSpan]) -> Option<f64> {
+    let first = banked.iter().map(|s| s.start_ns).min_by(f64::total_cmp)?;
+    let last = banked
+        .iter()
+        .map(|s| s.start_ns + s.dur_ns)
+        .max_by(f64::total_cmp)?;
+    Some(last - first)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+{\"type\":\"span\",\"seq\":0,\"phase\":\"load_block\",\"start_ns\":0.000,\"dur_ns\":4.000,\"attrs\":{\"edges\":3}}\n\
+{\"type\":\"span\",\"seq\":1,\"phase\":\"cam_search\",\"start_ns\":4.000,\"dur_ns\":1.000}\n\
+{\"type\":\"span\",\"seq\":2,\"phase\":\"dispatch\",\"start_ns\":0.000,\"dur_ns\":6.000,\"bank\":0}\n\
+{\"type\":\"span\",\"seq\":3,\"phase\":\"dispatch\",\"start_ns\":2.000,\"dur_ns\":6.000,\"bank\":1}\n\
+{\"type\":\"counter\",\"name\":\"mac_ops\",\"value\":12}\n\
+{\"type\":\"gauge\",\"name\":\"elapsed_ns\",\"value\":8.000}\n\
+not json at all\n";
+
+    #[test]
+    fn parses_spans_counters_and_gauges() {
+        let t = TraceSummary::parse(SAMPLE);
+        assert_eq!(t.spans.len(), 4);
+        assert_eq!(t.skipped, 1);
+        assert_eq!(t.spans[0].phase, Phase::LoadBlock);
+        assert_eq!(t.spans[0].dur_ns, 4.0);
+        assert_eq!(t.spans[2].bank, Some(0));
+        assert_eq!(t.counters, vec![("mac_ops".to_string(), 12)]);
+        assert_eq!(t.gauges, vec![("elapsed_ns".to_string(), 8.0)]);
+    }
+
+    #[test]
+    fn phase_rollup_orders_and_omits_empty() {
+        let t = TraceSummary::parse(SAMPLE);
+        let phases = t.phase_rollup();
+        assert_eq!(
+            phases,
+            vec![
+                (Phase::LoadBlock, 4.0, 1),
+                (Phase::CamSearch, 1.0, 1),
+                (Phase::Dispatch, 12.0, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn bank_utilization_uses_the_banked_window() {
+        let t = TraceSummary::parse(SAMPLE);
+        let banks = t.bank_rollup();
+        // Window is 0..8; each bank is busy 6 of those 8 ns.
+        assert_eq!(banks.len(), 2);
+        assert_eq!(banks[0].0, 0);
+        assert!((banks[0].3 - 0.75).abs() < 1e-12);
+        assert!((banks[1].3 - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_includes_all_sections() {
+        let r = TraceSummary::parse(SAMPLE).render();
+        assert!(r.contains("Per-phase busy time"));
+        assert!(r.contains("Per-bank utilization"));
+        assert!(r.contains("mac_ops"));
+        assert!(r.contains("unrecognized"));
+    }
+
+    #[test]
+    fn field_extraction_edges() {
+        assert_eq!(field("{\"a\":1,\"b\":\"x\"}", "b"), Some("x"));
+        assert_eq!(field("{\"a\":1}", "a"), Some("1"));
+        assert_eq!(field("{\"a\":1}", "missing"), None);
+        assert_eq!(parse_line(""), None);
+        assert_eq!(parse_line("{\"type\":\"mystery\"}"), None);
+    }
+}

@@ -1,6 +1,6 @@
 //! The top-level GaaS-X accelerator API.
 
-use gaasx_sim::RunReport;
+use gaasx_sim::{RunReport, Tracer};
 
 use crate::algorithms::Algorithm;
 use crate::config::GaasXConfig;
@@ -27,6 +27,7 @@ use crate::error::CoreError;
 #[derive(Debug, Clone)]
 pub struct GaasX {
     config: GaasXConfig,
+    tracer: Tracer,
 }
 
 /// Result of one accelerator run: the algorithm output plus the full
@@ -43,12 +44,28 @@ impl GaasX {
     /// Creates an accelerator with the given configuration. The
     /// configuration is validated on the first run.
     pub fn new(config: GaasXConfig) -> Self {
-        GaasX { config }
+        GaasX {
+            config,
+            tracer: Tracer::null(),
+        }
     }
 
     /// The accelerator configuration.
     pub fn config(&self) -> &GaasXConfig {
         &self.config
+    }
+
+    /// Attaches a tracer that every subsequent run's engine inherits
+    /// (builder form).
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Attaches a tracer that every subsequent run's engine inherits.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Runs an algorithm, labeling the report's workload with a generic
@@ -79,6 +96,7 @@ impl GaasX {
         workload: &str,
     ) -> Result<RunOutcome<A::Output>, CoreError> {
         let mut engine = Engine::new(self.config.clone())?;
+        engine.set_tracer(self.tracer.clone());
         let run = algorithm.execute(&mut engine, input)?;
         let report = engine.finish(
             "gaasx",
@@ -178,7 +196,64 @@ mod tests {
             errs.push(err);
         }
         assert!(errs[0] < 0.1, "small noise err {}", errs[0]);
-        assert!(errs[1] >= errs[0], "noise should not reduce error: {errs:?}");
+        assert!(
+            errs[1] >= errs[0],
+            "noise should not reduce error: {errs:?}"
+        );
+    }
+
+    #[test]
+    fn pagerank_report_attributes_its_makespan_to_phases() {
+        // The tracing-layer acceptance bar: a default (untraced) PageRank
+        // run carries a non-empty per-phase breakdown whose scheduled
+        // shares sum to `elapsed_ns` within 1% (here: exactly).
+        let mut accel = GaasX::new(GaasXConfig::small());
+        let g = generators::rmat(&generators::RmatConfig::new(1 << 6, 500).with_seed(9)).unwrap();
+        let out = accel.run(&PageRank::fixed_iterations(3), &g).unwrap();
+        let r = &out.report;
+        assert!(!r.phases.is_empty());
+        let total = r.phases_total_sched_ns();
+        assert!(
+            (total - r.elapsed_ns).abs() <= 0.01 * r.elapsed_ns,
+            "phase sum {total} vs elapsed {}",
+            r.elapsed_ns
+        );
+        assert_eq!(total, r.elapsed_ns, "attribution is exact, not just close");
+        for p in &r.phases {
+            assert!(p.sched_ns >= 0.0 && p.busy_ns >= 0.0);
+        }
+    }
+
+    #[test]
+    fn traced_run_streams_jsonl_events() {
+        use gaasx_sim::{JsonlSink, Tracer};
+        use std::io::Write;
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct Buf(Arc<Mutex<Vec<u8>>>);
+        impl Write for Buf {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Buf::default();
+        let mut accel = GaasX::new(GaasXConfig::small()).with_tracer(Tracer::with_sink(Arc::new(
+            JsonlSink::to_writer(buf.clone()),
+        )));
+        let g = generators::paper_fig7_graph();
+        accel.run(&PageRank::fixed_iterations(2), &g).unwrap();
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.lines().any(|l| l.contains("\"phase\":\"load_block\"")));
+        assert!(text.lines().any(|l| l.contains("\"phase\":\"dispatch\"")));
+        assert!(text.lines().any(|l| l.contains("\"type\":\"counter\"")));
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
     }
 
     #[test]

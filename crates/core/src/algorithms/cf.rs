@@ -75,7 +75,10 @@ impl CfModel {
             .or(item_features.first())
             .map_or(0, Vec::len);
         assert!(
-            user_features.iter().chain(&item_features).all(|v| v.len() == f),
+            user_features
+                .iter()
+                .chain(&item_features)
+                .all(|v| v.len() == f),
             "inconsistent feature vector lengths"
         );
         CfModel {
@@ -125,7 +128,10 @@ impl CfModel {
 }
 
 fn dot(a: &[f32], b: &[f32]) -> f64 {
-    a.iter().zip(b).map(|(&x, &y)| f64::from(x) * f64::from(y)).sum()
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| f64::from(x) * f64::from(y))
+        .sum()
 }
 
 /// Dual-rail signed dot product `a · b` executed on the auxiliary MAC

@@ -91,15 +91,13 @@ impl Algorithm for ConnectedComponents {
                         engine.attr_read(4);
                         let hits = engine.search_src(src);
                         // Single unit column: out[row] = label(src) × 1.
-                        let results =
-                            engine.propagate_rows(&hits, &[0], &[label[src.index()]])?;
+                        let results = engine.propagate_rows(&hits, &[0], &[label[src.index()]])?;
                         for (row, pushed) in results {
                             let dst = block.edge(row).dst;
                             let pushed = pushed as u32;
-                            if engine.sfu_less_than(
-                                f64::from(pushed),
-                                f64::from(label[dst.index()]),
-                            ) {
+                            if engine
+                                .sfu_less_than(f64::from(pushed), f64::from(label[dst.index()]))
+                            {
                                 label[dst.index()] = pushed;
                                 engine.attr_write(4);
                                 next[dst.index()] = true;
@@ -157,7 +155,10 @@ mod tests {
             root
         }
         for e in graph.iter() {
-            let (a, b) = (find(&mut parent, e.src.index()), find(&mut parent, e.dst.index()));
+            let (a, b) = (
+                find(&mut parent, e.src.index()),
+                find(&mut parent, e.dst.index()),
+            );
             if a != b {
                 parent[a.max(b)] = a.min(b);
             }

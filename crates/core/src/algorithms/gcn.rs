@@ -277,8 +277,9 @@ mod tests {
     }
 
     fn random_input(n_pow: u32, edges: usize, f_in: usize, seed: u64) -> GcnInput {
-        let graph = generators::rmat(&generators::RmatConfig::new(1 << n_pow, edges).with_seed(seed))
-            .unwrap();
+        let graph =
+            generators::rmat(&generators::RmatConfig::new(1 << n_pow, edges).with_seed(seed))
+                .unwrap();
         let mut rng = SmallRng::seed_from_u64(seed);
         let features = (0..graph.num_vertices())
             .map(|_| (0..f_in).map(|_| rng.gen_range(0.0..1.0)).collect())

@@ -109,8 +109,7 @@ impl Algorithm for PageRank {
             // contiguous, so gathered updates stay in the attribute buffer.
             for shard in grid.stream(TraversalOrder::ColumnMajor) {
                 for chunk in shard.edges().chunks(capacity) {
-                    let cells =
-                        |e: &Edge| vec![inv_deg_code[e.src.index()]];
+                    let cells = |e: &Edge| vec![inv_deg_code[e.src.index()]];
                     let block = engine.load_block(chunk, CellLayout::PerEdge(&cells))?;
                     for &dst in &block.distinct_dsts().to_vec() {
                         let hits = engine.search_dst(dst);
@@ -205,8 +204,12 @@ mod tests {
         let pr = PageRank::fixed_iterations(8);
         let got = run(&g, &pr).output;
         let want = oracle(&g, 0.85, 8);
-        let mean_err: f64 =
-            got.iter().zip(&want).map(|(a, b)| (a - b).abs()).sum::<f64>() / want.len() as f64;
+        let mean_err: f64 = got
+            .iter()
+            .zip(&want)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / want.len() as f64;
         assert!(mean_err < 1e-2, "mean error {mean_err}");
     }
 

@@ -57,7 +57,12 @@ impl SignedQuantizer {
     /// Decodes a signed product sum from the two analog passes of a
     /// dual-rail MAC: `like_sum` carries `a⁺b⁺ + a⁻b⁻`, `cross_sum` carries
     /// `a⁺b⁻ + a⁻b⁺`, and `other` is the quantizer of the second operand.
-    pub fn decode_product_sum(&self, other: &SignedQuantizer, like_sum: u64, cross_sum: u64) -> f64 {
+    pub fn decode_product_sum(
+        &self,
+        other: &SignedQuantizer,
+        like_sum: u64,
+        cross_sum: u64,
+    ) -> f64 {
         (like_sum as f64 - cross_sum as f64) * f64::from(self.step()) * f64::from(other.step())
     }
 }

@@ -178,7 +178,9 @@ mod tests {
         // Negative entries.
         assert!(SpMV::new(vec![-1.0; 5]).execute(&mut engine, &g).is_err());
         // NaN entries.
-        assert!(SpMV::new(vec![f32::NAN; 5]).execute(&mut engine, &g).is_err());
+        assert!(SpMV::new(vec![f32::NAN; 5])
+            .execute(&mut engine, &g)
+            .is_err());
     }
 
     #[test]

@@ -219,7 +219,11 @@ mod tests {
         // 0 -> 1 -> 2 costs 2+2=4; direct 0 -> 2 costs 9.
         let g = CooGraph::from_edges(
             3,
-            vec![Edge::new(0, 1, 2.0), Edge::new(1, 2, 2.0), Edge::new(0, 2, 9.0)],
+            vec![
+                Edge::new(0, 1, 2.0),
+                Edge::new(1, 2, 2.0),
+                Edge::new(0, 2, 9.0),
+            ],
         )
         .unwrap();
         assert_eq!(run(&g, 0), vec![0.0, 2.0, 4.0]);

@@ -78,7 +78,9 @@ impl GaasXConfig {
             .validate()
             .map_err(|e| CoreError::InvalidConfig(format!("cam geometry: {e}")))?;
         if self.num_banks == 0 {
-            return Err(CoreError::InvalidConfig("num_banks must be positive".into()));
+            return Err(CoreError::InvalidConfig(
+                "num_banks must be positive".into(),
+            ));
         }
         if self.cam_geometry.rows != self.mac_geometry.rows {
             return Err(CoreError::InvalidConfig(format!(

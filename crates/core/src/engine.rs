@@ -29,7 +29,9 @@
 use gaasx_graph::{CooGraph, Edge, GraphError, VertexId};
 use gaasx_sim::des::{BankScheduler, SchedulePolicy};
 use gaasx_sim::pipeline::PipelineClock;
-use gaasx_sim::{EnergyBreakdown, Histogram, OpSummary, RunReport, SramBuffer};
+use gaasx_sim::{
+    attribute_makespan, EnergyBreakdown, Histogram, OpSummary, Phase, RunReport, SramBuffer, Tracer,
+};
 use gaasx_xbar::{CamCrossbar, HitVector, MacCrossbar, MacDirection, XbarStats};
 
 use crate::config::GaasXConfig;
@@ -106,6 +108,16 @@ struct BlockCost {
     stream_bytes: u64,
     program_ns: f64,
     compute_ns: f64,
+    /// Partition of `compute_ns` by [`Phase`] (indexed by `Phase::index`).
+    /// Scheduling consumes the total; phase attribution the split.
+    compute_phase_ns: [f64; 7],
+}
+
+impl BlockCost {
+    fn add_phase(&mut self, phase: Phase, ns: f64) {
+        self.compute_ns += ns;
+        self.compute_phase_ns[phase.index()] += ns;
+    }
 }
 
 /// The execution engine (see module docs).
@@ -124,9 +136,14 @@ pub struct Engine {
     current: BlockCost,
     in_block: bool,
     extra_ns: f64,
+    extra_phase_ns: [f64; 7],
+    phase_counts: [u64; 7],
     compute_items: u64,
     extra_aux_row_writes: u64,
     extra_aux_cells: u64,
+    tracer: Tracer,
+    /// Functional (serial) time cursor for span placement, ns.
+    cursor_ns: f64,
 }
 
 impl Engine {
@@ -163,9 +180,13 @@ impl Engine {
             current: BlockCost::default(),
             in_block: false,
             extra_ns: 0.0,
+            extra_phase_ns: [0.0; 7],
+            phase_counts: [0; 7],
             compute_items: 0,
             extra_aux_row_writes: 0,
             extra_aux_cells: 0,
+            tracer: Tracer::null(),
+            cursor_ns: 0.0,
             config,
         })
     }
@@ -173,6 +194,27 @@ impl Engine {
     /// The engine's configuration.
     pub fn config(&self) -> &GaasXConfig {
         &self.config
+    }
+
+    /// Attaches a tracer: every subsequent operation emits a phase span on
+    /// the engine's functional (serial) time axis, and `finish` publishes
+    /// the op counters and per-bank dispatch events through it.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The attached tracer (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Counts one operation in `phase`, advances the functional-time
+    /// cursor, and emits a leaf span when tracing is on.
+    fn trace_op(&mut self, phase: Phase, dur_ns: f64) {
+        self.phase_counts[phase.index()] += 1;
+        let start = self.cursor_ns;
+        self.cursor_ns += dur_ns;
+        self.tracer.emit(phase, start, dur_ns);
     }
 
     /// Maximum edges per block (CAM rows per bank).
@@ -209,7 +251,11 @@ impl Engine {
     ///
     /// Returns [`CoreError::InvalidInput`] if the block exceeds the bank
     /// capacity, or a device error on bad cell codes.
-    pub fn load_block(&mut self, edges: &[Edge], cells: CellLayout<'_>) -> Result<Block, CoreError> {
+    pub fn load_block(
+        &mut self,
+        edges: &[Edge],
+        cells: CellLayout<'_>,
+    ) -> Result<Block, CoreError> {
         if edges.len() > self.block_capacity() {
             return Err(CoreError::InvalidInput(format!(
                 "block of {} edges exceeds bank capacity {}",
@@ -253,6 +299,18 @@ impl Engine {
         self.current.stream_bytes = bytes;
         self.current.program_ns = program_ns;
 
+        let load_ns = self.config.stream_ns(bytes) + program_ns;
+        self.phase_counts[Phase::LoadBlock.index()] += 1;
+        let start = self.cursor_ns;
+        self.cursor_ns += load_ns;
+        if self.tracer.enabled() {
+            self.tracer
+                .span(Phase::LoadBlock, start)
+                .attr("edges", edges.len())
+                .attr("bytes", bytes)
+                .end(start + load_ns);
+        }
+
         Ok(Block {
             rows: edges.to_vec(),
             distinct_srcs: srcs,
@@ -262,14 +320,18 @@ impl Engine {
 
     /// CAM search for all edges with the given source (row-wise key field).
     pub fn search_src(&mut self, src: VertexId) -> HitVector {
-        self.current.compute_ns += self.config.energy.cam_search_ns;
+        let ns = self.config.energy.cam_search_ns;
+        self.current.add_phase(Phase::CamSearch, ns);
+        self.trace_op(Phase::CamSearch, ns);
         self.cam
             .search(u128::from(src.raw()) << 32, 0xFFFF_FFFF_0000_0000)
     }
 
     /// CAM search for all edges with the given destination.
     pub fn search_dst(&mut self, dst: VertexId) -> HitVector {
-        self.current.compute_ns += self.config.energy.cam_search_ns;
+        let ns = self.config.energy.cam_search_ns;
+        self.current.add_phase(Phase::CamSearch, ns);
+        self.trace_op(Phase::CamSearch, ns);
         self.cam.search(u128::from(dst.raw()), 0xFFFF_FFFF)
     }
 
@@ -300,7 +362,9 @@ impl Engine {
                 .collect();
             let out = self.mac.mac(MacDirection::RowsToColumns, &chunk, &inputs)?;
             self.rows_per_mac.record(chunk.len());
-            self.current.compute_ns += self.config.energy.mac_op_ns;
+            let ns = self.config.energy.mac_op_ns;
+            self.current.add_phase(Phase::MacGather, ns);
+            self.trace_op(Phase::MacGather, ns);
             self.compute_items += chunk.len() as u64;
             if first {
                 total = out[out_col];
@@ -333,7 +397,9 @@ impl Engine {
                 .mac
                 .mac(MacDirection::ColumnsToRows, cols, col_inputs)?;
             self.rows_per_mac.record(chunk.len());
-            self.current.compute_ns += self.config.energy.mac_op_ns;
+            let ns = self.config.energy.mac_op_ns;
+            self.current.add_phase(Phase::MacPropagate, ns);
+            self.trace_op(Phase::MacPropagate, ns);
             self.compute_items += chunk.len() as u64;
             for &row in &chunk {
                 results.push((row, out[row]));
@@ -356,7 +422,9 @@ impl Engine {
             self.current.program_ns += cost;
         } else {
             self.extra_ns += cost;
+            self.extra_phase_ns[Phase::LoadBlock.index()] += cost;
         }
+        self.trace_op(Phase::LoadBlock, cost);
         Ok(())
     }
 
@@ -383,11 +451,20 @@ impl Engine {
     /// the range of vertex IDs are loaded into different MAC crossbars").
     pub fn load_aux_rows_parallel(&mut self, rows: usize, values_per_row: usize) {
         self.extra_aux_row_writes += rows as u64;
-        self.extra_aux_cells +=
-            (rows * values_per_row * self.config.mac_geometry.slices) as u64;
+        self.extra_aux_cells += (rows * values_per_row * self.config.mac_geometry.slices) as u64;
         let ns = rows as f64 * self.config.energy.row_program_ns(values_per_row)
             / self.config.num_banks.max(1) as f64;
-        self.add_compute(ns);
+        self.add_compute(Phase::LoadBlock, ns);
+        self.phase_counts[Phase::LoadBlock.index()] += 1;
+        let start = self.cursor_ns;
+        self.cursor_ns += ns;
+        if self.tracer.enabled() {
+            self.tracer
+                .span(Phase::LoadBlock, start)
+                .attr("aux_rows", rows)
+                .attr("values_per_row", values_per_row)
+                .end(start + ns);
+        }
     }
 
     /// MAC over the auxiliary crossbar, rows-to-columns direction.
@@ -404,7 +481,9 @@ impl Engine {
             .aux_mac
             .mac(MacDirection::RowsToColumns, active_rows, inputs)?;
         self.rows_per_mac.record(active_rows.len().max(1));
-        self.add_compute(self.config.energy.mac_op_ns);
+        let ns = self.config.energy.mac_op_ns;
+        self.add_compute(Phase::MacGather, ns);
+        self.trace_op(Phase::MacGather, ns);
         self.compute_items += active_rows.len() as u64;
         Ok(out)
     }
@@ -423,21 +502,26 @@ impl Engine {
             .aux_mac
             .mac(MacDirection::ColumnsToRows, active_cols, inputs)?;
         self.rows_per_mac.record(active_cols.len().max(1));
-        self.add_compute(self.config.energy.mac_op_ns);
+        let ns = self.config.energy.mac_op_ns;
+        self.add_compute(Phase::MacPropagate, ns);
+        self.trace_op(Phase::MacPropagate, ns);
         self.compute_items += active_cols.len() as u64;
         Ok(out)
     }
 
-    fn add_compute(&mut self, ns: f64) {
+    fn add_compute(&mut self, phase: Phase, ns: f64) {
         if self.in_block {
-            self.current.compute_ns += ns;
+            self.current.add_phase(phase, ns);
         } else {
             self.extra_ns += ns;
+            self.extra_phase_ns[phase.index()] += ns;
         }
     }
 
     fn sfu_cost(&mut self) {
-        self.add_compute(self.config.energy.sfu_op_ns / SFU_LANES);
+        let ns = self.config.energy.sfu_op_ns / SFU_LANES;
+        self.add_compute(Phase::Sfu, ns);
+        self.trace_op(Phase::Sfu, ns);
     }
 
     /// SFU scalar add.
@@ -499,8 +583,74 @@ impl Engine {
         self.compute_items
     }
 
+    /// Per-phase busy totals (functional serial time per phase) over all
+    /// committed blocks plus the out-of-block extras. `LoadBlock` busy is
+    /// each block's stream time plus its row-programming time.
+    fn phase_busy_ns(&self) -> [f64; 7] {
+        let mut busy = self.extra_phase_ns;
+        for b in &self.costs {
+            busy[Phase::LoadBlock.index()] += self.config.stream_ns(b.stream_bytes) + b.program_ns;
+            for (acc, ns) in busy.iter_mut().zip(b.compute_phase_ns.iter()) {
+                *acc += ns;
+            }
+        }
+        busy
+    }
+
+    /// Replays the block schedule, emitting one [`Phase::Dispatch`] span
+    /// per block with its bank assignment on the *scheduled* time axis
+    /// (unlike operation spans, which live on the serial functional axis).
+    fn emit_dispatch_events(&self) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let banks = self.config.num_banks.max(1);
+        match self.config.scheduler {
+            SchedulePolicy::Waves => {
+                let mut clock = PipelineClock::new();
+                for (w, wave) in self.costs.chunks(banks).enumerate() {
+                    let stream_ns: f64 = wave
+                        .iter()
+                        .map(|b| self.config.stream_ns(b.stream_bytes))
+                        .sum();
+                    let program_ns = wave.iter().map(|b| b.program_ns).fold(0.0, f64::max);
+                    let compute_ns = wave.iter().map(|b| b.compute_ns).fold(0.0, f64::max);
+                    let done = clock.advance(stream_ns.max(program_ns), compute_ns);
+                    // Within a wave, bank = position; the span covers the
+                    // bank's occupancy (program + compute) aligned to the
+                    // wave's compute window.
+                    let compute_start = done - compute_ns;
+                    for (i, b) in wave.iter().enumerate() {
+                        self.tracer
+                            .span(Phase::Dispatch, (compute_start - b.program_ns).max(0.0))
+                            .bank(i as u32)
+                            .attr("block", w * banks + i)
+                            .attr("wave", w)
+                            .end(compute_start + b.compute_ns);
+                    }
+                }
+            }
+            SchedulePolicy::EventDriven => {
+                let mut sched = BankScheduler::new(banks);
+                for (idx, b) in self.costs.iter().enumerate() {
+                    let d = sched.dispatch(
+                        self.config.stream_ns(b.stream_bytes),
+                        b.program_ns,
+                        b.compute_ns,
+                    );
+                    self.tracer
+                        .span(Phase::Dispatch, d.start_ns)
+                        .bank(d.bank)
+                        .attr("block", idx)
+                        .end(d.done_ns);
+                }
+            }
+        }
+    }
+
     /// Assembles the final report: wave-scheduled makespan, energy
-    /// breakdown, op summary, and the rows-per-MAC histogram.
+    /// breakdown, op summary, the rows-per-MAC histogram, and the
+    /// per-phase makespan attribution.
     pub fn finish(
         &mut self,
         engine: &str,
@@ -526,8 +676,7 @@ impl Engine {
         let energy = EnergyBreakdown {
             mac_nj: stats.mac_ops as f64 * e.mac_op_pj / 1_000.0,
             cam_nj: stats.cam_searches as f64 * e.cam_search_pj / 1_000.0,
-            write_nj: (mac_cells as f64 * e.cell_write_pj
-                + cam_cells as f64 * e.cam_bit_write_pj)
+            write_nj: (mac_cells as f64 * e.cell_write_pj + cam_cells as f64 * e.cam_bit_write_pj)
                 / 1_000.0,
             sfu_nj: self.sfu.total_ops() as f64 * e.sfu_op_pj / 1_000.0,
             buffer_nj,
@@ -544,6 +693,24 @@ impl Engine {
                 + self.attr_buf.accesses(),
             compute_items: self.compute_items,
         };
+        // Attribute the makespan to the five pipeline phases in proportion
+        // to their busy time; the shares sum to `elapsed_ns` exactly.
+        let busy = self.phase_busy_ns();
+        let tallies: Vec<(Phase, f64, u64)> = Phase::ALL
+            .iter()
+            .filter(|&&p| p != Phase::Dispatch)
+            .map(|&p| (p, busy[p.index()], self.phase_counts[p.index()]))
+            .collect();
+        let phases = attribute_makespan(makespan, &tallies);
+
+        self.emit_dispatch_events();
+        if let Some(metrics) = self.tracer.metrics() {
+            metrics.publish_op_summary(&ops);
+        }
+        self.tracer.gauge_set("elapsed_ns", makespan);
+        self.tracer.gauge_set("energy_total_nj", energy.total_nj());
+        self.tracer.flush();
+
         let mut report = RunReport::new(engine, algorithm, workload);
         report.iterations = iterations;
         report.elapsed_ns = makespan;
@@ -551,6 +718,7 @@ impl Engine {
         report.ops = ops;
         report.rows_per_mac = self.rows_per_mac.clone();
         report.num_edges = num_edges;
+        report.phases = phases;
         report
     }
 
@@ -724,9 +892,13 @@ mod tests {
         let mut e = engine();
         let big = generators::star_graph(20);
         let cells = |_: &Edge| vec![1];
-        let _b1 = e.load_block(big.edges(), CellLayout::PerEdge(&cells)).unwrap();
+        let _b1 = e
+            .load_block(big.edges(), CellLayout::PerEdge(&cells))
+            .unwrap();
         let small = generators::path_graph(3); // edges (0,1), (1,2)
-        let _b2 = e.load_block(small.edges(), CellLayout::PerEdge(&cells)).unwrap();
+        let _b2 = e
+            .load_block(small.edges(), CellLayout::PerEdge(&cells))
+            .unwrap();
         // Searching src 0 must only match the one path edge, not stale star rows.
         assert_eq!(e.search_src(VertexId::new(0)).count(), 1);
     }
@@ -737,7 +909,9 @@ mod tests {
         let g = generators::paper_fig7_graph();
         let cells = |e: &Edge| vec![e.weight as u32, 1];
         for _ in 0..3 {
-            let _b = e.load_block(g.edges(), CellLayout::PerEdge(&cells)).unwrap();
+            let _b = e
+                .load_block(g.edges(), CellLayout::PerEdge(&cells))
+                .unwrap();
             let hits = e.search_dst(VertexId::new(1));
             let _ = e.gather_rows(&hits, &mut |_| 1, 0).unwrap();
         }
@@ -763,8 +937,8 @@ mod tests {
                 ..GaasXConfig::small()
             })
             .unwrap();
-            let g = generators::rmat(&generators::RmatConfig::new(1 << 7, 2000).with_seed(3))
-                .unwrap();
+            let g =
+                generators::rmat(&generators::RmatConfig::new(1 << 7, 2000).with_seed(3)).unwrap();
             let cells = |edge: &Edge| vec![edge.weight as u32, 1];
             for chunk in g.edges().chunks(128) {
                 let block = e.load_block(chunk, CellLayout::PerEdge(&cells)).unwrap();
@@ -836,6 +1010,82 @@ mod tests {
         let mut e = engine();
         assert!(e.preload_aux_row(500, &[1]).is_err());
         assert!(e.preload_aux_row(0, &[0x1_0000]).is_err());
+    }
+
+    #[test]
+    fn phases_attribute_the_full_makespan() {
+        let mut e = engine();
+        let _b = fig7_block(&mut e);
+        let hits = e.search_dst(VertexId::new(1));
+        let _ = e.gather_rows(&hits, &mut |_| 1, 0).unwrap();
+        let r = e.finish("gaasx", "t", "t", 1, 8);
+        assert!(!r.phases.is_empty());
+        // Exact: the largest share absorbs the rounding residue.
+        assert_eq!(r.phases_total_sched_ns(), r.elapsed_ns);
+        assert!(r.phase(Phase::LoadBlock).unwrap().busy_ns > 0.0);
+        assert_eq!(r.phase(Phase::CamSearch).unwrap().count, 1);
+        assert_eq!(r.phase(Phase::MacGather).unwrap().count, 1);
+        // One chunk: no SFU accumulator adds, so no Sfu entry.
+        assert!(r.phase(Phase::Sfu).is_none());
+        assert!(r.phase(Phase::Dispatch).is_none());
+    }
+
+    #[test]
+    fn tracer_spans_and_metrics_mirror_the_report() {
+        use gaasx_sim::{AggregateSink, Tracer};
+        use std::sync::Arc;
+        let agg = Arc::new(AggregateSink::new());
+        let mut e = engine();
+        e.set_tracer(Tracer::with_sink(agg.clone()));
+        assert!(e.tracer().enabled());
+        let _b = fig7_block(&mut e);
+        let hits = e.search_dst(VertexId::new(1));
+        let _ = e.gather_rows(&hits, &mut |_| 1, 0).unwrap();
+        let r = e.finish("gaasx", "t", "t", 1, 8);
+        // Span busy time per phase agrees with the engine's own tally.
+        let rollup = agg.phase_rollup();
+        for phase in [Phase::CamSearch, Phase::MacGather] {
+            let seen = rollup.iter().find(|p| p.phase == phase).unwrap();
+            let want = r.phase(phase).unwrap();
+            assert!(
+                (seen.busy_ns - want.busy_ns).abs() < 1e-9,
+                "{phase:?}: {} vs {}",
+                seen.busy_ns,
+                want.busy_ns
+            );
+            assert_eq!(seen.count, want.count);
+        }
+        // The dispatch replay bound the block to a bank.
+        assert!(!agg.bank_rollup().is_empty());
+        // The metrics registry carries the canonical op counters.
+        assert_eq!(e.tracer().metrics().unwrap().op_summary(), r.ops);
+    }
+
+    #[test]
+    fn event_driven_dispatch_events_cover_all_banks() {
+        use gaasx_sim::{AggregateSink, Tracer};
+        use std::sync::Arc;
+        let agg = Arc::new(AggregateSink::new());
+        let mut e = Engine::new(GaasXConfig {
+            num_banks: 2,
+            scheduler: SchedulePolicy::EventDriven,
+            ..GaasXConfig::small()
+        })
+        .unwrap();
+        e.set_tracer(Tracer::with_sink(agg.clone()));
+        let g = generators::paper_fig7_graph();
+        let cells = |e: &Edge| vec![e.weight as u32, 1];
+        for _ in 0..4 {
+            let _b = e
+                .load_block(g.edges(), CellLayout::PerEdge(&cells))
+                .unwrap();
+            let hits = e.search_dst(VertexId::new(1));
+            let _ = e.gather_rows(&hits, &mut |_| 1, 0).unwrap();
+        }
+        let _ = e.finish("gaasx", "t", "t", 1, 8);
+        let banks = agg.bank_rollup();
+        assert_eq!(banks.len(), 2, "both banks saw blocks: {banks:?}");
+        assert_eq!(banks.iter().map(|b| b.count).sum::<u64>(), 4);
     }
 
     #[test]

@@ -206,7 +206,12 @@ mod tests {
         let g = BipartiteGraph::synthetic(500, 100, 20_000, 7).unwrap();
         let pop = g.item_popularity();
         // Head item should dominate the tail item by a wide margin.
-        assert!(pop[0] > 5 * pop[99].max(1), "head {} tail {}", pop[0], pop[99]);
+        assert!(
+            pop[0] > 5 * pop[99].max(1),
+            "head {} tail {}",
+            pop[0],
+            pop[99]
+        );
     }
 
     #[test]

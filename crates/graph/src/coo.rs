@@ -260,7 +260,10 @@ mod tests {
     #[test]
     fn from_edges_validates_endpoints() {
         let err = CooGraph::from_edges(2, vec![Edge::new(0, 5, 1.0)]).unwrap_err();
-        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 5, .. }));
+        assert!(matches!(
+            err,
+            GraphError::VertexOutOfRange { vertex: 5, .. }
+        ));
     }
 
     #[test]
@@ -294,7 +297,11 @@ mod tests {
     fn dedup_removes_parallel_edges() {
         let g = CooGraph::from_edges(
             3,
-            vec![Edge::new(0, 1, 1.0), Edge::new(0, 1, 9.0), Edge::new(1, 2, 1.0)],
+            vec![
+                Edge::new(0, 1, 1.0),
+                Edge::new(0, 1, 9.0),
+                Edge::new(1, 2, 1.0),
+            ],
         )
         .unwrap();
         assert_eq!(g.deduplicated().num_edges(), 2);

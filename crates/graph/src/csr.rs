@@ -193,9 +193,7 @@ mod tests {
         let csr = Csr::from_coo(&g);
         assert_eq!(csr.num_vertices(), g.num_vertices());
         assert_eq!(csr.num_edges(), g.num_edges());
-        let total: usize = VertexId::all(g.num_vertices())
-            .map(|v| csr.degree(v))
-            .sum();
+        let total: usize = VertexId::all(g.num_vertices()).map(|v| csr.degree(v)).sum();
         assert_eq!(total, g.num_edges());
     }
 
@@ -237,7 +235,8 @@ mod tests {
         let csc = Csc::from_coo(&g);
         for e in g.iter() {
             assert!(
-                csc.in_neighbors(e.dst).any(|(v, w)| v == e.src && w == e.weight),
+                csc.in_neighbors(e.dst)
+                    .any(|(v, w)| v == e.src && w == e.weight),
                 "missing reverse of {e}"
             );
         }

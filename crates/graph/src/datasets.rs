@@ -301,8 +301,8 @@ mod tests {
             / (f64::from(PaperDataset::Netflix.full_vertices())
                 * f64::from(PaperDataset::Netflix.full_items().unwrap()));
         let r = PaperDataset::Netflix.instantiate_ratings(0.01).unwrap();
-        let scaled_density = r.num_ratings() as f64
-            / (f64::from(r.num_users()) * f64::from(r.num_items()));
+        let scaled_density =
+            r.num_ratings() as f64 / (f64::from(r.num_users()) * f64::from(r.num_items()));
         assert!(
             (scaled_density / full_density - 1.0).abs() < 0.05,
             "density drifted: {scaled_density} vs {full_density}"

@@ -24,8 +24,11 @@ pub fn path_graph(n: u32) -> CooGraph {
 /// Panics if `n == 0`.
 pub fn cycle_graph(n: u32) -> CooGraph {
     assert!(n > 0, "cycle_graph requires at least one vertex");
-    CooGraph::from_edges(n, (0..n).map(|i| Edge::unweighted(i, (i + 1) % n)).collect())
-        .expect("cycle edges are in range")
+    CooGraph::from_edges(
+        n,
+        (0..n).map(|i| Edge::unweighted(i, (i + 1) % n)).collect(),
+    )
+    .expect("cycle edges are in range")
 }
 
 /// Star with hub 0 and `n - 1` spokes `0 -> i`, unit weights.

@@ -202,13 +202,18 @@ mod tests {
 
     #[test]
     fn uniform_skew_is_roughly_er() {
-        let g = rmat(&RmatConfig::new(1 << 10, 8 * 1024)
-            .with_skew(0.25, 0.25, 0.25)
-            .with_seed(5))
+        let g = rmat(
+            &RmatConfig::new(1 << 10, 8 * 1024)
+                .with_skew(0.25, 0.25, 0.25)
+                .with_seed(5),
+        )
         .unwrap();
         let deg = g.out_degrees();
         let max = *deg.iter().max().unwrap() as f64;
-        assert!(max < 40.0, "uniform rmat should have no big hubs, max {max}");
+        assert!(
+            max < 40.0,
+            "uniform rmat should have no big hubs, max {max}"
+        );
     }
 
     #[test]

@@ -113,9 +113,7 @@ mod tests {
     fn lattice_when_beta_zero() {
         let g = small_world(&SmallWorldConfig::new(10, 2).with_beta(0.0)).unwrap();
         assert_eq!(g.num_edges(), 20);
-        assert!(g
-            .iter()
-            .all(|e| (e.dst.raw() + 10 - e.src.raw()) % 10 <= 2));
+        assert!(g.iter().all(|e| (e.dst.raw() + 10 - e.src.raw()) % 10 <= 2));
     }
 
     #[test]
@@ -135,8 +133,8 @@ mod tests {
         // BFS eccentricity from vertex 0: the lattice needs ~n/k hops, the
         // rewired graph far fewer.
         let ecc = |beta: f64| -> f64 {
-            let g = small_world(&SmallWorldConfig::new(400, 2).with_beta(beta).with_seed(9))
-                .unwrap();
+            let g =
+                small_world(&SmallWorldConfig::new(400, 2).with_beta(beta).with_seed(9)).unwrap();
             let csr = crate::Csr::from_coo(&g);
             let mut dist = vec![f64::INFINITY; 400];
             dist[0] = 0.0;
@@ -155,7 +153,10 @@ mod tests {
                 frontier = next;
                 level += 1.0;
             }
-            dist.iter().copied().filter(|d| d.is_finite()).fold(0.0, f64::max)
+            dist.iter()
+                .copied()
+                .filter(|d| d.is_finite())
+                .fold(0.0, f64::max)
         };
         assert!(ecc(0.3) < 0.5 * ecc(0.0), "{} vs {}", ecc(0.3), ecc(0.0));
     }

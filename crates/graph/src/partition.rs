@@ -104,8 +104,11 @@ impl Shard {
         if cells == 0.0 {
             return 0.0;
         }
-        let mut pairs: Vec<(u32, u32)> =
-            self.edges.iter().map(|e| (e.src.raw(), e.dst.raw())).collect();
+        let mut pairs: Vec<(u32, u32)> = self
+            .edges
+            .iter()
+            .map(|e| (e.src.raw(), e.dst.raw()))
+            .collect();
         pairs.sort_unstable();
         pairs.dedup();
         pairs.len() as f64 / cells
@@ -358,8 +361,14 @@ mod tests {
     fn stream_orders_cover_same_shards() {
         let g = generators::rmat(&generators::RmatConfig::new(1 << 6, 400).with_seed(2)).unwrap();
         let grid = GridPartition::new(&g, 8).unwrap();
-        let row: usize = grid.stream(TraversalOrder::RowMajor).map(Shard::num_edges).sum();
-        let col: usize = grid.stream(TraversalOrder::ColumnMajor).map(Shard::num_edges).sum();
+        let row: usize = grid
+            .stream(TraversalOrder::RowMajor)
+            .map(Shard::num_edges)
+            .sum();
+        let col: usize = grid
+            .stream(TraversalOrder::ColumnMajor)
+            .map(Shard::num_edges)
+            .sum();
         assert_eq!(row, g.num_edges());
         assert_eq!(col, g.num_edges());
     }

@@ -114,7 +114,9 @@ mod tests {
         b.sort_unstable();
         assert_eq!(a, b);
         // Edge (0,1,6.0) maps to (4,3,6.0).
-        assert!(p.iter().any(|e| e.src.raw() == 4 && e.dst.raw() == 3 && e.weight == 6.0));
+        assert!(p
+            .iter()
+            .any(|e| e.src.raw() == 4 && e.dst.raw() == 3 && e.weight == 6.0));
     }
 
     #[test]

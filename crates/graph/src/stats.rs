@@ -218,9 +218,8 @@ impl GraphSummary {
     ///
     /// Returns [`GraphError::InvalidParameter`] for a graph with no vertices.
     pub fn compute(graph: &CooGraph) -> Result<Self, GraphError> {
-        let out = DegreeStats::from_degrees(&graph.out_degrees()).ok_or_else(|| {
-            GraphError::InvalidParameter("summary: graph has no vertices".into())
-        })?;
+        let out = DegreeStats::from_degrees(&graph.out_degrees())
+            .ok_or_else(|| GraphError::InvalidParameter("summary: graph has no vertices".into()))?;
         let inn = DegreeStats::from_degrees(&graph.in_degrees())
             .expect("in-degrees nonempty if out-degrees were");
         Ok(GraphSummary {
@@ -338,10 +337,9 @@ mod tests {
     #[test]
     fn skew_separates_rmat_from_er() {
         let rmat = generators::rmat(&RmatConfig::new(1 << 10, 8192).with_seed(1)).unwrap();
-        let er = generators::erdos_renyi(
-            &generators::ErdosRenyiConfig::new(1 << 10, 8192).with_seed(1),
-        )
-        .unwrap();
+        let er =
+            generators::erdos_renyi(&generators::ErdosRenyiConfig::new(1 << 10, 8192).with_seed(1))
+                .unwrap();
         let s_rmat = DegreeStats::from_degrees(&rmat.out_degrees()).unwrap();
         let s_er = DegreeStats::from_degrees(&er.out_degrees()).unwrap();
         assert!(s_rmat.skew() > 2.0 * s_er.skew());

@@ -74,14 +74,18 @@ impl SramBuffer {
 
     /// Records a read of `bytes`, counted in 32-byte word accesses.
     pub fn read(&mut self, bytes: u64) {
-        let accesses = bytes.div_ceil(ACCESS_WORD_BYTES).max(if bytes > 0 { 1 } else { 0 });
+        let accesses = bytes
+            .div_ceil(ACCESS_WORD_BYTES)
+            .max(if bytes > 0 { 1 } else { 0 });
         self.reads += accesses;
         self.bytes_read += bytes;
     }
 
     /// Records a write of `bytes`, counted in 32-byte word accesses.
     pub fn write(&mut self, bytes: u64) {
-        let accesses = bytes.div_ceil(ACCESS_WORD_BYTES).max(if bytes > 0 { 1 } else { 0 });
+        let accesses = bytes
+            .div_ceil(ACCESS_WORD_BYTES)
+            .max(if bytes > 0 { 1 } else { 0 });
         self.writes += accesses;
         self.bytes_written += bytes;
     }

@@ -26,6 +26,20 @@ pub enum SchedulePolicy {
     EventDriven,
 }
 
+/// The outcome of one [`BankScheduler::dispatch`]: which bank ran the
+/// block and when. Feeds the tracing layer's per-bank dispatch events.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DispatchRecord {
+    /// The bank the block was assigned to.
+    pub bank: u32,
+    /// When the block's stream over the shared channel completed, ns.
+    pub stream_done_ns: f64,
+    /// When the bank started programming the block, ns.
+    pub start_ns: f64,
+    /// When the bank finished computing the block, ns.
+    pub done_ns: f64,
+}
+
 /// An event-driven scheduler over `num_banks` independent banks fed by one
 /// serial streaming channel.
 #[derive(Debug, Clone)]
@@ -54,9 +68,9 @@ impl BankScheduler {
 
     /// Dispatches one block: its data streams over the shared channel for
     /// `stream_ns`, then the earliest-free bank programs it for
-    /// `program_ns` and computes for `compute_ns`. Returns the block's
-    /// completion time.
-    pub fn dispatch(&mut self, stream_ns: f64, program_ns: f64, compute_ns: f64) -> f64 {
+    /// `program_ns` and computes for `compute_ns`. Returns the dispatch
+    /// record (bank id and start/completion times).
+    pub fn dispatch(&mut self, stream_ns: f64, program_ns: f64, compute_ns: f64) -> DispatchRecord {
         let stream_done = self.stream_free + stream_ns;
         self.stream_free = stream_done;
         // Earliest-available bank.
@@ -70,7 +84,12 @@ impl BankScheduler {
         let done = start + program_ns + compute_ns;
         self.bank_free[idx] = done;
         self.makespan = self.makespan.max(done);
-        done
+        DispatchRecord {
+            bank: idx as u32,
+            stream_done_ns: stream_done,
+            start_ns: start,
+            done_ns: done,
+        }
     }
 
     /// Completion time of the last finished block, ns.
@@ -136,7 +155,11 @@ mod tests {
         let blocks: Vec<(f64, f64, f64)> = (0..37)
             .map(|i| {
                 let f = i as f64;
-                (1.0 + (f * 7.0) % 3.0, 5.0 + (f * 13.0) % 11.0, 2.0 + (f * 5.0) % 9.0)
+                (
+                    1.0 + (f * 7.0) % 3.0,
+                    5.0 + (f * 13.0) % 11.0,
+                    2.0 + (f * 5.0) % 9.0,
+                )
             })
             .collect();
         let banks = 4;
@@ -166,6 +189,22 @@ mod tests {
         // apply to it.)
         let total_work: f64 = blocks.iter().map(|b| b.1 + b.2).sum();
         assert!(des.makespan() >= total_work / banks as f64 - 1e-9);
+    }
+
+    #[test]
+    fn dispatch_records_bank_and_times() {
+        let mut s = BankScheduler::new(2);
+        let a = s.dispatch(1.0, 2.0, 3.0);
+        assert_eq!(
+            (a.bank, a.stream_done_ns, a.start_ns, a.done_ns),
+            (0, 1.0, 1.0, 6.0)
+        );
+        // Second block streams behind the first and lands on the idle bank.
+        let b = s.dispatch(1.0, 2.0, 3.0);
+        assert_eq!((b.bank, b.start_ns, b.done_ns), (1, 2.0, 7.0));
+        // Third waits for the earliest-free bank (bank 0, free at 6).
+        let c = s.dispatch(1.0, 2.0, 3.0);
+        assert_eq!((c.bank, c.start_ns, c.done_ns), (0, 6.0, 11.0));
     }
 
     #[test]

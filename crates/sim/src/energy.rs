@@ -26,6 +26,7 @@ pub struct EnergyBreakdown {
 
 impl EnergyBreakdown {
     /// An all-zero breakdown.
+    #[must_use]
     pub fn new() -> Self {
         EnergyBreakdown::default()
     }
@@ -83,6 +84,24 @@ impl std::ops::Add for EnergyBreakdown {
     }
 }
 
+impl std::ops::AddAssign for EnergyBreakdown {
+    fn add_assign(&mut self, rhs: EnergyBreakdown) {
+        self.merge(&rhs);
+    }
+}
+
+impl std::iter::Sum for EnergyBreakdown {
+    fn sum<I: Iterator<Item = EnergyBreakdown>>(iter: I) -> EnergyBreakdown {
+        iter.fold(EnergyBreakdown::new(), |acc, e| acc + e)
+    }
+}
+
+impl<'a> std::iter::Sum<&'a EnergyBreakdown> for EnergyBreakdown {
+    fn sum<I: Iterator<Item = &'a EnergyBreakdown>>(iter: I) -> EnergyBreakdown {
+        iter.copied().sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +121,23 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.total_nj(), 42.0);
         assert_eq!((b + b).total_nj(), 42.0);
+    }
+
+    #[test]
+    fn sum_and_add_assign() {
+        let unit = EnergyBreakdown {
+            mac_nj: 1.0,
+            static_nj: 0.5,
+            ..Default::default()
+        };
+        let total: EnergyBreakdown = [unit, unit, unit].iter().sum();
+        assert!((total.total_nj() - 4.5).abs() < 1e-12);
+        let mut acc = EnergyBreakdown::new();
+        acc += unit;
+        acc += unit;
+        assert_eq!(acc, unit + unit);
+        let empty: EnergyBreakdown = std::iter::empty::<EnergyBreakdown>().sum();
+        assert_eq!(empty, EnergyBreakdown::new());
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!   Fig 13,
 //! * [`pipeline`] — the two-stage load/compute overlap model of the shard
 //!   streaming execution,
+//! * [`obs`] — the tracing/metrics layer: phase spans, per-bank counters,
+//!   and pluggable sinks (in-memory rollups or JSONL event streams),
 //! * [`RunReport`] — the canonical result record each engine produces,
 //! * [`table::Table`] — plain-text table rendering for the experiment
 //!   binaries,
@@ -25,6 +27,7 @@ pub mod buffer;
 pub mod des;
 pub mod energy;
 pub mod histogram;
+pub mod obs;
 pub mod pipeline;
 pub mod report;
 pub mod stats;
@@ -33,4 +36,8 @@ pub mod table;
 pub use buffer::SramBuffer;
 pub use energy::EnergyBreakdown;
 pub use histogram::Histogram;
+pub use obs::{
+    attribute_makespan, AggregateSink, BankBreakdown, JsonlSink, MetricsRegistry, NullSink, Phase,
+    PhaseBreakdown, Sink, SpanEvent, Tracer,
+};
 pub use report::{OpSummary, RunReport};

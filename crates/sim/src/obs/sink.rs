@@ -1,0 +1,296 @@
+//! Pluggable span/metric sinks: discard, in-memory rollup, or JSONL.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use super::span::{counter_to_json, gauge_to_json, span_to_json};
+use super::{BankBreakdown, Phase, PhaseBreakdown, SpanEvent};
+
+/// Receives every finished span (and, at flush, the metric snapshot).
+///
+/// Implementations must be cheap and thread-safe: engines may emit spans
+/// from parallel sections (the CPU baseline does).
+pub trait Sink: Send + Sync + fmt::Debug {
+    /// Called once per finished span.
+    fn on_span(&self, event: &SpanEvent);
+
+    /// Called per counter at [`super::Tracer::flush`] time.
+    fn on_counter(&self, _name: &str, _value: u64) {}
+
+    /// Called per gauge at [`super::Tracer::flush`] time.
+    fn on_gauge(&self, _name: &str, _value: f64) {}
+
+    /// Called at the end of a run; flush buffered output.
+    fn flush(&self) {}
+
+    /// `true` when this sink provably ignores every span. A tracer whose
+    /// sinks are all null skips span construction entirely, so `on_span`
+    /// is never reached — metrics still flow.
+    fn observes_spans(&self) -> bool {
+        true
+    }
+}
+
+/// Discards everything. Attached when a caller wants the tracer *wired*
+/// (metrics registry live) but not recording spans; the tracer detects it
+/// via [`Sink::observes_spans`] and skips span emission up front, which is
+/// what keeps the criterion bench `obs_overhead` within a few percent of
+/// an uninstrumented run.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn on_span(&self, _event: &SpanEvent) {}
+
+    fn observes_spans(&self) -> bool {
+        false
+    }
+}
+
+/// Atomic f64 accumulator (CAS over the bit pattern).
+#[derive(Debug, Default)]
+struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    fn add(&self, delta: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug, Default)]
+struct PhaseAgg {
+    busy_ns: AtomicF64,
+    count: AtomicU64,
+}
+
+/// In-memory per-phase and per-bank rollups.
+///
+/// Per-phase totals are lock-free (atomics); per-bank totals take a
+/// short mutex because the bank set is discovered dynamically.
+#[derive(Debug, Default)]
+pub struct AggregateSink {
+    phases: [PhaseAgg; Phase::ALL.len()],
+    banks: Mutex<Vec<(u32, f64, u64)>>,
+}
+
+impl AggregateSink {
+    /// A fresh, empty rollup.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-phase totals: `busy_ns` is the plain sum of span durations in
+    /// that phase (nesting does not discount children), `count` the
+    /// number of spans. `sched_ns` is zero — only an engine's `finish`
+    /// can attribute makespan shares; see
+    /// [`super::PhaseBreakdown::sched_ns`]. Phases with no spans are
+    /// omitted.
+    pub fn phase_rollup(&self) -> Vec<PhaseBreakdown> {
+        Phase::ALL
+            .into_iter()
+            .filter_map(|phase| {
+                let agg = &self.phases[phase.index()];
+                let count = agg.count.load(Ordering::Relaxed);
+                if count == 0 {
+                    return None;
+                }
+                Some(PhaseBreakdown {
+                    phase,
+                    sched_ns: 0.0,
+                    busy_ns: agg.busy_ns.get(),
+                    count,
+                })
+            })
+            .collect()
+    }
+
+    /// Per-bank totals over all spans carrying a bank id, sorted by bank.
+    pub fn bank_rollup(&self) -> Vec<BankBreakdown> {
+        let mut banks: Vec<BankBreakdown> = self
+            .banks
+            .lock()
+            .iter()
+            .map(|&(bank, busy_ns, count)| BankBreakdown {
+                bank,
+                busy_ns,
+                count,
+            })
+            .collect();
+        banks.sort_by_key(|b| b.bank);
+        banks
+    }
+
+    /// Total busy ns across every phase.
+    pub fn total_busy_ns(&self) -> f64 {
+        self.phases.iter().map(|p| p.busy_ns.get()).sum()
+    }
+}
+
+impl Sink for AggregateSink {
+    fn on_span(&self, event: &SpanEvent) {
+        let agg = &self.phases[event.phase.index()];
+        agg.busy_ns.add(event.dur_ns);
+        agg.count.fetch_add(1, Ordering::Relaxed);
+        if let Some(bank) = event.bank {
+            let mut banks = self.banks.lock();
+            match banks.iter_mut().find(|(b, _, _)| *b == bank) {
+                Some(entry) => {
+                    entry.1 += event.dur_ns;
+                    entry.2 += 1;
+                }
+                None => banks.push((bank, event.dur_ns, 1)),
+            }
+        }
+    }
+}
+
+/// Streams one JSON object per event to a writer (JSON Lines).
+///
+/// The format is hand-rolled (the workspace's serde is an offline shim —
+/// see `shims/README.md`): `span`, `counter`, and `gauge` records as
+/// emitted by [`span_to_json`] and friends. Decoded by the
+/// `trace_summary` binary in `gaasx-bench`.
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl JsonlSink {
+    /// Streams to an arbitrary writer.
+    pub fn to_writer(writer: impl Write + Send + 'static) -> Self {
+        JsonlSink {
+            out: Mutex::new(Box::new(writer)),
+        }
+    }
+
+    /// Creates (truncating) a trace file with a buffered writer.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::to_writer(BufWriter::new(File::create(path)?)))
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut out = self.out.lock();
+        // A full disk mid-trace should not abort a simulation; drop the
+        // event instead.
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+impl Sink for JsonlSink {
+    fn on_span(&self, event: &SpanEvent) {
+        self.write_line(&span_to_json(event));
+    }
+
+    fn on_counter(&self, name: &str, value: u64) {
+        self.write_line(&counter_to_json(name, value));
+    }
+
+    fn on_gauge(&self, name: &str, value: f64) {
+        self.write_line(&gauge_to_json(name, value));
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use super::super::Tracer;
+    use super::*;
+
+    #[test]
+    fn aggregate_rolls_up_phases_and_banks() {
+        let agg = Arc::new(AggregateSink::new());
+        let t = Tracer::with_sink(agg.clone());
+        t.emit(Phase::CamSearch, 0.0, 2.0);
+        t.emit(Phase::CamSearch, 2.0, 3.0);
+        t.span(Phase::Dispatch, 0.0).bank(1).end(4.0);
+        t.span(Phase::Dispatch, 4.0).bank(1).end(6.0);
+        t.span(Phase::Dispatch, 0.0).bank(7).end(5.0);
+
+        let phases = agg.phase_rollup();
+        assert_eq!(phases.len(), 2);
+        let cam = phases.iter().find(|p| p.phase == Phase::CamSearch).unwrap();
+        assert!((cam.busy_ns - 5.0).abs() < 1e-12);
+        assert_eq!(cam.count, 2);
+
+        let banks = agg.bank_rollup();
+        assert_eq!(banks.len(), 2);
+        assert_eq!(banks[0].bank, 1);
+        assert!((banks[0].busy_ns - 6.0).abs() < 1e-12);
+        assert_eq!(banks[0].count, 2);
+        assert_eq!(banks[1].bank, 7);
+        assert!((agg.total_busy_ns() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let buf = Arc::new(Mutex::new(Vec::<u8>::new()));
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for SharedBuf {
+            fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+                self.0.lock().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let sink = Arc::new(JsonlSink::to_writer(SharedBuf(buf.clone())));
+        let t = Tracer::with_sink(sink);
+        t.emit(Phase::LoadBlock, 0.0, 8.0);
+        t.span(Phase::MacGather, 8.0)
+            .bank(0)
+            .attr("rows", 4u64)
+            .end(9.0);
+        t.counter_add("mac_ops", 1);
+        t.flush();
+
+        let text = String::from_utf8(buf.lock().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"phase\":\"load_block\""));
+        assert!(lines[1].contains("\"bank\":0"));
+        assert!(lines[1].contains("\"rows\":4"));
+        assert!(lines[2].contains("\"type\":\"counter\""));
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        let t = Tracer::with_sink(Arc::new(NullSink));
+        t.emit(Phase::Init, 0.0, 1.0);
+        t.counter_add("mac_ops", 2);
+        t.flush();
+        assert!(t.enabled());
+        assert_eq!(t.metrics().unwrap().counter("mac_ops").get(), 2);
+    }
+}

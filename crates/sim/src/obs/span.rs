@@ -1,0 +1,291 @@
+//! Span events and the open-span handle.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use super::{Phase, TracerInner};
+
+/// A typed attribute value attached to a span.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttrValue {
+    /// Unsigned integer attribute (ids, counts).
+    U64(u64),
+    /// Float attribute (ratios, ns).
+    F64(f64),
+    /// Static string attribute (labels).
+    Str(&'static str),
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+
+impl From<&'static str> for AttrValue {
+    fn from(v: &'static str) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+/// One finished span on an engine's modeled time axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanEvent {
+    /// Monotone per-tracer sequence number.
+    pub seq: u64,
+    /// Sequence number of the enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Execution phase.
+    pub phase: Phase,
+    /// Start time on the modeled (or wall-clock) axis, ns.
+    pub start_ns: f64,
+    /// Duration, ns.
+    pub dur_ns: f64,
+    /// Bank/PE id, when the operation is bound to one.
+    pub bank: Option<u32>,
+    /// Free-form key/value attributes.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+/// An open span returned by [`super::Tracer::span`].
+///
+/// Chain [`attr`](SpanHandle::attr)/[`bank`](SpanHandle::bank) while the
+/// operation runs, then call [`end`](SpanHandle::end) with the end time.
+/// Dropping the handle without `end` discards the span (and pops it from
+/// the nesting stack).
+#[derive(Debug)]
+pub struct SpanHandle {
+    state: Option<OpenSpan>,
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    inner: Arc<TracerInner>,
+    event: SpanEvent,
+}
+
+impl SpanHandle {
+    pub(super) fn disabled() -> Self {
+        SpanHandle { state: None }
+    }
+
+    pub(super) fn open(
+        inner: Arc<TracerInner>,
+        phase: Phase,
+        start_ns: f64,
+        seq: u64,
+        parent: Option<u64>,
+    ) -> Self {
+        SpanHandle {
+            state: Some(OpenSpan {
+                inner,
+                event: SpanEvent {
+                    seq,
+                    parent,
+                    phase,
+                    start_ns,
+                    dur_ns: 0.0,
+                    bank: None,
+                    attrs: Vec::new(),
+                },
+            }),
+        }
+    }
+
+    /// Attaches an attribute (no-op when the tracer is disabled).
+    #[must_use]
+    pub fn attr(mut self, key: &'static str, value: impl Into<AttrValue>) -> Self {
+        if let Some(open) = &mut self.state {
+            open.event.attrs.push((key, value.into()));
+        }
+        self
+    }
+
+    /// Binds the span to a bank/PE id.
+    #[must_use]
+    pub fn bank(mut self, bank: u32) -> Self {
+        if let Some(open) = &mut self.state {
+            open.event.bank = Some(bank);
+        }
+        self
+    }
+
+    /// Closes the span at `end_ns` and delivers it to every sink.
+    ///
+    /// Durations clamp at zero: an `end_ns` before the start records a
+    /// zero-length span rather than a negative one.
+    pub fn end(mut self, end_ns: f64) {
+        if let Some(mut open) = self.state.take() {
+            open.event.dur_ns = (end_ns - open.event.start_ns).max(0.0);
+            Self::close(open);
+        }
+    }
+
+    fn close(open: OpenSpan) {
+        let OpenSpan { inner, event } = open;
+        pop_open(&inner, event.seq);
+        for sink in &inner.sinks {
+            sink.on_span(&event);
+        }
+    }
+}
+
+impl Drop for SpanHandle {
+    fn drop(&mut self) {
+        // Un-ended span: keep the nesting stack balanced, emit nothing.
+        if let Some(open) = self.state.take() {
+            pop_open(&open.inner, open.event.seq);
+        }
+    }
+}
+
+fn pop_open(inner: &TracerInner, seq: u64) {
+    let mut open = inner.open.lock();
+    if let Some(pos) = open.iter().rposition(|&s| s == seq) {
+        open.remove(pos);
+    }
+}
+
+/// Renders a span event as a single JSON line (no trailing newline).
+///
+/// Used by [`super::JsonlSink`]; public so the `trace_summary` tooling
+/// tests can round-trip events without a serde implementation.
+pub fn span_to_json(event: &SpanEvent) -> String {
+    let mut out = String::with_capacity(96);
+    out.push_str("{\"type\":\"span\",\"seq\":");
+    out.push_str(&event.seq.to_string());
+    if let Some(parent) = event.parent {
+        out.push_str(",\"parent\":");
+        out.push_str(&parent.to_string());
+    }
+    out.push_str(",\"phase\":\"");
+    out.push_str(event.phase.name());
+    out.push_str("\",\"start_ns\":");
+    push_f64(&mut out, event.start_ns);
+    out.push_str(",\"dur_ns\":");
+    push_f64(&mut out, event.dur_ns);
+    if let Some(bank) = event.bank {
+        out.push_str(",\"bank\":");
+        out.push_str(&bank.to_string());
+    }
+    if !event.attrs.is_empty() {
+        out.push_str(",\"attrs\":{");
+        for (i, (key, value)) in event.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(key);
+            out.push_str("\":");
+            match value {
+                AttrValue::U64(v) => out.push_str(&v.to_string()),
+                AttrValue::F64(v) => push_f64(&mut out, *v),
+                AttrValue::Str(v) => {
+                    out.push('"');
+                    out.push_str(v);
+                    out.push('"');
+                }
+            }
+        }
+        out.push('}');
+    }
+    out.push('}');
+    out
+}
+
+/// JSON has no NaN/Infinity literals; encode them as null.
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v:.3}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Renders a counter snapshot entry as a single JSON line.
+pub fn counter_to_json(name: &str, value: u64) -> String {
+    format!("{{\"type\":\"counter\",\"name\":\"{name}\",\"value\":{value}}}")
+}
+
+/// Renders a gauge snapshot entry as a single JSON line.
+pub fn gauge_to_json(name: &str, value: f64) -> String {
+    let mut out = format!("{{\"type\":\"gauge\",\"name\":\"{name}\",\"value\":");
+    push_f64(&mut out, value);
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_encoding_is_stable() {
+        let event = SpanEvent {
+            seq: 3,
+            parent: Some(1),
+            phase: Phase::MacGather,
+            start_ns: 12.5,
+            dur_ns: 3.0,
+            bank: Some(2),
+            attrs: vec![("block", AttrValue::U64(4)), ("kind", AttrValue::Str("pr"))],
+        };
+        assert_eq!(
+            span_to_json(&event),
+            "{\"type\":\"span\",\"seq\":3,\"parent\":1,\"phase\":\"mac_gather\",\
+             \"start_ns\":12.500,\"dur_ns\":3.000,\"bank\":2,\
+             \"attrs\":{\"block\":4,\"kind\":\"pr\"}}"
+        );
+    }
+
+    #[test]
+    fn json_minimal_span_omits_optionals() {
+        let event = SpanEvent {
+            seq: 0,
+            parent: None,
+            phase: Phase::Sfu,
+            start_ns: 0.0,
+            dur_ns: 1.0,
+            bank: None,
+            attrs: Vec::new(),
+        };
+        assert_eq!(
+            span_to_json(&event),
+            "{\"type\":\"span\",\"seq\":0,\"phase\":\"sfu\",\"start_ns\":0.000,\"dur_ns\":1.000}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut out = String::new();
+        push_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+        assert_eq!(
+            gauge_to_json("u", f64::INFINITY),
+            "{\"type\":\"gauge\",\"name\":\"u\",\"value\":null}"
+        );
+        assert_eq!(
+            counter_to_json("mac_ops", 9),
+            "{\"type\":\"counter\",\"name\":\"mac_ops\",\"value\":9}"
+        );
+    }
+}

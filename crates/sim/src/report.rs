@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::energy::EnergyBreakdown;
 use crate::histogram::Histogram;
+use crate::obs::PhaseBreakdown;
 
 /// Operation counts of one run, summed over all hardware units.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -27,6 +28,12 @@ pub struct OpSummary {
 }
 
 impl OpSummary {
+    /// An all-zero summary.
+    #[must_use]
+    pub fn new() -> Self {
+        OpSummary::default()
+    }
+
     /// Adds another summary into this one.
     pub fn merge(&mut self, other: &OpSummary) {
         self.mac_ops += other.mac_ops;
@@ -36,6 +43,33 @@ impl OpSummary {
         self.sfu_ops += other.sfu_ops;
         self.buffer_accesses += other.buffer_accesses;
         self.compute_items += other.compute_items;
+    }
+}
+
+impl std::ops::Add for OpSummary {
+    type Output = OpSummary;
+
+    fn add(mut self, rhs: OpSummary) -> OpSummary {
+        self.merge(&rhs);
+        self
+    }
+}
+
+impl std::ops::AddAssign for OpSummary {
+    fn add_assign(&mut self, rhs: OpSummary) {
+        self.merge(&rhs);
+    }
+}
+
+impl std::iter::Sum for OpSummary {
+    fn sum<I: Iterator<Item = OpSummary>>(iter: I) -> OpSummary {
+        iter.fold(OpSummary::new(), |acc, o| acc + o)
+    }
+}
+
+impl<'a> std::iter::Sum<&'a OpSummary> for OpSummary {
+    fn sum<I: Iterator<Item = &'a OpSummary>>(iter: I) -> OpSummary {
+        iter.copied().sum()
     }
 }
 
@@ -60,6 +94,11 @@ pub struct RunReport {
     pub rows_per_mac: Histogram,
     /// Edges in the processed workload (for throughput derivation).
     pub num_edges: u64,
+    /// Per-phase share of the run. Engines that attribute their makespan
+    /// populate this at `finish`; the `sched_ns` entries sum to
+    /// `elapsed_ns`. Empty for engines that predate the tracing layer.
+    #[serde(default)]
+    pub phases: Vec<PhaseBreakdown>,
 }
 
 impl RunReport {
@@ -79,7 +118,19 @@ impl RunReport {
             ops: OpSummary::default(),
             rows_per_mac: Histogram::new(16),
             num_edges: 0,
+            phases: Vec::new(),
         }
+    }
+
+    /// The per-phase entry for `phase`, if the engine recorded one.
+    pub fn phase(&self, phase: crate::obs::Phase) -> Option<&PhaseBreakdown> {
+        self.phases.iter().find(|p| p.phase == phase)
+    }
+
+    /// Sum of the per-phase makespan shares (equals `elapsed_ns` when the
+    /// engine attributed its schedule; 0 when `phases` is empty).
+    pub fn phases_total_sched_ns(&self) -> f64 {
+        self.phases.iter().map(|p| p.sched_ns).sum()
     }
 
     /// Execution time in milliseconds.
@@ -176,5 +227,47 @@ mod tests {
         assert_eq!(a.mac_ops, 3);
         assert_eq!(a.sfu_ops, 5);
         assert_eq!(a.compute_items, 10);
+    }
+
+    #[test]
+    fn op_summary_sum_and_add_assign() {
+        let unit = OpSummary {
+            mac_ops: 2,
+            buffer_accesses: 3,
+            ..OpSummary::new()
+        };
+        let total: OpSummary = [unit, unit].iter().sum();
+        assert_eq!(total.mac_ops, 4);
+        assert_eq!(total.buffer_accesses, 6);
+        let mut acc = OpSummary::new();
+        acc += unit;
+        acc += total;
+        assert_eq!(acc.mac_ops, 6);
+        let empty: OpSummary = std::iter::empty::<OpSummary>().sum();
+        assert_eq!(empty, OpSummary::new());
+    }
+
+    #[test]
+    fn phase_lookup_and_sched_total() {
+        use crate::obs::{Phase, PhaseBreakdown};
+        let mut r = report(10.0, 0.0);
+        assert_eq!(r.phase(Phase::Sfu), None);
+        assert_eq!(r.phases_total_sched_ns(), 0.0);
+        r.phases = vec![
+            PhaseBreakdown {
+                phase: Phase::LoadBlock,
+                sched_ns: 6.0,
+                busy_ns: 12.0,
+                count: 2,
+            },
+            PhaseBreakdown {
+                phase: Phase::Sfu,
+                sched_ns: 4.0,
+                busy_ns: 4.0,
+                count: 8,
+            },
+        ];
+        assert_eq!(r.phase(Phase::Sfu).unwrap().count, 8);
+        assert!((r.phases_total_sched_ns() - 10.0).abs() < 1e-12);
     }
 }

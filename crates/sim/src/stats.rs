@@ -30,20 +30,20 @@ pub fn mean(samples: &[f64]) -> Option<f64> {
 /// Population standard deviation, or `None` for an empty slice.
 pub fn std_dev(samples: &[f64]) -> Option<f64> {
     let m = mean(samples)?;
-    Some(
-        (samples.iter().map(|s| (s - m).powi(2)).sum::<f64>() / samples.len() as f64).sqrt(),
-    )
+    Some((samples.iter().map(|s| (s - m).powi(2)).sum::<f64>() / samples.len() as f64).sqrt())
 }
 
 /// The `q`-quantile (0.0..=1.0) of the samples via nearest-rank.
 ///
-/// Returns `None` for an empty slice or `q` outside `[0, 1]`.
+/// Returns `None` for an empty slice, `q` outside `[0, 1]` (including
+/// NaN), or any NaN sample. Negative and infinite samples are ordered
+/// normally.
 pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
-    if samples.is_empty() || !(0.0..=1.0).contains(&q) {
+    if samples.is_empty() || !(0.0..=1.0).contains(&q) || samples.iter().any(|s| s.is_nan()) {
         return None;
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    sorted.sort_by(f64::total_cmp);
     let idx = ((sorted.len() as f64 * q).ceil() as usize).saturating_sub(1);
     Some(sorted[idx.min(sorted.len() - 1)])
 }
@@ -83,5 +83,41 @@ mod tests {
         assert_eq!(quantile(&s, 1.0), Some(5.0));
         assert_eq!(quantile(&s, 1.5), None);
         assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // NaN anywhere — in q or in the samples — yields None, not a panic.
+        assert_eq!(quantile(&[1.0, f64::NAN], 0.5), None);
+        assert_eq!(quantile(&[1.0, 2.0], f64::NAN), None);
+        assert_eq!(quantile(&[1.0], -0.1), None);
+        assert_eq!(quantile(&[1.0], 1.0 + 1e-9), None);
+        // Negative and infinite samples order normally.
+        assert_eq!(quantile(&[-3.0, -1.0, -2.0], 0.0), Some(-3.0));
+        assert_eq!(quantile(&[-3.0, -1.0, -2.0], 1.0), Some(-1.0));
+        assert_eq!(
+            quantile(&[f64::NEG_INFINITY, 0.0, f64::INFINITY], 0.5),
+            Some(0.0)
+        );
+        // Single sample: every q maps to it.
+        for q in [0.0, 0.25, 1.0] {
+            assert_eq!(quantile(&[7.0], q), Some(7.0));
+        }
+    }
+
+    #[test]
+    fn geomean_edge_cases() {
+        assert_eq!(geometric_mean(&[f64::NAN]), None);
+        assert_eq!(geometric_mean(&[1.0, f64::NAN]), None);
+        assert_eq!(geometric_mean(&[f64::NEG_INFINITY]), None);
+        assert_eq!(geometric_mean(&[-0.0]), None);
+        let tiny = geometric_mean(&[1e-300, 1e300]).unwrap();
+        assert!((tiny - 1.0).abs() < 1e-9, "log-space stays stable: {tiny}");
+    }
+
+    #[test]
+    fn std_dev_empty_is_none() {
+        assert_eq!(std_dev(&[]), None);
+        assert_eq!(std_dev(&[4.0]), Some(0.0));
     }
 }

@@ -12,7 +12,9 @@ use crate::XbarStats;
 /// are transposable crossbars \[29\])": traversal algorithms accumulate edge
 /// weights down columns, while collaborative filtering also needs the
 /// transposed direction over vertex-attribute matrices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub enum MacDirection {
     /// Activate rows, accumulate along bit lines into per-column sums.
     #[default]
@@ -407,7 +409,9 @@ mod tests {
         let mut m = mac(Fidelity::Exact);
         m.write_row(2, &[1, 2, 3]).unwrap();
         m.write_row(7, &[4, 5, 6]).unwrap();
-        let out = m.mac(MacDirection::RowsToColumns, &[2, 7], &[10, 1]).unwrap();
+        let out = m
+            .mac(MacDirection::RowsToColumns, &[2, 7], &[10, 1])
+            .unwrap();
         assert_eq!(&out[..3], &[14, 25, 36]);
         assert!(out[3..].iter().all(|&v| v == 0));
     }
@@ -418,7 +422,9 @@ mod tests {
         m.write_row(0, &[1, 2]).unwrap();
         m.write_row(1, &[3, 4]).unwrap();
         // Activate columns 0 and 1 with inputs (5, 6): out[r] = 5*c[r][0] + 6*c[r][1].
-        let out = m.mac(MacDirection::ColumnsToRows, &[0, 1], &[5, 6]).unwrap();
+        let out = m
+            .mac(MacDirection::ColumnsToRows, &[0, 1], &[5, 6])
+            .unwrap();
         assert_eq!(out[0], 17);
         assert_eq!(out[1], 39);
     }
@@ -434,8 +440,12 @@ mod tests {
             mq.write_row(r, &codes).unwrap();
         }
         let inputs = [9u32, 13];
-        let a = me.mac(MacDirection::RowsToColumns, &[0, 1], &inputs).unwrap();
-        let b = mq.mac(MacDirection::RowsToColumns, &[0, 1], &inputs).unwrap();
+        let a = me
+            .mac(MacDirection::RowsToColumns, &[0, 1], &inputs)
+            .unwrap();
+        let b = mq
+            .mac(MacDirection::RowsToColumns, &[0, 1], &inputs)
+            .unwrap();
         assert_eq!(a, b);
     }
 

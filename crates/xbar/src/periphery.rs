@@ -233,7 +233,8 @@ pub fn reference_dot_product(
                 .iter()
                 .zip(inputs)
                 .map(|(&w, &x)| {
-                    u64::from(dac.slice(x, step)) * u64::from((w >> (slice * cell_bits)) & cell_mask)
+                    u64::from(dac.slice(x, step))
+                        * u64::from((w >> (slice * cell_bits)) & cell_mask)
                 })
                 .sum();
             partials.push((step, slice, adc.sample(analog)));
@@ -252,9 +253,9 @@ mod tests {
     fn dac_slices_lsb_first() {
         let dac = Dac::new(2).unwrap();
         assert_eq!(dac.steps_for(16), 8);
-        assert_eq!(dac.slice(0b1101_10, 0), 0b10);
-        assert_eq!(dac.slice(0b1101_10, 1), 0b01);
-        assert_eq!(dac.slice(0b1101_10, 2), 0b11);
+        assert_eq!(dac.slice(0b11_01_10, 0), 0b10);
+        assert_eq!(dac.slice(0b11_01_10, 1), 0b01);
+        assert_eq!(dac.slice(0b11_01_10, 2), 0b11);
     }
 
     #[test]
@@ -313,7 +314,9 @@ mod tests {
             mac.write_row(r, &[w]).unwrap();
         }
         let active: Vec<usize> = (0..8).collect();
-        let folded = mac.mac(MacDirection::RowsToColumns, &active, &inputs).unwrap()[0];
+        let folded = mac
+            .mac(MacDirection::RowsToColumns, &active, &inputs)
+            .unwrap()[0];
         let reference = reference_dot_product(
             &weights,
             &inputs,

@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|v| {
             let mut f = vec![0.0f32; f_in];
             f[(v as usize / 256) % f_in] = 1.0;
-            f.iter_mut().for_each(|x| *x += rng.gen_range(0.0..0.1));
+            f.iter_mut().for_each(|x| *x += rng.gen_range(0.0f32..0.1));
             f
         })
         .collect();

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, and the tier-1 test suite.
+#
+# The build is fully offline (path-shimmed external deps, see shims/),
+# so every cargo invocation passes --offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test"
+cargo build --release --offline
+cargo test -q --offline
+
+echo "==> workspace tests"
+cargo test -q --workspace --offline
+
+echo "CI gate passed."

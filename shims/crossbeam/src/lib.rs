@@ -1,0 +1,17 @@
+//! Offline stand-in for the subset of `crossbeam` this workspace uses.
+//!
+//! The build is fully offline, so the real `crossbeam` cannot be fetched.
+//! The workspace currently only declares the dependency (parallel sections
+//! use `std::thread::scope` directly), so this shim just re-exports the
+//! std scoped-thread API under crossbeam's names to keep the dependency
+//! resolvable and leave room for future call sites.
+
+#![warn(missing_docs)]
+
+/// Scoped thread support mirroring `crossbeam::thread` on top of std.
+pub mod thread {
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
+}
+
+/// Re-export matching `crossbeam::scope` (std's scoped threads).
+pub use std::thread::scope;

@@ -1,0 +1,485 @@
+//! Offline stand-in for the subset of `proptest` 1.x this workspace uses.
+//!
+//! The build is fully offline, so the real `proptest` cannot be fetched.
+//! This shim keeps the property tests running as *randomized tests with
+//! deterministic seeds*: each test case draws its inputs from an RNG
+//! seeded by the test's module path, name, and case index, so a failure
+//! always reproduces on re-run. There is **no shrinking** — a failing
+//! case reports the case index (printed by [`proptest!`] on panic) and
+//! the raw inputs via the assertion message, not a minimized example.
+//!
+//! Supported surface:
+//! * [`Strategy`] with `prop_map` / `prop_flat_map`, implemented for
+//!   integer and float `Range`/`RangeInclusive`, tuples (arity 2–6),
+//!   [`Just`], and [`any`];
+//! * [`collection::vec`] with `usize`, `Range<usize>` or
+//!   `RangeInclusive<usize>` sizes;
+//! * [`ProptestConfig::with_cases`];
+//! * the [`proptest!`] macro (`fn name(pat in strategy, ...) { .. }` with
+//!   an optional `#![proptest_config(..)]` header) and
+//!   [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`]
+//!   (which forward to the std `assert` family).
+
+#![warn(missing_docs)]
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::SampleRange;
+
+pub use config::ProptestConfig;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree: strategies generate
+/// concrete values directly and nothing shrinks.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn generate(&self, rng: &mut test_runner::TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Generates an intermediate value, then draws from the strategy `f`
+    /// builds from it (dependent generation).
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut test_runner::TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut test_runner::TestRng) -> Self::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut test_runner::TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy (full range for integers,
+/// unit interval for floats, fair coin for bool).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self;
+}
+
+macro_rules! arbitrary_full_range {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_full_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        rng.gen_unit_f64()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        rng.gen_unit_f64() as f32
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut test_runner::TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`: `any::<u64>()` etc.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: Clone,
+    Range<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut test_runner::TestRng) -> T {
+        rng.sample(self.clone())
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: Clone,
+    RangeInclusive<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut test_runner::TestRng) -> T {
+        rng.sample(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut test_runner::TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{test_runner::TestRng, Strategy};
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive range of collection sizes.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.sample(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runner configuration.
+pub mod config {
+    /// Per-block configuration for [`crate::proptest!`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ProptestConfig {
+        /// Number of cases each property is checked against.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 32 }
+        }
+    }
+}
+
+/// Deterministic per-case RNG.
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, RngCore, SampleRange, SeedableRng};
+
+    /// RNG handed to [`crate::Strategy::generate`], seeded from the test
+    /// name and case index so every run of a test is reproducible.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(SmallRng);
+
+    impl TestRng {
+        /// Builds the RNG for case `case` of the test named `name`.
+        pub fn deterministic(name: &str, case: u32) -> Self {
+            // FNV-1a over the fully qualified test name, mixed with the
+            // case index; any stable hash works.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x1_0000_0000_01b3);
+            }
+            TestRng(SmallRng::seed_from_u64(
+                h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            ))
+        }
+
+        /// Uniform draw from a range (delegates to the rand shim).
+        pub fn sample<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+            self.0.gen_range(range)
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            RngCore::next_u64(&mut self.0)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn gen_unit_f64(&mut self) -> f64 {
+            self.0.gen::<f64>()
+        }
+    }
+}
+
+/// Everything a property-test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::config::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy};
+}
+
+/// Defines property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///
+///     #[test]
+///     fn prop_holds(x in 0u32..100, v in prop::collection::vec(any::<u64>(), 1..9)) {
+///         prop_assert!(v.len() < 9);
+///     }
+/// }
+/// ```
+///
+/// Each test body runs `cases` times with inputs drawn from the listed
+/// strategies; the RNG is seeded from the test path and case index, so
+/// failures reproduce deterministically.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr) ) => {};
+    (
+        ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat_param in $strategy:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let test_path = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::deterministic(test_path, case);
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    #[allow(unused_imports)]
+                    use $crate::Strategy as _;
+                    let ( $($pat,)+ ) = ( $(($strategy).generate(&mut rng),)+ );
+                    $body
+                }));
+                if let Err(panic) = result {
+                    eprintln!(
+                        "proptest shim: {test_path} failed at case {case}/{} \
+                         (deterministic seed; rerun reproduces it)",
+                        config.cases
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn dependent_pair() -> impl Strategy<Value = (Vec<u32>, usize)> {
+        prop::collection::vec(0u32..50, 1..=8).prop_flat_map(|v| {
+            let n = v.len();
+            (Just(v), 0..n)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_and_tuples((a, b, c) in (2u32..60, 1usize..150, any::<u64>())) {
+            prop_assert!((2..60).contains(&a));
+            prop_assert!((1..150).contains(&b));
+            // `c` spans the full u64 range; nothing to bound.
+            let _ = c;
+        }
+
+        #[test]
+        fn vec_sizes_respect_bounds(v in prop::collection::vec(0u32..=0xFFFF, 1..=16)) {
+            prop_assert!((1..=16).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x <= 0xFFFF));
+        }
+
+        #[test]
+        fn flat_map_sees_dependent_state((v, idx) in dependent_pair()) {
+            // idx was drawn from 0..v.len(), so indexing is always valid.
+            prop_assert!(v[idx] < 50);
+        }
+
+        #[test]
+        fn map_applies(x in (0u32..10).prop_map(|x| x * 2)) {
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x, 21);
+        }
+
+        #[test]
+        fn exact_size_vec(n in 3usize..6, v in prop::collection::vec(any::<u64>(), 4usize)) {
+            prop_assert_eq!(v.len(), 4);
+            prop_assert!((3..6).contains(&n));
+        }
+
+        #[test]
+        fn float_ranges(max in 0.5f32..1000.0, unit in 0.0f32..1.0) {
+            prop_assert!((0.5..1000.0).contains(&max));
+            prop_assert!((0.0..1.0).contains(&unit));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_but_distinct() {
+        let strat = 0u64..u64::MAX;
+        let a1 = strat.generate(&mut crate::test_runner::TestRng::deterministic("t", 0));
+        let a2 = strat.generate(&mut crate::test_runner::TestRng::deterministic("t", 0));
+        let b = strat.generate(&mut crate::test_runner::TestRng::deterministic("t", 1));
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+    }
+}

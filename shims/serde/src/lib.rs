@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build is fully offline, so the real `serde` cannot be fetched. The
+//! workspace only *derives* `Serialize`/`Deserialize` (no code actually
+//! drives a serializer — there is no `serde_json` in the tree), so this shim
+//! keeps the API surface compiling:
+//!
+//! * the derive macros (re-exported from the no-op `serde_derive` shim)
+//!   expand to nothing;
+//! * [`Serialize`] / [`Deserialize`] are marker traits with blanket impls,
+//!   so `T: Serialize` bounds stay satisfiable.
+//!
+//! In-tree code that needs real serialization (e.g. the JSONL trace sink in
+//! `gaasx-sim::obs`) hand-rolls its format instead of going through serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

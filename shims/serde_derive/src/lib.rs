@@ -1,0 +1,24 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The build environment for this repository is fully offline, so the real
+//! `serde_derive` (and its `syn`/`quote` dependency tree) cannot be fetched.
+//! Nothing in the workspace actually serializes through serde — the derives
+//! are forward-looking API surface — so these macros expand to nothing. The
+//! matching `serde` shim provides blanket trait impls, keeping any
+//! `T: Serialize` bound satisfiable.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`: accepts (and ignores) `#[serde(...)]`
+/// attributes and expands to an empty token stream.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`: accepts (and ignores) `#[serde(...)]`
+/// attributes and expands to an empty token stream.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -199,7 +199,10 @@ fn cmd_traversal(args: &[String], bfs: bool) -> CliResult {
     };
     report_line(&report);
     let reached = dist.iter().filter(|d| d.is_finite()).count();
-    let max = dist.iter().filter(|d| d.is_finite()).fold(0.0f64, |m, &d| m.max(d));
+    let max = dist
+        .iter()
+        .filter(|d| d.is_finite())
+        .fold(0.0f64, |m, &d| m.max(d));
     println!(
         "reached {} of {} vertices; eccentricity {}",
         reached,
@@ -225,7 +228,9 @@ fn cmd_compare(args: &[String]) -> CliResult {
     let graph = load(positional(args)?)?;
     let iters: u32 = flag_parse(args, "--iters", 10)?;
     let mut accel = GaasX::new(GaasXConfig::paper());
-    let a = accel.run(&PageRank::fixed_iterations(iters), &graph)?.report;
+    let a = accel
+        .run(&PageRank::fixed_iterations(iters), &graph)?
+        .report;
     let mut dense = GraphR::new(GraphRConfig::paper());
     let b = dense.pagerank(&graph, 0.85, iters)?.report;
     report_line(&a);

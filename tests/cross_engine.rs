@@ -53,7 +53,9 @@ fn all_engines_agree_on_pagerank() {
         / oracle.len() as f64;
     assert!(mean_err < 0.05, "gaasx mean err {mean_err}");
 
-    let gr = GraphR::new(GraphRConfig::small()).pagerank(&g, 0.85, 6).unwrap();
+    let gr = GraphR::new(GraphRConfig::small())
+        .pagerank(&g, 0.85, 6)
+        .unwrap();
     for (a, b) in gr.result.iter().zip(&oracle) {
         assert!((a - b).abs() < 1e-9, "graphr exactness");
     }

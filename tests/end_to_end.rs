@@ -15,9 +15,7 @@ fn accel() -> GaasX {
 #[test]
 fn pagerank_tracks_oracle_on_scale_free_graph() {
     let graph = generators::rmat(&RmatConfig::new(1 << 8, 3000).with_seed(42)).unwrap();
-    let out = accel()
-        .run(&PageRank::fixed_iterations(8), &graph)
-        .unwrap();
+    let out = accel().run(&PageRank::fixed_iterations(8), &graph).unwrap();
     let oracle = reference::pagerank(&graph, 0.85, 8);
     let mean_err: f64 = out
         .result
@@ -98,9 +96,7 @@ fn quantized_fidelity_still_tracks_oracle() {
 #[test]
 fn report_components_are_consistent() {
     let graph = generators::rmat(&RmatConfig::new(1 << 7, 1500).with_seed(11)).unwrap();
-    let out = accel()
-        .run(&PageRank::fixed_iterations(3), &graph)
-        .unwrap();
+    let out = accel().run(&PageRank::fixed_iterations(3), &graph).unwrap();
     let r = &out.report;
     // Energy components sum to the total.
     let sum: f64 = r.energy.components().iter().map(|(_, v)| v).sum();
@@ -144,7 +140,10 @@ fn io_roundtrip_feeds_the_accelerator() {
     let direct = accel().run(&Bfs::from_source(src), &graph).unwrap().result;
     // The text roundtrip may shrink num_vertices if trailing vertices are
     // isolated; compare the common prefix.
-    let via_text = accel().run(&Bfs::from_source(src), &from_text).unwrap().result;
+    let via_text = accel()
+        .run(&Bfs::from_source(src), &from_text)
+        .unwrap()
+        .result;
     let via_binary = accel()
         .run(&Bfs::from_source(src), &from_binary)
         .unwrap()

@@ -44,7 +44,9 @@ fn pair(ds: PaperDataset, algo: &str) -> (RunReport, RunReport) {
     });
     match algo {
         "pagerank" => (
-            gx.run(&PageRank::fixed_iterations(5), &graph).unwrap().report,
+            gx.run(&PageRank::fixed_iterations(5), &graph)
+                .unwrap()
+                .report,
             gr.pagerank(&graph, 0.85, 5).unwrap().report,
         ),
         "bfs" => (
@@ -79,7 +81,11 @@ fn fig5_redundancy_is_an_order_of_magnitude() {
     let r = redundancy::analyze(&graph, 16, hub(&graph)).unwrap();
     assert!(r.write_ratio() > 10.0, "writes {}", r.write_ratio());
     assert!(r.pr_compute_ratio() > 10.0, "pr {}", r.pr_compute_ratio());
-    assert!(r.sssp_compute_ratio() > 3.0, "sssp {}", r.sssp_compute_ratio());
+    assert!(
+        r.sssp_compute_ratio() > 3.0,
+        "sssp {}",
+        r.sssp_compute_ratio()
+    );
 }
 
 /// Fig 13: the rows-per-MAC distribution is dominated by small bursts —
@@ -91,7 +97,10 @@ fn fig13_mac_bursts_are_mostly_small() {
         num_banks: units,
         ..GaasXConfig::paper()
     });
-    let r = gx.run(&PageRank::fixed_iterations(3), &graph).unwrap().report;
+    let r = gx
+        .run(&PageRank::fixed_iterations(3), &graph)
+        .unwrap()
+        .report;
     let hist = &r.rows_per_mac;
     let pmf = hist.pmf();
     let mode = pmf
@@ -133,13 +142,16 @@ fn table1_totals() {
 /// The accelerator's modeled power envelope: average power of a run
 /// (energy / time) stays within a small factor of the 1.66 W budget.
 #[test]
-fn average_power_is_near_the_budget()  {
+fn average_power_is_near_the_budget() {
     let (graph, units) = scaled(PaperDataset::WikiVote);
     let mut gx = GaasX::new(GaasXConfig {
         num_banks: units,
         ..GaasXConfig::paper()
     });
-    let r = gx.run(&PageRank::fixed_iterations(5), &graph).unwrap().report;
+    let r = gx
+        .run(&PageRank::fixed_iterations(5), &graph)
+        .unwrap()
+        .report;
     let avg_w = r.energy.total_nj() / r.elapsed_ns; // nJ/ns = W
     assert!(
         avg_w > 0.05 && avg_w < 40.0,

@@ -12,12 +12,8 @@ use gaasx::graph::{CooGraph, Csr, Edge, VertexId};
 /// Strategy: a small random weighted digraph plus a valid source vertex.
 fn graph_and_source() -> impl Strategy<Value = (CooGraph, VertexId)> {
     (2u32..60, 1usize..150, any::<u64>()).prop_flat_map(|(n, m, seed)| {
-        let g = generators::rmat(
-            &RmatConfig::new(n, m)
-                .with_seed(seed)
-                .with_max_weight(12),
-        )
-        .expect("valid rmat config");
+        let g = generators::rmat(&RmatConfig::new(n, m).with_seed(seed).with_max_weight(12))
+            .expect("valid rmat config");
         let verts = g.num_vertices();
         (Just(g), (0..verts).prop_map(VertexId::new))
     })
