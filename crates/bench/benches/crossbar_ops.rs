@@ -62,7 +62,20 @@ fn bench_hit_vector(c: &mut Criterion) {
     group.bench_function("iter_ones", |b| {
         b.iter(|| black_box(&hv).iter_ones().count())
     });
-    group.bench_function("chunks_of_16", |b| b.iter(|| black_box(&hv).chunks(16)));
+    #[allow(deprecated)]
+    group.bench_function("chunks_of_16_alloc", |b| {
+        b.iter(|| black_box(&hv).chunks(16))
+    });
+    group.bench_function("chunks_iter_of_16", |b| {
+        b.iter(|| {
+            let mut chunks = black_box(&hv).chunks_iter(16);
+            let mut total = 0usize;
+            while let Some(chunk) = chunks.next_chunk() {
+                total += chunk.len();
+            }
+            total
+        })
+    });
     group.finish();
 }
 

@@ -1,0 +1,60 @@
+//! Host-throughput benchmarks of the sharded execution layer: the same
+//! simulated workload run serially and fanned out over worker threads.
+//! The simulated report is bit-identical across all cases (asserted by
+//! `jobs_scaling` and the core tests); this measures only the simulator's
+//! wall-clock.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use gaasx_core::algorithms::{PageRank, Sssp};
+use gaasx_core::{GaasX, GaasXConfig};
+use gaasx_graph::generators::{rmat, RmatConfig};
+use gaasx_graph::VertexId;
+
+fn run_pagerank(graph: &gaasx_graph::CooGraph, jobs: usize) {
+    let pr = PageRank::fixed_iterations(3);
+    let mut accel = GaasX::new(GaasXConfig::paper());
+    if jobs > 1 {
+        accel.run_sharded(&pr, graph, jobs).unwrap();
+    } else {
+        accel.run(&pr, graph).unwrap();
+    }
+}
+
+fn run_sssp(graph: &gaasx_graph::CooGraph, jobs: usize) {
+    let sssp = Sssp::from_source(VertexId::new(0));
+    let mut accel = GaasX::new(GaasXConfig::paper());
+    if jobs > 1 {
+        accel.run_sharded(&sssp, graph, jobs).unwrap();
+    } else {
+        accel.run(&sssp, graph).unwrap();
+    }
+}
+
+fn bench_sharded(c: &mut Criterion) {
+    let graph = rmat(&RmatConfig::new(1 << 11, 30_000).with_seed(17)).unwrap();
+    let edges = graph.num_edges() as u64;
+
+    let mut group = c.benchmark_group("sharded_pagerank_x3");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(edges));
+    for jobs in [1usize, 2, 4] {
+        group.bench_function(format!("jobs_{jobs}"), |b| {
+            b.iter(|| run_pagerank(&graph, jobs))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("sharded_sssp");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(edges));
+    for jobs in [1usize, 4] {
+        group.bench_function(format!("jobs_{jobs}"), |b| {
+            b.iter(|| run_sssp(&graph, jobs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded);
+criterion_main!(benches);

@@ -2,6 +2,9 @@
 //!
 //! `--trace <path>` additionally streams the trace-demo run's JSONL
 //! events to `<path>` (replay with the `trace_summary` binary).
+//! `--jobs <N>` fans the GaaS-X shard streams of the main matrix out over
+//! `N` worker threads (default `GAASX_JOBS` or 1); reported totals are
+//! bit-identical to the serial run.
 
 use std::fs;
 use std::path::PathBuf;
@@ -10,23 +13,39 @@ use std::time::Instant;
 use gaasx_bench::experiments as exp;
 use gaasx_sim::{EnergyBreakdown, OpSummary};
 
-fn trace_arg() -> Result<Option<PathBuf>, String> {
+struct Cli {
+    trace: Option<PathBuf>,
+    jobs: usize,
+}
+
+fn cli() -> Result<Cli, String> {
+    let mut trace = None;
+    let mut jobs = gaasx_bench::jobs();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--trace" {
-            return match args.next() {
-                Some(path) => Ok(Some(PathBuf::from(path))),
-                None => Err("--trace requires a path argument".into()),
-            };
+        match arg.as_str() {
+            "--trace" => {
+                trace = Some(PathBuf::from(
+                    args.next().ok_or("--trace requires a path argument")?,
+                ));
+            }
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&j| j >= 1)
+                    .ok_or("--jobs requires a worker count >= 1")?;
+            }
+            other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    Ok(None)
+    Ok(Cli { trace, jobs })
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cap = gaasx_bench::cap_edges();
     let iters = gaasx_bench::pr_iterations();
-    let trace = trace_arg()?;
+    let Cli { trace, jobs } = cli()?;
     let start = Instant::now();
     fs::create_dir_all("results")?;
 
@@ -37,8 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("fig5", exp::fig5(cap)?),
     ];
 
-    eprintln!("[run_all] simulating GaaS-X + GraphR matrix (cap {cap} edges)...");
-    let matrix = exp::run_matrix(cap, iters)?;
+    eprintln!("[run_all] simulating GaaS-X + GraphR matrix (cap {cap} edges, {jobs} job(s))...");
+    let matrix = exp::run_matrix_with_jobs(cap, iters, jobs)?;
     sections.push(("fig11", exp::fig11(&matrix)));
     sections.push(("fig12", exp::fig12(&matrix)));
     sections.push(("fig13", exp::fig13(&matrix)));

@@ -7,14 +7,33 @@
 //! and throughput scales linearly, which is the regime every full-size
 //! figure of the paper lives in.
 
+//! `--jobs <N>` runs the GaaS-X side on the sharded engine with `N`
+//! worker threads (default `GAASX_JOBS` or 1); the simulated numbers are
+//! bit-identical either way.
+
 use gaasx_baselines::{GraphR, GraphRConfig};
 use gaasx_core::algorithms::PageRank;
 use gaasx_core::{GaasX, GaasXConfig};
 use gaasx_graph::datasets::PaperDataset;
 use gaasx_sim::table::{count, ratio, Table};
 
+fn jobs_arg() -> Result<usize, String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" {
+            return args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .filter(|&j| j >= 1)
+                .ok_or_else(|| "--jobs requires a worker count >= 1".into());
+        }
+    }
+    Ok(gaasx_bench::jobs())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let iters = 5;
+    let jobs = jobs_arg()?;
     let mut t = Table::new(&[
         "edges",
         "GaaS-X ns/edge/iter",
@@ -26,9 +45,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let scale = (cap as f64 / PaperDataset::LiveJournal.full_edges() as f64).min(1.0);
         let graph = PaperDataset::LiveJournal.instantiate_graph(scale)?;
         let mut gx = GaasX::new(GaasXConfig::paper());
-        let a = gx
-            .run_labeled(&PageRank::fixed_iterations(iters), &graph, "LJ")?
-            .report;
+        let pr = PageRank::fixed_iterations(iters);
+        let a = if jobs > 1 {
+            gx.run_labeled_sharded(&pr, &graph, "LJ", jobs)?.report
+        } else {
+            gx.run_labeled(&pr, &graph, "LJ")?.report
+        };
         let mut gr = GraphR::new(GraphRConfig::paper());
         let b = gr.pagerank(&graph, 0.85, iters)?.report;
         let per = |r: &gaasx_sim::RunReport| r.elapsed_ns / (r.num_edges as f64 * f64::from(iters));
@@ -43,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "Scaling study — LiveJournal-class graphs across the 262 K-edge \
          resident capacity (PageRank ×{iters}, full 2048-unit configuration \
-         for both engines)\n\n{t}"
+         for both engines, {jobs} GaaS-X job(s))\n\n{t}"
     );
     Ok(())
 }

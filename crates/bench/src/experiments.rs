@@ -44,10 +44,28 @@ pub struct MatrixEntry {
 /// Runs GaaS-X and GraphR on every (graph dataset × algorithm) pair —
 /// the simulation pass behind Figs 11, 12, 13, and 14.
 ///
+/// Equivalent to [`run_matrix_with_jobs`] with `jobs = 1` (the serial
+/// engine).
+///
 /// # Errors
 ///
 /// Propagates generator and simulation errors.
 pub fn run_matrix(cap: usize, pr_iters: u32) -> BenchResult<Vec<MatrixEntry>> {
+    run_matrix_with_jobs(cap, pr_iters, 1)
+}
+
+/// [`run_matrix`] with the GaaS-X side fanned out over `jobs` shard worker
+/// threads ([`gaasx_core::ShardedEngine`]). The reported totals are
+/// bit-identical to the serial pass; only host wall-clock changes.
+///
+/// # Errors
+///
+/// Propagates generator and simulation errors.
+pub fn run_matrix_with_jobs(
+    cap: usize,
+    pr_iters: u32,
+    jobs: usize,
+) -> BenchResult<Vec<MatrixEntry>> {
     let mut out = Vec::new();
     for ds in PaperDataset::GRAPH_DATASETS {
         let graph = load_graph(ds, cap)?;
@@ -66,21 +84,33 @@ pub fn run_matrix(cap: usize, pr_iters: u32) -> BenchResult<Vec<MatrixEntry>> {
         for algo in ALGORITHMS {
             let (gx, gr) = match algo {
                 "pagerank" => (
-                    accel
-                        .run_labeled(&PageRank::fixed_iterations(pr_iters), &graph, ds.abbrev())?
-                        .report,
+                    run_gaasx(
+                        &mut accel,
+                        &PageRank::fixed_iterations(pr_iters),
+                        &graph,
+                        ds.abbrev(),
+                        jobs,
+                    )?,
                     graphr.pagerank(&graph, 0.85, pr_iters)?.report,
                 ),
                 "bfs" => (
-                    accel
-                        .run_labeled(&Bfs::from_source(src), &graph, ds.abbrev())?
-                        .report,
+                    run_gaasx(
+                        &mut accel,
+                        &Bfs::from_source(src),
+                        &graph,
+                        ds.abbrev(),
+                        jobs,
+                    )?,
                     graphr.bfs(&graph, src)?.report,
                 ),
                 "sssp" => (
-                    accel
-                        .run_labeled(&Sssp::from_source(src), &graph, ds.abbrev())?
-                        .report,
+                    run_gaasx(
+                        &mut accel,
+                        &Sssp::from_source(src),
+                        &graph,
+                        ds.abbrev(),
+                        jobs,
+                    )?,
                     graphr.sssp(&graph, src)?.report,
                 ),
                 _ => unreachable!(),
@@ -94,6 +124,27 @@ pub fn run_matrix(cap: usize, pr_iters: u32) -> BenchResult<Vec<MatrixEntry>> {
         }
     }
     Ok(out)
+}
+
+/// Routes one GaaS-X run through the serial engine (`jobs == 1`) or the
+/// sharded engine (`jobs > 1`).
+fn run_gaasx<A>(
+    accel: &mut GaasX,
+    algorithm: &A,
+    graph: &A::Input,
+    label: &str,
+    jobs: usize,
+) -> BenchResult<RunReport>
+where
+    A: gaasx_core::ShardableAlgorithm,
+{
+    Ok(if jobs > 1 {
+        accel
+            .run_labeled_sharded(algorithm, graph, label, jobs)?
+            .report
+    } else {
+        accel.run_labeled(algorithm, graph, label)?.report
+    })
 }
 
 /// Table I: the accelerator component inventory.
@@ -816,6 +867,22 @@ mod tests {
         assert!(f13.contains("Cumulative"));
         let f14 = fig14(&matrix);
         assert!(f14.contains("gram") || f14.contains("GRAM"));
+    }
+
+    #[test]
+    fn sharded_matrix_matches_serial_bit_for_bit() {
+        let serial = run_matrix(TINY, 2).unwrap();
+        let sharded = run_matrix_with_jobs(TINY, 2, 3).unwrap();
+        assert_eq!(serial.len(), sharded.len());
+        for (a, b) in serial.iter().zip(&sharded) {
+            assert_eq!(
+                a.gaasx,
+                b.gaasx,
+                "{} {} diverged under sharded execution",
+                a.dataset.abbrev(),
+                a.algorithm
+            );
+        }
     }
 
     #[test]

@@ -46,6 +46,18 @@ pub fn pr_iterations() -> u32 {
         .unwrap_or(10)
 }
 
+/// Worker-thread count for GaaS-X shard execution (`GAASX_JOBS`, default
+/// 1 = the serial engine). Values above 1 route the simulations through
+/// [`gaasx_core::ShardedEngine`]; the reported totals are bit-identical
+/// either way — only host wall-clock changes.
+pub fn jobs() -> usize {
+    std::env::var("GAASX_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&j| j >= 1)
+        .unwrap_or(1)
+}
+
 /// The scale factor that keeps `dataset` at or under `cap` edges.
 pub fn scale_for(dataset: PaperDataset, cap: usize) -> f64 {
     (cap as f64 / dataset.full_edges() as f64).min(1.0)

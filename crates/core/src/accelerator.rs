@@ -2,10 +2,11 @@
 
 use gaasx_sim::{RunReport, Tracer};
 
-use crate::algorithms::Algorithm;
+use crate::algorithms::{Algorithm, ShardableAlgorithm};
 use crate::config::GaasXConfig;
 use crate::engine::Engine;
 use crate::error::CoreError;
+use crate::sharded::ShardedEngine;
 
 /// A GaaS-X accelerator instance.
 ///
@@ -99,6 +100,52 @@ impl GaasX {
         engine.set_tracer(self.tracer.clone());
         let run = algorithm.execute(&mut engine, input)?;
         let report = engine.finish(
+            "gaasx",
+            algorithm.name(),
+            workload,
+            run.iterations,
+            A::input_edges(input),
+        );
+        Ok(RunOutcome {
+            result: run.output,
+            report,
+        })
+    }
+
+    /// Runs a shardable algorithm with its shard stream fanned out over
+    /// `jobs` worker threads (see [`ShardedEngine`]). For noise-free
+    /// configurations the merged report is bit-identical to [`GaasX::run`];
+    /// only the host wall-clock changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] for invalid configurations or inputs.
+    pub fn run_sharded<A: ShardableAlgorithm>(
+        &mut self,
+        algorithm: &A,
+        input: &A::Input,
+        jobs: usize,
+    ) -> Result<RunOutcome<A::Output>, CoreError> {
+        let edges = A::input_edges(input);
+        self.run_labeled_sharded(algorithm, input, &format!("E{edges}"), jobs)
+    }
+
+    /// [`GaasX::run_sharded`] with an explicit workload label.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] for invalid configurations or inputs.
+    pub fn run_labeled_sharded<A: ShardableAlgorithm>(
+        &mut self,
+        algorithm: &A,
+        input: &A::Input,
+        workload: &str,
+        jobs: usize,
+    ) -> Result<RunOutcome<A::Output>, CoreError> {
+        let mut sharded = ShardedEngine::new(self.config.clone(), jobs)?;
+        sharded.set_tracer(self.tracer.clone());
+        let run = algorithm.execute_on(&mut sharded, input)?;
+        let report = sharded.finish(
             "gaasx",
             algorithm.name(),
             workload,
@@ -254,6 +301,39 @@ mod tests {
         assert!(text.lines().any(|l| l.contains("\"phase\":\"dispatch\"")));
         assert!(text.lines().any(|l| l.contains("\"type\":\"counter\"")));
         assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn sharded_runs_match_serial_bit_for_bit() {
+        let mut accel = GaasX::new(GaasXConfig::small());
+        let g = generators::rmat(&generators::RmatConfig::new(1 << 7, 1200).with_seed(5)).unwrap();
+        let serial = accel.run(&PageRank::fixed_iterations(3), &g).unwrap();
+        for jobs in [1, 2, 4] {
+            let sharded = accel
+                .run_sharded(&PageRank::fixed_iterations(3), &g, jobs)
+                .unwrap();
+            assert_eq!(sharded.result, serial.result, "jobs={jobs}");
+            assert_eq!(sharded.report.ops, serial.report.ops, "jobs={jobs}");
+            assert_eq!(
+                sharded.report.elapsed_ns, serial.report.elapsed_ns,
+                "jobs={jobs}"
+            );
+            assert_eq!(
+                sharded.report.energy.total_nj(),
+                serial.report.energy.total_nj(),
+                "jobs={jobs}"
+            );
+        }
+        let sssp_serial = accel.run(&Sssp::from_source(VertexId::new(0)), &g).unwrap();
+        let sssp_sharded = accel
+            .run_sharded(&Sssp::from_source(VertexId::new(0)), &g, 3)
+            .unwrap();
+        assert_eq!(sssp_sharded.result, sssp_serial.result);
+        assert_eq!(sssp_sharded.report.ops, sssp_serial.report.ops);
+        assert_eq!(
+            sssp_sharded.report.elapsed_ns,
+            sssp_serial.report.elapsed_ns
+        );
     }
 
     #[test]

@@ -3,9 +3,10 @@
 use gaasx_graph::partition::TraversalOrder;
 use gaasx_graph::{CooGraph, VertexId};
 
-use crate::algorithms::{AlgoRun, Algorithm};
+use crate::algorithms::{AlgoRun, Algorithm, ShardableAlgorithm};
 use crate::engine::{partition_for_streaming, CellLayout, Engine};
 use crate::error::CoreError;
+use crate::sharded::ShardRunner;
 
 /// Distances beyond this cannot be driven as MAC inputs.
 const MAX_ENCODABLE_DIST: f64 = 65_534.0;
@@ -52,6 +53,16 @@ impl Algorithm for Bfs {
         engine: &mut Engine,
         graph: &CooGraph,
     ) -> Result<AlgoRun<Vec<f64>>, CoreError> {
+        self.execute_on(engine, graph)
+    }
+}
+
+impl ShardableAlgorithm for Bfs {
+    fn execute_on<R: ShardRunner>(
+        &self,
+        runner: &mut R,
+        graph: &CooGraph,
+    ) -> Result<AlgoRun<Vec<f64>>, CoreError> {
         let n = graph.num_vertices() as usize;
         if self.source.index() >= n {
             return Err(CoreError::InvalidInput(format!(
@@ -60,9 +71,9 @@ impl Algorithm for Bfs {
             )));
         }
         // All weight cells read as 1; set once, never per edge.
-        engine.preset_mac(1)?;
+        runner.preset_mac(1)?;
         let grid = partition_for_streaming(graph)?;
-        let capacity = engine.block_capacity();
+        let capacity = runner.engine().block_capacity();
 
         let mut dist = vec![f64::INFINITY; n];
         dist[self.source.index()] = 0.0;
@@ -71,47 +82,60 @@ impl Algorithm for Bfs {
         let mut supersteps = 0;
 
         loop {
-            let mut next = vec![false; n];
-            let mut changed = false;
-            for shard in grid.stream(TraversalOrder::RowMajor) {
-                for chunk in shard.edges().chunks(capacity) {
-                    if !chunk.iter().any(|e| frontier[e.src.index()]) {
-                        continue;
-                    }
-                    let block = engine.load_block(chunk, CellLayout::Preset)?;
-                    for &src in &block.distinct_srcs().to_vec() {
-                        if !frontier[src.index()] {
+            // Snapshot pass per shard (see Sssp::execute_on); the frontier
+            // already enforces snapshot semantics — a vertex first reached
+            // this superstep is not expanded until the next one.
+            let dist_snapshot = &dist;
+            let frontier_snapshot = &frontier;
+            let candidates =
+                runner.for_each_shard(&grid, TraversalOrder::RowMajor, |engine, shard| {
+                    let mut cands: Vec<(u32, f64)> = Vec::new();
+                    for chunk in shard.edges().chunks(capacity) {
+                        if !chunk.iter().any(|e| frontier_snapshot[e.src.index()]) {
                             continue;
                         }
-                        let d = dist[src.index()];
-                        engine.attr_read(8);
-                        if d > MAX_ENCODABLE_DIST {
-                            continue;
-                        }
-                        let hits = engine.search_src(src);
-                        let results =
-                            engine.propagate_rows(&hits, &[0, 1], &[1, d.round() as u32])?;
-                        for (row, sum) in results {
-                            let dst = block.edge(row).dst;
-                            let cand = sum as f64;
-                            if engine.sfu_less_than(cand, dist[dst.index()]) {
-                                dist[dst.index()] = engine.sfu_min(cand, dist[dst.index()]);
-                                engine.attr_write(8);
-                                next[dst.index()] = true;
-                                changed = true;
+                        let block = engine.load_block(chunk, CellLayout::Preset)?;
+                        for &src in &block.distinct_srcs().to_vec() {
+                            if !frontier_snapshot[src.index()] {
+                                continue;
+                            }
+                            let d = dist_snapshot[src.index()];
+                            engine.attr_read(8);
+                            if d > MAX_ENCODABLE_DIST {
+                                continue;
+                            }
+                            let hits = engine.search_src(src);
+                            let results =
+                                engine.propagate_rows(&hits, &[0, 1], &[1, d.round() as u32])?;
+                            for (row, sum) in results {
+                                cands.push((block.edge(row).dst.raw(), sum as f64));
                             }
                         }
                     }
+                    Ok(cands)
+                })?;
+
+            let engine = runner.engine();
+            let mut next = vec![false; n];
+            let mut changed = false;
+            for cands in &candidates {
+                for &(dst, cand) in cands {
+                    let v = dst as usize;
+                    if engine.sfu_less_than(cand, dist[v]) {
+                        dist[v] = engine.sfu_min(cand, dist[v]);
+                        engine.attr_write(8);
+                        next[v] = true;
+                        changed = true;
+                    }
                 }
             }
-            engine.end_block();
             supersteps += 1;
             if !changed {
                 break;
             }
             frontier = next;
         }
-        engine.output_write(8 * n as u64);
+        runner.engine().output_write(8 * n as u64);
 
         Ok(AlgoRun {
             output: dist,

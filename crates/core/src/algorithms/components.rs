@@ -12,9 +12,10 @@
 use gaasx_graph::partition::TraversalOrder;
 use gaasx_graph::CooGraph;
 
-use crate::algorithms::{AlgoRun, Algorithm};
+use crate::algorithms::{AlgoRun, Algorithm, ShardableAlgorithm};
 use crate::engine::{partition_for_streaming, CellLayout, Engine};
 use crate::error::CoreError;
+use crate::sharded::ShardRunner;
 
 /// Labels propagate as MAC inputs, so they must fit the 16-bit input path.
 const MAX_ENCODABLE_LABEL: u32 = 65_535;
@@ -52,6 +53,16 @@ impl Algorithm for ConnectedComponents {
         engine: &mut Engine,
         graph: &CooGraph,
     ) -> Result<AlgoRun<Vec<u32>>, CoreError> {
+        self.execute_on(engine, graph)
+    }
+}
+
+impl ShardableAlgorithm for ConnectedComponents {
+    fn execute_on<R: ShardRunner>(
+        &self,
+        runner: &mut R,
+        graph: &CooGraph,
+    ) -> Result<AlgoRun<Vec<u32>>, CoreError> {
         let n = graph.num_vertices() as usize;
         if n == 0 {
             return Ok(AlgoRun {
@@ -67,54 +78,70 @@ impl Algorithm for ConnectedComponents {
         }
         // Labels ride the preset unit column like BFS hop counts: no MAC
         // programming during data loading.
-        engine.preset_mac(1)?;
+        runner.preset_mac(1)?;
         let grid = partition_for_streaming(graph)?;
-        let capacity = engine.block_capacity();
+        let capacity = runner.engine().block_capacity();
 
         let mut label: Vec<u32> = (0..n as u32).collect();
         let mut active = vec![true; n];
         let mut supersteps = 0;
 
         loop {
-            let mut next = vec![false; n];
-            let mut changed = false;
-            for shard in grid.stream(TraversalOrder::RowMajor) {
-                for chunk in shard.edges().chunks(capacity) {
-                    if !chunk.iter().any(|e| active[e.src.index()]) {
-                        continue;
-                    }
-                    let block = engine.load_block(chunk, CellLayout::Preset)?;
-                    for &src in &block.distinct_srcs().to_vec() {
-                        if !active[src.index()] {
+            // Snapshot pass: labels propagated this superstep are the
+            // superstep-start labels; the reduce takes the min per dst.
+            // Min-label propagation converges to the same fixed point
+            // either way, and the `supersteps > n` guard still bounds it.
+            let label_snapshot = &label;
+            let active_snapshot = &active;
+            let candidates =
+                runner.for_each_shard(&grid, TraversalOrder::RowMajor, |engine, shard| {
+                    let mut cands: Vec<(u32, u32)> = Vec::new();
+                    for chunk in shard.edges().chunks(capacity) {
+                        if !chunk.iter().any(|e| active_snapshot[e.src.index()]) {
                             continue;
                         }
-                        engine.attr_read(4);
-                        let hits = engine.search_src(src);
-                        // Single unit column: out[row] = label(src) × 1.
-                        let results = engine.propagate_rows(&hits, &[0], &[label[src.index()]])?;
-                        for (row, pushed) in results {
-                            let dst = block.edge(row).dst;
-                            let pushed = pushed as u32;
-                            if engine
-                                .sfu_less_than(f64::from(pushed), f64::from(label[dst.index()]))
-                            {
-                                label[dst.index()] = pushed;
-                                engine.attr_write(4);
-                                next[dst.index()] = true;
-                                changed = true;
+                        let block = engine.load_block(chunk, CellLayout::Preset)?;
+                        for &src in &block.distinct_srcs().to_vec() {
+                            if !active_snapshot[src.index()] {
+                                continue;
+                            }
+                            engine.attr_read(4);
+                            let hits = engine.search_src(src);
+                            // Single unit column: out[row] = label(src) × 1.
+                            let results = engine.propagate_rows(
+                                &hits,
+                                &[0],
+                                &[label_snapshot[src.index()]],
+                            )?;
+                            for (row, pushed) in results {
+                                cands.push((block.edge(row).dst.raw(), pushed as u32));
                             }
                         }
                     }
+                    Ok(cands)
+                })?;
+
+            let engine = runner.engine();
+            let mut next = vec![false; n];
+            let mut changed = false;
+            for cands in &candidates {
+                for &(dst, pushed) in cands {
+                    let v = dst as usize;
+                    if engine.sfu_less_than(f64::from(pushed), f64::from(label[v])) {
+                        label[v] = pushed;
+                        engine.attr_write(4);
+                        next[v] = true;
+                        changed = true;
+                    }
                 }
             }
-            engine.end_block();
             supersteps += 1;
             if !changed || supersteps as usize > n {
                 break;
             }
             active = next;
         }
-        engine.output_write(4 * n as u64);
+        runner.engine().output_write(4 * n as u64);
 
         Ok(AlgoRun {
             output: label,

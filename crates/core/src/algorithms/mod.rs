@@ -29,6 +29,7 @@ pub use sssp::Sssp;
 
 use crate::engine::Engine;
 use crate::error::CoreError;
+use crate::sharded::ShardRunner;
 
 /// Result of executing an algorithm: its output plus the iteration count
 /// the engine ran (supersteps / epochs).
@@ -62,6 +63,24 @@ pub trait Algorithm {
     fn execute(
         &self,
         engine: &mut Engine,
+        input: &Self::Input,
+    ) -> Result<AlgoRun<Self::Output>, CoreError>;
+}
+
+/// An algorithm whose supersteps decompose into pure per-shard passes
+/// (snapshot state in, candidate updates out) plus a sequential reduce —
+/// executable serially on an [`Engine`] or in parallel on a
+/// [`crate::sharded::ShardedEngine`], with identical results and cost
+/// accounting either way.
+pub trait ShardableAlgorithm: Algorithm {
+    /// Executes the algorithm on any [`ShardRunner`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on invalid inputs or device failures.
+    fn execute_on<R: ShardRunner>(
+        &self,
+        runner: &mut R,
         input: &Self::Input,
     ) -> Result<AlgoRun<Self::Output>, CoreError>;
 }

@@ -4,9 +4,10 @@ use gaasx_graph::partition::TraversalOrder;
 use gaasx_graph::{CooGraph, Edge};
 use gaasx_xbar::fixed::Quantizer;
 
-use crate::algorithms::{AlgoRun, Algorithm};
+use crate::algorithms::{AlgoRun, Algorithm, ShardableAlgorithm};
 use crate::engine::{partition_for_streaming, CellLayout, Engine};
 use crate::error::CoreError;
+use crate::sharded::ShardRunner;
 
 /// PageRank on GaaS-X.
 ///
@@ -67,6 +68,16 @@ impl Algorithm for PageRank {
         engine: &mut Engine,
         graph: &CooGraph,
     ) -> Result<AlgoRun<Vec<f64>>, CoreError> {
+        self.execute_on(engine, graph)
+    }
+}
+
+impl ShardableAlgorithm for PageRank {
+    fn execute_on<R: ShardRunner>(
+        &self,
+        runner: &mut R,
+        graph: &CooGraph,
+    ) -> Result<AlgoRun<Vec<f64>>, CoreError> {
         if !(0.0..=1.0).contains(&self.damping) {
             return Err(CoreError::InvalidInput(format!(
                 "damping {} outside [0, 1]",
@@ -82,7 +93,7 @@ impl Algorithm for PageRank {
         }
         let out_deg = graph.out_degrees();
         // Reciprocal out-degrees are static across iterations; 1/deg ∈ (0, 1].
-        let w_quant = Quantizer::for_max_value(1.0, engine.weight_bits())?;
+        let w_quant = Quantizer::for_max_value(1.0, runner.engine().weight_bits())?;
         let inv_deg_code: Vec<u32> = out_deg
             .iter()
             .map(|&d| {
@@ -95,7 +106,7 @@ impl Algorithm for PageRank {
             .collect();
 
         let grid = partition_for_streaming(graph)?;
-        let capacity = engine.block_capacity();
+        let capacity = runner.engine().block_capacity();
         let mut ranks = vec![1.0f64; n];
         let mut iterations = 0;
 
@@ -103,28 +114,45 @@ impl Algorithm for PageRank {
             // Input codes must cover the current rank range.
             let max_rank = ranks.iter().cloned().fold(1.0f64, f64::max);
             let r_quant = Quantizer::for_max_value((max_rank * 1.05) as f32, 16)?;
-            let mut acc = vec![0.0f64; n];
 
             // Column-major shard streaming: destinations of a shard are
             // contiguous, so gathered updates stay in the attribute buffer.
-            for shard in grid.stream(TraversalOrder::ColumnMajor) {
-                for chunk in shard.edges().chunks(capacity) {
-                    let cells = |e: &Edge| vec![inv_deg_code[e.src.index()]];
-                    let block = engine.load_block(chunk, CellLayout::PerEdge(&cells))?;
-                    for &dst in &block.distinct_dsts().to_vec() {
-                        let hits = engine.search_dst(dst);
-                        let code = engine.gather_rows(
-                            &hits,
-                            &mut |row| r_quant.encode(ranks[block.edge(row).src.index()] as f32),
-                            0,
-                        )?;
-                        let sum = f64::from(r_quant.decode_product_sum(&w_quant, code));
-                        acc[dst.index()] = engine.sfu_add(acc[dst.index()], sum);
-                        engine.attr_write(8);
+            // The pass reads the previous iteration's ranks (a snapshot)
+            // and emits `(dst, Σ rank/deg)` contributions per shard.
+            let ranks_snapshot = &ranks;
+            let contributions =
+                runner.for_each_shard(&grid, TraversalOrder::ColumnMajor, |engine, shard| {
+                    let mut contribs: Vec<(u32, f64)> = Vec::new();
+                    for chunk in shard.edges().chunks(capacity) {
+                        let cells = |e: &Edge| vec![inv_deg_code[e.src.index()]];
+                        let block = engine.load_block(chunk, CellLayout::PerEdge(&cells))?;
+                        for &dst in &block.distinct_dsts().to_vec() {
+                            let hits = engine.search_dst(dst);
+                            let code = engine.gather_rows(
+                                &hits,
+                                &mut |row| {
+                                    r_quant
+                                        .encode(ranks_snapshot[block.edge(row).src.index()] as f32)
+                                },
+                                0,
+                            )?;
+                            let sum = f64::from(r_quant.decode_product_sum(&w_quant, code));
+                            contribs.push((dst.raw(), sum));
+                        }
                     }
+                    Ok(contribs)
+                })?;
+
+            // Sequential reduce in canonical shard order on the primary.
+            let engine = runner.engine();
+            let mut acc = vec![0.0f64; n];
+            for contribs in &contributions {
+                for &(dst, sum) in contribs {
+                    let v = dst as usize;
+                    acc[v] = engine.sfu_add(acc[v], sum);
+                    engine.attr_write(8);
                 }
             }
-            engine.end_block();
 
             // Apply phase: rank(V) = (1 − α) + α · Σ.
             iterations += 1;

@@ -4,9 +4,10 @@ use gaasx_graph::partition::TraversalOrder;
 use gaasx_graph::{CooGraph, Edge, VertexId};
 use gaasx_xbar::fixed::Quantizer;
 
-use crate::algorithms::{AlgoRun, Algorithm};
+use crate::algorithms::{AlgoRun, Algorithm, ShardableAlgorithm};
 use crate::engine::{partition_for_streaming, CellLayout, Engine};
 use crate::error::CoreError;
+use crate::sharded::ShardRunner;
 
 /// Largest distance encodable as a 16-bit MAC input code.
 const MAX_ENCODABLE_DIST: f64 = 65_534.0;
@@ -65,6 +66,16 @@ impl Algorithm for Sssp {
         engine: &mut Engine,
         graph: &CooGraph,
     ) -> Result<AlgoRun<Vec<f64>>, CoreError> {
+        self.execute_on(engine, graph)
+    }
+}
+
+impl ShardableAlgorithm for Sssp {
+    fn execute_on<R: ShardRunner>(
+        &self,
+        runner: &mut R,
+        graph: &CooGraph,
+    ) -> Result<AlgoRun<Vec<f64>>, CoreError> {
         let n = graph.num_vertices() as usize;
         if self.source.index() >= n {
             return Err(CoreError::InvalidInput(format!(
@@ -79,9 +90,9 @@ impl Algorithm for Sssp {
                 )));
             }
         }
-        let w_quant = Quantizer::new(1.0, engine.weight_bits())?;
+        let w_quant = Quantizer::new(1.0, runner.engine().weight_bits())?;
         let grid = partition_for_streaming(graph)?;
-        let capacity = engine.block_capacity();
+        let capacity = runner.engine().block_capacity();
 
         let mut dist = vec![f64::INFINITY; n];
         dist[self.source.index()] = 0.0;
@@ -91,51 +102,65 @@ impl Algorithm for Sssp {
         let bound = (n as u32).saturating_sub(1).max(1);
 
         for _ in 0..bound.min(self.max_supersteps) {
-            let mut next = vec![false; n];
-            let mut changed = false;
             // Row-major shard streaming: sources of a shard are contiguous.
-            for shard in grid.stream(TraversalOrder::RowMajor) {
-                for chunk in shard.edges().chunks(capacity) {
-                    if !chunk.iter().any(|e| active[e.src.index()]) {
-                        continue;
-                    }
-                    let cells = |e: &Edge| vec![w_quant.encode(e.weight), 1];
-                    let block = engine.load_block(chunk, CellLayout::PerEdge(&cells))?;
-                    for &src in &block.distinct_srcs().to_vec() {
-                        if !active[src.index()] {
+            // Each shard pass reads the superstep-start distances (Jacobi
+            // snapshot) and emits `(dst, candidate)` relaxations; the
+            // sequential reduce below takes the mins. The V−1 Bellman–Ford
+            // bound holds for snapshot relaxation too.
+            let dist_snapshot = &dist;
+            let active_snapshot = &active;
+            let candidates =
+                runner.for_each_shard(&grid, TraversalOrder::RowMajor, |engine, shard| {
+                    let mut cands: Vec<(u32, f64)> = Vec::new();
+                    for chunk in shard.edges().chunks(capacity) {
+                        if !chunk.iter().any(|e| active_snapshot[e.src.index()]) {
                             continue;
                         }
-                        let d = dist[src.index()];
-                        engine.attr_read(8);
-                        if !d.is_finite() || d > MAX_ENCODABLE_DIST {
-                            continue;
-                        }
-                        let hits = engine.search_src(src);
-                        // α = 1 drives the weight column; dist(U) drives the
-                        // ones column.
-                        let results =
-                            engine.propagate_rows(&hits, &[0, 1], &[1, d.round() as u32])?;
-                        for (row, sum) in results {
-                            let dst = block.edge(row).dst;
-                            let cand = sum as f64;
-                            if engine.sfu_less_than(cand, dist[dst.index()]) {
-                                dist[dst.index()] = engine.sfu_min(cand, dist[dst.index()]);
-                                engine.attr_write(8);
-                                next[dst.index()] = true;
-                                changed = true;
+                        let cells = |e: &Edge| vec![w_quant.encode(e.weight), 1];
+                        let block = engine.load_block(chunk, CellLayout::PerEdge(&cells))?;
+                        for &src in &block.distinct_srcs().to_vec() {
+                            if !active_snapshot[src.index()] {
+                                continue;
+                            }
+                            let d = dist_snapshot[src.index()];
+                            engine.attr_read(8);
+                            if !d.is_finite() || d > MAX_ENCODABLE_DIST {
+                                continue;
+                            }
+                            let hits = engine.search_src(src);
+                            // α = 1 drives the weight column; dist(U) drives
+                            // the ones column.
+                            let results =
+                                engine.propagate_rows(&hits, &[0, 1], &[1, d.round() as u32])?;
+                            for (row, sum) in results {
+                                cands.push((block.edge(row).dst.raw(), sum as f64));
                             }
                         }
                     }
+                    Ok(cands)
+                })?;
+
+            let engine = runner.engine();
+            let mut next = vec![false; n];
+            let mut changed = false;
+            for cands in &candidates {
+                for &(dst, cand) in cands {
+                    let v = dst as usize;
+                    if engine.sfu_less_than(cand, dist[v]) {
+                        dist[v] = engine.sfu_min(cand, dist[v]);
+                        engine.attr_write(8);
+                        next[v] = true;
+                        changed = true;
+                    }
                 }
             }
-            engine.end_block();
             supersteps += 1;
             if !changed {
                 break;
             }
             active = next;
         }
-        engine.output_write(8 * n as u64);
+        runner.engine().output_write(8 * n as u64);
 
         Ok(AlgoRun {
             output: dist,

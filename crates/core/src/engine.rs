@@ -104,7 +104,7 @@ impl Block {
 }
 
 #[derive(Debug, Clone, Copy, Default)]
-struct BlockCost {
+pub(crate) struct BlockCost {
     stream_bytes: u64,
     program_ns: f64,
     compute_ns: f64,
@@ -231,16 +231,20 @@ impl Engine {
     /// counting writes — one-time array configuration (BFS's all-ones
     /// weight columns).
     ///
+    /// Uses the uncounted preload path so any MAC statistics accumulated
+    /// *before* the preset survive it. (An earlier implementation probed
+    /// with counted writes and then reset the stats, silently wiping all
+    /// prior device activity whenever work preceded the preset.)
+    ///
     /// # Errors
     ///
     /// Returns a device error if `code` exceeds the cell range.
     pub fn preset_mac(&mut self, code: u32) -> Result<(), CoreError> {
         let g = self.config.mac_geometry;
-        // Validate the code once via a counted-then-reset probe write.
+        let codes = vec![code; g.cols];
         for row in 0..g.rows {
-            self.mac.write_row(row, &vec![code; g.cols])?;
+            self.mac.preload_row(row, &codes)?;
         }
-        self.mac.reset_stats();
         Ok(())
     }
 
@@ -352,15 +356,16 @@ impl Engine {
     ) -> Result<u64, CoreError> {
         let mut total: u64 = 0;
         let mut first = true;
-        for chunk in hits.chunks(self.config.mac_geometry.max_active_rows) {
-            let inputs: Vec<u32> = chunk
-                .iter()
-                .map(|&row| {
-                    self.attr_buf.read(4);
-                    input(row)
-                })
-                .collect();
-            let out = self.mac.mac(MacDirection::RowsToColumns, &chunk, &inputs)?;
+        let cap = self.config.mac_geometry.max_active_rows;
+        let mut inputs: Vec<u32> = Vec::with_capacity(cap);
+        let mut chunks = hits.chunks_iter(cap);
+        while let Some(chunk) = chunks.next_chunk() {
+            inputs.clear();
+            for &row in chunk {
+                self.attr_buf.read(4);
+                inputs.push(input(row));
+            }
+            let out = self.mac.mac(MacDirection::RowsToColumns, chunk, &inputs)?;
             self.rows_per_mac.record(chunk.len());
             let ns = self.config.energy.mac_op_ns;
             self.current.add_phase(Phase::MacGather, ns);
@@ -390,9 +395,15 @@ impl Engine {
         cols: &[usize],
         col_inputs: &[u32],
     ) -> Result<Vec<(usize, u64)>, CoreError> {
+        // No hits means no MAC burst — and no attribute fetch either: the
+        // controller only stages the column inputs once a burst is issued.
+        if !hits.any() {
+            return Ok(Vec::new());
+        }
         let mut results = Vec::with_capacity(hits.count());
         self.attr_buf.read(4 * col_inputs.len() as u64);
-        for chunk in hits.chunks(self.config.mac_geometry.max_active_rows) {
+        let mut chunks = hits.chunks_iter(self.config.mac_geometry.max_active_rows);
+        while let Some(chunk) = chunks.next_chunk() {
             let out = self
                 .mac
                 .mac(MacDirection::ColumnsToRows, cols, col_inputs)?;
@@ -401,7 +412,7 @@ impl Engine {
             self.current.add_phase(Phase::MacPropagate, ns);
             self.trace_op(Phase::MacPropagate, ns);
             self.compute_items += chunk.len() as u64;
-            for &row in &chunk {
+            for &row in chunk {
                 results.push((row, out[row]));
             }
         }
@@ -532,8 +543,7 @@ impl Engine {
 
     fn sfu_add_u64(&mut self, a: u64, b: u64) -> u64 {
         self.sfu_cost();
-        self.sfu.add(a as f64, b as f64);
-        a + b
+        self.sfu.add_u64(a, b)
     }
 
     /// SFU scalar multiply.
@@ -575,6 +585,56 @@ impl Engine {
             self.costs.push(self.current);
             self.current = BlockCost::default();
             self.in_block = false;
+        }
+    }
+
+    /// Drains every committed block cost (closing any open block first).
+    /// The sharded layer calls this on worker engines after each shard so
+    /// the costs can be re-appended to the primary engine in canonical
+    /// shard-stream order — which is what makes the merged wave schedule
+    /// bit-identical to a serial run.
+    pub(crate) fn take_costs(&mut self) -> Vec<BlockCost> {
+        self.end_block();
+        std::mem::take(&mut self.costs)
+    }
+
+    /// Appends block costs drained from a worker engine, preserving order.
+    pub(crate) fn append_costs(&mut self, costs: impl IntoIterator<Item = BlockCost>) {
+        debug_assert!(!self.in_block, "close the primary's open block first");
+        self.costs.extend(costs);
+    }
+
+    /// Absorbs the functional activity of a sibling worker engine: device
+    /// stats, SFU counters, buffer traffic, the rows-per-MAC histogram,
+    /// phase tallies, and out-of-block extras. Block costs travel
+    /// separately — in canonical stream order — via
+    /// [`Engine::take_costs`] / [`Engine::append_costs`].
+    pub(crate) fn absorb_functional(&mut self, worker: &Engine) {
+        debug_assert!(
+            !worker.in_block && worker.costs.is_empty(),
+            "drain worker costs before absorbing"
+        );
+        self.cam.merge_stats(worker.cam.stats());
+        self.mac.merge_stats(worker.mac.stats());
+        self.aux_mac.merge_stats(worker.aux_mac.stats());
+        self.sfu.merge(&worker.sfu);
+        self.input_buf.merge(&worker.input_buf);
+        self.output_buf.merge(&worker.output_buf);
+        self.attr_buf.merge(&worker.attr_buf);
+        self.rows_per_mac.merge(&worker.rows_per_mac);
+        for (acc, v) in self.phase_counts.iter_mut().zip(worker.phase_counts.iter()) {
+            *acc += v;
+        }
+        self.compute_items += worker.compute_items;
+        self.extra_aux_row_writes += worker.extra_aux_row_writes;
+        self.extra_aux_cells += worker.extra_aux_cells;
+        self.extra_ns += worker.extra_ns;
+        for (acc, v) in self
+            .extra_phase_ns
+            .iter_mut()
+            .zip(worker.extra_phase_ns.iter())
+        {
+            *acc += v;
         }
     }
 
@@ -1096,7 +1156,69 @@ mod tests {
         assert_eq!(hits.count(), 0);
         let sum = e.gather_rows(&hits, &mut |_| 1, 0).unwrap();
         assert_eq!(sum, 0);
+        let propagated = e.propagate_rows(&hits, &[0, 1], &[1, 5]).unwrap();
+        assert!(propagated.is_empty());
         let r = e.finish("t", "t", "t", 1, 8);
         assert_eq!(r.ops.mac_ops, 0);
+        // Baseline engine that only loads the block: the empty gather and
+        // propagate must add no buffer traffic on top of the load (the
+        // propagate used to charge an attribute-buffer read for its column
+        // inputs even when the hit vector was empty).
+        let mut base = engine();
+        let _b = fig7_block(&mut base);
+        let rb = base.finish("t", "t", "t", 1, 8);
+        assert_eq!(r.ops.buffer_accesses, rb.ops.buffer_accesses);
+    }
+
+    #[test]
+    fn preset_preserves_prior_mac_stats() {
+        let mut e = engine();
+        let _b = fig7_block(&mut e);
+        let hits = e.search_dst(VertexId::new(1));
+        let _ = e.gather_rows(&hits, &mut |_| 1, 0).unwrap();
+        let before = e.mac.stats().clone();
+        assert!(before.cells_written > 0);
+        assert!(before.mac_ops > 0);
+        // The preset used to probe with counted writes and then call
+        // `reset_stats`, wiping every MAC counter accumulated so far.
+        e.preset_mac(1).unwrap();
+        assert_eq!(e.mac.stats(), &before);
+    }
+
+    #[test]
+    fn sfu_add_u64_saturates_instead_of_overflowing() {
+        let mut e = engine();
+        // `u64::MAX + 5` panics in debug builds with a plain `+`.
+        assert_eq!(e.sfu_add_u64(u64::MAX, 5), u64::MAX);
+        assert_eq!(e.sfu_add_u64(7, 8), 15);
+        assert_eq!(e.sfu.breakdown().0, 2, "both adds are charged");
+    }
+
+    #[test]
+    fn absorb_functional_matches_local_activity() {
+        // Running a workload on one engine must equal running it on a
+        // worker and absorbing the worker into an idle primary.
+        let run = |e: &mut Engine| {
+            let _b = fig7_block(e);
+            let hits = e.search_dst(VertexId::new(1));
+            let _ = e.gather_rows(&hits, &mut |_| 1, 0).unwrap();
+            e.attr_write(8);
+        };
+        let mut serial = engine();
+        run(&mut serial);
+        let want = serial.finish("t", "t", "t", 1, 8);
+
+        let mut primary = engine();
+        let mut worker = engine();
+        run(&mut worker);
+        let costs = worker.take_costs();
+        primary.absorb_functional(&worker);
+        primary.append_costs(costs);
+        let got = primary.finish("t", "t", "t", 1, 8);
+
+        assert_eq!(got.ops, want.ops);
+        assert_eq!(got.elapsed_ns, want.elapsed_ns);
+        assert_eq!(got.energy.total_nj(), want.energy.total_nj());
+        assert_eq!(got.rows_per_mac, want.rows_per_mac);
     }
 }

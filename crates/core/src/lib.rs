@@ -43,8 +43,11 @@ mod sfu;
 pub mod algorithms;
 pub mod config;
 pub mod engine;
+pub mod sharded;
 
 pub use accelerator::{GaasX, RunOutcome};
+pub use algorithms::ShardableAlgorithm;
 pub use config::GaasXConfig;
 pub use error::CoreError;
 pub use sfu::Sfu;
+pub use sharded::{ShardRunner, ShardedEngine};

@@ -29,6 +29,18 @@ impl Sfu {
         a + b
     }
 
+    /// Unsigned accumulator addition, saturating at `u64::MAX`.
+    ///
+    /// The hardware accumulator has a finite width; a wide high-weight
+    /// gather that overflows it clamps instead of wrapping (or panicking
+    /// in a debug build). Counted — and charged by the energy model — as
+    /// one add regardless of saturation: a clamped add still cycles the
+    /// adder once.
+    pub fn add_u64(&mut self, a: u64, b: u64) -> u64 {
+        self.adds += 1;
+        a.saturating_add(b)
+    }
+
     /// Scalar multiplication.
     pub fn mul(&mut self, a: f64, b: f64) -> f64 {
         self.muls += 1;
@@ -57,6 +69,15 @@ impl Sfu {
         (self.adds, self.muls, self.mins, self.cmps)
     }
 
+    /// Adds another SFU's counters into this one — used when a primary
+    /// engine absorbs the arithmetic issued by sibling worker engines.
+    pub fn merge(&mut self, other: &Sfu) {
+        self.adds += other.adds;
+        self.muls += other.muls;
+        self.mins += other.mins;
+        self.cmps += other.cmps;
+    }
+
     /// Resets the counters.
     pub fn reset(&mut self) {
         *self = Sfu::default();
@@ -76,6 +97,28 @@ mod tests {
         assert!(s.less_than(1.0, 2.0));
         assert_eq!(s.total_ops(), 4);
         assert_eq!(s.breakdown(), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn add_u64_saturates_and_counts() {
+        let mut s = Sfu::new();
+        assert_eq!(s.add_u64(3, 4), 7);
+        assert_eq!(s.add_u64(u64::MAX, 5), u64::MAX);
+        assert_eq!(s.breakdown().0, 2, "saturated add still counts once");
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = Sfu::new();
+        a.add(1.0, 1.0);
+        a.min(1.0, 2.0);
+        let mut b = Sfu::new();
+        b.mul(2.0, 2.0);
+        b.less_than(1.0, 2.0);
+        b.add_u64(1, 2);
+        a.merge(&b);
+        assert_eq!(a.breakdown(), (2, 1, 1, 1));
+        assert_eq!(a.total_ops(), 5);
     }
 
     #[test]

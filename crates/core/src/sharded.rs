@@ -1,0 +1,389 @@
+//! Parallel sharded execution: one block stream, many worker engines.
+//!
+//! The grid partition's shard stream is embarrassingly parallel on the
+//! *functional* side — each shard's blocks load into their own bank pair
+//! and never touch another shard's device state — while the *timing* side
+//! (wave scheduling, static energy, phase attribution) is a global fold
+//! over the block-cost stream in canonical order. [`ShardedEngine`]
+//! exploits exactly that split:
+//!
+//! * shards are dealt round-robin to `jobs` worker [`Engine`]s, each
+//!   running on its own OS thread (scoped; no `'static` bounds needed);
+//! * every worker drains its committed [`BlockCost`]s after each shard,
+//!   and the merge re-appends them to the full-bank *primary* engine in
+//!   canonical shard-stream order;
+//! * worker device stats, SFU counters, buffer traffic, and histograms
+//!   are absorbed into the primary, whose single `finish` then computes
+//!   the makespan and energy exactly as a serial run would.
+//!
+//! For noise-free configurations the merged [`gaasx_sim::RunReport`] is
+//! bit-identical to the serial one: the block-cost sequence — the only
+//! input to the scheduler — is reassembled in the same order, and every
+//! counter is an integer sum or an order-preserved f64 fold. (With
+//! conductance noise enabled, per-device RNG draws depend on which engine
+//! executed a shard, so only then do results diverge.)
+//!
+//! Algorithms opt in through [`ShardRunner`]: they express each superstep
+//! as a *pure-per-shard* pass (snapshot state in, candidate updates out)
+//! followed by a sequential reduce on the primary engine. [`Engine`]
+//! itself implements the trait by running shards inline, so the serial
+//! and sharded paths share one algorithm body.
+
+use std::sync::Arc;
+
+use gaasx_graph::partition::{GridPartition, Shard, TraversalOrder};
+use gaasx_sim::{MemorySink, RunReport, Tracer};
+
+use crate::config::GaasXConfig;
+use crate::engine::{BlockCost, Engine};
+use crate::error::CoreError;
+
+/// Executes the per-shard passes of a shardable algorithm.
+///
+/// Not object-safe (the shard callback is generic); algorithms take
+/// `&mut R where R: ShardRunner` instead of a trait object.
+pub trait ShardRunner {
+    /// The engine that owns the merged schedule and runs the sequential
+    /// reduce / apply phases between shard passes.
+    fn engine(&mut self) -> &mut Engine;
+
+    /// Presets every MAC weight cell on *all* engines (primary and
+    /// workers) to `code` — see [`Engine::preset_mac`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a device error if `code` exceeds the cell range.
+    fn preset_mac(&mut self, code: u32) -> Result<(), CoreError>;
+
+    /// Runs `f` once per non-empty shard of `grid` in the given streaming
+    /// order and returns the per-shard results in canonical stream order.
+    ///
+    /// `f` must be pure with respect to shared algorithm state: it may
+    /// read captured snapshots but must report updates through its return
+    /// value — shards may execute concurrently on different engines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard failure (by canonical order within the
+    /// lowest-indexed failing worker).
+    fn for_each_shard<T, F>(
+        &mut self,
+        grid: &GridPartition,
+        order: TraversalOrder,
+        f: F,
+    ) -> Result<Vec<T>, CoreError>
+    where
+        T: Send,
+        F: Fn(&mut Engine, &Shard) -> Result<T, CoreError> + Sync;
+}
+
+impl ShardRunner for Engine {
+    fn engine(&mut self) -> &mut Engine {
+        self
+    }
+
+    fn preset_mac(&mut self, code: u32) -> Result<(), CoreError> {
+        Engine::preset_mac(self, code)
+    }
+
+    fn for_each_shard<T, F>(
+        &mut self,
+        grid: &GridPartition,
+        order: TraversalOrder,
+        f: F,
+    ) -> Result<Vec<T>, CoreError>
+    where
+        T: Send,
+        F: Fn(&mut Engine, &Shard) -> Result<T, CoreError> + Sync,
+    {
+        let mut results = Vec::with_capacity(grid.num_nonempty_shards());
+        for (_, shard) in grid.stream_indexed(order) {
+            let r = f(self, shard)?;
+            // Close the shard's trailing block so the serial cost stream
+            // has the same block boundaries the sharded merge reassembles.
+            self.end_block();
+            results.push(r);
+        }
+        Ok(results)
+    }
+}
+
+/// A primary engine plus `jobs` worker engines executing the shard stream
+/// in parallel (see the module docs for the merge model).
+#[derive(Debug)]
+pub struct ShardedEngine {
+    primary: Engine,
+    workers: Vec<Engine>,
+    /// One span buffer per worker, present only while the primary tracer
+    /// observes spans; drained (in worker order) into the primary's sinks
+    /// at finish.
+    sinks: Vec<Option<Arc<MemorySink>>>,
+}
+
+impl ShardedEngine {
+    /// Builds a sharded engine: a primary with the full bank count and
+    /// `jobs` workers with `num_banks / jobs` banks each (at least one).
+    /// `jobs == 0` is clamped to 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the configuration is
+    /// inconsistent.
+    pub fn new(config: GaasXConfig, jobs: usize) -> Result<Self, CoreError> {
+        let jobs = jobs.max(1);
+        let primary = Engine::new(config.clone())?;
+        let worker_config = GaasXConfig {
+            num_banks: (config.num_banks / jobs).max(1),
+            ..config
+        };
+        let workers = (0..jobs)
+            .map(|_| Engine::new(worker_config.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedEngine {
+            primary,
+            workers,
+            sinks: vec![None; jobs],
+        })
+    }
+
+    /// Number of worker threads the shard stream fans out over.
+    pub fn jobs(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Attaches a tracer to the primary engine. When it observes spans,
+    /// each worker records its spans into a private [`MemorySink`] whose
+    /// events are replayed through the primary tracer at [`finish`]
+    /// (worker order, so the merged stream is deterministic).
+    ///
+    /// [`finish`]: ShardedEngine::finish
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        let record_spans = tracer.observes_spans();
+        self.primary.set_tracer(tracer);
+        for (worker, slot) in self.workers.iter_mut().zip(self.sinks.iter_mut()) {
+            if record_spans {
+                let sink = Arc::new(MemorySink::new());
+                worker.set_tracer(Tracer::with_sink(sink.clone()));
+                *slot = Some(sink);
+            } else {
+                worker.set_tracer(Tracer::null());
+                *slot = None;
+            }
+        }
+    }
+
+    /// Merges every worker into the primary and assembles the final
+    /// report — see [`Engine::finish`].
+    pub fn finish(
+        &mut self,
+        engine: &str,
+        algorithm: &str,
+        workload: &str,
+        iterations: u32,
+        num_edges: u64,
+    ) -> RunReport {
+        for worker in &mut self.workers {
+            worker.end_block();
+        }
+        for worker in &self.workers {
+            self.primary.absorb_functional(worker);
+        }
+        for sink in self.sinks.iter().flatten() {
+            for event in sink.take_events() {
+                self.primary.tracer().replay_span(&event);
+            }
+        }
+        self.primary
+            .finish(engine, algorithm, workload, iterations, num_edges)
+    }
+}
+
+impl ShardRunner for ShardedEngine {
+    fn engine(&mut self) -> &mut Engine {
+        &mut self.primary
+    }
+
+    fn preset_mac(&mut self, code: u32) -> Result<(), CoreError> {
+        self.primary.preset_mac(code)?;
+        for worker in &mut self.workers {
+            worker.preset_mac(code)?;
+        }
+        Ok(())
+    }
+
+    fn for_each_shard<T, F>(
+        &mut self,
+        grid: &GridPartition,
+        order: TraversalOrder,
+        f: F,
+    ) -> Result<Vec<T>, CoreError>
+    where
+        T: Send,
+        F: Fn(&mut Engine, &Shard) -> Result<T, CoreError> + Sync,
+    {
+        let shards: Vec<&Shard> = grid.stream(order).collect();
+        let jobs = self.workers.len();
+        let f = &f;
+        let shards_ref = &shards;
+
+        // Worker `j` takes shards j, j+J, j+2J, ... — round-robin keeps
+        // the assignment independent of worker speed, so reassembly needs
+        // no bookkeeping beyond the shard's stream position.
+        type ShardYield<T> = (usize, Vec<BlockCost>, T);
+        let per_worker: Vec<Result<Vec<ShardYield<T>>, CoreError>> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .workers
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(j, worker)| {
+                        scope.spawn(move || {
+                            let mut yielded = Vec::new();
+                            let mut pos = j;
+                            while pos < shards_ref.len() {
+                                let result = f(worker, shards_ref[pos])?;
+                                // Drain the shard's block costs immediately:
+                                // they are re-appended in stream order below.
+                                yielded.push((pos, worker.take_costs(), result));
+                                pos += jobs;
+                            }
+                            Ok(yielded)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            });
+
+        let mut slots: Vec<Option<(Vec<BlockCost>, T)>> = Vec::new();
+        slots.resize_with(shards.len(), || None);
+        for outcome in per_worker {
+            for (pos, costs, result) in outcome? {
+                slots[pos] = Some((costs, result));
+            }
+        }
+        let mut results = Vec::with_capacity(shards.len());
+        for slot in slots {
+            let (costs, result) = slot.expect("every shard position filled");
+            self.primary.append_costs(costs);
+            results.push(result);
+        }
+        Ok(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaasx_graph::{generators, Edge};
+    use gaasx_sim::AggregateSink;
+
+    use crate::engine::CellLayout;
+
+    fn grid(edges: usize, seed: u64) -> (gaasx_graph::CooGraph, GridPartition) {
+        let g =
+            generators::rmat(&generators::RmatConfig::new(1 << 7, edges).with_seed(seed)).unwrap();
+        let grid = crate::engine::partition_for_streaming(&g).unwrap();
+        (g, grid)
+    }
+
+    /// One gather pass over every shard, counting hits per shard.
+    fn gather_pass<R: ShardRunner>(runner: &mut R, grid: &GridPartition) -> Vec<u64> {
+        let capacity = runner.engine().block_capacity();
+        runner
+            .for_each_shard(grid, TraversalOrder::ColumnMajor, |engine, shard| {
+                let mut total = 0u64;
+                for chunk in shard.edges().chunks(capacity) {
+                    let cells = |e: &Edge| vec![e.weight as u32, 1];
+                    let block = engine.load_block(chunk, CellLayout::PerEdge(&cells))?;
+                    for &dst in &block.distinct_dsts().to_vec() {
+                        let hits = engine.search_dst(dst);
+                        total += engine.gather_rows(&hits, &mut |_| 1, 0)?;
+                    }
+                }
+                Ok(total)
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn sharded_report_is_bit_identical_to_serial() {
+        let (_, grid) = grid(1500, 7);
+        let mut serial = Engine::new(GaasXConfig::small()).unwrap();
+        let want_totals = gather_pass(&mut serial, &grid);
+        let want = serial.finish("t", "t", "t", 1, 1500);
+
+        for jobs in [1, 2, 4] {
+            let mut sharded = ShardedEngine::new(GaasXConfig::small(), jobs).unwrap();
+            let got_totals = gather_pass(&mut sharded, &grid);
+            let got = sharded.finish("t", "t", "t", 1, 1500);
+            assert_eq!(got_totals, want_totals, "jobs={jobs}");
+            assert_eq!(got.ops, want.ops, "jobs={jobs}");
+            assert_eq!(got.elapsed_ns, want.elapsed_ns, "jobs={jobs}");
+            assert_eq!(got.energy.total_nj(), want.energy.total_nj(), "jobs={jobs}");
+            assert_eq!(got.rows_per_mac, want.rows_per_mac, "jobs={jobs}");
+            for (a, b) in got.phases.iter().zip(want.phases.iter()) {
+                assert_eq!(a.phase, b.phase);
+                assert_eq!(a.sched_ns, b.sched_ns, "jobs={jobs} phase {:?}", a.phase);
+                assert_eq!(a.count, b.count);
+            }
+        }
+    }
+
+    #[test]
+    fn more_jobs_than_shards_still_covers_every_shard() {
+        let (_, g) = grid(300, 3);
+        let shards = g.num_nonempty_shards();
+        let mut sharded = ShardedEngine::new(GaasXConfig::small(), shards + 5).unwrap();
+        let totals = gather_pass(&mut sharded, &g);
+        assert_eq!(totals.len(), shards);
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one() {
+        let sharded = ShardedEngine::new(GaasXConfig::small(), 0).unwrap();
+        assert_eq!(sharded.jobs(), 1);
+    }
+
+    #[test]
+    fn worker_errors_surface() {
+        let (_, g) = grid(400, 9);
+        let mut sharded = ShardedEngine::new(GaasXConfig::small(), 2).unwrap();
+        let r = sharded.for_each_shard(&g, TraversalOrder::RowMajor, |engine, shard| {
+            // Force a block-capacity failure on a real shard.
+            let too_big = vec![Edge::unweighted(0, 1); engine.block_capacity() + 1];
+            let _ = shard;
+            engine.load_block(&too_big, CellLayout::Preset).map(|_| ())
+        });
+        assert!(matches!(r, Err(CoreError::InvalidInput(_))));
+    }
+
+    #[test]
+    fn worker_spans_replay_through_the_primary_tracer() {
+        let (_, g) = grid(600, 11);
+        let agg = Arc::new(AggregateSink::new());
+        let mut serial = Engine::new(GaasXConfig::small()).unwrap();
+        let _ = gather_pass(&mut serial, &g);
+        let serial_report = serial.finish("t", "t", "t", 1, 600);
+
+        let mut sharded = ShardedEngine::new(GaasXConfig::small(), 3).unwrap();
+        sharded.set_tracer(Tracer::with_sink(agg.clone()));
+        let _ = gather_pass(&mut sharded, &g);
+        let report = sharded.finish("t", "t", "t", 1, 600);
+        assert_eq!(report.ops, serial_report.ops);
+
+        // Span counts per phase match the merged report's op tallies.
+        let rollup = agg.phase_rollup();
+        for phase in [gaasx_sim::Phase::CamSearch, gaasx_sim::Phase::MacGather] {
+            let seen = rollup.iter().find(|p| p.phase == phase).unwrap();
+            assert_eq!(seen.count, report.phase(phase).unwrap().count, "{phase:?}");
+        }
+        // The metrics registry carries the merged op counters.
+        assert_eq!(
+            sharded.primary.tracer().metrics().unwrap().op_summary(),
+            report.ops
+        );
+    }
+}

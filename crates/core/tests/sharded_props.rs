@@ -1,0 +1,80 @@
+//! Property tests for the sharded execution layer: for any RMAT graph and
+//! any worker count, the merged [`gaasx_core::ShardedEngine`] report must
+//! be **bit-identical** to the serial engine's — same op counts, same
+//! energy, same per-phase attribution — and the algorithm outputs must
+//! match exactly.
+
+use gaasx_core::algorithms::{Bfs, ConnectedComponents, PageRank, Sssp};
+use gaasx_core::{GaasX, GaasXConfig, ShardableAlgorithm};
+use gaasx_graph::generators::{rmat, RmatConfig};
+use gaasx_graph::{CooGraph, VertexId};
+use gaasx_sim::Phase;
+use proptest::prelude::*;
+
+fn graph_for(vertex_exp: u32, edges: usize, seed: u64) -> CooGraph {
+    rmat(&RmatConfig::new(1 << vertex_exp, edges).with_seed(seed)).unwrap()
+}
+
+/// Runs `algorithm` serially and with `jobs` shard workers, then checks
+/// output and full-report identity.
+fn assert_identical<A>(algorithm: &A, graph: &A::Input, jobs: usize)
+where
+    A: ShardableAlgorithm,
+    A::Output: PartialEq + std::fmt::Debug,
+{
+    let serial = GaasX::new(GaasXConfig::small())
+        .run(algorithm, graph)
+        .unwrap();
+    let sharded = GaasX::new(GaasXConfig::small())
+        .run_sharded(algorithm, graph, jobs)
+        .unwrap();
+
+    prop_assert_eq!(&sharded.result, &serial.result, "outputs diverged");
+    prop_assert_eq!(sharded.report.ops, serial.report.ops);
+    prop_assert_eq!(
+        sharded.report.elapsed_ns.to_bits(),
+        serial.report.elapsed_ns.to_bits(),
+        "elapsed {} vs {}",
+        sharded.report.elapsed_ns,
+        serial.report.elapsed_ns
+    );
+    prop_assert_eq!(sharded.report.energy, serial.report.energy);
+    for phase in Phase::ALL {
+        prop_assert_eq!(
+            sharded.report.phase(phase),
+            serial.report.phase(phase),
+            "phase {} diverged",
+            phase.name()
+        );
+    }
+    // Everything else (histograms, labels, iteration counts) too.
+    prop_assert_eq!(&sharded.report, &serial.report);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn pagerank_and_sssp_are_job_count_invariant(
+        vertex_exp in 5u32..8,
+        edges in 50usize..500,
+        seed in 0u64..1_000,
+        jobs in 2usize..5,
+    ) {
+        let graph = graph_for(vertex_exp, edges, seed);
+        assert_identical(&PageRank::fixed_iterations(3), &graph, jobs);
+        assert_identical(&Sssp::from_source(VertexId::new(0)), &graph, jobs);
+    }
+
+    #[test]
+    fn bfs_and_components_are_job_count_invariant(
+        vertex_exp in 5u32..7,
+        edges in 50usize..400,
+        seed in 0u64..1_000,
+        jobs in 2usize..5,
+    ) {
+        let graph = graph_for(vertex_exp, edges, seed);
+        assert_identical(&Bfs::from_source(VertexId::new(0)), &graph, jobs);
+        assert_identical(&ConnectedComponents::new(), &graph.symmetrized(), jobs);
+    }
+}

@@ -281,6 +281,17 @@ impl GridPartition {
 
     /// Iterates non-empty shards in the given streaming order.
     pub fn stream(&self, order: TraversalOrder) -> impl Iterator<Item = &Shard> + '_ {
+        self.stream_indexed(order).map(|(_, s)| s)
+    }
+
+    /// Iterates non-empty shards in the given streaming order, paired with
+    /// their canonical stream position `0..num_nonempty_shards()`. The
+    /// position is what a parallel executor keys on to reassemble
+    /// out-of-order per-shard results into the serial stream order.
+    pub fn stream_indexed(
+        &self,
+        order: TraversalOrder,
+    ) -> impl Iterator<Item = (usize, &Shard)> + '_ {
         let mut idx: Vec<usize> = (0..self.occupied.len()).collect();
         if order == TraversalOrder::ColumnMajor {
             idx.sort_by_key(|&i| {
@@ -288,7 +299,9 @@ impl GridPartition {
                 (c, r)
             });
         }
-        idx.into_iter().map(move |i| &self.occupied[i].1)
+        idx.into_iter()
+            .enumerate()
+            .map(move |(pos, i)| (pos, &self.occupied[i].1))
     }
 
     /// Number of non-empty shards.
@@ -371,6 +384,18 @@ mod tests {
             .sum();
         assert_eq!(row, g.num_edges());
         assert_eq!(col, g.num_edges());
+    }
+
+    #[test]
+    fn stream_indexed_positions_match_stream_order() {
+        let g = generators::rmat(&generators::RmatConfig::new(1 << 6, 400).with_seed(5)).unwrap();
+        let grid = GridPartition::new(&g, 8).unwrap();
+        for order in [TraversalOrder::RowMajor, TraversalOrder::ColumnMajor] {
+            let plain: Vec<&Shard> = grid.stream(order).collect();
+            for (pos, shard) in grid.stream_indexed(order) {
+                assert!(std::ptr::eq(plain[pos], shard), "position {pos} diverges");
+            }
+        }
     }
 
     #[test]

@@ -108,6 +108,16 @@ impl SramBuffer {
         self.accesses() as f64 * self.access_ns
     }
 
+    /// Adds another buffer's access counters into this one (the
+    /// configuration is untouched) — used when a primary engine absorbs
+    /// the buffer traffic of sibling worker engines after a sharded run.
+    pub fn merge(&mut self, other: &SramBuffer) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+    }
+
     /// Resets the counters, keeping the configuration.
     pub fn reset(&mut self) {
         self.reads = 0;
@@ -159,6 +169,25 @@ mod tests {
         let small = SramBuffer::input_16kb();
         let big = SramBuffer::attribute_512kb();
         assert!(big.read_energy_pj > small.read_energy_pj);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_energy() {
+        let mut a = SramBuffer::input_16kb();
+        let mut b = SramBuffer::input_16kb();
+        a.read(64);
+        b.read(64);
+        b.write(32);
+        let solo_energy = a.energy_nj();
+        a.merge(&b);
+        assert_eq!(a.accesses(), 5);
+        assert!(a.energy_nj() > solo_energy);
+        // Merging is equivalent to having issued the accesses locally.
+        let mut c = SramBuffer::input_16kb();
+        c.read(64);
+        c.read(64);
+        c.write(32);
+        assert_eq!(a, c);
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub use buffer::SramBuffer;
 pub use energy::EnergyBreakdown;
 pub use histogram::Histogram;
 pub use obs::{
-    attribute_makespan, AggregateSink, BankBreakdown, JsonlSink, MetricsRegistry, NullSink, Phase,
-    PhaseBreakdown, Sink, SpanEvent, Tracer,
+    attribute_makespan, AggregateSink, BankBreakdown, JsonlSink, MemorySink, MetricsRegistry,
+    NullSink, Phase, PhaseBreakdown, Sink, SpanEvent, Tracer,
 };
 pub use report::{OpSummary, RunReport};

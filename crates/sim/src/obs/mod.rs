@@ -43,7 +43,7 @@ use crate::report::OpSummary;
 mod sink;
 mod span;
 
-pub use sink::{AggregateSink, JsonlSink, NullSink, Sink};
+pub use sink::{AggregateSink, JsonlSink, MemorySink, NullSink, Sink};
 pub use span::{AttrValue, SpanEvent, SpanHandle};
 
 /// Execution phase a span or counter belongs to.
@@ -409,6 +409,37 @@ impl Tracer {
     /// `true` when spans/metrics are being recorded.
     pub fn enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// `true` when at least one sink actually consumes spans. A sharded
+    /// run uses this to skip buffering worker spans that the primary's
+    /// sinks would discard anyway.
+    pub fn observes_spans(&self) -> bool {
+        self.inner
+            .as_deref()
+            .is_some_and(|inner| inner.spans_active)
+    }
+
+    /// Re-emits a span captured elsewhere (typically from a worker
+    /// engine's [`MemorySink`]) into this tracer's sinks. The event keeps
+    /// its phase, timing, bank, and attributes but receives a fresh
+    /// sequence number on this tracer, and drops any parent link — replay
+    /// is a flat stream, worker-side nesting does not transfer.
+    pub fn replay_span(&self, event: &SpanEvent) {
+        if let Some(inner) = &self.inner {
+            if !inner.spans_active {
+                return;
+            }
+            let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+            let replayed = SpanEvent {
+                seq,
+                parent: None,
+                ..event.clone()
+            };
+            for sink in &inner.sinks {
+                sink.on_span(&replayed);
+            }
+        }
     }
 
     /// Opens a span for `phase` starting at `start_ns` on the engine's

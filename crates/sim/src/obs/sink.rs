@@ -163,6 +163,46 @@ impl Sink for AggregateSink {
     }
 }
 
+/// Buffers every span in memory, in arrival order.
+///
+/// The sharded execution layer attaches one `MemorySink` per worker
+/// engine: workers record spans on their private functional time axes,
+/// and at merge time the primary engine drains each buffer (worker order,
+/// so the merged stream is deterministic) and replays the events into its
+/// own sinks via [`super::Tracer::replay_span`].
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<SpanEvent>>,
+}
+
+impl MemorySink {
+    /// A fresh, empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drains the buffered spans in arrival order.
+    pub fn take_events(&self) -> Vec<SpanEvent> {
+        std::mem::take(&mut self.events.lock())
+    }
+
+    /// Number of spans currently buffered.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+impl Sink for MemorySink {
+    fn on_span(&self, event: &SpanEvent) {
+        self.events.lock().push(event.clone());
+    }
+}
+
 /// Streams one JSON object per event to a writer (JSON Lines).
 ///
 /// The format is hand-rolled (the workspace's serde is an offline shim —
@@ -282,6 +322,28 @@ mod tests {
         assert!(lines[1].contains("\"rows\":4"));
         assert!(lines[2].contains("\"type\":\"counter\""));
         assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn memory_sink_buffers_and_drains_in_order() {
+        let mem = Arc::new(MemorySink::new());
+        let t = Tracer::with_sink(mem.clone());
+        t.emit(Phase::CamSearch, 0.0, 4.0);
+        t.span(Phase::MacGather, 4.0).bank(2).end(34.0);
+        assert_eq!(mem.len(), 2);
+        let events = mem.take_events();
+        assert_eq!(events[0].phase, Phase::CamSearch);
+        assert_eq!(events[1].phase, Phase::MacGather);
+        assert_eq!(events[1].bank, Some(2));
+        assert!(mem.is_empty());
+        // Replaying into another tracer preserves phase/timing payloads.
+        let agg = Arc::new(AggregateSink::new());
+        let target = Tracer::with_sink(agg.clone());
+        for e in &events {
+            target.replay_span(e);
+        }
+        assert!((agg.total_busy_ns() - 34.0).abs() < 1e-12);
+        assert_eq!(agg.bank_rollup().len(), 1);
     }
 
     #[test]

@@ -171,6 +171,13 @@ impl CamCrossbar {
     pub fn reset_stats(&mut self) {
         self.stats = XbarStats::new();
     }
+
+    /// Adds externally accumulated counters into this device's stats —
+    /// how a primary engine absorbs the device activity of sibling worker
+    /// engines when merging a sharded run.
+    pub fn merge_stats(&mut self, other: &XbarStats) {
+        self.stats.merge(other);
+    }
 }
 
 #[cfg(test)]

@@ -110,13 +110,47 @@ impl HitVector {
     /// Splits the set rows into chunks of at most `chunk` indices — the
     /// accelerator uses this to respect the 16-row accumulation cap.
     ///
+    /// Allocates one `Vec` per chunk plus the outer collection; on the MAC
+    /// hot path use [`HitVector::chunks_iter`], which reuses a single
+    /// buffer across chunks.
+    ///
     /// # Panics
     ///
     /// Panics if `chunk == 0`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "allocates a Vec<Vec<usize>> per call; use `chunks_iter`"
+    )]
     pub fn chunks(&self, chunk: usize) -> Vec<Vec<usize>> {
         assert!(chunk > 0, "chunk size must be positive");
         let ones: Vec<usize> = self.iter_ones().collect();
         ones.chunks(chunk).map(<[usize]>::to_vec).collect()
+    }
+
+    /// Streams the set rows in chunks of at most `chunk` indices without
+    /// per-chunk allocation: each [`ChunkOnes::next_chunk`] call refills
+    /// one internal buffer and lends it out.
+    ///
+    /// ```
+    /// use gaasx_xbar::HitVector;
+    ///
+    /// let hv = HitVector::from_indices(64, &[1, 5, 9, 40]);
+    /// let mut chunks = hv.chunks_iter(3);
+    /// assert_eq!(chunks.next_chunk(), Some(&[1, 5, 9][..]));
+    /// assert_eq!(chunks.next_chunk(), Some(&[40][..]));
+    /// assert_eq!(chunks.next_chunk(), None);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0`.
+    pub fn chunks_iter(&self, chunk: usize) -> ChunkOnes<'_> {
+        assert!(chunk > 0, "chunk size must be positive");
+        ChunkOnes {
+            ones: self.iter_ones(),
+            cap: chunk,
+            buf: Vec::with_capacity(chunk),
+        }
     }
 
     /// Bitwise AND with another hit vector of the same length.
@@ -165,6 +199,38 @@ impl Iterator for IterOnes<'_> {
     }
 }
 
+/// Lending chunk iterator over the set bits of a [`HitVector`]
+/// ([`HitVector::chunks_iter`]).
+///
+/// Not an [`Iterator`]: every [`next_chunk`](ChunkOnes::next_chunk) call
+/// reuses one internal buffer, so the returned slice borrows the iterator
+/// and must be consumed before the next call.
+#[derive(Debug)]
+pub struct ChunkOnes<'a> {
+    ones: IterOnes<'a>,
+    cap: usize,
+    buf: Vec<usize>,
+}
+
+impl ChunkOnes<'_> {
+    /// Fills the internal buffer with the next up-to-`chunk` set indices
+    /// and lends it out; `None` once the bits are exhausted.
+    pub fn next_chunk(&mut self) -> Option<&[usize]> {
+        self.buf.clear();
+        while self.buf.len() < self.cap {
+            match self.ones.next() {
+                Some(i) => self.buf.push(i),
+                None => break,
+            }
+        }
+        if self.buf.is_empty() {
+            None
+        } else {
+            Some(&self.buf)
+        }
+    }
+}
+
 impl fmt::Display for HitVector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "HitVector[{}/{} set]", self.count(), self.len)
@@ -202,10 +268,39 @@ mod tests {
     fn chunking_respects_cap() {
         let indices: Vec<usize> = (0..40).collect();
         let hv = HitVector::from_indices(128, &indices);
-        let chunks = hv.chunks(16);
-        assert_eq!(chunks.len(), 3);
-        assert_eq!(chunks[0].len(), 16);
-        assert_eq!(chunks[2].len(), 8);
+        let mut chunks = hv.chunks_iter(16);
+        let mut lens = Vec::new();
+        while let Some(chunk) = chunks.next_chunk() {
+            lens.push(chunk.len());
+        }
+        assert_eq!(lens, vec![16, 16, 8]);
+    }
+
+    #[test]
+    fn chunks_iter_matches_deprecated_chunks() {
+        let hv = HitVector::from_indices(130, &[0, 3, 63, 64, 65, 100, 129]);
+        for cap in [1, 2, 5, 16] {
+            #[allow(deprecated)]
+            let old = hv.chunks(cap);
+            let mut streamed = Vec::new();
+            let mut chunks = hv.chunks_iter(cap);
+            while let Some(chunk) = chunks.next_chunk() {
+                streamed.push(chunk.to_vec());
+            }
+            assert_eq!(streamed, old, "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn chunks_iter_on_empty_vector_yields_nothing() {
+        let hv = HitVector::new(128);
+        assert_eq!(hv.chunks_iter(16).next_chunk(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn chunks_iter_rejects_zero_cap() {
+        let _ = HitVector::new(8).chunks_iter(0);
     }
 
     #[test]

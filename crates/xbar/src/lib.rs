@@ -37,7 +37,7 @@ pub mod periphery;
 
 pub use cam::{CamCrossbar, CamEntry};
 pub use error::XbarError;
-pub use hit_vector::HitVector;
+pub use hit_vector::{ChunkOnes, HitVector};
 pub use mac::{Fidelity, MacCrossbar, MacDirection};
 
 use serde::{Deserialize, Serialize};

@@ -346,6 +346,13 @@ impl MacCrossbar {
         self.stats = XbarStats::new();
     }
 
+    /// Adds externally accumulated counters into this device's stats —
+    /// how a primary engine absorbs the device activity of sibling worker
+    /// engines when merging a sharded run.
+    pub fn merge_stats(&mut self, other: &XbarStats) {
+        self.stats.merge(other);
+    }
+
     /// Zeroes all cells *without* counting writes (simulation reset, not a
     /// device operation).
     pub fn clear(&mut self) {

@@ -19,4 +19,8 @@ cargo test -q --offline
 echo "==> workspace tests"
 cargo test -q --workspace --offline
 
+echo "==> sharded execution: parallel path vs serial (bit-identity gate)"
+GAASX_CAP_EDGES=20000 cargo run -q --release --offline -p gaasx-bench \
+    --bin jobs_scaling -- --jobs 4
+
 echo "CI gate passed."
