@@ -69,6 +69,7 @@ impl GapbsCpu {
         let mut ranks = vec![1.0f64; n];
         let mut next = vec![0.0f64; n];
         for _ in 0..iterations {
+            // gaasx-lint: allow(thread-containment) -- CPU baseline measures real host parallelism as the software comparison point; it never touches engine state
             std::thread::scope(|scope| {
                 let ranks = &ranks;
                 let inv_deg = &inv_deg;

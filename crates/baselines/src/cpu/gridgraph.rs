@@ -127,6 +127,7 @@ impl GridGraphCpu {
             let sweep_start = start.elapsed().as_nanos() as f64;
             // Hand each worker a disjoint set of destination intervals, so
             // its writable `acc` region is private.
+            // gaasx-lint: allow(thread-containment) -- CPU baseline measures real host parallelism as the software comparison point; it never touches engine state
             std::thread::scope(|scope| {
                 let ranks = &ranks;
                 let inv_deg = &inv_deg;
@@ -245,6 +246,7 @@ impl GridGraphCpu {
         loop {
             let changed = AtomicBool::new(false);
             let sweep_start = start.elapsed().as_nanos() as f64;
+            // gaasx-lint: allow(thread-containment) -- CPU baseline measures real host parallelism as the software comparison point; it never touches engine state
             std::thread::scope(|scope| {
                 let dist = &dist;
                 let grid = &grid;

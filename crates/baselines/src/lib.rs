@@ -21,6 +21,7 @@
 //! and [`redundancy`] reproduces the paper's Fig 5 dense-vs-sparse
 //! write/compute analysis.
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -1,6 +1,7 @@
 //! Simulation-throughput benchmarks of the PIM engines: how fast the
 //! simulator runs whole algorithm executions (edges simulated per second).
 
+#![allow(clippy::unwrap_used)]
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use gaasx_baselines::{GraphR, GraphRConfig};

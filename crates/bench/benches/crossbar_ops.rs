@@ -1,6 +1,7 @@
 //! Microbenchmarks of the crossbar device models — the per-operation cost
 //! of the simulator itself (not the modeled hardware latency).
 
+#![allow(clippy::unwrap_used)]
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use gaasx_xbar::geometry::{CamGeometry, MacGeometry};
@@ -61,10 +62,6 @@ fn bench_hit_vector(c: &mut Criterion) {
     let hv = HitVector::from_indices(128, &indices);
     group.bench_function("iter_ones", |b| {
         b.iter(|| black_box(&hv).iter_ones().count())
-    });
-    #[allow(deprecated)]
-    group.bench_function("chunks_of_16_alloc", |b| {
-        b.iter(|| black_box(&hv).chunks(16))
     });
     group.bench_function("chunks_iter_of_16", |b| {
         b.iter(|| {

@@ -1,6 +1,7 @@
 //! Benchmarks of the graph substrate: generation, locality, partitioning,
 //! and index construction throughput.
 
+#![allow(clippy::unwrap_used)]
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
 use gaasx_graph::generators::{localize, rmat, LocalityConfig, RmatConfig};

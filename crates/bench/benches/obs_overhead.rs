@@ -4,6 +4,7 @@
 //! `NullSink` must stay within 5% of the fully untraced path (default
 //! `Tracer::null()`, which skips all event construction).
 
+#![allow(clippy::unwrap_used)]
 use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};

@@ -4,6 +4,7 @@
 //! `jobs_scaling` and the core tests); this measures only the simulator's
 //! wall-clock.
 
+#![allow(clippy::unwrap_used)]
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use gaasx_core::algorithms::{PageRank, Sssp};

@@ -1,6 +1,7 @@
 //! Benchmarks of the real (measured) software baselines — these numbers
 //! are the CPU side of Figs 15/16, so their own performance matters.
 
+#![allow(clippy::unwrap_used)]
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use gaasx_baselines::cpu::{GapbsCpu, GraphChiCpu, GridGraphCpu};

@@ -8,6 +8,7 @@
 //! mapping is maximally wasteful; fully local graphs densify tiles and
 //! shrink the gap; random reordering destroys whatever locality existed.
 
+#![allow(clippy::unwrap_used)]
 use gaasx_baselines::{GraphR, GraphRConfig};
 use gaasx_core::algorithms::PageRank;
 use gaasx_core::{GaasX, GaasXConfig};

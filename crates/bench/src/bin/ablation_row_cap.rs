@@ -7,6 +7,7 @@
 //! accuracy/efficiency trade that motivates the paper's 16-row/6-bit
 //! choice.
 
+#![allow(clippy::unwrap_used)]
 use gaasx_baselines::reference;
 use gaasx_core::algorithms::PageRank;
 use gaasx_core::{GaasX, GaasXConfig};

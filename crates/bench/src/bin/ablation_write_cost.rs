@@ -6,6 +6,7 @@
 //! GaaS-X-vs-GraphR comparison moves across their plausible ranges, so a
 //! reader can judge how much of the result is calibration.
 
+#![allow(clippy::unwrap_used)]
 use gaasx_baselines::{GraphR, GraphRConfig};
 use gaasx_core::algorithms::PageRank;
 use gaasx_core::{GaasX, GaasXConfig};

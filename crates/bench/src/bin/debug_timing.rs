@@ -1,5 +1,6 @@
 //! Internal scratch binary for calibrating the workload models.
 
+#![allow(clippy::unwrap_used)]
 use gaasx_baselines::{GraphR, GraphRConfig};
 use gaasx_bench::*;
 use gaasx_core::algorithms::PageRank;

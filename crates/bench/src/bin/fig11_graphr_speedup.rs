@@ -1,5 +1,6 @@
 //! Regenerates Fig 11: GaaS-X speedup over GraphR.
 
+#![allow(clippy::unwrap_used)]
 use gaasx_bench::experiments::{fig11, run_matrix};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

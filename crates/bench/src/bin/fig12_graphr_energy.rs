@@ -1,5 +1,6 @@
 //! Regenerates Fig 12: GaaS-X energy savings over GraphR.
 
+#![allow(clippy::unwrap_used)]
 use gaasx_bench::experiments::{fig12, run_matrix};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -1,5 +1,6 @@
 //! Regenerates Fig 13: CDF of rows accumulated per MAC operation.
 
+#![allow(clippy::unwrap_used)]
 use gaasx_bench::experiments::{fig13, run_matrix};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -1,5 +1,6 @@
 //! Regenerates Fig 14: GaaS-X vs GRAM comparison.
 
+#![allow(clippy::unwrap_used)]
 use gaasx_bench::experiments::{fig14, run_matrix};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -1,5 +1,6 @@
 //! Regenerates Fig 15: speedup over CPU and GPU software frameworks.
 
+#![allow(clippy::unwrap_used)]
 use gaasx_bench::experiments::{fig15, run_matrix, run_software};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -1,5 +1,6 @@
 //! Regenerates Fig 16: energy savings over CPU and GPU frameworks.
 
+#![allow(clippy::unwrap_used)]
 use gaasx_bench::experiments::{fig16, run_matrix, run_software};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -1,5 +1,6 @@
 //! Regenerates Fig 17: collaborative filtering comparison.
 
+#![allow(clippy::unwrap_used)]
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // CF simulates per-rating feature MACs; cap ratings below the graph cap.
     let cap = (gaasx_bench::cap_edges() / 6).max(2_000);

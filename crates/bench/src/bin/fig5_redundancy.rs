@@ -1,5 +1,6 @@
 //! Regenerates Fig 5: dense-vs-sparse redundant writes/computations.
 
+#![allow(clippy::unwrap_used)]
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{}",

@@ -1,5 +1,6 @@
 //! Regenerates the §V-B GAPBS comparison paragraph.
 
+#![allow(clippy::unwrap_used)]
 use gaasx_bench::experiments::{gapbs_comparison, run_matrix, run_software};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -10,6 +10,7 @@
 //! `GAASX_CAP_EDGES` caps the RMAT edge count (default
 //! [`gaasx_bench::DEFAULT_CAP_EDGES`]).
 
+#![allow(clippy::unwrap_used)]
 use std::time::Instant;
 
 use gaasx_core::algorithms::{PageRank, Sssp};

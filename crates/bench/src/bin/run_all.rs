@@ -6,6 +6,7 @@
 //! `N` worker threads (default `GAASX_JOBS` or 1); reported totals are
 //! bit-identical to the serial run.
 
+#![allow(clippy::unwrap_used)]
 use std::fs;
 use std::path::PathBuf;
 use std::time::Instant;

@@ -11,6 +11,7 @@
 //! worker threads (default `GAASX_JOBS` or 1); the simulated numbers are
 //! bit-identical either way.
 
+#![allow(clippy::unwrap_used)]
 use gaasx_baselines::{GraphR, GraphRConfig};
 use gaasx_core::algorithms::PageRank;
 use gaasx_core::{GaasX, GaasXConfig};

@@ -1,5 +1,6 @@
 //! Regenerates Table I: GaaS-X architecture parameters.
 
+#![allow(clippy::unwrap_used)]
 fn main() {
     println!("{}", gaasx_bench::experiments::table1());
 }

@@ -1,5 +1,6 @@
 //! Regenerates Table II: graph dataset characteristics.
 
+#![allow(clippy::unwrap_used)]
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{}",

@@ -1,5 +1,6 @@
 //! Regenerates Table III: baseline system configurations.
 
+#![allow(clippy::unwrap_used)]
 fn main() {
     println!("{}", gaasx_bench::experiments::table3());
 }

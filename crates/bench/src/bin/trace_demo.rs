@@ -2,6 +2,7 @@
 //! RMAT graph, GaaS-X vs GraphR. An optional path argument additionally
 //! streams the GaaS-X run's JSONL events there.
 
+#![allow(clippy::unwrap_used)]
 use std::path::PathBuf;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -3,6 +3,7 @@
 //!
 //! Usage: `trace_summary <trace.jsonl>`
 
+#![allow(clippy::unwrap_used)]
 use std::fs;
 use std::process::ExitCode;
 

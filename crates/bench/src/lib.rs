@@ -16,6 +16,7 @@
 //! property every measured ratio depends on — is preserved under this
 //! scaling.
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 pub mod experiments;

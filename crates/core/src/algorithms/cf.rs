@@ -217,6 +217,9 @@ impl CollaborativeFiltering {
         Ok(())
     }
 
+    // The SGD update takes every latent-factor coefficient separately by
+    // design: bundling them into a struct would hide which of the paper's
+    // Eq. 7 terms each call site supplies.
     #[allow(clippy::too_many_arguments)]
     fn apply_update(
         engine: &mut Engine,

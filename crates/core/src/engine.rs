@@ -211,7 +211,7 @@ impl Engine {
     /// Counts one operation in `phase`, advances the functional-time
     /// cursor, and emits a leaf span when tracing is on.
     fn trace_op(&mut self, phase: Phase, dur_ns: f64) {
-        self.phase_counts[phase.index()] += 1;
+        self.phase_counts[phase.index()] = self.phase_counts[phase.index()].saturating_add(1);
         let start = self.cursor_ns;
         self.cursor_ns += dur_ns;
         self.tracer.emit(phase, start, dur_ns);
@@ -304,7 +304,8 @@ impl Engine {
         self.current.program_ns = program_ns;
 
         let load_ns = self.config.stream_ns(bytes) + program_ns;
-        self.phase_counts[Phase::LoadBlock.index()] += 1;
+        self.phase_counts[Phase::LoadBlock.index()] =
+            self.phase_counts[Phase::LoadBlock.index()].saturating_add(1);
         let start = self.cursor_ns;
         self.cursor_ns += load_ns;
         if self.tracer.enabled() {
@@ -359,6 +360,7 @@ impl Engine {
         let cap = self.config.mac_geometry.max_active_rows;
         let mut inputs: Vec<u32> = Vec::with_capacity(cap);
         let mut chunks = hits.chunks_iter(cap);
+        // gaasx-lint: hot
         while let Some(chunk) = chunks.next_chunk() {
             inputs.clear();
             for &row in chunk {
@@ -370,7 +372,7 @@ impl Engine {
             let ns = self.config.energy.mac_op_ns;
             self.current.add_phase(Phase::MacGather, ns);
             self.trace_op(Phase::MacGather, ns);
-            self.compute_items += chunk.len() as u64;
+            self.compute_items = self.compute_items.saturating_add(chunk.len() as u64);
             if first {
                 total = out[out_col];
                 first = false;
@@ -378,6 +380,7 @@ impl Engine {
                 total = self.sfu_add_u64(total, out[out_col]);
             }
         }
+        // gaasx-lint: end-hot
         Ok(total)
     }
 
@@ -403,6 +406,7 @@ impl Engine {
         let mut results = Vec::with_capacity(hits.count());
         self.attr_buf.read(4 * col_inputs.len() as u64);
         let mut chunks = hits.chunks_iter(self.config.mac_geometry.max_active_rows);
+        // gaasx-lint: hot
         while let Some(chunk) = chunks.next_chunk() {
             let out = self
                 .mac
@@ -411,11 +415,12 @@ impl Engine {
             let ns = self.config.energy.mac_op_ns;
             self.current.add_phase(Phase::MacPropagate, ns);
             self.trace_op(Phase::MacPropagate, ns);
-            self.compute_items += chunk.len() as u64;
+            self.compute_items = self.compute_items.saturating_add(chunk.len() as u64);
             for &row in chunk {
                 results.push((row, out[row]));
             }
         }
+        // gaasx-lint: end-hot
         Ok(results)
     }
 
@@ -461,12 +466,15 @@ impl Engine {
     /// (paper §IV: "The feature vectors of users and items corresponding to
     /// the range of vertex IDs are loaded into different MAC crossbars").
     pub fn load_aux_rows_parallel(&mut self, rows: usize, values_per_row: usize) {
-        self.extra_aux_row_writes += rows as u64;
-        self.extra_aux_cells += (rows * values_per_row * self.config.mac_geometry.slices) as u64;
+        self.extra_aux_row_writes = self.extra_aux_row_writes.saturating_add(rows as u64);
+        self.extra_aux_cells = self
+            .extra_aux_cells
+            .saturating_add((rows * values_per_row * self.config.mac_geometry.slices) as u64);
         let ns = rows as f64 * self.config.energy.row_program_ns(values_per_row)
             / self.config.num_banks.max(1) as f64;
         self.add_compute(Phase::LoadBlock, ns);
-        self.phase_counts[Phase::LoadBlock.index()] += 1;
+        self.phase_counts[Phase::LoadBlock.index()] =
+            self.phase_counts[Phase::LoadBlock.index()].saturating_add(1);
         let start = self.cursor_ns;
         self.cursor_ns += ns;
         if self.tracer.enabled() {
@@ -495,7 +503,7 @@ impl Engine {
         let ns = self.config.energy.mac_op_ns;
         self.add_compute(Phase::MacGather, ns);
         self.trace_op(Phase::MacGather, ns);
-        self.compute_items += active_rows.len() as u64;
+        self.compute_items = self.compute_items.saturating_add(active_rows.len() as u64);
         Ok(out)
     }
 
@@ -516,7 +524,7 @@ impl Engine {
         let ns = self.config.energy.mac_op_ns;
         self.add_compute(Phase::MacPropagate, ns);
         self.trace_op(Phase::MacPropagate, ns);
-        self.compute_items += active_cols.len() as u64;
+        self.compute_items = self.compute_items.saturating_add(active_cols.len() as u64);
         Ok(out)
     }
 
@@ -623,11 +631,13 @@ impl Engine {
         self.attr_buf.merge(&worker.attr_buf);
         self.rows_per_mac.merge(&worker.rows_per_mac);
         for (acc, v) in self.phase_counts.iter_mut().zip(worker.phase_counts.iter()) {
-            *acc += v;
+            *acc = acc.saturating_add(*v);
         }
-        self.compute_items += worker.compute_items;
-        self.extra_aux_row_writes += worker.extra_aux_row_writes;
-        self.extra_aux_cells += worker.extra_aux_cells;
+        self.compute_items = self.compute_items.saturating_add(worker.compute_items);
+        self.extra_aux_row_writes = self
+            .extra_aux_row_writes
+            .saturating_add(worker.extra_aux_row_writes);
+        self.extra_aux_cells = self.extra_aux_cells.saturating_add(worker.extra_aux_cells);
         self.extra_ns += worker.extra_ns;
         for (acc, v) in self
             .extra_phase_ns
@@ -762,6 +772,14 @@ impl Engine {
             .map(|&p| (p, busy[p.index()], self.phase_counts[p.index()]))
             .collect();
         let phases = attribute_makespan(makespan, &tallies);
+        // Every report — single-engine or sharded (the sharded runner
+        // funnels through the primary's `finish`) — must conserve the
+        // makespan across the phase attribution, bit-for-bit.
+        debug_assert!(
+            phases.is_empty() || phases.iter().map(|p| p.sched_ns).sum::<f64>() == makespan,
+            "phase attribution dropped schedule time: {} != {makespan}",
+            phases.iter().map(|p| p.sched_ns).sum::<f64>(),
+        );
 
         self.emit_dispatch_events();
         if let Some(metrics) = self.tracer.metrics() {

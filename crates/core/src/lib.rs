@@ -33,6 +33,7 @@
 //! # Ok::<(), gaasx_core::CoreError>(())
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -25,7 +25,7 @@ impl Sfu {
 
     /// Scalar addition (also used for subtraction).
     pub fn add(&mut self, a: f64, b: f64) -> f64 {
-        self.adds += 1;
+        self.adds = self.adds.saturating_add(1);
         a + b
     }
 
@@ -37,31 +37,34 @@ impl Sfu {
     /// one add regardless of saturation: a clamped add still cycles the
     /// adder once.
     pub fn add_u64(&mut self, a: u64, b: u64) -> u64 {
-        self.adds += 1;
+        self.adds = self.adds.saturating_add(1);
         a.saturating_add(b)
     }
 
     /// Scalar multiplication.
     pub fn mul(&mut self, a: f64, b: f64) -> f64 {
-        self.muls += 1;
+        self.muls = self.muls.saturating_add(1);
         a * b
     }
 
     /// Scalar minimum (SSSP/BFS distance reduction).
     pub fn min(&mut self, a: f64, b: f64) -> f64 {
-        self.mins += 1;
+        self.mins = self.mins.saturating_add(1);
         a.min(b)
     }
 
     /// Scalar comparison.
     pub fn less_than(&mut self, a: f64, b: f64) -> bool {
-        self.cmps += 1;
+        self.cmps = self.cmps.saturating_add(1);
         a < b
     }
 
     /// Total operations issued.
     pub fn total_ops(&self) -> u64 {
-        self.adds + self.muls + self.mins + self.cmps
+        self.adds
+            .saturating_add(self.muls)
+            .saturating_add(self.mins)
+            .saturating_add(self.cmps)
     }
 
     /// `(adds, muls, mins, cmps)` breakdown.
@@ -72,10 +75,10 @@ impl Sfu {
     /// Adds another SFU's counters into this one — used when a primary
     /// engine absorbs the arithmetic issued by sibling worker engines.
     pub fn merge(&mut self, other: &Sfu) {
-        self.adds += other.adds;
-        self.muls += other.muls;
-        self.mins += other.mins;
-        self.cmps += other.cmps;
+        self.adds = self.adds.saturating_add(other.adds);
+        self.muls = self.muls.saturating_add(other.muls);
+        self.mins = self.mins.saturating_add(other.mins);
+        self.cmps = self.cmps.saturating_add(other.cmps);
     }
 
     /// Resets the counters.

@@ -4,6 +4,7 @@
 //! energy, same per-phase attribution — and the algorithm outputs must
 //! match exactly.
 
+#![allow(clippy::unwrap_used)]
 use gaasx_core::algorithms::{Bfs, ConnectedComponents, PageRank, Sssp};
 use gaasx_core::{GaasX, GaasXConfig, ShardableAlgorithm};
 use gaasx_graph::generators::{rmat, RmatConfig};

@@ -102,6 +102,7 @@ impl BipartiteGraph {
         for _ in 0..num_ratings {
             let user = rng.gen_range(0..num_users);
             let r = rng.gen::<f64>() * total;
+            // gaasx-lint: allow(panic-in-lib) -- cumulative sums of finite popularity weights cannot be NaN
             let item = match cum.binary_search_by(|c| c.partial_cmp(&r).expect("finite")) {
                 Ok(i) | Err(i) => (i as u32).min(num_items - 1),
             };
@@ -149,6 +150,7 @@ impl BipartiteGraph {
             .iter()
             .map(|r| Edge::new(r.user, self.num_users + r.item, r.value))
             .collect();
+        // gaasx-lint: allow(panic-in-lib) -- user/item ids were range-checked when the ratings were generated
         CooGraph::from_edges(n, edges).expect("bipartite ids validated at construction")
     }
 

@@ -228,6 +228,7 @@ impl Extend<Edge> for CooGraph {
     /// for fallible insertion.
     fn extend<T: IntoIterator<Item = Edge>>(&mut self, iter: T) {
         for e in iter {
+            // gaasx-lint: allow(panic-in-lib) -- the Extend trait cannot return a Result; the panic contract is documented on the impl
             self.push_edge(e).expect("edge endpoint out of range");
         }
     }

@@ -192,6 +192,7 @@ impl PaperDataset {
             // the rating count scales linearly.
             let side = scale.sqrt();
             let users = ((self.full_vertices() as f64 * side).round() as u32).max(16);
+            // gaasx-lint: allow(panic-in-lib) -- this arm only runs for the bipartite dataset, which always has an item count
             let items = ((self.full_items().expect("netflix has items") as f64 * side).round()
                 as u32)
                 .max(16);

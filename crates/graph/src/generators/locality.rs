@@ -97,6 +97,7 @@ pub fn localize(graph: &CooGraph, config: &LocalityConfig) -> Result<CooGraph, G
     }
     let sample_rank = |rng: &mut SmallRng| -> u32 {
         let x = rng.gen::<f64>() * total;
+        // gaasx-lint: allow(panic-in-lib) -- cumulative sums of finite rank weights cannot be NaN
         match cum.binary_search_by(|c| c.partial_cmp(&x).expect("finite")) {
             Ok(i) | Err(i) => (i as u32).min(window - 1),
         }

@@ -50,6 +50,7 @@ pub fn paper_fig7_graph() -> CooGraph {
             .map(|&(s, d, w)| Edge::new(s - 1, d - 1, w))
             .collect(),
     )
+    // gaasx-lint: allow(panic-in-lib) -- hard-coded paper-figure edge table, validated by tests
     .expect("static example graph is valid")
 }
 
@@ -75,6 +76,7 @@ pub fn paper_fig2_graph() -> CooGraph {
             .map(|&(s, d)| Edge::unweighted(s - 1, d - 1))
             .collect(),
     )
+    // gaasx-lint: allow(panic-in-lib) -- hard-coded paper-figure edge table, validated by tests
     .expect("static example graph is valid")
 }
 

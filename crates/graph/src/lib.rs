@@ -28,6 +28,7 @@
 //! # Ok::<(), gaasx_graph::GraphError>(())
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

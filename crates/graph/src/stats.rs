@@ -221,6 +221,7 @@ impl GraphSummary {
         let out = DegreeStats::from_degrees(&graph.out_degrees())
             .ok_or_else(|| GraphError::InvalidParameter("summary: graph has no vertices".into()))?;
         let inn = DegreeStats::from_degrees(&graph.in_degrees())
+            // gaasx-lint: allow(panic-in-lib) -- both degree vectors have num_vertices entries; the out-degree check above already handled empty
             .expect("in-degrees nonempty if out-degrees were");
         Ok(GraphSummary {
             num_vertices: graph.num_vertices(),

@@ -1,5 +1,6 @@
 //! Property-based tests of the graph substrate.
 
+#![allow(clippy::unwrap_used)]
 use proptest::prelude::*;
 
 use gaasx_graph::generators::{self, RmatConfig};

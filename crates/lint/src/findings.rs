@@ -1,0 +1,102 @@
+//! Finding and report types shared by the rules, the CLI, and the JSON
+//! codec.
+
+use serde::{Deserialize, Serialize};
+
+/// The meta-rule id used for malformed `gaasx-lint:` directives. Findings
+/// under this id cannot be suppressed.
+pub const DIRECTIVE_RULE: &str = "directive";
+
+/// One rule violation at a specific source location.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Rule id (e.g. `panic-in-lib`), or [`DIRECTIVE_RULE`].
+    pub rule: String,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Finding {
+    /// A finding for `rule` at `path:line`.
+    pub fn new(rule: &str, path: &str, line: usize, message: &str) -> Self {
+        Self {
+            rule: rule.to_string(),
+            path: path.to_string(),
+            line,
+            message: message.to_string(),
+        }
+    }
+
+    /// A directive (meta) finding — malformed suppressions, broken fences.
+    pub fn directive(path: &str, line: usize, message: &str) -> Self {
+        Self::new(DIRECTIVE_RULE, path, line, message)
+    }
+}
+
+/// The result of linting one root: every surviving finding plus scan
+/// statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LintReport {
+    /// Violations that were not suppressed, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of would-be findings silenced by `allow(...)` directives.
+    pub suppressed: usize,
+}
+
+impl LintReport {
+    /// Whether the scanned tree is violation-free.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The human-readable (non-JSON) report.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                f.path, f.line, f.rule, f.message
+            ));
+        }
+        out.push_str(&format!(
+            "gaasx-lint: {} finding(s), {} file(s) scanned, {} suppression(s)\n",
+            self.findings.len(),
+            self.files_scanned,
+            self.suppressed
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_report_lists_findings_and_totals() {
+        let report = LintReport {
+            findings: vec![Finding::new(
+                "panic-in-lib",
+                "crates/x/src/lib.rs",
+                7,
+                "boom",
+            )],
+            files_scanned: 3,
+            suppressed: 1,
+        };
+        let text = report.render_human();
+        assert!(text.contains("crates/x/src/lib.rs:7: [panic-in-lib] boom"));
+        assert!(text.contains("1 finding(s), 3 file(s) scanned, 1 suppression(s)"));
+    }
+
+    #[test]
+    fn clean_report_is_clean() {
+        assert!(LintReport::default().is_clean());
+    }
+}

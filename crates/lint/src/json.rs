@@ -1,0 +1,330 @@
+//! Hand-rolled JSON codec for [`LintReport`].
+//!
+//! The offline `serde` shim is a set of no-op marker traits (the report
+//! types still derive them for API parity), so actual serialization is
+//! done here: a small emitter plus a recursive-descent parser that
+//! understands exactly the JSON this crate produces. The round-trip is
+//! covered by `tests/` so `--json` output stays machine-readable.
+
+use crate::findings::{Finding, LintReport};
+
+/// Serializes a report to a single-line JSON object.
+pub fn to_json(report: &LintReport) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"files_scanned\":{},", report.files_scanned));
+    out.push_str(&format!("\"suppressed\":{},", report.suppressed));
+    out.push_str("\"findings\":[");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":{},\"path\":{},\"line\":{},\"message\":{}}}",
+            escape(&f.rule),
+            escape(&f.path),
+            f.line,
+            escape(&f.message)
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Deserializes a report produced by [`to_json`].
+///
+/// # Errors
+///
+/// Returns a description of the first syntax or schema problem.
+pub fn from_json(text: &str) -> Result<LintReport, String> {
+    let mut p = Parser {
+        chars: text.chars().collect(),
+        pos: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(format!("trailing data at offset {}", p.pos));
+    }
+    let obj = value.as_object()?;
+    let mut report = LintReport::default();
+    for (key, val) in obj {
+        match key.as_str() {
+            "files_scanned" => report.files_scanned = val.as_usize()?,
+            "suppressed" => report.suppressed = val.as_usize()?,
+            "findings" => {
+                for item in val.as_array()? {
+                    report.findings.push(finding_from(item)?);
+                }
+            }
+            other => return Err(format!("unknown report key `{other}`")),
+        }
+    }
+    Ok(report)
+}
+
+fn finding_from(value: &Value) -> Result<Finding, String> {
+    let mut f = Finding::new("", "", 0, "");
+    for (key, val) in value.as_object()? {
+        match key.as_str() {
+            "rule" => f.rule = val.as_str()?.to_string(),
+            "path" => f.path = val.as_str()?.to_string(),
+            "line" => f.line = val.as_usize()?,
+            "message" => f.message = val.as_str()?.to_string(),
+            other => return Err(format!("unknown finding key `{other}`")),
+        }
+    }
+    Ok(f)
+}
+
+enum Value {
+    Str(String),
+    Num(u64),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn as_object(&self) -> Result<&[(String, Value)], String> {
+        match self {
+            Value::Obj(pairs) => Ok(pairs),
+            _ => Err("expected object".to_string()),
+        }
+    }
+
+    fn as_array(&self) -> Result<&[Value], String> {
+        match self {
+            Value::Arr(items) => Ok(items),
+            _ => Err("expected array".to_string()),
+        }
+    }
+
+    fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            _ => Err("expected string".to_string()),
+        }
+    }
+
+    fn as_usize(&self) -> Result<usize, String> {
+        match self {
+            Value::Num(n) => usize::try_from(*n).map_err(|e| e.to_string()),
+            _ => Err("expected number".to_string()),
+        }
+    }
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn skip_ws(&mut self) {
+        while self
+            .chars
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: char) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{c}` at offset {} (found {:?})",
+                self.pos,
+                self.peek()
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Value::Str(self.string()?)),
+            Some(c) if c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at offset {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.eat('{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.pos += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(':')?;
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => self.pos += 1,
+                Some('}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                other => return Err(format!("expected `,` or `}}`, found {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.eat('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => self.pos += 1,
+                Some(']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                other => return Err(format!("expected `,` or `]`, found {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat('"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some('"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some('\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some('"') => out.push('"'),
+                        Some('\\') => out.push('\\'),
+                        Some('/') => out.push('/'),
+                        Some('n') => out.push('\n'),
+                        Some('t') => out.push('\t'),
+                        Some('r') => out.push('\r'),
+                        Some('u') => {
+                            let hex: String =
+                                self.chars.iter().skip(self.pos + 1).take(4).collect();
+                            let code = u32::from_str_radix(&hex, 16)
+                                .map_err(|e| format!("bad \\u escape: {e}"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) => {
+                    out.push(c);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse::<u64>()
+            .map(Value::Num)
+            .map_err(|e| format!("bad number `{text}`: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LintReport {
+        LintReport {
+            findings: vec![
+                Finding::new(
+                    "panic-in-lib",
+                    "crates/a/src/lib.rs",
+                    3,
+                    "`.unwrap()` in lib",
+                ),
+                Finding::new(
+                    "directive",
+                    "crates/b/src/x.rs",
+                    9,
+                    "needs a justification: `-- <why>` with \"quotes\"\nand newline",
+                ),
+            ],
+            files_scanned: 42,
+            suppressed: 7,
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let report = sample();
+        let json = to_json(&report);
+        let back = from_json(&json).expect("parse back");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        let report = LintReport::default();
+        assert_eq!(from_json(&to_json(&report)).expect("parse"), report);
+    }
+
+    #[test]
+    fn escapes_are_valid_json() {
+        let json = to_json(&sample());
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\\\""));
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_json("{not json").is_err());
+        assert!(from_json("{\"files_scanned\":1} extra").is_err());
+    }
+}

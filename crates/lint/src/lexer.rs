@@ -1,0 +1,320 @@
+//! A minimal line-oriented Rust lexer.
+//!
+//! The linter has no `syn` (the offline shim set carries no proc-macro
+//! stack), so rules run over a *code view* of each line: comments and the
+//! contents of string/char literals are blanked out, which is enough to
+//! make naive token scans sound. Comment text is preserved separately —
+//! that is where `// gaasx-lint:` directives live.
+//!
+//! The lexer understands exactly the constructs that would otherwise make
+//! a substring scan lie:
+//!
+//! * line comments (`//`) and *nested* block comments (`/* /* */ */`);
+//! * string literals with escapes, raw strings (`r"…"`, `r#"…"#`,
+//!   `br#"…"#`), byte strings, and multi-line strings;
+//! * char literals vs lifetimes (`'x'` / `'\n'` vs `'a` in `&'a str`).
+
+/// One source line split into its code view and its comment text.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LexLine {
+    /// The line with comments removed and literal contents blanked to
+    /// spaces (quote characters are kept so token boundaries survive).
+    pub code: String,
+    /// Concatenated text of every comment (segment) on the line.
+    pub comment: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str { raw_hashes: Option<u32> },
+    CharLit,
+}
+
+/// Lexes a whole file into per-line code/comment views.
+pub fn lex(src: &str) -> Vec<LexLine> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lines = Vec::new();
+    let mut line = LexLine::default();
+    let mut state = State::Code;
+    let mut prev_code_char = '\n';
+    let mut i = 0usize;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            lines.push(std::mem::take(&mut line));
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            prev_code_char = '\n';
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    state = State::LineComment;
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    line.code.push('"');
+                    state = State::Str { raw_hashes: None };
+                    i += 1;
+                    continue;
+                }
+                // Raw / byte string starts: r"…", r#"…"#, b"…", br#"…"#.
+                // Only when the `r`/`b` is not the tail of an identifier.
+                if (c == 'r' || c == 'b') && !is_ident_char(prev_code_char) {
+                    if let Some(consumed) = raw_string_start(&chars[i..]) {
+                        for k in 0..consumed.advance {
+                            line.code.push(chars[i + k]);
+                        }
+                        state = State::Str {
+                            raw_hashes: consumed.hashes,
+                        };
+                        i += consumed.advance;
+                        prev_code_char = '"';
+                        continue;
+                    }
+                }
+                if c == '\'' && is_char_literal(&chars[i..]) {
+                    line.code.push('\'');
+                    state = State::CharLit;
+                    i += 1;
+                    continue;
+                }
+                line.code.push(c);
+                prev_code_char = c;
+                i += 1;
+            }
+            State::LineComment => {
+                line.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else {
+                    line.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str { raw_hashes } => match raw_hashes {
+                None => {
+                    if c == '\\' {
+                        line.code.push(' ');
+                        if chars.get(i + 1).is_some_and(|&e| e != '\n') {
+                            line.code.push(' ');
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    } else if c == '"' {
+                        line.code.push('"');
+                        state = State::Code;
+                        prev_code_char = '"';
+                        i += 1;
+                    } else {
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                }
+                Some(n) => {
+                    if c == '"' && closes_raw_string(&chars[i..], n) {
+                        line.code.push('"');
+                        for _ in 0..n {
+                            line.code.push('#');
+                        }
+                        state = State::Code;
+                        prev_code_char = '"';
+                        i += 1 + n as usize;
+                    } else {
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                }
+            },
+            State::CharLit => {
+                if c == '\\' {
+                    line.code.push(' ');
+                    if chars.get(i + 1).is_some_and(|&e| e != '\n') {
+                        line.code.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    line.code.push('\'');
+                    state = State::Code;
+                    prev_code_char = '\'';
+                    i += 1;
+                } else {
+                    line.code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    // A file ending in `\n` already pushed its last line.
+    if !src.is_empty() && !src.ends_with('\n') {
+        lines.push(line);
+    }
+    lines
+}
+
+/// Whether `c` can be part of an identifier.
+pub fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct RawStart {
+    /// Characters consumed up to and including the opening quote.
+    advance: usize,
+    /// `Some(n)` for raw strings with `n` hashes, `None` for plain `b"…"`.
+    hashes: Option<u32>,
+}
+
+/// Detects `r"`/`r#"`/`b"`/`br#"` at the head of `rest`.
+fn raw_string_start(rest: &[char]) -> Option<RawStart> {
+    let mut j = 0usize;
+    if rest.first() == Some(&'b') {
+        j += 1;
+    }
+    let raw = rest.get(j) == Some(&'r');
+    if raw {
+        j += 1;
+    }
+    if j == 0 {
+        return None; // plain `r`/`b` was not present
+    }
+    let mut hashes = 0u32;
+    while raw && rest.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if rest.get(j) != Some(&'"') {
+        return None;
+    }
+    // `b"…"` is an escaped (non-raw) byte string; model it as a plain
+    // string so backslash escapes are honored.
+    if !raw {
+        return Some(RawStart {
+            advance: j + 1,
+            hashes: None,
+        });
+    }
+    Some(RawStart {
+        advance: j + 1,
+        hashes: Some(hashes),
+    })
+}
+
+fn closes_raw_string(rest: &[char], hashes: u32) -> bool {
+    if rest.first() != Some(&'"') {
+        return false;
+    }
+    (0..hashes as usize).all(|k| rest.get(1 + k) == Some(&'#'))
+}
+
+/// Distinguishes a char literal from a lifetime at a `'`.
+fn is_char_literal(rest: &[char]) -> bool {
+    match rest.get(1) {
+        Some('\\') => true,
+        // `'a'` — but `''` (rest[1] == '\'') is not a literal start.
+        Some(&c2) => rest.get(2) == Some(&'\'') && c2 != '\'',
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn strips_line_comments_but_keeps_text() {
+        let lines = lex("let x = 1; // trailing note");
+        assert_eq!(lines[0].code, "let x = 1; ");
+        assert_eq!(lines[0].comment, " trailing note");
+    }
+
+    #[test]
+    fn blanks_string_contents() {
+        let lines = code_of(r#"let s = "a // not a comment";"#);
+        assert!(!lines[0].contains("not a comment"));
+        assert!(lines[0].contains("let s = \""));
+        assert!(lines[0].ends_with("\";"));
+    }
+
+    #[test]
+    fn raw_strings_hide_quotes() {
+        let lines = code_of(r##"let s = r#"has "inner" quotes"#;"##);
+        assert_eq!(lines[0].matches(';').count(), 1);
+        assert!(!lines[0].contains("inner"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lines = lex("a /* one /* two */ still */ b");
+        assert_eq!(lines[0].code, "a  b");
+    }
+
+    #[test]
+    fn multi_line_block_comment_spans_lines() {
+        let lines = lex("before /* x\ny */ after");
+        assert_eq!(lines[0].code, "before ");
+        assert_eq!(lines[1].code, " after");
+        assert_eq!(lines[1].comment, "y ");
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let lines = code_of("fn f<'a>(x: &'a str) -> char { 'x' }");
+        // The lifetime survives; the char literal contents are blanked.
+        assert!(lines[0].contains("'a>"));
+        assert!(lines[0].contains("' '"));
+        let esc = code_of(r"let c = '\n'; let d = b'\'';");
+        assert!(!esc[0].contains('n'), "{}", esc[0]);
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let lines = code_of(r#"let s = "a\"b"; let t = 1;"#);
+        assert!(lines[0].contains("let t = 1;"));
+    }
+
+    #[test]
+    fn multi_line_string_blanks_all_lines() {
+        let lines = code_of("let s = \"first\nsecond\"; done();");
+        assert!(!lines[0].contains("first"));
+        assert!(!lines[1].contains("second"));
+        assert!(lines[1].contains("done();"));
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_raw_string() {
+        let lines = code_of("for x in 0..3 { var\"\"; }");
+        // `var` kept; the empty string after it lexes as a string.
+        assert!(lines[0].contains("var\"\""));
+    }
+}

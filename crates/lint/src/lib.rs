@@ -1,0 +1,45 @@
+//! `gaasx-lint` — an in-tree invariant checker for accounting, hot-path,
+//! and concurrency discipline.
+//!
+//! The GaaS-X comparison against dense-mapping baselines is only as good
+//! as its cycle/energy ledger, and the bugs that corrupt that ledger are
+//! mechanical *classes* (stat wipes, unchecked accumulator arithmetic,
+//! per-op allocation on the CAM/MAC hot path, library panics aborting
+//! sharded runs, counters added without energy wiring, ad-hoc threading).
+//! This crate encodes each class as a rule and runs them over every
+//! workspace `.rs` file — with no `syn` dependency, since the offline shim
+//! set has no proc-macro stack; a small line-oriented lexer
+//! ([`lexer`]) makes naive token scans sound instead.
+//!
+//! Rules can be silenced per line with a justified suppression:
+//!
+//! ```text
+//! // gaasx-lint: allow(panic-in-lib) -- poisoned lock means a worker already panicked
+//! ```
+//!
+//! and hot regions are fenced with `// gaasx-lint: hot` /
+//! `// gaasx-lint: end-hot`. See [`rules::RULE_NAMES`] for the rule set.
+
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod findings;
+pub mod json;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+use std::path::Path;
+
+pub use findings::{Finding, LintReport};
+
+/// Lints every `.rs` file under `root` (skipping `target/`, `shims/`,
+/// hidden dirs, and fixture corpora) and returns the report.
+///
+/// # Errors
+///
+/// Returns a description of the first I/O failure while walking or
+/// reading files.
+pub fn run_lint(root: &Path) -> Result<LintReport, String> {
+    let ws = source::load_workspace(root, rules::RULE_NAMES)?;
+    Ok(rules::check_workspace(&ws))
+}

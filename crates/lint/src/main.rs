@@ -1,0 +1,54 @@
+//! CLI for `gaasx-lint`.
+//!
+//! ```text
+//! gaasx-lint [ROOT] [--json]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: gaasx-lint [ROOT] [--json]");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("gaasx-lint: unknown flag `{other}`");
+                return ExitCode::from(2);
+            }
+            other => {
+                if root.is_some() {
+                    eprintln!("gaasx-lint: more than one ROOT given");
+                    return ExitCode::from(2);
+                }
+                root = Some(PathBuf::from(other));
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    match gaasx_lint::run_lint(&root) {
+        Ok(report) => {
+            if json {
+                println!("{}", gaasx_lint::json::to_json(&report));
+            } else {
+                print!("{}", report.render_human());
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(err) => {
+            eprintln!("gaasx-lint: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,436 @@
+//! Workspace file model: classification, `#[cfg(test)]` regions, hot
+//! fences, and `// gaasx-lint:` directives.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::findings::Finding;
+use crate::lexer::{is_ident_char, lex, LexLine};
+
+/// What kind of compilation target a file belongs to. Rules use this to
+/// exempt test, bench, and binary code from library-only invariants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library source (`crates/*/src/**`, excluding `src/bin`).
+    Lib,
+    /// Binary target (`src/bin/**`, `src/main.rs`).
+    Bin,
+    /// Integration tests (`tests/**`).
+    Test,
+    /// Criterion benches (`benches/**`).
+    Bench,
+}
+
+/// One lexed, region-annotated source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Target classification (see [`FileKind`]).
+    pub kind: FileKind,
+    /// Per-line code/comment views.
+    pub lines: Vec<LexLine>,
+    /// Whether each line sits inside a `#[cfg(test)]`-gated item.
+    pub in_test: Vec<bool>,
+    /// Whether each line sits inside a `// gaasx-lint: hot` fence.
+    pub hot: Vec<bool>,
+    /// Per-line active suppressions (rule names from `allow(...)`).
+    pub allows: Vec<Vec<String>>,
+    /// Findings produced while parsing directives (malformed `allow`,
+    /// unclosed fences, …). These are not suppressible.
+    pub directive_findings: Vec<Finding>,
+}
+
+impl SourceFile {
+    /// Whether `rule` is suppressed on 0-based line `idx`.
+    pub fn is_suppressed(&self, idx: usize, rule: &str) -> bool {
+        self.allows
+            .get(idx)
+            .is_some_and(|a| a.iter().any(|r| r == rule))
+    }
+}
+
+/// The lint root plus every scanned source file.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Root directory the relative paths hang off.
+    pub root: PathBuf,
+    /// All scanned `.rs` files, in sorted path order.
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// The file at an exact workspace-relative path, if scanned.
+    pub fn file(&self, rel_path: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.path == rel_path)
+    }
+}
+
+/// Recursively loads every `.rs` file under `root`.
+///
+/// Skipped subtrees: VCS/build output (`.git`, `target`), the offline
+/// dependency shims (`shims/` — vendored stand-ins for external crates),
+/// and the linter's own fixture corpus (`tests/fixtures/` — those files
+/// violate rules on purpose).
+///
+/// # Errors
+///
+/// Returns a description of the first I/O failure.
+pub fn load_workspace(root: &Path, known_rules: &[&str]) -> Result<Workspace, String> {
+    let mut paths = Vec::new();
+    collect_rs_files(root, root, &mut paths)?;
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for rel in paths {
+        let abs = root.join(&rel);
+        let text = fs::read_to_string(&abs).map_err(|e| format!("read {}: {e}", abs.display()))?;
+        files.push(analyze_file(&rel, &text, known_rules));
+    }
+    Ok(Workspace {
+        root: root.to_path_buf(),
+        files,
+    })
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if path.is_dir() {
+            if name.starts_with('.') || name == "target" || name == "shims" {
+                continue;
+            }
+            // The fixture corpus deliberately violates every rule.
+            if name == "fixtures" && dir.file_name().and_then(|n| n.to_str()) == Some("tests") {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| format!("strip prefix: {e}"))?;
+            out.push(rel.to_string_lossy().replace('\\', "/"));
+        }
+    }
+    Ok(())
+}
+
+/// Classifies a workspace-relative path into a [`FileKind`].
+pub fn classify(rel_path: &str) -> FileKind {
+    let p = rel_path;
+    if p.contains("/tests/") || p.starts_with("tests/") {
+        FileKind::Test
+    } else if p.contains("/benches/") || p.starts_with("benches/") {
+        FileKind::Bench
+    } else if p.contains("/src/bin/")
+        || p.starts_with("src/bin/")
+        || p.ends_with("/main.rs")
+        || p == "main.rs"
+        || p.contains("/examples/")
+        || p.starts_with("examples/")
+    {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    }
+}
+
+/// Lexes one file and computes its regions and directives.
+pub fn analyze_file(rel_path: &str, text: &str, known_rules: &[&str]) -> SourceFile {
+    let lines = lex(text);
+    let n = lines.len();
+    let mut in_test = vec![false; n];
+    let mut hot = vec![false; n];
+    let mut allows: Vec<Vec<String>> = vec![Vec::new(); n];
+    let mut directive_findings = Vec::new();
+
+    // --- #[cfg(test)] regions -------------------------------------------
+    // A `#[cfg(test)]` attribute arms the scanner; the next `{` opens a
+    // gated region that ends when the brace depth returns to its opening
+    // level. Good enough for `#[cfg(test)] mod tests { … }` and for
+    // attribute-gated single items.
+    let mut depth: i64 = 0;
+    let mut armed = false;
+    let mut test_until_depth: Option<i64> = None;
+    for (idx, line) in lines.iter().enumerate() {
+        if test_until_depth.is_some() {
+            in_test[idx] = true;
+        }
+        if line.code.contains("#[cfg(test)]") && test_until_depth.is_none() {
+            armed = true;
+        }
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if armed && test_until_depth.is_none() {
+                        test_until_depth = Some(depth);
+                        armed = false;
+                        in_test[idx] = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if test_until_depth == Some(depth) {
+                        test_until_depth = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // --- directives ------------------------------------------------------
+    let mut hot_open: Option<usize> = None; // line of the opening fence
+    let mut pending_allows: Vec<String> = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if hot_open.is_some() {
+            hot[idx] = true;
+        }
+        let Some(directive) = extract_directive(&line.comment) else {
+            // A standalone allow applies to the next line carrying code.
+            if !pending_allows.is_empty() && !line.code.trim().is_empty() {
+                allows[idx].append(&mut pending_allows);
+            }
+            continue;
+        };
+        match parse_directive(&directive) {
+            Ok(Directive::Hot) => {
+                if hot_open.is_some() {
+                    directive_findings.push(Finding::directive(
+                        rel_path,
+                        idx + 1,
+                        "nested `gaasx-lint: hot` fence (close the previous one first)",
+                    ));
+                } else {
+                    hot_open = Some(idx);
+                }
+            }
+            Ok(Directive::EndHot) => {
+                if hot_open.is_none() {
+                    directive_findings.push(Finding::directive(
+                        rel_path,
+                        idx + 1,
+                        "`gaasx-lint: end-hot` without an open fence",
+                    ));
+                }
+                hot_open = None;
+                hot[idx] = false;
+            }
+            Ok(Directive::Allow { rules, justified }) => {
+                if !justified {
+                    directive_findings.push(Finding::directive(
+                        rel_path,
+                        idx + 1,
+                        &format!(
+                            "allow({}) needs a justification: `-- <why this is sound>`",
+                            rules.join(", ")
+                        ),
+                    ));
+                }
+                for rule in &rules {
+                    if !known_rules.contains(&rule.as_str()) {
+                        directive_findings.push(Finding::directive(
+                            rel_path,
+                            idx + 1,
+                            &format!("allow() names unknown rule `{rule}`"),
+                        ));
+                    }
+                }
+                // The suppression is honored even when unjustified so the
+                // report stays singular — the directive finding above keeps
+                // CI red either way.
+                if line.code.trim().is_empty() {
+                    pending_allows.extend(rules);
+                } else {
+                    allows[idx].extend(rules);
+                }
+            }
+            Err(msg) => {
+                directive_findings.push(Finding::directive(rel_path, idx + 1, &msg));
+            }
+        }
+    }
+    if let Some(open) = hot_open {
+        directive_findings.push(Finding::directive(
+            rel_path,
+            open + 1,
+            "unclosed `gaasx-lint: hot` fence (add `// gaasx-lint: end-hot`)",
+        ));
+    }
+
+    SourceFile {
+        path: rel_path.to_string(),
+        kind: classify(rel_path),
+        lines,
+        in_test,
+        hot,
+        allows,
+        directive_findings,
+    }
+}
+
+enum Directive {
+    Hot,
+    EndHot,
+    Allow { rules: Vec<String>, justified: bool },
+}
+
+/// Pulls the text after `gaasx-lint:` out of a comment — only when the
+/// comment *starts* with the marker, so prose that merely mentions the
+/// syntax (doc comments, this file) is not parsed as a directive.
+fn extract_directive(comment: &str) -> Option<String> {
+    let body = comment.trim_start().strip_prefix("gaasx-lint:")?;
+    Some(body.trim().to_string())
+}
+
+fn parse_directive(body: &str) -> Result<Directive, String> {
+    if body == "hot" {
+        return Ok(Directive::Hot);
+    }
+    if body == "end-hot" {
+        return Ok(Directive::EndHot);
+    }
+    if let Some(rest) = body.strip_prefix("allow(") {
+        let Some(close) = rest.find(')') else {
+            return Err("malformed allow() — missing `)`".to_string());
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            return Err("allow() lists no rules".to_string());
+        }
+        let tail = rest[close + 1..].trim();
+        let justification = tail.strip_prefix("--").map(str::trim).unwrap_or("");
+        return Ok(Directive::Allow {
+            rules,
+            justified: !justification.is_empty(),
+        });
+    }
+    Err(format!(
+        "unknown directive `{body}` (expected hot, end-hot, or allow(rule) -- reason)"
+    ))
+}
+
+/// Iterates `(byte_offset, identifier)` tokens of a code-view line.
+pub fn idents(line: &str) -> Vec<(usize, &str)> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && is_ident_char(bytes[i] as char) {
+                i += 1;
+            }
+            out.push((start, &line[start..i]));
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// The distinct rule names suppressed anywhere in a workspace — used by
+/// reporting to tally suppressions.
+pub fn suppression_count(ws: &Workspace) -> usize {
+    ws.files
+        .iter()
+        .flat_map(|f| f.allows.iter())
+        .map(|a| a.iter().collect::<BTreeSet<_>>().len())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULES: &[&str] = &["panic-in-lib", "no-stat-wipe"];
+
+    #[test]
+    fn classifies_paths() {
+        assert_eq!(classify("crates/core/src/engine.rs"), FileKind::Lib);
+        assert_eq!(classify("crates/bench/src/bin/run_all.rs"), FileKind::Bin);
+        assert_eq!(classify("crates/graph/tests/properties.rs"), FileKind::Test);
+        assert_eq!(
+            classify("crates/bench/benches/crossbar_ops.rs"),
+            FileKind::Bench
+        );
+        assert_eq!(classify("src/main.rs"), FileKind::Bin);
+        assert_eq!(classify("src/lib.rs"), FileKind::Lib);
+    }
+
+    #[test]
+    fn cfg_test_region_covers_module() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn tail() {}\n";
+        let f = analyze_file("x.rs", src, RULES);
+        assert_eq!(f.in_test, vec![false, false, true, true, true, false]);
+    }
+
+    #[test]
+    fn hot_fences_mark_lines() {
+        let src = "a();\n// gaasx-lint: hot\nb();\nc();\n// gaasx-lint: end-hot\nd();\n";
+        let f = analyze_file("x.rs", src, RULES);
+        assert_eq!(f.hot, vec![false, false, true, true, false, false]);
+        assert!(f.directive_findings.is_empty());
+    }
+
+    #[test]
+    fn unclosed_fence_is_reported() {
+        let f = analyze_file("x.rs", "// gaasx-lint: hot\nwork();\n", RULES);
+        assert_eq!(f.directive_findings.len(), 1);
+        assert!(f.directive_findings[0].message.contains("unclosed"));
+    }
+
+    #[test]
+    fn allow_applies_to_same_or_next_line() {
+        let src = "\
+x(); // gaasx-lint: allow(panic-in-lib) -- trailing form
+// gaasx-lint: allow(no-stat-wipe) -- standalone form
+y();
+z();
+";
+        let f = analyze_file("x.rs", src, RULES);
+        assert!(f.is_suppressed(0, "panic-in-lib"));
+        assert!(f.is_suppressed(2, "no-stat-wipe"));
+        assert!(!f.is_suppressed(3, "no-stat-wipe"));
+        assert!(f.directive_findings.is_empty());
+    }
+
+    #[test]
+    fn allow_without_justification_is_a_finding() {
+        let f = analyze_file("x.rs", "// gaasx-lint: allow(panic-in-lib)\ny();\n", RULES);
+        assert_eq!(f.directive_findings.len(), 1);
+        assert!(f.directive_findings[0].message.contains("justification"));
+        // The suppression is still honored so the error message stays
+        // singular — CI fails on the directive finding either way.
+        assert!(f.is_suppressed(1, "panic-in-lib"));
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_a_finding() {
+        let f = analyze_file(
+            "x.rs",
+            "// gaasx-lint: allow(no-such-rule) -- because\ny();\n",
+            RULES,
+        );
+        assert_eq!(f.directive_findings.len(), 1);
+        assert!(f.directive_findings[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn ident_scan_finds_tokens() {
+        let toks = idents("self.mac_ops += other.mac_ops;");
+        let names: Vec<&str> = toks.iter().map(|&(_, n)| n).collect();
+        assert_eq!(names, vec!["self", "mac_ops", "other", "mac_ops"]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Fixture-corpus integration tests.
+//!
+//! Each rule has a passing and a failing mini-tree under
+//! `tests/fixtures/<rule>/{pass,fail}/`; the failing trees encode the
+//! historical bugs the rules exist for, so reintroducing one fails CI.
+
+#![allow(clippy::unwrap_used)]
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use gaasx_lint::{json, run_lint, LintReport};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn lint(name: &str) -> LintReport {
+    run_lint(&fixture(name)).unwrap_or_else(|e| panic!("lint {name}: {e}"))
+}
+
+/// `(fixture dir, rule id every finding in `fail/` must carry)`.
+const CASES: &[(&str, &str)] = &[
+    ("stat-wipe", "no-stat-wipe"),
+    ("accounting", "unchecked-accounting"),
+    ("alloc-hot", "alloc-in-hot"),
+    ("panic", "panic-in-lib"),
+    ("conservation", "summary-conservation"),
+    ("threads", "thread-containment"),
+    ("directive", "directive"),
+];
+
+#[test]
+fn passing_fixtures_are_clean() {
+    for (dir, _) in CASES {
+        let report = lint(&format!("{dir}/pass"));
+        assert!(report.is_clean(), "{dir}/pass:\n{}", report.render_human());
+    }
+}
+
+#[test]
+fn failing_fixtures_report_only_their_rule() {
+    for (dir, rule) in CASES {
+        let report = lint(&format!("{dir}/fail"));
+        assert!(!report.is_clean(), "{dir}/fail should have findings");
+        for f in &report.findings {
+            assert_eq!(f.rule, *rule, "{dir}/fail reported a foreign rule: {f:?}");
+        }
+    }
+}
+
+#[test]
+fn historical_bugs_are_pinned() {
+    // Near-miss: `preset_mac` (an op method whose name merely *contains*
+    // "reset") wiping device stats mid-run.
+    let wipe = lint("stat-wipe/fail");
+    assert!(
+        wipe.findings
+            .iter()
+            .any(|f| f.message.contains("preset_mac")),
+        "{}",
+        wipe.render_human()
+    );
+    // Shipped bug: bare accumulator arithmetic on the SFU add path —
+    // both the `+=` counter bump and the `+` op result must be caught.
+    let acc = lint("accounting/fail");
+    assert_eq!(acc.findings.len(), 2, "{}", acc.render_human());
+    assert!(acc
+        .findings
+        .iter()
+        .all(|f| f.path == "crates/core/src/sfu.rs"));
+}
+
+#[test]
+fn justified_suppressions_count_but_stay_silent() {
+    let report = lint("directive/pass");
+    assert!(report.is_clean());
+    assert_eq!(report.suppressed, 1);
+}
+
+#[test]
+fn json_round_trips_for_every_failing_fixture() {
+    for (dir, _) in CASES {
+        let report = lint(&format!("{dir}/fail"));
+        let back = json::from_json(&json::to_json(&report)).expect("parse back");
+        assert_eq!(back, report, "{dir}/fail");
+    }
+}
+
+#[test]
+fn binary_exit_codes_and_json_output() {
+    let bin = env!("CARGO_BIN_EXE_gaasx-lint");
+    let run = |args: &[&str]| Command::new(bin).args(args).output().expect("spawn");
+
+    let clean = run(&[fixture("panic/pass").to_str().unwrap()]);
+    assert_eq!(clean.status.code(), Some(0), "{clean:?}");
+
+    let dirty = run(&[fixture("panic/fail").to_str().unwrap(), "--json"]);
+    assert_eq!(dirty.status.code(), Some(1), "{dirty:?}");
+    let out = String::from_utf8_lossy(&dirty.stdout);
+    let report = json::from_json(out.trim()).expect("machine-readable output");
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].rule, "panic-in-lib");
+
+    let usage = run(&["--definitely-not-a-flag"]);
+    assert_eq!(usage.status.code(), Some(2), "{usage:?}");
+}

@@ -1,0 +1,13 @@
+//! Fixture: the historical bug — bare `+=` on a cost counter (overflow
+//! wraps the ledger on long runs) and a bare `+` on the op result.
+
+pub struct Sfu {
+    adds: u64,
+}
+
+impl Sfu {
+    pub fn add_u64(&mut self, a: u64, b: u64) -> u64 {
+        self.adds += 1;
+        a + b
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: accumulator arithmetic through `saturating_*` only.
+
+pub struct Sfu {
+    adds: u64,
+}
+
+impl Sfu {
+    pub fn add_u64(&mut self, a: u64, b: u64) -> u64 {
+        self.adds = self.adds.saturating_add(1);
+        a.saturating_add(b)
+    }
+
+    pub fn total(&self) -> u64 {
+        self.adds
+    }
+}

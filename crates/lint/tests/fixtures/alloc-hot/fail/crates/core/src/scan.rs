@@ -1,0 +1,15 @@
+//! Fixture: a per-iteration allocation inside the fenced hot loop.
+
+pub fn search(entries: &[u64], key: u64) -> Vec<Vec<usize>> {
+    let mut groups = Vec::with_capacity(entries.len());
+    // gaasx-lint: hot
+    for (i, &e) in entries.iter().enumerate() {
+        let mut hits = vec![0usize; 1];
+        if e == key {
+            hits[0] = i;
+        }
+        groups.push(hits);
+    }
+    // gaasx-lint: end-hot
+    groups
+}

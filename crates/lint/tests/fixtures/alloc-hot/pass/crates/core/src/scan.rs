@@ -1,0 +1,13 @@
+//! Fixture: allocations hoisted out of the fenced hot loop.
+
+pub fn search(entries: &[u64], key: u64) -> Vec<usize> {
+    let mut hits = Vec::with_capacity(entries.len());
+    // gaasx-lint: hot
+    for (i, &e) in entries.iter().enumerate() {
+        if e == key {
+            hits.push(i);
+        }
+    }
+    // gaasx-lint: end-hot
+    hits
+}

@@ -1,0 +1,39 @@
+//! Fixture: the historical bug — a counter added to the struct but
+//! dropped by `merge`, so shard totals silently lose it.
+
+use std::iter::Sum;
+use std::ops::AddAssign;
+
+pub struct OpSummary {
+    pub mac_ops: u64,
+    pub cam_searches: u64,
+}
+
+impl OpSummary {
+    pub fn zero() -> Self {
+        OpSummary {
+            mac_ops: 0,
+            cam_searches: 0,
+        }
+    }
+
+    pub fn merge(&mut self, other: &OpSummary) {
+        self.mac_ops = self.mac_ops.saturating_add(other.mac_ops);
+    }
+}
+
+impl AddAssign for OpSummary {
+    fn add_assign(&mut self, rhs: Self) {
+        self.merge(&rhs);
+    }
+}
+
+impl Sum for OpSummary {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        let mut acc = OpSummary::zero();
+        for item in iter {
+            acc.merge(&item);
+        }
+        acc
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: a suppression without a `-- <why>` justification.
+
+pub fn first(table: &[u64]) -> u64 {
+    // gaasx-lint: allow(panic-in-lib)
+    table.first().copied().unwrap()
+}

@@ -1,0 +1,23 @@
+//! Fixture: the historical bug — an op method wiping counters mid-run.
+
+pub struct Device {
+    stats: Stats,
+}
+
+pub struct Stats {
+    searches: u64,
+}
+
+impl Stats {
+    pub fn reset_stats(&mut self) {
+        self.searches = 0;
+    }
+}
+
+impl Device {
+    /// `preset_mac` contains the substring "reset" but is a steady-state
+    /// op method: wiping stats here corrupts the run ledger.
+    pub fn preset_mac(&mut self, _row: usize) {
+        self.stats.reset_stats();
+    }
+}

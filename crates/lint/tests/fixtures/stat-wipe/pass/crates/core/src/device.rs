@@ -1,0 +1,33 @@
+//! Fixture: `reset_stats()` from sanctioned sites only.
+
+pub struct Device {
+    stats: Stats,
+}
+
+pub struct Stats {
+    searches: u64,
+}
+
+impl Stats {
+    pub fn reset_stats(&mut self) {
+        self.searches = 0;
+    }
+}
+
+impl Device {
+    pub fn new() -> Self {
+        let mut d = Device {
+            stats: Stats { searches: 0 },
+        };
+        d.stats.reset_stats();
+        d
+    }
+
+    pub fn reset(&mut self) {
+        self.stats.reset_stats();
+    }
+
+    pub fn setup_for_run(&mut self) {
+        self.stats.reset_stats();
+    }
+}

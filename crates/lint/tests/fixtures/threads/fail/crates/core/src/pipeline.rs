@@ -1,0 +1,11 @@
+//! Fixture: ad-hoc spawning outside the sharded execution layer.
+
+pub fn run_rogue(n: usize) {
+    let mut handles = Vec::with_capacity(n);
+    for _ in 0..n {
+        handles.push(std::thread::spawn(|| {}));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+}

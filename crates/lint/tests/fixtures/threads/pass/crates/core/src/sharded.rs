@@ -1,0 +1,9 @@
+//! Fixture: the one sanctioned spawning site.
+
+pub fn run_shards(n: usize) {
+    std::thread::scope(|s| {
+        for _ in 0..n {
+            s.spawn(|| {});
+        }
+    });
+}

@@ -77,8 +77,8 @@ impl SramBuffer {
         let accesses = bytes
             .div_ceil(ACCESS_WORD_BYTES)
             .max(if bytes > 0 { 1 } else { 0 });
-        self.reads += accesses;
-        self.bytes_read += bytes;
+        self.reads = self.reads.saturating_add(accesses);
+        self.bytes_read = self.bytes_read.saturating_add(bytes);
     }
 
     /// Records a write of `bytes`, counted in 32-byte word accesses.
@@ -86,13 +86,13 @@ impl SramBuffer {
         let accesses = bytes
             .div_ceil(ACCESS_WORD_BYTES)
             .max(if bytes > 0 { 1 } else { 0 });
-        self.writes += accesses;
-        self.bytes_written += bytes;
+        self.writes = self.writes.saturating_add(accesses);
+        self.bytes_written = self.bytes_written.saturating_add(bytes);
     }
 
     /// Total word accesses so far.
     pub fn accesses(&self) -> u64 {
-        self.reads + self.writes
+        self.reads.saturating_add(self.writes)
     }
 
     /// Total energy so far in nanojoules.
@@ -112,10 +112,10 @@ impl SramBuffer {
     /// configuration is untouched) — used when a primary engine absorbs
     /// the buffer traffic of sibling worker engines after a sharded run.
     pub fn merge(&mut self, other: &SramBuffer) {
-        self.reads += other.reads;
-        self.writes += other.writes;
-        self.bytes_read += other.bytes_read;
-        self.bytes_written += other.bytes_written;
+        self.reads = self.reads.saturating_add(other.reads);
+        self.writes = self.writes.saturating_add(other.writes);
+        self.bytes_read = self.bytes_read.saturating_add(other.bytes_read);
+        self.bytes_written = self.bytes_written.saturating_add(other.bytes_written);
     }
 
     /// Resets the counters, keeping the configuration.

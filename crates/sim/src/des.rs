@@ -79,6 +79,7 @@ impl BankScheduler {
             .iter()
             .enumerate()
             .min_by(|a, b| a.1.total_cmp(b.1))
+            // gaasx-lint: allow(panic-in-lib) -- config validation rejects zero banks before a DES schedule is built
             .expect("at least one bank");
         let start = stream_done.max(free);
         let done = start + program_ns + compute_ns;

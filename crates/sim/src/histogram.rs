@@ -35,7 +35,7 @@ impl Histogram {
         assert!(!self.counts.is_empty(), "histogram has no buckets");
         assert!(value >= 1, "histogram values are 1-based");
         let idx = (value - 1).min(self.counts.len() - 1);
-        self.counts[idx] += 1;
+        self.counts[idx] = self.counts[idx].saturating_add(1);
     }
 
     /// The raw bucket counts.
@@ -87,7 +87,7 @@ impl Histogram {
             self.counts.resize(other.counts.len(), 0);
         }
         for (i, &c) in other.counts.iter().enumerate() {
-            self.counts[i] += c;
+            self.counts[i] = self.counts[i].saturating_add(c);
         }
     }
 

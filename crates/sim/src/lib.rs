@@ -20,6 +20,7 @@
 //!   binaries,
 //! * [`stats`] — geometric means and summary helpers used across figures.
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -343,20 +343,46 @@ pub fn attribute_makespan(makespan_ns: f64, busy: &[(Phase, f64, u64)]) -> Vec<P
             p.sched_ns = even;
         }
     }
-    // Pin the largest share so the sum is exact, not within rounding.
-    let largest = out
+    // Pin a share so the sum is exact, not within rounding — against the
+    // same left-to-right summation order `phases_total_sched_ns` uses
+    // (float addition does not re-associate). The pinned share must be
+    // the *last* nonzero one: any trailing additions are then `+0.0`
+    // (exact), so the correction suffers a single rounding and one-ulp
+    // steps cannot straddle the target the way a mid-stream adjustment
+    // can (where one input ulp may move the re-summed total by two).
+    let pinned = out
         .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.sched_ns.total_cmp(&b.1.sched_ns))
-        .map(|(i, _)| i)
-        .unwrap_or(0);
-    let others: f64 = out
-        .iter()
-        .enumerate()
-        .filter(|&(i, _)| i != largest)
-        .map(|(_, p)| p.sched_ns)
-        .sum();
-    out[largest].sched_ns = (makespan_ns - others).max(0.0);
+        .rposition(|p| p.sched_ns > 0.0)
+        .unwrap_or(out.len() - 1);
+    // Shares are non-negative finite, so stepping one ulp is a bit bump.
+    let ulp_up = |x: f64| f64::from_bits(x.to_bits() + 1);
+    let ulp_down = |x: f64| {
+        if x <= 0.0 {
+            0.0
+        } else {
+            f64::from_bits(x.to_bits() - 1)
+        }
+    };
+    for _ in 0..64 {
+        let total: f64 = out.iter().map(|p| p.sched_ns).sum();
+        if total == makespan_ns {
+            break;
+        }
+        let cur = out[pinned].sched_ns;
+        let mut next = (cur + (makespan_ns - total)).max(0.0);
+        if next == cur {
+            // The residue is below one ulp of the share; step directly.
+            next = if total < makespan_ns {
+                ulp_up(cur)
+            } else {
+                ulp_down(cur)
+            };
+        }
+        if next == cur {
+            break;
+        }
+        out[pinned].sched_ns = next;
+    }
     out
 }
 

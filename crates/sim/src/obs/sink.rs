@@ -207,7 +207,7 @@ impl Sink for MemorySink {
 ///
 /// The format is hand-rolled (the workspace's serde is an offline shim —
 /// see `shims/README.md`): `span`, `counter`, and `gauge` records as
-/// emitted by [`span_to_json`] and friends. Decoded by the
+/// emitted by `span_to_json` and friends. Decoded by the
 /// `trace_summary` binary in `gaasx-bench`.
 pub struct JsonlSink {
     out: Mutex<Box<dyn Write + Send>>,

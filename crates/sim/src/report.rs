@@ -36,13 +36,13 @@ impl OpSummary {
 
     /// Adds another summary into this one.
     pub fn merge(&mut self, other: &OpSummary) {
-        self.mac_ops += other.mac_ops;
-        self.cam_searches += other.cam_searches;
-        self.cells_written += other.cells_written;
-        self.row_writes += other.row_writes;
-        self.sfu_ops += other.sfu_ops;
-        self.buffer_accesses += other.buffer_accesses;
-        self.compute_items += other.compute_items;
+        self.mac_ops = self.mac_ops.saturating_add(other.mac_ops);
+        self.cam_searches = self.cam_searches.saturating_add(other.cam_searches);
+        self.cells_written = self.cells_written.saturating_add(other.cells_written);
+        self.row_writes = self.row_writes.saturating_add(other.row_writes);
+        self.sfu_ops = self.sfu_ops.saturating_add(other.sfu_ops);
+        self.buffer_accesses = self.buffer_accesses.saturating_add(other.buffer_accesses);
+        self.compute_items = self.compute_items.saturating_add(other.compute_items);
     }
 }
 
@@ -153,7 +153,7 @@ impl RunReport {
         if self.elapsed_ns == 0.0 {
             return 0.0;
         }
-        (self.num_edges * self.iterations as u64) as f64 / self.time_s()
+        self.num_edges.saturating_mul(self.iterations as u64) as f64 / self.time_s()
     }
 
     /// How many times faster this run is than `other`

@@ -23,7 +23,7 @@ impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
         Table {
-            headers: headers.iter().map(|s| s.to_string()).collect(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
             rows: Vec::new(),
         }
     }
@@ -34,7 +34,7 @@ impl Table {
         let mut row: Vec<String> = cells
             .iter()
             .take(self.headers.len())
-            .map(|s| s.to_string())
+            .map(|s| (*s).to_string())
             .collect();
         row.resize(self.headers.len(), String::new());
         self.rows.push(row);

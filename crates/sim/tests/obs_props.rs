@@ -2,6 +2,7 @@
 //! be a pure function of the emitted span set, independent of how spans
 //! nest.
 
+#![allow(clippy::unwrap_used)]
 use std::sync::Arc;
 
 use gaasx_sim::{AggregateSink, Phase, Tracer};

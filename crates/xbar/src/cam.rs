@@ -55,6 +55,7 @@ impl CamCrossbar {
     /// Panics if the geometry is invalid; construct via a validated
     /// [`CamGeometry`] to avoid this.
     pub fn new(geometry: CamGeometry) -> Self {
+        // gaasx-lint: allow(panic-in-lib) -- documented panic contract of new(); validated presets cannot hit it
         geometry.validate().expect("invalid CAM geometry");
         let width_mask = if geometry.width_bits == 128 {
             u128::MAX
@@ -139,11 +140,13 @@ impl CamCrossbar {
         let key = key & self.width_mask;
         let mask = mask & self.width_mask;
         let mut hv = HitVector::new(self.geometry.rows);
+        // gaasx-lint: hot
         for (i, e) in self.entries.iter().enumerate() {
             if e.valid && (e.bits ^ key) & mask == 0 {
                 hv.set(i);
             }
         }
+        // gaasx-lint: end-hot
         hv
     }
 

@@ -80,6 +80,7 @@ impl MacCrossbar {
     /// Panics if the geometry is invalid; validate a custom [`MacGeometry`]
     /// first.
     pub fn new(geometry: MacGeometry, fidelity: Fidelity) -> Self {
+        // gaasx-lint: allow(panic-in-lib) -- documented panic contract of new(); validated presets cannot hit it
         geometry.validate().expect("invalid MAC geometry");
         MacCrossbar {
             geometry,
@@ -287,11 +288,13 @@ impl MacCrossbar {
         out_len: usize,
     ) -> Vec<u64> {
         let mut out = vec![0u64; out_len];
+        // gaasx-lint: hot
         for (o, slot) in out.iter_mut().enumerate() {
             for (&a, &x) in active.iter().zip(inputs) {
                 *slot += u64::from(x) * u64::from(self.crossed_cell(direction, a, o));
             }
         }
+        // gaasx-lint: end-hot
         out
     }
 
@@ -312,6 +315,7 @@ impl MacCrossbar {
         let adc_full_scale = (1u64 << g.adc_bits) - 1;
         let steps = self.input_bits.div_ceil(g.dac_bits);
         let mut out = vec![0u64; out_len];
+        // gaasx-lint: hot
         for (o, slot) in out.iter_mut().enumerate() {
             let mut acc = 0u64;
             for step in 0..steps {
@@ -333,6 +337,7 @@ impl MacCrossbar {
             }
             *slot = acc;
         }
+        // gaasx-lint: end-hot
         out
     }
 

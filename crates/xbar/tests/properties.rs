@@ -1,5 +1,6 @@
 //! Property-based tests of the crossbar device models.
 
+#![allow(clippy::unwrap_used)]
 use proptest::prelude::*;
 
 use gaasx_xbar::fixed::Quantizer;

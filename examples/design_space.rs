@@ -9,6 +9,7 @@
 //! cargo run --release --example design_space
 //! ```
 
+#![allow(clippy::unwrap_used)]
 use gaasx::baselines::reference;
 use gaasx::core::algorithms::PageRank;
 use gaasx::core::{GaasX, GaasXConfig};

@@ -6,6 +6,7 @@
 //! cargo run --release --example gnn_inference
 //! ```
 
+#![allow(clippy::unwrap_used)]
 use gaasx::core::algorithms::{GcnInput, GcnLayer};
 use gaasx::core::{GaasX, GaasXConfig};
 use gaasx::graph::generators::{localize, rmat, LocalityConfig, RmatConfig};

@@ -6,6 +6,7 @@
 //! cargo run --release --example out_of_core
 //! ```
 
+#![allow(clippy::unwrap_used)]
 use gaasx::core::algorithms::PageRank;
 use gaasx::core::{GaasX, GaasXConfig};
 use gaasx::graph::disk::ShardStore;

@@ -5,6 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
+#![allow(clippy::unwrap_used)]
 use gaasx::core::algorithms::PageRank;
 use gaasx::core::{GaasX, GaasXConfig};
 use gaasx::graph::generators;

@@ -6,6 +6,7 @@
 //! cargo run --release --example recommender
 //! ```
 
+#![allow(clippy::unwrap_used)]
 use gaasx::baselines::cpu::GraphChiCpu;
 use gaasx::core::algorithms::CollaborativeFiltering;
 use gaasx::core::{GaasX, GaasXConfig};

@@ -6,6 +6,7 @@
 //! cargo run --release --example route_planner
 //! ```
 
+#![allow(clippy::unwrap_used)]
 use gaasx::baselines::reference;
 use gaasx::core::algorithms::{Bfs, Sssp};
 use gaasx::core::{GaasX, GaasXConfig};

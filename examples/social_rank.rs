@@ -6,6 +6,7 @@
 //! cargo run --release --example social_rank
 //! ```
 
+#![allow(clippy::unwrap_used)]
 use gaasx::baselines::reference;
 use gaasx::baselines::{GraphR, GraphRConfig};
 use gaasx::core::algorithms::PageRank;

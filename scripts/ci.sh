@@ -12,6 +12,12 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> gaasx-lint (in-tree invariant checker)"
+cargo run -q --offline -p gaasx-lint -- .
+
+echo "==> cargo doc -D warnings"
+RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --offline --workspace
+
 echo "==> tier-1: cargo build --release && cargo test"
 cargo build --release --offline
 cargo test -q --offline

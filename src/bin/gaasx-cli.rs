@@ -14,6 +14,7 @@
 //! Graphs are text edge lists (`src dst [weight]`, `#` comments) or the
 //! library's binary format (`.bin`).
 
+#![allow(clippy::unwrap_used)]
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::process::ExitCode;

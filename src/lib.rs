@@ -26,6 +26,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 pub use gaasx_baselines as baselines;
 pub use gaasx_core as core;
 pub use gaasx_graph as graph;

@@ -2,6 +2,7 @@
 //! kernels, the GPU model) agrees functionally, and the cost relationships
 //! the paper claims hold in the right direction.
 
+#![allow(clippy::unwrap_used)]
 use gaasx::baselines::cpu::{GapbsCpu, GridGraphCpu};
 use gaasx::baselines::gram::GramModel;
 use gaasx::baselines::reference;

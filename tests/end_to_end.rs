@@ -1,6 +1,7 @@
 //! End-to-end integration tests: graph substrate → accelerator → report,
 //! validated against exact oracles, across all four paper algorithms.
 
+#![allow(clippy::unwrap_used)]
 use gaasx::baselines::reference;
 use gaasx::core::algorithms::{Bfs, CollaborativeFiltering, PageRank, Sssp};
 use gaasx::core::{GaasX, GaasXConfig};

@@ -5,6 +5,7 @@
 //! the *shape*: who wins, the direction of every ratio, and the qualitative
 //! structure of the distributions.
 
+#![allow(clippy::unwrap_used)]
 use gaasx::baselines::redundancy;
 use gaasx::baselines::{GraphR, GraphRConfig};
 use gaasx::core::algorithms::{Bfs, PageRank, Sssp};

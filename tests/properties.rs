@@ -1,5 +1,6 @@
 //! Property-based integration tests over randomly generated workloads.
 
+#![allow(clippy::unwrap_used)]
 use proptest::prelude::*;
 
 use gaasx::baselines::reference;
