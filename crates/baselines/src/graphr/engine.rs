@@ -229,6 +229,7 @@ impl Tally {
             cam_searches: 0,
             cells_written: self.cells_written,
             row_writes: self.row_writes,
+            verify_reads: 0,
             sfu_ops: self.sfu_ops,
             buffer_accesses: self.input_buf.accesses()
                 + self.attr_buf.accesses()

@@ -98,7 +98,18 @@ impl GaasX {
     ) -> Result<RunOutcome<A::Output>, CoreError> {
         let mut engine = Engine::new(self.config.clone())?;
         engine.set_tracer(self.tracer.clone());
-        let run = algorithm.execute(&mut engine, input)?;
+        let run = match algorithm.execute(&mut engine, input) {
+            Ok(run) => run,
+            Err(e) => {
+                return Err(Self::attach_partial_report(
+                    e,
+                    &mut engine,
+                    algorithm.name(),
+                    workload,
+                    A::input_edges(input),
+                ))
+            }
+        };
         let report = engine.finish(
             "gaasx",
             algorithm.name(),
@@ -110,6 +121,32 @@ impl GaasX {
             result: run.output,
             report,
         })
+    }
+
+    /// Graceful degradation: an unrecoverable [`CoreError::DeviceFault`]
+    /// aborts the algorithm, but the work done up to the fault still cost
+    /// time and energy — attach the partial report so callers can account
+    /// for it. Other errors pass through untouched.
+    fn attach_partial_report(
+        e: CoreError,
+        engine: &mut Engine,
+        algorithm: &str,
+        workload: &str,
+        num_edges: u64,
+    ) -> CoreError {
+        match e {
+            CoreError::DeviceFault {
+                detail,
+                report: None,
+            } => {
+                let partial = engine.finish("gaasx", algorithm, workload, 0, num_edges);
+                CoreError::DeviceFault {
+                    detail,
+                    report: Some(Box::new(partial)),
+                }
+            }
+            other => other,
+        }
     }
 
     /// Runs a shardable algorithm with its shard stream fanned out over
@@ -144,7 +181,26 @@ impl GaasX {
     ) -> Result<RunOutcome<A::Output>, CoreError> {
         let mut sharded = ShardedEngine::new(self.config.clone(), jobs)?;
         sharded.set_tracer(self.tracer.clone());
-        let run = algorithm.execute_on(&mut sharded, input)?;
+        let run = match algorithm.execute_on(&mut sharded, input) {
+            Ok(run) => run,
+            Err(CoreError::DeviceFault {
+                detail,
+                report: None,
+            }) => {
+                let partial = sharded.finish(
+                    "gaasx",
+                    algorithm.name(),
+                    workload,
+                    0,
+                    A::input_edges(input),
+                );
+                return Err(CoreError::DeviceFault {
+                    detail,
+                    report: Some(Box::new(partial)),
+                });
+            }
+            Err(e) => return Err(e),
+        };
         let report = sharded.finish(
             "gaasx",
             algorithm.name(),
@@ -334,6 +390,76 @@ mod tests {
             sssp_sharded.report.elapsed_ns,
             sssp_serial.report.elapsed_ns
         );
+    }
+
+    #[test]
+    fn recovered_run_matches_fault_free_results() {
+        use crate::config::RecoveryPolicy;
+        use gaasx_xbar::FaultModel;
+        let g = generators::rmat(&generators::RmatConfig::new(1 << 6, 300).with_seed(8)).unwrap();
+        let clean = GaasX::new(GaasXConfig::small())
+            .run(&PageRank::fixed_iterations(3), &g)
+            .unwrap();
+        let mut faulty = GaasX::new(GaasXConfig {
+            fault: FaultModel {
+                cam_stuck_ber: 3e-4,
+                mac_stuck_ber: 3e-4,
+                write_fail_rate: 0.02,
+                seed: 5,
+                ..FaultModel::none()
+            },
+            recovery: RecoveryPolicy::standard(),
+            ..GaasXConfig::small()
+        });
+        let recovered = faulty.run(&PageRank::fixed_iterations(3), &g).unwrap();
+        // Stuck cells and transient write failures are fully masked by
+        // verify/retry/remap: the scores are exactly the clean ones.
+        assert_eq!(recovered.result, clean.result);
+        let f = &recovered.report.faults;
+        assert!(f.verify_reads > 0, "{f:?}");
+        assert!(f.faults_detected > 0, "{f:?}");
+        assert!(recovered.report.ops.verify_reads > 0);
+        // Recovery is visible in the cost model too: extra programming
+        // attempts and verify reads make the run slower than clean.
+        assert!(recovered.report.elapsed_ns > clean.report.elapsed_ns);
+    }
+
+    #[test]
+    fn unrecoverable_fault_returns_partial_report() {
+        use crate::config::RecoveryPolicy;
+        use crate::error::CoreError;
+        use gaasx_xbar::FaultModel;
+        let g = generators::rmat(&generators::RmatConfig::new(1 << 6, 300).with_seed(8)).unwrap();
+        let config = GaasXConfig {
+            fault: FaultModel {
+                cam_stuck_ber: 1e-2,
+                seed: 2,
+                ..FaultModel::none()
+            },
+            recovery: RecoveryPolicy::detect_only(),
+            ..GaasXConfig::small()
+        };
+        for sharded in [false, true] {
+            let mut accel = GaasX::new(config.clone());
+            let err = if sharded {
+                accel
+                    .run_sharded(&PageRank::fixed_iterations(3), &g, 2)
+                    .unwrap_err()
+            } else {
+                accel.run(&PageRank::fixed_iterations(3), &g).unwrap_err()
+            };
+            match err {
+                CoreError::DeviceFault {
+                    report: Some(report),
+                    ..
+                } => {
+                    // The partial report accounts for the aborted work.
+                    assert!(report.ops.verify_reads > 0, "sharded={sharded}");
+                    assert!(report.faults.faults_detected > 0, "sharded={sharded}");
+                }
+                other => panic!("want DeviceFault with report, got {other} (sharded={sharded})"),
+            }
+        }
     }
 
     #[test]

@@ -5,9 +5,64 @@ use serde::{Deserialize, Serialize};
 use gaasx_sim::des::SchedulePolicy;
 use gaasx_xbar::energy::DeviceEnergyModel;
 use gaasx_xbar::geometry::{CamGeometry, MacGeometry};
-use gaasx_xbar::Fidelity;
+use gaasx_xbar::{FaultModel, Fidelity};
 
 use crate::error::CoreError;
+
+/// Fault-recovery policy of the engine's write path.
+///
+/// The default is fully off: no verify reads, no retries, no reserved
+/// spares — the fault-free fast path is untouched. With faults injected
+/// (see [`GaasXConfig::fault`]) and `write_verify` on, every programmed
+/// row is read back; a mismatch triggers up to `retry_budget` reprograms
+/// and finally a remap onto one of `spare_rows` reserved rows. A run that
+/// detects a fault it cannot recover from fails with
+/// [`CoreError::DeviceFault`](crate::CoreError) instead of silently
+/// computing on corrupt data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Read back every programmed CAM entry / MAC row and compare.
+    pub write_verify: bool,
+    /// Reprogram attempts after a verify mismatch before giving up on the
+    /// row. `0` means detect-only: the first unrecovered mismatch is fatal
+    /// unless a spare absorbs it.
+    pub retry_budget: u32,
+    /// Rows per bank reserved as remap targets (reduces block capacity by
+    /// the same amount while faults are active).
+    pub spare_rows: usize,
+    /// Issue every CAM search three times and majority-vote the hit
+    /// vectors, masking transient match-line upsets.
+    pub cam_double_check: bool,
+}
+
+impl RecoveryPolicy {
+    /// Everything off — the fault-free fast path (this is also `default()`).
+    pub fn off() -> Self {
+        RecoveryPolicy::default()
+    }
+
+    /// A forgiving production policy: verify + 3 retries + 16 spares +
+    /// search double-check.
+    pub fn standard() -> Self {
+        RecoveryPolicy {
+            write_verify: true,
+            retry_budget: 3,
+            spare_rows: 16,
+            cam_double_check: true,
+        }
+    }
+
+    /// Detect faults but never recover: verify on, zero retries, zero
+    /// spares. Any detected fault surfaces as a typed `DeviceFault`.
+    pub fn detect_only() -> Self {
+        RecoveryPolicy {
+            write_verify: true,
+            retry_budget: 0,
+            spare_rows: 0,
+            cam_double_check: false,
+        }
+    }
+}
 
 /// Complete configuration of a GaaS-X accelerator instance.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -36,6 +91,13 @@ pub struct GaasXConfig {
     /// Block dispatch discipline: synchronous waves (default, a simple
     /// controller) or event-driven earliest-available-bank scheduling.
     pub scheduler: SchedulePolicy,
+    /// Seeded device-fault injection ([`FaultModel::none`] disables it and
+    /// costs nothing).
+    #[serde(default)]
+    pub fault: FaultModel,
+    /// Write-verify / retry / spare-row recovery policy (off by default).
+    #[serde(default)]
+    pub recovery: RecoveryPolicy,
 }
 
 impl GaasXConfig {
@@ -53,6 +115,8 @@ impl GaasXConfig {
             stream_bandwidth_gbps: 128.0,
             edge_record_bytes: 12,
             scheduler: SchedulePolicy::Waves,
+            fault: FaultModel::none(),
+            recovery: RecoveryPolicy::off(),
         }
     }
 
@@ -102,6 +166,15 @@ impl GaasXConfig {
             return Err(CoreError::InvalidConfig(
                 "noise_sigma must be non-negative".into(),
             ));
+        }
+        self.fault
+            .validate()
+            .map_err(|e| CoreError::InvalidConfig(format!("fault model: {e}")))?;
+        if !self.fault.is_none() && self.recovery.spare_rows >= self.cam_geometry.rows {
+            return Err(CoreError::InvalidConfig(format!(
+                "recovery: {} spare rows leave no usable rows in a {}-row bank",
+                self.recovery.spare_rows, self.cam_geometry.rows
+            )));
         }
         Ok(())
     }
@@ -245,6 +318,37 @@ mod tests {
         let mut c = GaasXConfig::paper();
         c.noise_sigma = -1.0;
         assert!(c.validate().is_err());
+        let mut c = GaasXConfig::paper();
+        c.fault.mac_stuck_ber = 2.0;
+        assert!(c.validate().is_err());
+        let mut c = GaasXConfig::paper();
+        c.fault.cam_stuck_ber = 1e-4;
+        c.recovery.spare_rows = 128;
+        assert!(c.validate().is_err(), "spares must leave usable rows");
+        c.recovery.spare_rows = 16;
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn recovery_policy_presets() {
+        assert_eq!(RecoveryPolicy::off(), RecoveryPolicy::default());
+        assert!(!RecoveryPolicy::off().write_verify);
+        let std = RecoveryPolicy::standard();
+        assert!(std.write_verify && std.cam_double_check);
+        assert!(std.retry_budget > 0 && std.spare_rows > 0);
+        let detect = RecoveryPolicy::detect_only();
+        assert!(detect.write_verify);
+        assert_eq!(detect.retry_budget, 0);
+        assert_eq!(detect.spare_rows, 0);
+    }
+
+    #[test]
+    fn fault_fields_default_to_off() {
+        // The fault/recovery fields are additive: a paper() config carries
+        // no faults and the all-off recovery policy.
+        let c = GaasXConfig::paper();
+        assert!(c.fault.is_none());
+        assert_eq!(c.recovery, RecoveryPolicy::off());
     }
 
     #[test]

@@ -30,8 +30,10 @@ use gaasx_graph::{CooGraph, Edge, GraphError, VertexId};
 use gaasx_sim::des::{BankScheduler, SchedulePolicy};
 use gaasx_sim::pipeline::PipelineClock;
 use gaasx_sim::{
-    attribute_makespan, EnergyBreakdown, Histogram, OpSummary, Phase, RunReport, SramBuffer, Tracer,
+    attribute_makespan, EnergyBreakdown, FaultReport, Histogram, OpSummary, Phase, RunReport,
+    SramBuffer, Tracer,
 };
+use gaasx_xbar::fault::{CamFaultState, MacFaultState};
 use gaasx_xbar::{CamCrossbar, HitVector, MacCrossbar, MacDirection, XbarStats};
 
 use crate::config::GaasXConfig;
@@ -41,6 +43,10 @@ use crate::sfu::Sfu;
 /// Effective parallel lanes in the SFU (it contains multiple adders,
 /// comparators and multipliers, paper §III-B).
 const SFU_LANES: f64 = 16.0;
+
+/// Sentinel for a physical row that maps to no logical slot (a free or
+/// retired row).
+const UNMAPPED: usize = usize::MAX;
 
 /// How the MAC cells of a block are populated during data loading.
 pub enum CellLayout<'a> {
@@ -144,6 +150,26 @@ pub struct Engine {
     tracer: Tracer,
     /// Functional (serial) time cursor for span placement, ns.
     cursor_ns: f64,
+    /// Whether the config injects any device faults. Gates every recovery
+    /// code path so a fault-free engine is bit-identical to one predating
+    /// the fault layer.
+    fault_active: bool,
+    /// Logical block slot → physical CAM/MAC row. Identity until a remap
+    /// retires a row; `remap_active` guards the identity fast path.
+    log2phys: Vec<usize>,
+    /// Physical row → logical slot ([`UNMAPPED`] for spares and retired
+    /// rows).
+    phys2log: Vec<usize>,
+    /// Free spare physical rows, popped in ascending row order.
+    spares: Vec<usize>,
+    /// `true` once any slot maps away from its identity row.
+    remap_active: bool,
+    /// Scratch for translating logical activation chunks to physical rows
+    /// (preallocated: the translation sits inside the MAC hot loop).
+    phys_buf: Vec<usize>,
+    /// Recovery activity detected by this engine (verify reads, retries,
+    /// remaps); merged across sharded workers and surfaced in the report.
+    faults: FaultReport,
 }
 
 impl Engine {
@@ -167,8 +193,29 @@ impl Engine {
                 config.noise_seed.wrapping_add(1),
             )));
         }
+        let mut cam = CamCrossbar::new(config.cam_geometry);
+        // Faults apply to the edge-storage CAM/MAC pair; the auxiliary
+        // attribute arrays model ECC-protected storage-class banks and
+        // stay clean.
+        let fault_active = !config.fault.is_none();
+        if fault_active {
+            cam.set_faults(Some(CamFaultState::new(config.fault, &config.cam_geometry)));
+            mac.set_faults(Some(MacFaultState::new(config.fault, &config.mac_geometry)));
+        }
+        let rows = config.cam_geometry.rows;
+        let reserved = if fault_active {
+            config.recovery.spare_rows
+        } else {
+            0
+        };
+        let capacity = rows - reserved;
+        let mut phys2log = vec![UNMAPPED; rows];
+        for (slot, entry) in phys2log.iter_mut().enumerate().take(capacity) {
+            *entry = slot;
+        }
+        let phys_buf = Vec::with_capacity(config.mac_geometry.max_active_rows);
         Ok(Engine {
-            cam: CamCrossbar::new(config.cam_geometry),
+            cam,
             mac,
             aux_mac,
             sfu: Sfu::new(),
@@ -187,6 +234,15 @@ impl Engine {
             extra_aux_cells: 0,
             tracer: Tracer::null(),
             cursor_ns: 0.0,
+            fault_active,
+            log2phys: (0..capacity).collect(),
+            phys2log,
+            // Descending storage so `pop` hands out spares in ascending
+            // physical-row order.
+            spares: (capacity..rows).rev().collect(),
+            remap_active: false,
+            phys_buf,
+            faults: FaultReport::default(),
             config,
         })
     }
@@ -217,9 +273,22 @@ impl Engine {
         self.tracer.emit(phase, start, dur_ns);
     }
 
-    /// Maximum edges per block (CAM rows per bank).
+    /// Maximum edges per block: CAM rows per bank, minus the spare rows
+    /// reserved for remapping when fault injection is active. With a
+    /// fault-free config the full row count is usable, so the fault layer
+    /// costs nothing when off.
     pub fn block_capacity(&self) -> usize {
-        self.config.cam_geometry.rows
+        if self.fault_active {
+            self.config.cam_geometry.rows - self.config.recovery.spare_rows
+        } else {
+            self.config.cam_geometry.rows
+        }
+    }
+
+    /// Whether write-verify is in effect (faults injected *and* the policy
+    /// asks for verification).
+    fn verify_on(&self) -> bool {
+        self.fault_active && self.config.recovery.write_verify
     }
 
     /// Weight precision of the MAC cells in bits.
@@ -245,7 +314,161 @@ impl Engine {
         for row in 0..g.rows {
             self.mac.preload_row(row, &codes)?;
         }
+        if self.verify_on() {
+            self.audit_preset(code)?;
+        }
         Ok(())
+    }
+
+    /// Post-preset health check: read back every mapped slot and every
+    /// spare. Spares that fail are dropped from the pool (a remap target
+    /// must hold the preset correctly); mapped slots that fail remap onto a
+    /// pre-validated spare. Verify reads are charged as data-loading time.
+    fn audit_preset(&mut self, code: u32) -> Result<(), CoreError> {
+        let cols = self.config.mac_geometry.cols;
+        let per_row_ns = self.config.energy.verify_read_ns;
+        let mut verify_ns = 0.0;
+        let spares = std::mem::take(&mut self.spares);
+        let mut good = Vec::with_capacity(spares.len());
+        for spare in spares {
+            verify_ns += per_row_ns;
+            self.faults.verify_reads = self.faults.verify_reads.saturating_add(1);
+            if self.preset_row_ok(spare, code, cols)? {
+                good.push(spare);
+            } else {
+                self.faults.faults_detected = self.faults.faults_detected.saturating_add(1);
+            }
+        }
+        self.spares = good;
+        for slot in 0..self.log2phys.len() {
+            verify_ns += per_row_ns;
+            self.faults.verify_reads = self.faults.verify_reads.saturating_add(1);
+            if !self.preset_row_ok(self.log2phys[slot], code, cols)? {
+                self.faults.faults_detected = self.faults.faults_detected.saturating_add(1);
+                self.remap_slot(slot)?;
+            }
+        }
+        self.add_compute(Phase::LoadBlock, verify_ns);
+        self.trace_op(Phase::LoadBlock, verify_ns);
+        Ok(())
+    }
+
+    fn preset_row_ok(&self, phys: usize, code: u32, cols: usize) -> Result<bool, CoreError> {
+        for col in 0..cols {
+            if self.mac.read_cell(phys, col)? != code {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Retires the physical row behind `slot` and maps the slot onto the
+    /// next spare. The retired row is invalidated in the CAM so stale bits
+    /// can never match a search.
+    fn remap_slot(&mut self, slot: usize) -> Result<(), CoreError> {
+        let phys = self.log2phys[slot];
+        let Some(spare) = self.spares.pop() else {
+            return Err(CoreError::DeviceFault {
+                detail: format!(
+                    "physical row {phys} (slot {slot}) is unprogrammable and no spare rows \
+                     remain (policy: {} retries, {} spares)",
+                    self.config.recovery.retry_budget, self.config.recovery.spare_rows
+                ),
+                report: None,
+            });
+        };
+        self.cam.invalidate(phys)?;
+        self.phys2log[phys] = UNMAPPED;
+        self.phys2log[spare] = slot;
+        self.log2phys[slot] = spare;
+        self.remap_active = true;
+        self.faults.row_remaps = self.faults.row_remaps.saturating_add(1);
+        if self.tracer.enabled() {
+            self.tracer
+                .span(Phase::LoadBlock, self.cursor_ns)
+                .attr("remap_slot", slot)
+                .attr("from_phys", phys)
+                .attr("to_phys", spare)
+                .end(self.cursor_ns);
+        }
+        Ok(())
+    }
+
+    /// Reads back a just-programmed row and compares against intent.
+    fn row_matches(
+        &self,
+        phys: usize,
+        key: u128,
+        codes: Option<&[u32]>,
+    ) -> Result<bool, CoreError> {
+        let entry = self.cam.read(phys)?;
+        if !entry.valid || entry.bits != key & self.cam_width_mask() {
+            return Ok(false);
+        }
+        if let Some(codes) = codes {
+            for (col, &code) in codes.iter().enumerate() {
+                if self.mac.read_cell(phys, col)? != code {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    fn cam_width_mask(&self) -> u128 {
+        let bits = self.config.cam_geometry.width_bits;
+        if bits >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << bits) - 1
+        }
+    }
+
+    /// Programs one logical slot (CAM key plus optional MAC codes) with
+    /// write-verify, bounded retry, and spare-row remapping per the
+    /// [`RecoveryPolicy`](crate::RecoveryPolicy). Returns the programming
+    /// time spent, including verify reads and every retried attempt.
+    fn program_slot(
+        &mut self,
+        slot: usize,
+        key: u128,
+        codes: Option<&[u32]>,
+    ) -> Result<f64, CoreError> {
+        let cam_ns = self.config.energy.row_program_ns(1);
+        let attempt_ns = match codes {
+            Some(c) => cam_ns.max(self.config.energy.row_program_ns(c.len())),
+            None => cam_ns,
+        };
+        let verify = self.verify_on();
+        let mut ns = 0.0;
+        loop {
+            let phys = self.log2phys[slot];
+            let mut tries: u32 = 0;
+            loop {
+                self.cam.write(phys, key)?;
+                if let Some(c) = codes {
+                    self.mac.write_row(phys, c)?;
+                }
+                ns += attempt_ns;
+                if !verify {
+                    return Ok(ns);
+                }
+                ns += self.config.energy.verify_read_ns;
+                self.faults.verify_reads = self.faults.verify_reads.saturating_add(1);
+                if self.row_matches(phys, key, codes)? {
+                    return Ok(ns);
+                }
+                self.faults.faults_detected = self.faults.faults_detected.saturating_add(1);
+                if tries >= self.config.recovery.retry_budget {
+                    break;
+                }
+                tries += 1;
+                self.faults.write_retries = self.faults.write_retries.saturating_add(1);
+            }
+            // Retry budget exhausted on this physical row: remap the slot
+            // and reprogram on the spare (or fail if the pool is dry).
+            self.remap_slot(slot)?;
+        }
     }
 
     /// Loads a block of edges into the working CAM+MAC bank (data loading
@@ -274,22 +497,19 @@ impl Engine {
         let mut srcs: Vec<VertexId> = Vec::with_capacity(edges.len());
         let mut dsts: Vec<VertexId> = Vec::with_capacity(edges.len());
         let mut program_ns = 0.0;
-        for (row, e) in edges.iter().enumerate() {
+        for (slot, e) in edges.iter().enumerate() {
             let key = (u128::from(e.src.raw()) << 32) | u128::from(e.dst.raw());
-            self.cam.write(row, key)?;
             // The CAM key programs as one ternary word; the MAC row
             // programs its values in the paired array concurrently — the
-            // slower of the two paces the row.
-            let cam_ns = self.config.energy.row_program_ns(1);
-            let mac_ns = if let CellLayout::PerEdge(f) = cells {
-                let codes = f(e);
-                let ns = self.config.energy.row_program_ns(codes.len());
-                self.mac.write_row(row, &codes)?;
-                ns
-            } else {
-                0.0
+            // slower of the two paces the row. Under an active fault model
+            // the slot programs through write-verify/retry/remap.
+            program_ns += match cells {
+                CellLayout::PerEdge(f) => {
+                    let codes = f(e);
+                    self.program_slot(slot, key, Some(&codes))?
+                }
+                CellLayout::Preset => self.program_slot(slot, key, None)?,
             };
-            program_ns += cam_ns.max(mac_ns);
             srcs.push(e.src);
             dsts.push(e.dst);
         }
@@ -325,19 +545,49 @@ impl Engine {
 
     /// CAM search for all edges with the given source (row-wise key field).
     pub fn search_src(&mut self, src: VertexId) -> HitVector {
-        let ns = self.config.energy.cam_search_ns;
-        self.current.add_phase(Phase::CamSearch, ns);
-        self.trace_op(Phase::CamSearch, ns);
-        self.cam
-            .search(u128::from(src.raw()) << 32, 0xFFFF_FFFF_0000_0000)
+        self.searched(u128::from(src.raw()) << 32, 0xFFFF_FFFF_0000_0000)
     }
 
     /// CAM search for all edges with the given destination.
     pub fn search_dst(&mut self, dst: VertexId) -> HitVector {
+        self.searched(u128::from(dst.raw()), 0xFFFF_FFFF)
+    }
+
+    /// Issues a CAM search, optionally triple-voted against transient
+    /// upsets, and translates physical hit rows back to logical slots.
+    fn searched(&mut self, key: u128, mask: u128) -> HitVector {
         let ns = self.config.energy.cam_search_ns;
         self.current.add_phase(Phase::CamSearch, ns);
         self.trace_op(Phase::CamSearch, ns);
-        self.cam.search(u128::from(dst.raw()), 0xFFFF_FFFF)
+        let mut hits = self.cam.search(key, mask);
+        if self.fault_active && self.config.recovery.cam_double_check {
+            // Two extra searches; a per-row majority vote masks any single
+            // transient upset. Each re-search is charged like the first.
+            self.current.add_phase(Phase::CamSearch, ns);
+            self.trace_op(Phase::CamSearch, ns);
+            let second = self.cam.search(key, mask);
+            self.current.add_phase(Phase::CamSearch, ns);
+            self.trace_op(Phase::CamSearch, ns);
+            let third = self.cam.search(key, mask);
+            hits = hits
+                .and(&second)
+                .or(&hits.and(&third))
+                .or(&second.and(&third));
+            self.faults.cam_double_checks = self.faults.cam_double_checks.saturating_add(1);
+        }
+        if !self.remap_active {
+            return hits;
+        }
+        // Remapped slots match at their spare's physical row; report them
+        // at their logical slot so algorithms stay oblivious to remapping.
+        let mut logical = HitVector::new(hits.len());
+        for phys in hits.iter_ones() {
+            let slot = self.phys2log[phys];
+            if slot != UNMAPPED {
+                logical.set(slot);
+            }
+        }
+        logical
     }
 
     /// SpMV-multiply accumulation: sums `input(row) × cell[row][out_col]`
@@ -367,7 +617,17 @@ impl Engine {
                 self.attr_buf.read(4);
                 inputs.push(input(row));
             }
-            let out = self.mac.mac(MacDirection::RowsToColumns, chunk, &inputs)?;
+            let out = if self.remap_active {
+                // Activate the physical rows behind the logical slots.
+                self.phys_buf.clear();
+                for &row in chunk {
+                    self.phys_buf.push(self.log2phys[row]);
+                }
+                self.mac
+                    .mac(MacDirection::RowsToColumns, &self.phys_buf, &inputs)?
+            } else {
+                self.mac.mac(MacDirection::RowsToColumns, chunk, &inputs)?
+            };
             self.rows_per_mac.record(chunk.len());
             let ns = self.config.energy.mac_op_ns;
             self.current.add_phase(Phase::MacGather, ns);
@@ -417,7 +677,12 @@ impl Engine {
             self.trace_op(Phase::MacPropagate, ns);
             self.compute_items = self.compute_items.saturating_add(chunk.len() as u64);
             for &row in chunk {
-                results.push((row, out[row]));
+                let phys = if self.remap_active {
+                    self.log2phys[row]
+                } else {
+                    row
+                };
+                results.push((row, out[phys]));
             }
         }
         // gaasx-lint: end-hot
@@ -625,6 +890,9 @@ impl Engine {
         self.cam.merge_stats(worker.cam.stats());
         self.mac.merge_stats(worker.mac.stats());
         self.aux_mac.merge_stats(worker.aux_mac.stats());
+        self.cam.merge_fault_stats(worker.cam.fault_stats());
+        self.mac.merge_fault_stats(worker.mac.fault_stats());
+        self.faults.merge(&worker.faults);
         self.sfu.merge(&worker.sfu);
         self.input_buf.merge(&worker.input_buf);
         self.output_buf.merge(&worker.output_buf);
@@ -746,7 +1014,11 @@ impl Engine {
         let energy = EnergyBreakdown {
             mac_nj: stats.mac_ops as f64 * e.mac_op_pj / 1_000.0,
             cam_nj: stats.cam_searches as f64 * e.cam_search_pj / 1_000.0,
-            write_nj: (mac_cells as f64 * e.cell_write_pj + cam_cells as f64 * e.cam_bit_write_pj)
+            // Write-verify read-backs bill to the write path: they guard
+            // programming bursts, not MAC compute.
+            write_nj: (mac_cells as f64 * e.cell_write_pj
+                + cam_cells as f64 * e.cam_bit_write_pj
+                + self.faults.verify_reads as f64 * e.verify_read_pj)
                 / 1_000.0,
             sfu_nj: self.sfu.total_ops() as f64 * e.sfu_op_pj / 1_000.0,
             buffer_nj,
@@ -757,6 +1029,7 @@ impl Engine {
             cam_searches: stats.cam_searches,
             cells_written: stats.cells_written + self.extra_aux_cells,
             row_writes: stats.row_writes + self.extra_aux_row_writes,
+            verify_reads: self.faults.verify_reads,
             sfu_ops: self.sfu.total_ops(),
             buffer_accesses: self.input_buf.accesses()
                 + self.output_buf.accesses()
@@ -785,6 +1058,21 @@ impl Engine {
         if let Some(metrics) = self.tracer.metrics() {
             metrics.publish_op_summary(&ops);
         }
+        if self.fault_active {
+            // Recovery counters publish once here (already merged across
+            // sharded workers), not at event time: worker engines carry
+            // null tracers, so event-time publication would undercount.
+            self.tracer
+                .counter_add("fault_verify_reads", self.faults.verify_reads);
+            self.tracer
+                .counter_add("fault_detected", self.faults.faults_detected);
+            self.tracer
+                .counter_add("fault_write_retries", self.faults.write_retries);
+            self.tracer
+                .counter_add("fault_row_remaps", self.faults.row_remaps);
+            self.tracer
+                .counter_add("fault_cam_double_checks", self.faults.cam_double_checks);
+        }
         self.tracer.gauge_set("elapsed_ns", makespan);
         self.tracer.gauge_set("energy_total_nj", energy.total_nj());
         self.tracer.flush();
@@ -794,6 +1082,7 @@ impl Engine {
         report.elapsed_ns = makespan;
         report.energy = energy;
         report.ops = ops;
+        report.faults = self.faults;
         report.rows_per_mac = self.rows_per_mac.clone();
         report.num_edges = num_edges;
         report.phases = phases;
@@ -1238,5 +1527,179 @@ mod tests {
         assert_eq!(got.elapsed_ns, want.elapsed_ns);
         assert_eq!(got.energy.total_nj(), want.energy.total_nj());
         assert_eq!(got.rows_per_mac, want.rows_per_mac);
+    }
+
+    use crate::config::RecoveryPolicy;
+    use gaasx_xbar::FaultModel;
+
+    fn faulty(fault: FaultModel, recovery: RecoveryPolicy) -> Engine {
+        Engine::new(GaasXConfig {
+            fault,
+            recovery,
+            ..GaasXConfig::small()
+        })
+        .unwrap()
+    }
+
+    /// One edge per slot with distinct src/dst keys and a weight-3 code —
+    /// fills the whole block so positional stuck faults get exercised.
+    fn full_block_edges(capacity: usize) -> Vec<Edge> {
+        (0..capacity as u32)
+            .map(|i| Edge::new(i, 1000 + i, 3.0))
+            .collect()
+    }
+
+    #[test]
+    fn recovery_policy_is_inert_without_faults() {
+        let run = |e: &mut Engine| {
+            let _b = fig7_block(e);
+            let hits = e.search_dst(VertexId::new(1));
+            e.gather_rows(&hits, &mut |_| 1, 0).unwrap()
+        };
+        let mut plain = engine();
+        let mut guarded = faulty(FaultModel::none(), RecoveryPolicy::standard());
+        assert_eq!(guarded.block_capacity(), plain.block_capacity());
+        assert_eq!(run(&mut guarded), run(&mut plain));
+        let want = plain.finish("t", "t", "t", 1, 8);
+        let got = guarded.finish("t", "t", "t", 1, 8);
+        assert_eq!(got.ops, want.ops);
+        assert_eq!(got.elapsed_ns, want.elapsed_ns);
+        assert_eq!(got.energy.total_nj(), want.energy.total_nj());
+        assert!(got.faults.is_zero());
+        assert_eq!(got.ops.verify_reads, 0);
+    }
+
+    #[test]
+    fn write_verify_retries_recover_transient_faults() {
+        let fault = FaultModel {
+            write_fail_rate: 0.05,
+            seed: 42,
+            ..FaultModel::none()
+        };
+        let mut e = faulty(fault, RecoveryPolicy::standard());
+        let g = generators::paper_fig7_graph();
+        let cells = |edge: &Edge| vec![edge.weight as u32, 1];
+        for _ in 0..40 {
+            let _b = e
+                .load_block(g.edges(), CellLayout::PerEdge(&cells))
+                .unwrap();
+            let hits = e.search_dst(VertexId::new(1));
+            // Every pass stays exact: 6 + 5 + 8 = 19 despite injected
+            // transient programming failures.
+            assert_eq!(e.gather_rows(&hits, &mut |_| 1, 0).unwrap(), 19);
+        }
+        let r = e.finish("t", "t", "t", 1, 8);
+        // 40 blocks × 8 rows, one verify read per successful attempt.
+        assert!(r.faults.verify_reads >= 320, "{:?}", r.faults);
+        assert!(r.faults.faults_detected > 0, "{:?}", r.faults);
+        assert!(r.faults.write_retries > 0, "{:?}", r.faults);
+        assert_eq!(r.ops.verify_reads, r.faults.verify_reads);
+        // Verify reads bill read-class energy to the write path.
+        let e_model = &GaasXConfig::small().energy;
+        let floor = r.faults.verify_reads as f64 * e_model.verify_read_pj / 1_000.0;
+        assert!(r.energy.write_nj > floor);
+    }
+
+    #[test]
+    fn stuck_rows_remap_and_translation_stays_correct() {
+        let fault = FaultModel {
+            cam_stuck_ber: 1e-3,
+            mac_stuck_ber: 1e-3,
+            seed: 7,
+            ..FaultModel::none()
+        };
+        let mut e = faulty(fault, RecoveryPolicy::standard());
+        assert_eq!(e.block_capacity(), 128 - 16);
+        let edges = full_block_edges(e.block_capacity());
+        let cells = |edge: &Edge| vec![edge.weight as u32, 1];
+        let b = e.load_block(&edges, CellLayout::PerEdge(&cells)).unwrap();
+        for i in 0..edges.len() as u32 {
+            // Each dst hits exactly one (possibly remapped) row, reported
+            // at its logical slot with the correct stored weight.
+            let hits = e.search_dst(VertexId::new(1000 + i));
+            assert_eq!(hits.count(), 1, "dst {i}");
+            assert_eq!(e.gather_rows(&hits, &mut |_| 1, 0).unwrap(), 3);
+            let src_hits = e.search_src(VertexId::new(i));
+            let res = e.propagate_rows(&src_hits, &[0], &[1]).unwrap();
+            assert_eq!(res.len(), 1, "src {i}");
+            assert_eq!(res[0].1, 3);
+            assert_eq!(b.edge(res[0].0).src, VertexId::new(i));
+        }
+        let r = e.finish("t", "t", "t", 1, edges.len() as u64);
+        assert!(
+            r.faults.row_remaps > 0,
+            "seed must exercise remapping: {:?}",
+            r.faults
+        );
+        assert!(r.faults.verify_reads >= edges.len() as u64);
+    }
+
+    #[test]
+    fn preset_audit_remaps_stuck_mac_rows() {
+        let fault = FaultModel {
+            mac_stuck_ber: 5e-4,
+            seed: 5,
+            ..FaultModel::none()
+        };
+        let mut e = faulty(fault, RecoveryPolicy::standard());
+        e.preset_mac(1).unwrap();
+        let edges = full_block_edges(e.block_capacity());
+        let _b = e.load_block(&edges, CellLayout::Preset).unwrap();
+        for i in 0..edges.len() as u32 {
+            let hits = e.search_dst(VertexId::new(1000 + i));
+            assert_eq!(hits.count(), 1, "dst {i}");
+            // The preset-1 weight column survives through remapped rows.
+            assert_eq!(e.gather_rows(&hits, &mut |_| 1, 0).unwrap(), 1);
+        }
+        let r = e.finish("t", "t", "t", 1, edges.len() as u64);
+        assert!(
+            r.faults.row_remaps > 0,
+            "seed must exercise the audit: {:?}",
+            r.faults
+        );
+    }
+
+    #[test]
+    fn exhausted_spares_surface_as_typed_device_fault() {
+        let fault = FaultModel {
+            cam_stuck_ber: 0.05,
+            seed: 3,
+            ..FaultModel::none()
+        };
+        // Detect-only: zero retries, zero spares — the first corrupted
+        // row programming must fail loudly and typed, never panic.
+        let mut e = faulty(fault, RecoveryPolicy::detect_only());
+        assert_eq!(e.block_capacity(), 128, "no spares reserved");
+        let edges = full_block_edges(e.block_capacity());
+        let cells = |edge: &Edge| vec![edge.weight as u32, 1];
+        let err = e
+            .load_block(&edges, CellLayout::PerEdge(&cells))
+            .unwrap_err();
+        assert!(
+            matches!(err, CoreError::DeviceFault { report: None, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn cam_double_check_masks_transient_upsets() {
+        let fault = FaultModel {
+            cam_upset_rate: 1.0, // every search glitches one row
+            seed: 11,
+            ..FaultModel::none()
+        };
+        let mut e = faulty(fault, RecoveryPolicy::standard());
+        let b = fig7_block(&mut e);
+        // Vertex 2 (1-based) has in-edges from rows storing dst=1; the
+        // majority vote over three searches masks the per-search glitch.
+        let hits = e.search_dst(VertexId::new(1));
+        assert_eq!(hits.count(), 3);
+        for row in hits.iter_ones() {
+            assert_eq!(b.edge(row).dst, VertexId::new(1));
+        }
+        let r = e.finish("t", "t", "t", 1, 8);
+        assert!(r.faults.cam_double_checks >= 1);
+        // Three physical searches per logical one.
+        assert_eq!(r.ops.cam_searches, 3);
     }
 }

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use gaasx_graph::GraphError;
+use gaasx_sim::RunReport;
 use gaasx_xbar::XbarError;
 
 /// Errors raised while configuring or running the GaaS-X accelerator.
@@ -16,6 +17,19 @@ pub enum CoreError {
     InvalidConfig(String),
     /// An algorithm received input it cannot process.
     InvalidInput(String),
+    /// A device fault was detected that the configured
+    /// [`RecoveryPolicy`](crate::RecoveryPolicy) could not recover from
+    /// (retry budget exhausted with no spare row left). Graceful
+    /// degradation: when the run was driven through
+    /// [`GaasX`](crate::GaasX), `report` carries the partial [`RunReport`]
+    /// accumulated up to the fault, so the cost of the aborted work is
+    /// still observable.
+    DeviceFault {
+        /// What failed and where.
+        detail: String,
+        /// Partial run report up to the fault, when a driver attached one.
+        report: Option<Box<RunReport>>,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -25,6 +39,9 @@ impl fmt::Display for CoreError {
             CoreError::Graph(e) => write!(f, "graph error: {e}"),
             CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             CoreError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            CoreError::DeviceFault { detail, .. } => {
+                write!(f, "unrecoverable device fault: {detail}")
+            }
         }
     }
 }
@@ -61,5 +78,27 @@ mod tests {
         let e = CoreError::from(XbarError::InvalidParameter("x".into()));
         assert!(e.source().is_some());
         assert!(e.to_string().contains("crossbar"));
+    }
+
+    #[test]
+    fn device_fault_carries_optional_partial_report() {
+        use std::error::Error;
+        let bare = CoreError::DeviceFault {
+            detail: "row 7 unprogrammable".into(),
+            report: None,
+        };
+        assert!(bare.to_string().contains("unrecoverable device fault"));
+        assert!(bare.to_string().contains("row 7"));
+        assert!(bare.source().is_none());
+        let with_report = CoreError::DeviceFault {
+            detail: "x".into(),
+            report: Some(Box::new(RunReport::new("gaasx", "pagerank", "t"))),
+        };
+        match with_report {
+            CoreError::DeviceFault {
+                report: Some(r), ..
+            } => assert_eq!(r.engine, "gaasx"),
+            _ => unreachable!(),
+        }
     }
 }

@@ -48,7 +48,7 @@ pub mod sharded;
 
 pub use accelerator::{GaasX, RunOutcome};
 pub use algorithms::ShardableAlgorithm;
-pub use config::GaasXConfig;
+pub use config::{GaasXConfig, RecoveryPolicy};
 pub use error::CoreError;
 pub use sfu::Sfu;
 pub use sharded::{ShardRunner, ShardedEngine};

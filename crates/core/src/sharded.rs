@@ -21,7 +21,12 @@
 //! input to the scheduler — is reassembled in the same order, and every
 //! counter is an integer sum or an order-preserved f64 fold. (With
 //! conductance noise enabled, per-device RNG draws depend on which engine
-//! executed a shard, so only then do results diverge.)
+//! executed a shard, so only then do results diverge. Likewise for the
+//! *transient* classes of an active [`FaultModel`](gaasx_xbar::FaultModel):
+//! stuck-cell maps are positional and identical on every engine, but
+//! transient write failures and upsets draw from per-engine RNG streams,
+//! so a nonzero transient rate makes sharded runs diverge from serial
+//! ones — exactly as documented for noise.)
 //!
 //! Algorithms opt in through [`ShardRunner`]: they express each superstep
 //! as a *pure-per-shard* pass (snapshot state in, candidate updates out)
@@ -182,8 +187,14 @@ impl ShardedEngine {
         iterations: u32,
         num_edges: u64,
     ) -> RunReport {
+        self.primary.end_block();
         for worker in &mut self.workers {
-            worker.end_block();
+            // Normally a no-op — shard costs drain in stream order during
+            // `for_each_shard` — but after a run aborted by a device fault
+            // this salvages costs stranded on the failing worker, so the
+            // partial report still accounts for the work done.
+            let stranded = worker.take_costs();
+            self.primary.append_costs(stranded);
         }
         for worker in &self.workers {
             self.primary.absorb_functional(worker);

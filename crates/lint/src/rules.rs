@@ -1,4 +1,4 @@
-//! The six repo-specific rules, each encoding a shipped or near-miss bug.
+//! The seven repo-specific rules, each encoding a shipped or near-miss bug.
 //!
 //! | rule | historical bug |
 //! |------|----------------|
@@ -8,6 +8,7 @@
 //! | `panic-in-lib` | library panics abort whole sharded runs |
 //! | `summary-conservation` | an `OpSummary` counter was added without energy wiring |
 //! | `thread-containment` | ad-hoc threading outside the sharded merge discipline |
+//! | `seeded-rng` | OS-entropy RNGs make noise/fault runs unreproducible |
 
 use std::collections::BTreeSet;
 
@@ -23,6 +24,7 @@ pub const RULE_NAMES: &[&str] = &[
     "panic-in-lib",
     "summary-conservation",
     "thread-containment",
+    "seeded-rng",
     "directive",
 ];
 
@@ -43,6 +45,7 @@ pub fn check_workspace(ws: &Workspace) -> LintReport {
     panic_in_lib(ws, &mut candidates);
     summary_conservation(ws, &mut candidates);
     thread_containment(ws, &mut candidates);
+    seeded_rng(ws, &mut candidates);
 
     let mut suppressed = 0usize;
     for finding in candidates {
@@ -533,6 +536,41 @@ fn panic_in_lib(ws: &Workspace, out: &mut Vec<Finding>) {
                     &format!(
                         "`{what}` in library code — return a `Result`/`Option` or justify \
                          with an allow (library panics abort whole sharded runs)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// --- rule 7: seeded-rng ---------------------------------------------------
+
+/// Noise and fault injection are only useful if a failing run replays
+/// bit-for-bit from its config. An RNG constructed from OS entropy
+/// (`from_entropy`, `thread_rng`) anywhere in library code silently breaks
+/// that contract, so every library RNG must come from an explicit seed
+/// (`seed_from_u64`, `from_seed`).
+fn seeded_rng(ws: &Workspace, out: &mut Vec<Finding>) {
+    for file in &ws.files {
+        if file.kind != FileKind::Lib {
+            continue;
+        }
+        for tok in scan_idents(file) {
+            if file.in_test[tok.line] || tok.is_fn_def {
+                continue;
+            }
+            let name = tok.name(file);
+            let flagged =
+                matches!(name, "from_entropy" | "thread_rng") && tok.tail(file).starts_with('(');
+            if flagged {
+                out.push(Finding::new(
+                    "seeded-rng",
+                    &file.path,
+                    tok.line + 1,
+                    &format!(
+                        "`{name}` draws OS entropy in library code — construct RNGs from \
+                         an explicit seed (`seed_from_u64`) so noisy and faulty runs \
+                         replay bit-for-bit"
                     ),
                 ));
             }

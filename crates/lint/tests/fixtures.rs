@@ -29,6 +29,7 @@ const CASES: &[(&str, &str)] = &[
     ("panic", "panic-in-lib"),
     ("conservation", "summary-conservation"),
     ("threads", "thread-containment"),
+    ("seeded-rng", "seeded-rng"),
     ("directive", "directive"),
 ];
 

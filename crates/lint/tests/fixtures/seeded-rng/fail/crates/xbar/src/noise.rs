@@ -1,0 +1,17 @@
+//! Fixture: an OS-entropy RNG makes noisy runs unreproducible.
+
+pub struct NoiseModel {
+    rng: SmallRng,
+}
+
+impl NoiseModel {
+    pub fn new() -> Self {
+        NoiseModel {
+            rng: SmallRng::from_entropy(),
+        }
+    }
+
+    pub fn jitter(&mut self) -> f64 {
+        thread_rng().gen::<f64>() - 0.5
+    }
+}

@@ -41,4 +41,4 @@ pub use obs::{
     attribute_makespan, AggregateSink, BankBreakdown, JsonlSink, MemorySink, MetricsRegistry,
     NullSink, Phase, PhaseBreakdown, Sink, SpanEvent, Tracer,
 };
-pub use report::{OpSummary, RunReport};
+pub use report::{FaultReport, OpSummary, RunReport};

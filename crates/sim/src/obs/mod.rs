@@ -276,12 +276,14 @@ impl MetricsRegistry {
 
     /// Publishes every field of an [`OpSummary`] as a counter (the
     /// canonical names `mac_ops`, `cam_searches`, `cells_written`,
-    /// `row_writes`, `sfu_ops`, `buffer_accesses`, `compute_items`).
+    /// `row_writes`, `verify_reads`, `sfu_ops`, `buffer_accesses`,
+    /// `compute_items`).
     pub fn publish_op_summary(&self, ops: &OpSummary) {
         self.counter("mac_ops").add(ops.mac_ops);
         self.counter("cam_searches").add(ops.cam_searches);
         self.counter("cells_written").add(ops.cells_written);
         self.counter("row_writes").add(ops.row_writes);
+        self.counter("verify_reads").add(ops.verify_reads);
         self.counter("sfu_ops").add(ops.sfu_ops);
         self.counter("buffer_accesses").add(ops.buffer_accesses);
         self.counter("compute_items").add(ops.compute_items);
@@ -302,6 +304,7 @@ impl MetricsRegistry {
             cam_searches: get("cam_searches"),
             cells_written: get("cells_written"),
             row_writes: get("row_writes"),
+            verify_reads: get("verify_reads"),
             sfu_ops: get("sfu_ops"),
             buffer_accesses: get("buffer_accesses"),
             compute_items: get("compute_items"),
@@ -604,6 +607,7 @@ mod tests {
             cam_searches: 5,
             cells_written: 100,
             row_writes: 10,
+            verify_reads: 6,
             sfu_ops: 3,
             buffer_accesses: 42,
             compute_items: 99,

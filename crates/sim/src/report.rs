@@ -17,6 +17,10 @@ pub struct OpSummary {
     pub cells_written: u64,
     /// Row-programming bursts.
     pub row_writes: u64,
+    /// Write-verify read-backs issued by the fault-recovery layer (zero for
+    /// engines without write-verify, or when it is disabled).
+    #[serde(default)]
+    pub verify_reads: u64,
     /// Scalar SFU operations.
     pub sfu_ops: u64,
     /// On-chip buffer word accesses.
@@ -40,6 +44,7 @@ impl OpSummary {
         self.cam_searches = self.cam_searches.saturating_add(other.cam_searches);
         self.cells_written = self.cells_written.saturating_add(other.cells_written);
         self.row_writes = self.row_writes.saturating_add(other.row_writes);
+        self.verify_reads = self.verify_reads.saturating_add(other.verify_reads);
         self.sfu_ops = self.sfu_ops.saturating_add(other.sfu_ops);
         self.buffer_accesses = self.buffer_accesses.saturating_add(other.buffer_accesses);
         self.compute_items = self.compute_items.saturating_add(other.compute_items);
@@ -73,6 +78,44 @@ impl<'a> std::iter::Sum<&'a OpSummary> for OpSummary {
     }
 }
 
+/// Fault-recovery activity of one run: what the engine *detected* and how it
+/// recovered, as opposed to what the device layer injected.
+///
+/// All-zero (the default) for fault-free runs and for engines without a
+/// recovery layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Write-verify read-backs issued (mirrors `OpSummary::verify_reads`).
+    pub verify_reads: u64,
+    /// Verify mismatches detected (each is a corrupted CAM entry or MAC row
+    /// caught before it could poison results).
+    pub faults_detected: u64,
+    /// Row re-programming attempts after a verify mismatch.
+    pub write_retries: u64,
+    /// Rows retired to spares after exhausting their retry budget.
+    pub row_remaps: u64,
+    /// CAM searches that were issued as majority-of-three double-checks.
+    pub cam_double_checks: u64,
+}
+
+impl FaultReport {
+    /// `true` when no recovery activity was recorded.
+    pub fn is_zero(&self) -> bool {
+        *self == FaultReport::default()
+    }
+
+    /// Adds another report into this one.
+    pub fn merge(&mut self, other: &FaultReport) {
+        self.verify_reads = self.verify_reads.saturating_add(other.verify_reads);
+        self.faults_detected = self.faults_detected.saturating_add(other.faults_detected);
+        self.write_retries = self.write_retries.saturating_add(other.write_retries);
+        self.row_remaps = self.row_remaps.saturating_add(other.row_remaps);
+        self.cam_double_checks = self
+            .cam_double_checks
+            .saturating_add(other.cam_double_checks);
+    }
+}
+
 /// The result record of one algorithm execution on one engine.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
@@ -99,6 +142,10 @@ pub struct RunReport {
     /// `elapsed_ns`. Empty for engines that predate the tracing layer.
     #[serde(default)]
     pub phases: Vec<PhaseBreakdown>,
+    /// Fault-recovery activity (all-zero for fault-free runs and engines
+    /// without a recovery layer).
+    #[serde(default)]
+    pub faults: FaultReport,
 }
 
 impl RunReport {
@@ -119,6 +166,7 @@ impl RunReport {
             rows_per_mac: Histogram::new(16),
             num_edges: 0,
             phases: Vec::new(),
+            faults: FaultReport::default(),
         }
     }
 

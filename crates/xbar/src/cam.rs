@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::XbarError;
+use crate::fault::{CamFaultState, FaultStats};
 use crate::geometry::CamGeometry;
 use crate::hit_vector::HitVector;
 use crate::XbarStats;
@@ -42,8 +43,11 @@ pub struct CamEntry {
 #[derive(Debug, Clone)]
 pub struct CamCrossbar {
     geometry: CamGeometry,
+    /// Stored entries. Always the *post-fault* view: stuck bits are applied
+    /// as entries are written, so the hot search loop reads them unchanged.
     entries: Vec<CamEntry>,
     width_mask: u128,
+    faults: Option<CamFaultState>,
     stats: XbarStats,
 }
 
@@ -72,7 +76,28 @@ impl CamCrossbar {
                 geometry.rows
             ],
             width_mask,
+            faults: None,
             stats: XbarStats::new(),
+        }
+    }
+
+    /// Attaches seeded device-fault state. Stuck bits corrupt entries as
+    /// they are written; transient write failures and search upsets draw
+    /// from the state's RNG. `None` detaches all fault behaviour.
+    pub fn set_faults(&mut self, faults: Option<CamFaultState>) {
+        self.faults = faults;
+    }
+
+    /// Injected-fault counters, when fault state is attached.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults.as_ref().map(CamFaultState::stats)
+    }
+
+    /// Folds a sibling crossbar's injected-fault counters into this one
+    /// (no-op without attached fault state).
+    pub fn merge_fault_stats(&mut self, other: Option<&FaultStats>) {
+        if let (Some(f), Some(o)) = (self.faults.as_mut(), other) {
+            f.merge_stats(o);
         }
     }
 
@@ -98,8 +123,12 @@ impl CamCrossbar {
                 rows: self.geometry.rows,
             });
         }
+        let masked = bits & self.width_mask;
         self.entries[row] = CamEntry {
-            bits: bits & self.width_mask,
+            bits: match self.faults.as_mut() {
+                Some(faults) => faults.programmed(row, masked) & self.width_mask,
+                None => masked,
+            },
             valid: true,
         };
         self.stats.row_writes += 1;
@@ -147,6 +176,9 @@ impl CamCrossbar {
             }
         }
         // gaasx-lint: end-hot
+        if let Some(faults) = self.faults.as_mut() {
+            faults.upset(&mut hv);
+        }
         hv
     }
 
@@ -258,5 +290,75 @@ mod tests {
         }
         c.invalidate_all();
         assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn invalidate_is_free_of_programming_cost() {
+        // Valid bits live in CMOS latches: neither per-row nor bulk
+        // invalidation may count as device programming, and a failed
+        // invalidate must not perturb stats either.
+        let mut c = cam();
+        for i in 0..10 {
+            c.write(i, i as u128).unwrap();
+        }
+        let (writes, cells) = (c.stats().row_writes, c.stats().cells_written);
+        c.invalidate(3).unwrap();
+        c.invalidate(3).unwrap(); // idempotent, still free
+        c.invalidate_all();
+        assert!(c.invalidate(999).is_err());
+        assert_eq!(c.stats().row_writes, writes);
+        assert_eq!(c.stats().cells_written, cells);
+        assert_eq!(c.stats().cam_searches, 0);
+        // The stored bits survive invalidation; only the valid flag drops.
+        assert_eq!(c.read(3).unwrap().bits, 3);
+        assert!(!c.read(3).unwrap().valid);
+    }
+
+    #[test]
+    fn stuck_bits_corrupt_stored_entries() {
+        use crate::fault::{CamFaultState, FaultModel};
+        let g = CamGeometry::paper();
+        let mut c = CamCrossbar::new(g);
+        c.set_faults(Some(CamFaultState::new(
+            FaultModel {
+                seed: 7,
+                cam_stuck_ber: 0.02,
+                ..FaultModel::none()
+            },
+            &g,
+        )));
+        let mut corrupted = 0;
+        for row in 0..g.rows {
+            let key = 0xA5A5_A5A5_A5A5_A5A5u128;
+            c.write(row, key).unwrap();
+            if c.read(row).unwrap().bits != key {
+                corrupted += 1;
+            }
+        }
+        assert!(corrupted > 0, "2% BER over 128×128 bits must corrupt rows");
+        // An exact search for the intended key misses every corrupted row.
+        let hits = c.search(0xA5A5_A5A5_A5A5_A5A5, u128::MAX);
+        assert_eq!(hits.count(), g.rows - corrupted);
+    }
+
+    #[test]
+    fn search_upsets_perturb_single_rows() {
+        use crate::fault::{CamFaultState, FaultModel};
+        let g = CamGeometry::paper();
+        let mut c = CamCrossbar::new(g);
+        c.set_faults(Some(CamFaultState::new(
+            FaultModel {
+                seed: 11,
+                cam_upset_rate: 1.0,
+                ..FaultModel::none()
+            },
+            &g,
+        )));
+        c.write(0, 99).unwrap();
+        let hits = c.search(99, u128::MAX);
+        // Exactly one match line toggled relative to the true result {0}.
+        let wrong = (0..g.rows).filter(|&r| hits.get(r) != (r == 0)).count();
+        assert_eq!(wrong, 1);
+        assert_eq!(c.fault_stats().unwrap().cam_upsets, 1);
     }
 }

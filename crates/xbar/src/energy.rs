@@ -50,6 +50,12 @@ pub struct DeviceEnergyModel {
     /// costs `row_write_ns + value_program_ns` — the timing face of the
     /// write redundancy in Fig 5.
     pub value_program_ns: f64,
+    /// Energy of one write-verify read-back (peripheral digital read of a
+    /// programmed row: CAM word or the written MAC cells), pJ.
+    pub verify_read_pj: f64,
+    /// Latency of one write-verify read-back, ns. Read-class access, far
+    /// cheaper than the 50 ns programming burst it guards.
+    pub verify_read_ns: f64,
     /// Energy of one scalar SFU operation (add/min/mul/compare), pJ.
     pub sfu_op_pj: f64,
     /// Latency of one scalar SFU operation, ns (1 GHz SFU clock).
@@ -75,6 +81,8 @@ impl DeviceEnergyModel {
             cam_bit_write_pj: 1.0,
             row_write_ns: 50.0,
             value_program_ns: 10.0,
+            verify_read_pj: 2.0,
+            verify_read_ns: 10.0,
             sfu_op_pj: 2.0,
             sfu_op_ns: 1.0,
             static_mw,

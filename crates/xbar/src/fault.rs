@@ -1,0 +1,608 @@
+//! Deterministic, seeded device-fault injection.
+//!
+//! ReRAM arrays fail in ways ordinary DRAM does not: individual cells get
+//! stuck at their minimum or maximum conductance (GMIN/GMAX), programming
+//! pulses fail transiently, cells wear out after a bounded number of SET/RESET
+//! cycles, CAM match lines glitch into false hits or misses, and ADC samples
+//! flip bits. Because GaaS-X stores the *graph itself* in the crossbars, any
+//! of these silently corrupts edges or weights for every later iteration —
+//! which is why the engine layers write-verify / retry / spare-row remapping
+//! on top of this module (see `gaasx-core`).
+//!
+//! Everything here is deterministic given [`FaultModel::seed`]:
+//!
+//! * **Stuck-at maps** are *positional* — whether device `(row, col, slice)`
+//!   (MAC) or bit `(row, bit)` (CAM) is stuck, and at which polarity, is a
+//!   pure hash of `(seed, domain, position)`. Two crossbars built from the
+//!   same model agree on every stuck device, so sharded engines that model
+//!   the same physical bank see the same defects.
+//! * **Transient events** (write failures, CAM search upsets, ADC flips)
+//!   draw from a per-crossbar [`SmallRng`] seeded from the model, so a given
+//!   serial run replays exactly.
+//!
+//! The model composes with [`NoiseModel`](crate::noise::NoiseModel): noise
+//! perturbs analog MAC sums, faults corrupt stored state and digital samples.
+//! A [`FaultModel::none`] model injects nothing and costs nothing.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::error::XbarError;
+use crate::geometry::{CamGeometry, MacGeometry};
+use crate::hit_vector::HitVector;
+
+/// Configuration for seeded device-fault injection.
+///
+/// All rates are probabilities in `[0, 1]`. The default (and
+/// [`FaultModel::none`]) is all-zero: no faults, no RNG draws, no cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultModel {
+    /// Seed for the positional stuck maps and the transient-event streams.
+    pub seed: u64,
+    /// Per-device probability that a MAC cell `(row, col, slice)` is stuck
+    /// at GMIN (reads all-zeros) or GMAX (reads all-ones).
+    pub mac_stuck_ber: f64,
+    /// Per-bit probability that a CAM cell is stuck at 0 or 1. A stuck CAM
+    /// bit turns into a false miss or false hit for every key that differs
+    /// from the stuck value at that position.
+    pub cam_stuck_ber: f64,
+    /// Per-row-write probability that the programming burst fails
+    /// transiently, corrupting one random bit of the written row. A retry
+    /// redraws, so verify-and-retry recovers these.
+    pub write_fail_rate: f64,
+    /// SET/RESET cycles a device endures before dying stuck-at-GMIN.
+    /// `0` means unlimited endurance (wear tracking disabled).
+    pub endurance: u64,
+    /// Per-search probability that one random CAM row's match line glitches,
+    /// toggling its hit bit (false hit or false miss) for that search only.
+    pub cam_upset_rate: f64,
+    /// Per-sample probability that an ADC conversion flips one random output
+    /// bit. Only observable under quantized fidelity, where real ADCs sit on
+    /// the datapath.
+    pub adc_flip_rate: f64,
+}
+
+impl FaultModel {
+    /// A model that injects nothing. [`FaultModel::is_none`] returns `true`.
+    pub fn none() -> Self {
+        FaultModel {
+            seed: 0,
+            mac_stuck_ber: 0.0,
+            cam_stuck_ber: 0.0,
+            write_fail_rate: 0.0,
+            endurance: 0,
+            cam_upset_rate: 0.0,
+            adc_flip_rate: 0.0,
+        }
+    }
+
+    /// `true` when every fault mechanism is disabled; crossbars skip all
+    /// fault bookkeeping for such a model.
+    pub fn is_none(&self) -> bool {
+        self.mac_stuck_ber == 0.0
+            && self.cam_stuck_ber == 0.0
+            && self.write_fail_rate == 0.0
+            && self.endurance == 0
+            && self.cam_upset_rate == 0.0
+            && self.adc_flip_rate == 0.0
+    }
+
+    /// Validates that every rate is a probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidParameter`] if any rate is not a finite
+    /// value in `[0, 1]`.
+    pub fn validate(&self) -> Result<(), XbarError> {
+        let rates = [
+            ("mac_stuck_ber", self.mac_stuck_ber),
+            ("cam_stuck_ber", self.cam_stuck_ber),
+            ("write_fail_rate", self.write_fail_rate),
+            ("cam_upset_rate", self.cam_upset_rate),
+            ("adc_flip_rate", self.adc_flip_rate),
+        ];
+        for (name, rate) in rates {
+            if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                return Err(XbarError::InvalidParameter(format!(
+                    "fault model: {name} {rate} outside [0, 1]"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        FaultModel::none()
+    }
+}
+
+/// Counts of injected fault events, for tests and diagnostics.
+///
+/// These count what the *device* did, not what the engine detected — the
+/// recovery layer keeps its own detection/retry/remap counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Transient write bursts that corrupted a bit.
+    pub transient_write_faults: u64,
+    /// ADC samples that had a bit flipped.
+    pub adc_flips: u64,
+    /// CAM searches where a match line glitched.
+    pub cam_upsets: u64,
+    /// Devices (MAC cells or CAM rows) that exceeded their endurance and
+    /// died stuck during this crossbar's lifetime.
+    pub wear_deaths: u64,
+}
+
+impl FaultStats {
+    /// Folds another stats block into this one.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.transient_write_faults = self
+            .transient_write_faults
+            .saturating_add(other.transient_write_faults);
+        self.adc_flips = self.adc_flips.saturating_add(other.adc_flips);
+        self.cam_upsets = self.cam_upsets.saturating_add(other.cam_upsets);
+        self.wear_deaths = self.wear_deaths.saturating_add(other.wear_deaths);
+    }
+}
+
+/// SplitMix64 finalizer: a high-quality 64-bit mix.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic hash of `(seed, domain, position)` for positional stuck
+/// decisions. Bit 0 picks the stuck polarity; the remaining bits form a
+/// 53-bit uniform for the Bernoulli roll.
+#[inline]
+fn stuck_hash(seed: u64, domain: u64, position: u64) -> u64 {
+    mix64(mix64(seed ^ domain).wrapping_add(position))
+}
+
+/// Converts the top bits of a hash to a uniform in `[0, 1)`.
+#[inline]
+fn unit(hash: u64) -> f64 {
+    (hash >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+const MAC_DOMAIN: u64 = 0x6D61_635F_7374_7563; // "mac_stuc"
+const CAM_DOMAIN: u64 = 0x6361_6D5F_7374_7563; // "cam_stuc"
+
+/// Polarity of a stuck device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stuck {
+    /// Minimum conductance — the cell reads as all-zero bits.
+    Gmin,
+    /// Maximum conductance — the cell reads as all-one bits.
+    Gmax,
+}
+
+/// Runtime fault state attached to a [`MacCrossbar`](crate::MacCrossbar).
+///
+/// Stuck faults are applied *at write time*: the crossbar's cell array always
+/// holds the post-fault view, so the hot MAC loops read it unchanged. Wear is
+/// tracked per physical cell; a worn-out cell becomes permanently
+/// stuck-at-GMIN, which the next verify pass detects.
+#[derive(Debug, Clone)]
+pub struct MacFaultState {
+    model: FaultModel,
+    cols: usize,
+    slices: usize,
+    bits_per_cell: u32,
+    adc_bits: u32,
+    /// Per-cell write counts, indexed `row * cols + col`; empty when
+    /// endurance tracking is off.
+    wear: Vec<u64>,
+    rng: SmallRng,
+    stats: FaultStats,
+}
+
+impl MacFaultState {
+    /// Builds fault state for a crossbar of the given geometry.
+    pub fn new(model: FaultModel, geometry: &MacGeometry) -> Self {
+        let wear = if model.endurance > 0 {
+            vec![0u64; geometry.rows * geometry.cols]
+        } else {
+            Vec::new()
+        };
+        MacFaultState {
+            model,
+            cols: geometry.cols,
+            slices: geometry.slices,
+            bits_per_cell: geometry.bits_per_cell,
+            adc_bits: geometry.adc_bits,
+            wear,
+            rng: SmallRng::seed_from_u64(mix64(model.seed ^ MAC_DOMAIN)),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Injected-event counters.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Positional stuck decision for one physical device (bit-slice cell).
+    fn stuck_slice(&self, row: usize, col: usize, slice: usize) -> Option<Stuck> {
+        if self.model.mac_stuck_ber <= 0.0 {
+            return None;
+        }
+        let position = ((row * self.cols + col) * self.slices + slice) as u64;
+        let h = stuck_hash(self.model.seed, MAC_DOMAIN, position);
+        if unit(h) < self.model.mac_stuck_ber {
+            Some(if h & 1 == 0 { Stuck::Gmin } else { Stuck::Gmax })
+        } else {
+            None
+        }
+    }
+
+    /// `true` once the cell's wear counter has exceeded its endurance.
+    fn worn_out(&self, row: usize, col: usize) -> bool {
+        self.model.endurance > 0 && self.wear[row * self.cols + col] > self.model.endurance
+    }
+
+    /// Applies the positional stuck map (and wear death) to a code headed
+    /// for `(row, col)`. Pure: no RNG, no wear increment — this is the view
+    /// the cell array must hold for both counted writes and preloads.
+    pub fn materialize(&self, row: usize, col: usize, code: u32) -> u32 {
+        if self.worn_out(row, col) {
+            return 0; // a dead cell holds GMIN in every slice
+        }
+        if self.model.mac_stuck_ber <= 0.0 {
+            return code;
+        }
+        let cell_mask = (1u32 << self.bits_per_cell) - 1;
+        let mut out = code;
+        for slice in 0..self.slices {
+            let shift = slice as u32 * self.bits_per_cell;
+            match self.stuck_slice(row, col, slice) {
+                None => {}
+                Some(Stuck::Gmin) => out &= !(cell_mask << shift),
+                Some(Stuck::Gmax) => out |= cell_mask << shift,
+            }
+        }
+        out
+    }
+
+    /// Records one programming pulse on `(row, col)`: bumps wear (possibly
+    /// killing the cell) and rolls for a transient burst failure. Returns
+    /// the value the cell actually latched.
+    pub fn programmed(&mut self, row: usize, col: usize, code: u32) -> u32 {
+        if self.model.endurance > 0 {
+            let cell = row * self.cols + col;
+            let was_alive = self.wear[cell] <= self.model.endurance;
+            self.wear[cell] = self.wear[cell].saturating_add(1);
+            if was_alive && self.wear[cell] > self.model.endurance {
+                self.stats.wear_deaths = self.stats.wear_deaths.saturating_add(1);
+            }
+        }
+        let mut out = self.materialize(row, col, code);
+        if self.model.write_fail_rate > 0.0
+            && !self.worn_out(row, col)
+            && self.rng.gen::<f64>() < self.model.write_fail_rate
+        {
+            let weight_bits = self.slices as u32 * self.bits_per_cell;
+            let flipped = out ^ (1 << self.rng.gen_range(0..weight_bits));
+            // Stuck devices win over transient glitches.
+            out = self.materialize(row, col, flipped);
+            self.stats.transient_write_faults = self.stats.transient_write_faults.saturating_add(1);
+        }
+        out
+    }
+
+    /// Rolls for a transient ADC bit flip on one sampled partial sum.
+    pub fn perturb_sample(&mut self, sampled: u64) -> u64 {
+        if self.model.adc_flip_rate > 0.0 && self.rng.gen::<f64>() < self.model.adc_flip_rate {
+            self.stats.adc_flips = self.stats.adc_flips.saturating_add(1);
+            sampled ^ (1 << self.rng.gen_range(0..self.adc_bits))
+        } else {
+            sampled
+        }
+    }
+
+    /// Folds a sibling crossbar's injected-event counters into this one.
+    pub fn merge_stats(&mut self, other: &FaultStats) {
+        self.stats.merge(other);
+    }
+}
+
+/// Runtime fault state attached to a [`CamCrossbar`](crate::CamCrossbar).
+///
+/// Stuck bits are precomputed into per-row OR/AND-NOT masks so applying them
+/// to a write is two bit-ops. Wear is tracked per row (an entry is programmed
+/// as one burst); a worn-out row reads all-zeros, which verify detects.
+#[derive(Debug, Clone)]
+pub struct CamFaultState {
+    model: FaultModel,
+    rows: usize,
+    width_bits: u32,
+    /// Per-row mask of bits stuck at 0 (cleared on every write).
+    stuck0: Vec<u128>,
+    /// Per-row mask of bits stuck at 1 (set on every write).
+    stuck1: Vec<u128>,
+    /// Per-row write counts; empty when endurance tracking is off.
+    wear: Vec<u64>,
+    rng: SmallRng,
+    stats: FaultStats,
+}
+
+impl CamFaultState {
+    /// Builds fault state for a crossbar of the given geometry, precomputing
+    /// the positional stuck masks.
+    pub fn new(model: FaultModel, geometry: &CamGeometry) -> Self {
+        let (mut stuck0, mut stuck1) = (Vec::new(), Vec::new());
+        if model.cam_stuck_ber > 0.0 {
+            stuck0 = vec![0u128; geometry.rows];
+            stuck1 = vec![0u128; geometry.rows];
+            for row in 0..geometry.rows {
+                for bit in 0..geometry.width_bits {
+                    let position = row as u64 * u64::from(geometry.width_bits) + u64::from(bit);
+                    let h = stuck_hash(model.seed, CAM_DOMAIN, position);
+                    if unit(h) < model.cam_stuck_ber {
+                        if h & 1 == 0 {
+                            stuck0[row] |= 1u128 << bit;
+                        } else {
+                            stuck1[row] |= 1u128 << bit;
+                        }
+                    }
+                }
+            }
+        }
+        let wear = if model.endurance > 0 {
+            vec![0u64; geometry.rows]
+        } else {
+            Vec::new()
+        };
+        CamFaultState {
+            model,
+            rows: geometry.rows,
+            width_bits: geometry.width_bits,
+            stuck0,
+            stuck1,
+            wear,
+            rng: SmallRng::seed_from_u64(mix64(model.seed ^ CAM_DOMAIN)),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Injected-event counters.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// `true` once the row's wear counter has exceeded its endurance.
+    fn worn_out(&self, row: usize) -> bool {
+        self.model.endurance > 0 && self.wear[row] > self.model.endurance
+    }
+
+    /// Records one entry-programming burst on `row`: bumps wear, applies the
+    /// stuck masks, and rolls for a transient burst failure. Returns the
+    /// bits the row actually latched.
+    pub fn programmed(&mut self, row: usize, bits: u128) -> u128 {
+        if self.model.endurance > 0 {
+            let was_alive = self.wear[row] <= self.model.endurance;
+            self.wear[row] = self.wear[row].saturating_add(1);
+            if was_alive && self.wear[row] > self.model.endurance {
+                self.stats.wear_deaths = self.stats.wear_deaths.saturating_add(1);
+            }
+        }
+        if self.worn_out(row) {
+            return 0; // a dead row reads GMIN everywhere
+        }
+        let mut out = bits;
+        if self.model.cam_stuck_ber > 0.0 {
+            out = (out | self.stuck1[row]) & !self.stuck0[row];
+        }
+        if self.model.write_fail_rate > 0.0 && self.rng.gen::<f64>() < self.model.write_fail_rate {
+            out ^= 1u128 << self.rng.gen_range(0..self.width_bits);
+            if self.model.cam_stuck_ber > 0.0 {
+                // Stuck devices win over transient glitches.
+                out = (out | self.stuck1[row]) & !self.stuck0[row];
+            }
+            self.stats.transient_write_faults = self.stats.transient_write_faults.saturating_add(1);
+        }
+        out
+    }
+
+    /// Rolls for a transient match-line upset on one search, toggling a
+    /// single random row's hit bit in place.
+    pub fn upset(&mut self, hits: &mut HitVector) {
+        if self.model.cam_upset_rate > 0.0 && self.rng.gen::<f64>() < self.model.cam_upset_rate {
+            let row = self.rng.gen_range(0..self.rows);
+            if hits.get(row) {
+                hits.clear(row);
+            } else {
+                hits.set(row);
+            }
+            self.stats.cam_upsets = self.stats.cam_upsets.saturating_add(1);
+        }
+    }
+
+    /// Folds a sibling crossbar's injected-event counters into this one.
+    pub fn merge_stats(&mut self, other: &FaultStats) {
+        self.stats.merge(other);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(f: impl FnOnce(&mut FaultModel)) -> FaultModel {
+        let mut m = FaultModel {
+            seed: 42,
+            ..FaultModel::none()
+        };
+        f(&mut m);
+        m
+    }
+
+    #[test]
+    fn none_is_none_and_valid() {
+        assert!(FaultModel::none().is_none());
+        FaultModel::none().validate().unwrap();
+        assert!(!model(|m| m.mac_stuck_ber = 0.1).is_none());
+        assert!(!model(|m| m.endurance = 5).is_none());
+    }
+
+    #[test]
+    fn out_of_range_rates_rejected() {
+        assert!(model(|m| m.mac_stuck_ber = -0.1).validate().is_err());
+        assert!(model(|m| m.cam_stuck_ber = 1.5).validate().is_err());
+        assert!(model(|m| m.write_fail_rate = f64::NAN).validate().is_err());
+        assert!(model(|m| m.adc_flip_rate = f64::INFINITY)
+            .validate()
+            .is_err());
+        model(|m| m.cam_upset_rate = 1.0).validate().unwrap();
+    }
+
+    #[test]
+    fn mac_stuck_map_is_positional_and_seeded() {
+        let g = MacGeometry::paper();
+        let m = model(|m| m.mac_stuck_ber = 0.05);
+        let a = MacFaultState::new(m, &g);
+        let b = MacFaultState::new(m, &g);
+        let mut stuck = 0usize;
+        for row in 0..g.rows {
+            for col in 0..g.cols {
+                let code = 0x5555u32;
+                assert_eq!(a.materialize(row, col, code), b.materialize(row, col, code));
+                if a.materialize(row, col, code) != code {
+                    stuck += 1;
+                }
+            }
+        }
+        // 128×16 cells × 8 slices at 5%: expect plenty of stuck cells.
+        assert!(stuck > 100, "only {stuck} cells touched by stuck faults");
+        // A different seed yields a different map.
+        let c = MacFaultState::new(
+            model(|m| {
+                m.seed = 43;
+                m.mac_stuck_ber = 0.05;
+            }),
+            &g,
+        );
+        let differs = (0..g.rows).any(|r| {
+            (0..g.cols).any(|co| a.materialize(r, co, 0x5555) != c.materialize(r, co, 0x5555))
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn mac_stuck_values_stay_in_code_range() {
+        let g = MacGeometry::paper();
+        let st = MacFaultState::new(model(|m| m.mac_stuck_ber = 0.2), &g);
+        let max_code = (1u64 << g.weight_bits()) - 1;
+        for row in 0..g.rows {
+            for col in 0..g.cols {
+                assert!(u64::from(st.materialize(row, col, 0)) <= max_code);
+                assert!(u64::from(st.materialize(row, col, max_code as u32)) <= max_code);
+            }
+        }
+    }
+
+    #[test]
+    fn wear_kills_cells_at_endurance() {
+        let g = MacGeometry::paper();
+        let mut st = MacFaultState::new(model(|m| m.endurance = 3), &g);
+        for _ in 0..3 {
+            assert_eq!(st.programmed(0, 0, 7), 7, "alive within endurance");
+        }
+        assert_eq!(st.programmed(0, 0, 7), 0, "dead past endurance");
+        assert_eq!(st.materialize(0, 0, 7), 0);
+        assert_eq!(st.stats().wear_deaths, 1);
+        assert_eq!(st.programmed(0, 1, 7), 7, "neighbor cell unaffected");
+    }
+
+    #[test]
+    fn transient_write_faults_fire_at_observed_rate() {
+        let g = MacGeometry::paper();
+        let mut st = MacFaultState::new(model(|m| m.write_fail_rate = 0.25), &g);
+        let mut corrupted = 0usize;
+        for i in 0..4000 {
+            if st.programmed(i % g.rows, i % g.cols, 0x0F0F) != 0x0F0F {
+                corrupted += 1;
+            }
+        }
+        assert_eq!(st.stats().transient_write_faults, corrupted as u64);
+        assert!((800..1200).contains(&corrupted), "corrupted {corrupted}");
+    }
+
+    #[test]
+    fn adc_flips_only_when_enabled() {
+        let g = MacGeometry::paper();
+        let mut off = MacFaultState::new(model(|_| {}), &g);
+        assert_eq!(off.perturb_sample(33), 33);
+        let mut on = MacFaultState::new(model(|m| m.adc_flip_rate = 1.0), &g);
+        let flipped = on.perturb_sample(33);
+        assert_ne!(flipped, 33);
+        assert!(flipped < 1 << (g.adc_bits + 1));
+        assert_eq!(on.stats().adc_flips, 1);
+    }
+
+    #[test]
+    fn cam_stuck_masks_apply_on_write() {
+        let g = CamGeometry::paper();
+        let m = model(|m| m.cam_stuck_ber = 0.02);
+        let mut st = CamFaultState::new(m, &g);
+        let mut st2 = CamFaultState::new(m, &g);
+        let mut touched = 0usize;
+        for row in 0..g.rows {
+            let bits = 0xDEAD_BEEF_u128 << (row % 64);
+            let out = st.programmed(row, bits);
+            assert_eq!(out, st2.programmed(row, bits), "positional determinism");
+            if out != bits {
+                touched += 1;
+            }
+        }
+        // 128 rows × 128 bits at 2%: P(row untouched) ≈ 7.5%.
+        assert!(touched > 64, "only {touched} rows touched");
+    }
+
+    #[test]
+    fn cam_upsets_toggle_exactly_one_row() {
+        let g = CamGeometry::paper();
+        let mut st = CamFaultState::new(model(|m| m.cam_upset_rate = 1.0), &g);
+        let mut hits = HitVector::new(g.rows);
+        hits.set(3);
+        st.upset(&mut hits);
+        assert_eq!(st.stats().cam_upsets, 1);
+        let delta: usize = (0..g.rows).filter(|&r| hits.get(r) != (r == 3)).count();
+        assert_eq!(delta, 1, "exactly one match line toggled");
+    }
+
+    #[test]
+    fn cam_wear_kills_rows() {
+        let g = CamGeometry::paper();
+        let mut st = CamFaultState::new(model(|m| m.endurance = 2), &g);
+        assert_eq!(st.programmed(5, u128::MAX >> 1), u128::MAX >> 1);
+        assert_eq!(st.programmed(5, u128::MAX >> 1), u128::MAX >> 1);
+        assert_eq!(
+            st.programmed(5, u128::MAX >> 1),
+            0,
+            "row dead past endurance"
+        );
+        assert_eq!(st.stats().wear_deaths, 1);
+    }
+
+    #[test]
+    fn stats_merge_saturates() {
+        let mut a = FaultStats {
+            transient_write_faults: u64::MAX,
+            adc_flips: 1,
+            cam_upsets: 2,
+            wear_deaths: 3,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.transient_write_faults, u64::MAX);
+        assert_eq!(a.adc_flips, 2);
+        assert_eq!(a.cam_upsets, 4);
+        assert_eq!(a.wear_deaths, 6);
+    }
+}

@@ -170,6 +170,24 @@ impl HitVector {
                 .collect(),
         }
     }
+
+    /// Bitwise OR with another hit vector of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn or(&self, other: &HitVector) -> HitVector {
+        assert_eq!(self.len, other.len, "hit vector length mismatch");
+        HitVector {
+            len: self.len,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+        }
+    }
 }
 
 /// Iterator over set bits of a [`HitVector`].

@@ -31,6 +31,7 @@ mod hit_vector;
 mod mac;
 
 pub mod energy;
+pub mod fault;
 pub mod fixed;
 pub mod geometry;
 pub mod noise;
@@ -38,6 +39,7 @@ pub mod periphery;
 
 pub use cam::{CamCrossbar, CamEntry};
 pub use error::XbarError;
+pub use fault::FaultModel;
 pub use hit_vector::{ChunkOnes, HitVector};
 pub use mac::{Fidelity, MacCrossbar, MacDirection};
 

@@ -1,6 +1,7 @@
 //! Analog multiply-and-accumulate crossbar model.
 
 use crate::error::XbarError;
+use crate::fault::{FaultStats, MacFaultState};
 use crate::geometry::MacGeometry;
 use crate::noise::NoiseModel;
 use crate::XbarStats;
@@ -65,9 +66,12 @@ pub enum Fidelity {
 pub struct MacCrossbar {
     geometry: MacGeometry,
     fidelity: Fidelity,
-    /// Logical codes, row-major `rows × cols`.
+    /// Logical codes, row-major `rows × cols`. Always holds the *post-fault*
+    /// view: stuck-at maps are applied when values land, so the hot MAC
+    /// loops read the array unchanged.
     cells: Vec<u32>,
     noise: Option<NoiseModel>,
+    faults: Option<MacFaultState>,
     stats: XbarStats,
     input_bits: u32,
 }
@@ -87,6 +91,7 @@ impl MacCrossbar {
             fidelity,
             cells: vec![0; geometry.rows * geometry.cols],
             noise: None,
+            faults: None,
             stats: XbarStats::new(),
             input_bits: 16,
         }
@@ -96,6 +101,26 @@ impl MacCrossbar {
     /// [`Fidelity::Quantized`]).
     pub fn set_noise(&mut self, noise: Option<NoiseModel>) {
         self.noise = noise;
+    }
+
+    /// Attaches seeded device-fault state. Stuck maps corrupt values as they
+    /// are written or preloaded; transient write failures and ADC flips draw
+    /// from the state's RNG. `None` detaches all fault behaviour.
+    pub fn set_faults(&mut self, faults: Option<MacFaultState>) {
+        self.faults = faults;
+    }
+
+    /// Injected-fault counters, when fault state is attached.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults.as_ref().map(MacFaultState::stats)
+    }
+
+    /// Folds a sibling crossbar's injected-fault counters into this one
+    /// (no-op without attached fault state).
+    pub fn merge_fault_stats(&mut self, other: Option<&FaultStats>) {
+        if let (Some(f), Some(o)) = (self.faults.as_mut(), other) {
+            f.merge_stats(o);
+        }
     }
 
     /// The geometry this crossbar was built with.
@@ -145,7 +170,13 @@ impl MacCrossbar {
             }
         }
         let base = row * self.geometry.cols;
-        self.cells[base..base + codes.len()].copy_from_slice(codes);
+        if let Some(faults) = self.faults.as_mut() {
+            for (col, &c) in codes.iter().enumerate() {
+                self.cells[base + col] = faults.programmed(row, col, c);
+            }
+        } else {
+            self.cells[base..base + codes.len()].copy_from_slice(codes);
+        }
         for c in &mut self.cells[base + codes.len()..base + self.geometry.cols] {
             *c = 0;
         }
@@ -178,7 +209,10 @@ impl MacCrossbar {
                 self.geometry.weight_bits()
             )));
         }
-        self.cells[row * self.geometry.cols + col] = code;
+        self.cells[row * self.geometry.cols + col] = match self.faults.as_mut() {
+            Some(faults) => faults.programmed(row, col, code),
+            None => code,
+        };
         self.stats.row_writes += 1;
         self.stats.cells_written += self.geometry.slices as u64;
         Ok(())
@@ -331,7 +365,10 @@ impl MacCrossbar {
                     if let Some(noise) = &mut self.noise {
                         partial = noise.perturb_count(partial);
                     }
-                    let sampled = partial.min(adc_full_scale);
+                    let mut sampled = partial.min(adc_full_scale);
+                    if let Some(faults) = &mut self.faults {
+                        sampled = faults.perturb_sample(sampled);
+                    }
                     acc += sampled << (step * g.dac_bits + slice * g.bits_per_cell);
                 }
             }
@@ -400,7 +437,16 @@ impl MacCrossbar {
             }
         }
         let base = row * self.geometry.cols;
-        self.cells[base..base + codes.len()].copy_from_slice(codes);
+        if let Some(faults) = self.faults.as_ref() {
+            // Stuck-at is positional physics: a preload restores the same
+            // post-fault view a counted write produced, without wear or
+            // transient rolls (the data was programmed once already).
+            for (col, &c) in codes.iter().enumerate() {
+                self.cells[base + col] = faults.materialize(row, col, c);
+            }
+        } else {
+            self.cells[base..base + codes.len()].copy_from_slice(codes);
+        }
         for c in &mut self.cells[base + codes.len()..base + self.geometry.cols] {
             *c = 0;
         }
@@ -541,5 +587,113 @@ mod tests {
         let out = m.mac(MacDirection::RowsToColumns, &[], &[]).unwrap();
         assert!(out.iter().all(|&v| v == 0));
         assert_eq!(m.stats().rows_per_mac.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn write_cell_rejects_out_of_range_row() {
+        let mut m = mac(Fidelity::Exact);
+        assert!(matches!(
+            m.write_cell(128, 0, 1),
+            Err(XbarError::RowOutOfRange {
+                row: 128,
+                rows: 128
+            })
+        ));
+        assert_eq!(m.stats().row_writes, 0, "failed writes cost nothing");
+    }
+
+    #[test]
+    fn read_cell_rejects_out_of_range_coordinates() {
+        let m = mac(Fidelity::Exact);
+        assert!(matches!(
+            m.read_cell(128, 0),
+            Err(XbarError::RowOutOfRange {
+                row: 128,
+                rows: 128
+            })
+        ));
+        assert!(matches!(
+            m.read_cell(0, 16),
+            Err(XbarError::ColumnOutOfRange { col: 16, cols: 16 })
+        ));
+        assert_eq!(m.read_cell(127, 15).unwrap(), 0);
+    }
+
+    #[test]
+    fn preload_row_error_paths_mirror_write_row() {
+        let mut m = mac(Fidelity::Exact);
+        assert!(matches!(
+            m.preload_row(128, &[1]),
+            Err(XbarError::RowOutOfRange {
+                row: 128,
+                rows: 128
+            })
+        ));
+        assert!(matches!(
+            m.preload_row(0, &[0u32; 17]),
+            Err(XbarError::DimensionMismatch {
+                got: 17,
+                expected: 16,
+                ..
+            })
+        ));
+        assert!(matches!(
+            m.preload_row(0, &[0x1_0000]),
+            Err(XbarError::InvalidParameter(_))
+        ));
+        // A failed preload must leave cells and stats untouched.
+        assert_eq!(m.read_cell(0, 0).unwrap(), 0);
+        assert_eq!(m.stats().row_writes, 0);
+        assert_eq!(m.stats().cells_written, 0);
+    }
+
+    #[test]
+    fn stuck_faults_corrupt_writes_and_preloads_identically() {
+        use crate::fault::{FaultModel, MacFaultState};
+        let g = MacGeometry::paper();
+        let model = FaultModel {
+            seed: 9,
+            mac_stuck_ber: 0.1,
+            ..FaultModel::none()
+        };
+        let mut written = MacCrossbar::new(g, Fidelity::Exact);
+        written.set_faults(Some(MacFaultState::new(model, &g)));
+        let mut preloaded = MacCrossbar::new(g, Fidelity::Exact);
+        preloaded.set_faults(Some(MacFaultState::new(model, &g)));
+        let codes = [0x00FFu32, 0xFF00, 0x0F0F];
+        let mut corrupted = 0;
+        for row in 0..g.rows {
+            written.write_row(row, &codes).unwrap();
+            preloaded.preload_row(row, &codes).unwrap();
+            for (col, &code) in codes.iter().enumerate() {
+                let w = written.read_cell(row, col).unwrap();
+                assert_eq!(w, preloaded.read_cell(row, col).unwrap());
+                if w != code {
+                    corrupted += 1;
+                }
+            }
+        }
+        assert!(corrupted > 0, "10% BER must touch some of 384 cells");
+    }
+
+    #[test]
+    fn detached_faults_restore_clean_writes() {
+        use crate::fault::{FaultModel, MacFaultState};
+        let g = MacGeometry::paper();
+        let mut m = MacCrossbar::new(g, Fidelity::Exact);
+        m.set_faults(Some(MacFaultState::new(
+            FaultModel {
+                seed: 1,
+                mac_stuck_ber: 1.0,
+                ..FaultModel::none()
+            },
+            &g,
+        )));
+        m.write_row(0, &[0x5555]).unwrap();
+        assert_ne!(m.read_cell(0, 0).unwrap(), 0x5555, "all cells stuck");
+        m.set_faults(None);
+        m.write_row(0, &[0x5555]).unwrap();
+        assert_eq!(m.read_cell(0, 0).unwrap(), 0x5555);
+        assert!(m.fault_stats().is_none());
     }
 }

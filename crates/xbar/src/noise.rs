@@ -13,6 +13,9 @@ use rand::{Rng, SeedableRng};
 pub struct NoiseModel {
     sigma_rel: f64,
     rng: SmallRng,
+    /// Cached second Box–Muller sample: each uniform pair yields a cosine
+    /// *and* a sine deviate, consumed on alternating draws.
+    spare: Option<f64>,
 }
 
 impl NoiseModel {
@@ -30,6 +33,7 @@ impl NoiseModel {
         NoiseModel {
             sigma_rel,
             rng: SmallRng::seed_from_u64(seed),
+            spare: None,
         }
     }
 
@@ -48,11 +52,18 @@ impl NoiseModel {
         noisy.round().max(0.0) as u64
     }
 
-    /// Standard normal sample via Box–Muller.
+    /// Standard normal sample via Box–Muller, using both deviates of each
+    /// uniform pair (the sine sample is cached for the next call).
     fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
         let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
         let u2: f64 = self.rng.gen();
-        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
     }
 }
 
@@ -86,8 +97,29 @@ mod tests {
     fn deterministic_for_seed() {
         let mut a = NoiseModel::new(0.1, 3);
         let mut b = NoiseModel::new(0.1, 3);
-        for v in [10u64, 100, 1000] {
+        // Odd draw count so the comparison crosses a cached-sine boundary.
+        for v in [10u64, 100, 1000, 500, 50] {
             assert_eq!(a.perturb_count(v), b.perturb_count(v));
+        }
+    }
+
+    #[test]
+    fn both_box_muller_deviates_are_consumed() {
+        // Pin the stream: draws 2k and 2k+1 come from ONE uniform pair —
+        // the cosine deviate first, then the cached sine deviate.
+        let mut n = NoiseModel::new(0.1, 3);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let expect = |z: f64| {
+            let noisy = 1_000_000.0 * (1.0 + 0.1 * z);
+            noisy.round().max(0.0) as u64
+        };
+        for _ in 0..3 {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            assert_eq!(n.perturb_count(1_000_000), expect(r * theta.cos()));
+            assert_eq!(n.perturb_count(1_000_000), expect(r * theta.sin()));
         }
     }
 

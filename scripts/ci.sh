@@ -29,4 +29,7 @@ echo "==> sharded execution: parallel path vs serial (bit-identity gate)"
 GAASX_CAP_EDGES=20000 cargo run -q --release --offline -p gaasx-bench \
     --bin jobs_scaling -- --jobs 4
 
+echo "==> fault campaign smoke: recovery bit-identity + graceful degradation"
+cargo run -q --release --offline -p gaasx-bench --bin fault_campaign -- --smoke
+
 echo "CI gate passed."
