@@ -90,12 +90,14 @@ impl ShardableAlgorithm for Bfs {
             let candidates =
                 runner.for_each_shard(&grid, TraversalOrder::RowMajor, |engine, shard| {
                     let mut cands: Vec<(u32, f64)> = Vec::new();
+                    let mut hits = gaasx_xbar::HitVector::new(0);
+                    let mut results: Vec<(usize, u64)> = Vec::new();
                     for chunk in shard.edges().chunks(capacity) {
                         if !chunk.iter().any(|e| frontier_snapshot[e.src.index()]) {
                             continue;
                         }
                         let block = engine.load_block(chunk, CellLayout::Preset)?;
-                        for &src in &block.distinct_srcs().to_vec() {
+                        for &src in block.distinct_srcs() {
                             if !frontier_snapshot[src.index()] {
                                 continue;
                             }
@@ -104,10 +106,14 @@ impl ShardableAlgorithm for Bfs {
                             if d > MAX_ENCODABLE_DIST {
                                 continue;
                             }
-                            let hits = engine.search_src(src);
-                            let results =
-                                engine.propagate_rows(&hits, &[0, 1], &[1, d.round() as u32])?;
-                            for (row, sum) in results {
+                            engine.search_src_into(src, &mut hits);
+                            engine.propagate_rows_into(
+                                &hits,
+                                &[0, 1],
+                                &[1, d.round() as u32],
+                                &mut results,
+                            )?;
+                            for &(row, sum) in &results {
                                 cands.push((block.edge(row).dst.raw(), sum as f64));
                             }
                         }

@@ -288,6 +288,8 @@ impl Algorithm for CollaborativeFiltering {
         let grid = gaasx_graph::partition::GridPartition::with_num_intervals(&coo, 16)?;
 
         let total_vertices = (ratings.num_users() + ratings.num_items()) as usize;
+        let mut hits = gaasx_xbar::HitVector::new(0);
+        let mut rows: Vec<usize> = Vec::new();
         for _ in 0..self.epochs {
             // The attribute MAC crossbars across the banks hold the feature
             // matrix of the active vertex ranges (2048 banks × 128 rows fit
@@ -308,14 +310,15 @@ impl Algorithm for CollaborativeFiltering {
                 engine.attr_read(4 * (fresh * f) as u64);
 
                 for chunk in shard.edges().chunks(capacity) {
-                    let cells = |e: &Edge| vec![rate_q.encode(e.weight)];
+                    let cells = |e: &Edge, c: &mut Vec<u32>| c.push(rate_q.encode(e.weight));
                     let block = engine.load_block(chunk, CellLayout::PerEdge(&cells))?;
 
                     // Item update phase (Fig 10(b)).
-                    for &item in &block.distinct_dsts().to_vec() {
+                    for &item in block.distinct_dsts() {
                         let i = item.index() - num_users;
-                        let hits = engine.search_dst(item);
-                        let rows: Vec<usize> = hits.iter_ones().collect();
+                        engine.search_dst_into(item, &mut hits);
+                        rows.clear();
+                        rows.extend(hits.iter_ones());
                         let mut errs = Vec::with_capacity(rows.len());
                         let mut user_vecs: Vec<&Vec<f32>> = Vec::with_capacity(rows.len());
                         let item_vec = item_f[i].clone();
@@ -341,9 +344,10 @@ impl Algorithm for CollaborativeFiltering {
                     }
 
                     // User update phase (Fig 10(c)).
-                    for &user in &block.distinct_srcs().to_vec() {
-                        let hits = engine.search_src(user);
-                        let rows: Vec<usize> = hits.iter_ones().collect();
+                    for &user in block.distinct_srcs() {
+                        engine.search_src_into(user, &mut hits);
+                        rows.clear();
+                        rows.extend(hits.iter_ones());
                         let mut errs = Vec::with_capacity(rows.len());
                         let mut item_vecs: Vec<&Vec<f32>> = Vec::with_capacity(rows.len());
                         let user_vec = user_f[user.index()].clone();

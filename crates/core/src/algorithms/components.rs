@@ -96,24 +96,27 @@ impl ShardableAlgorithm for ConnectedComponents {
             let candidates =
                 runner.for_each_shard(&grid, TraversalOrder::RowMajor, |engine, shard| {
                     let mut cands: Vec<(u32, u32)> = Vec::new();
+                    let mut hits = gaasx_xbar::HitVector::new(0);
+                    let mut results: Vec<(usize, u64)> = Vec::new();
                     for chunk in shard.edges().chunks(capacity) {
                         if !chunk.iter().any(|e| active_snapshot[e.src.index()]) {
                             continue;
                         }
                         let block = engine.load_block(chunk, CellLayout::Preset)?;
-                        for &src in &block.distinct_srcs().to_vec() {
+                        for &src in block.distinct_srcs() {
                             if !active_snapshot[src.index()] {
                                 continue;
                             }
                             engine.attr_read(4);
-                            let hits = engine.search_src(src);
+                            engine.search_src_into(src, &mut hits);
                             // Single unit column: out[row] = label(src) × 1.
-                            let results = engine.propagate_rows(
+                            engine.propagate_rows_into(
                                 &hits,
                                 &[0],
                                 &[label_snapshot[src.index()]],
+                                &mut results,
                             )?;
-                            for (row, pushed) in results {
+                            for &(row, pushed) in &results {
                                 cands.push((block.edge(row).dst.raw(), pushed as u32));
                             }
                         }

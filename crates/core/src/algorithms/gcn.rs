@@ -141,14 +141,16 @@ impl Algorithm for GcnLayer {
         let mut agg = vec![vec![0.0f64; f_in]; n];
         let grid = partition_for_streaming(graph)?;
         let capacity = engine.block_capacity();
+        let mut hits = gaasx_xbar::HitVector::new(0);
         for shard in grid.stream(TraversalOrder::ColumnMajor) {
             for chunk in shard.edges().chunks(capacity) {
-                let cells = |e: &Edge| vec![norm_quant.encode(norm(e.dst.index()))];
+                let cells =
+                    |e: &Edge, c: &mut Vec<u32>| c.push(norm_quant.encode(norm(e.dst.index())));
                 let block = engine.load_block(chunk, CellLayout::PerEdge(&cells))?;
-                for &dst in &block.distinct_dsts().to_vec() {
+                for &dst in block.distinct_dsts() {
                     // One CAM search; the hit-vector register drives f_in
                     // successive MAC bursts, one per input feature.
-                    let hits = engine.search_dst(dst);
+                    engine.search_dst_into(dst, &mut hits);
                     for k in 0..f_in {
                         let code = engine.gather_rows(
                             &hits,

@@ -108,6 +108,7 @@ impl ShardableAlgorithm for PageRank {
         let grid = partition_for_streaming(graph)?;
         let capacity = runner.engine().block_capacity();
         let mut ranks = vec![1.0f64; n];
+        let mut rank_code: Vec<u32> = Vec::with_capacity(n);
         let mut iterations = 0;
 
         for _ in 0..self.max_iterations {
@@ -115,25 +116,32 @@ impl ShardableAlgorithm for PageRank {
             let max_rank = ranks.iter().cloned().fold(1.0f64, f64::max);
             let r_quant = Quantizer::for_max_value((max_rank * 1.05) as f32, 16)?;
 
+            // The quantizer is fixed for the iteration and a MAC input
+            // depends only on the edge's source, so the previous iteration's
+            // ranks are encoded once per vertex here rather than once per
+            // hit row inside the gather loop.
+            rank_code.clear();
+            rank_code.extend(ranks.iter().map(|&r| r_quant.encode(r as f32)));
+
             // Column-major shard streaming: destinations of a shard are
             // contiguous, so gathered updates stay in the attribute buffer.
-            // The pass reads the previous iteration's ranks (a snapshot)
-            // and emits `(dst, Σ rank/deg)` contributions per shard.
-            let ranks_snapshot = &ranks;
+            // The pass reads the previous iteration's ranks (the encoded
+            // snapshot) and emits `(dst, Σ rank/deg)` contributions per
+            // shard.
+            let rank_code = &rank_code;
             let contributions =
                 runner.for_each_shard(&grid, TraversalOrder::ColumnMajor, |engine, shard| {
                     let mut contribs: Vec<(u32, f64)> = Vec::new();
+                    let mut hits = gaasx_xbar::HitVector::new(0);
                     for chunk in shard.edges().chunks(capacity) {
-                        let cells = |e: &Edge| vec![inv_deg_code[e.src.index()]];
+                        let cells =
+                            |e: &Edge, c: &mut Vec<u32>| c.push(inv_deg_code[e.src.index()]);
                         let block = engine.load_block(chunk, CellLayout::PerEdge(&cells))?;
-                        for &dst in &block.distinct_dsts().to_vec() {
-                            let hits = engine.search_dst(dst);
+                        for &dst in block.distinct_dsts() {
+                            engine.search_dst_into(dst, &mut hits);
                             let code = engine.gather_rows(
                                 &hits,
-                                &mut |row| {
-                                    r_quant
-                                        .encode(ranks_snapshot[block.edge(row).src.index()] as f32)
-                                },
+                                &mut |row| rank_code[block.edge(row).src.index()],
                                 0,
                             )?;
                             let sum = f64::from(r_quant.decode_product_sum(&w_quant, code));

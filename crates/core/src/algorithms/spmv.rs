@@ -92,12 +92,13 @@ impl Algorithm for SpMV {
         let capacity = engine.block_capacity();
         let mut y = vec![0.0f64; n];
 
+        let mut hits = gaasx_xbar::HitVector::new(0);
         for shard in grid.stream(TraversalOrder::ColumnMajor) {
             for chunk in shard.edges().chunks(capacity) {
-                let cells = |e: &Edge| vec![w_quant.encode(e.weight)];
+                let cells = |e: &Edge, c: &mut Vec<u32>| c.push(w_quant.encode(e.weight));
                 let block = engine.load_block(chunk, CellLayout::PerEdge(&cells))?;
-                for &dst in &block.distinct_dsts().to_vec() {
-                    let hits = engine.search_dst(dst);
+                for &dst in block.distinct_dsts() {
+                    engine.search_dst_into(dst, &mut hits);
                     let code = engine.gather_rows(
                         &hits,
                         &mut |row| x_quant.encode(self.x[block.edge(row).src.index()]),

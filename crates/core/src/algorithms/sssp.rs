@@ -112,13 +112,17 @@ impl ShardableAlgorithm for Sssp {
             let candidates =
                 runner.for_each_shard(&grid, TraversalOrder::RowMajor, |engine, shard| {
                     let mut cands: Vec<(u32, f64)> = Vec::new();
+                    let mut hits = gaasx_xbar::HitVector::new(0);
+                    let mut results: Vec<(usize, u64)> = Vec::new();
                     for chunk in shard.edges().chunks(capacity) {
                         if !chunk.iter().any(|e| active_snapshot[e.src.index()]) {
                             continue;
                         }
-                        let cells = |e: &Edge| vec![w_quant.encode(e.weight), 1];
+                        let cells = |e: &Edge, c: &mut Vec<u32>| {
+                            c.extend_from_slice(&[w_quant.encode(e.weight), 1])
+                        };
                         let block = engine.load_block(chunk, CellLayout::PerEdge(&cells))?;
-                        for &src in &block.distinct_srcs().to_vec() {
+                        for &src in block.distinct_srcs() {
                             if !active_snapshot[src.index()] {
                                 continue;
                             }
@@ -127,12 +131,16 @@ impl ShardableAlgorithm for Sssp {
                             if !d.is_finite() || d > MAX_ENCODABLE_DIST {
                                 continue;
                             }
-                            let hits = engine.search_src(src);
+                            engine.search_src_into(src, &mut hits);
                             // α = 1 drives the weight column; dist(U) drives
                             // the ones column.
-                            let results =
-                                engine.propagate_rows(&hits, &[0, 1], &[1, d.round() as u32])?;
-                            for (row, sum) in results {
+                            engine.propagate_rows_into(
+                                &hits,
+                                &[0, 1],
+                                &[1, d.round() as u32],
+                                &mut results,
+                            )?;
+                            for &(row, sum) in &results {
                                 cands.push((block.edge(row).dst.raw(), sum as f64));
                             }
                         }

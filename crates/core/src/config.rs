@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use gaasx_sim::des::SchedulePolicy;
 use gaasx_xbar::energy::DeviceEnergyModel;
 use gaasx_xbar::geometry::{CamGeometry, MacGeometry};
-use gaasx_xbar::{FaultModel, Fidelity};
+use gaasx_xbar::{FaultModel, Fidelity, SearchMode};
 
 use crate::error::CoreError;
 
@@ -98,6 +98,11 @@ pub struct GaasXConfig {
     /// Write-verify / retry / spare-row recovery policy (off by default).
     #[serde(default)]
     pub recovery: RecoveryPolicy,
+    /// Host algorithm for deriving CAM hit vectors
+    /// ([`SearchMode::Indexed`] by default). Purely a functional-simulator
+    /// speed knob: reports are bit-identical in both modes.
+    #[serde(default)]
+    pub search_mode: SearchMode,
 }
 
 impl GaasXConfig {
@@ -117,6 +122,7 @@ impl GaasXConfig {
             scheduler: SchedulePolicy::Waves,
             fault: FaultModel::none(),
             recovery: RecoveryPolicy::off(),
+            search_mode: SearchMode::default(),
         }
     }
 
@@ -124,6 +130,28 @@ impl GaasXConfig {
     pub fn small() -> Self {
         GaasXConfig {
             num_banks: 8,
+            ..GaasXConfig::paper()
+        }
+    }
+
+    /// A deep-bank design point: 2048-row CAM+MAC bank pairs, 16× deeper
+    /// and 16× fewer than Table I, holding the same number of resident
+    /// edges. Deeper banks amortize per-block load overhead over more
+    /// edges and stress the search path — a search must discriminate
+    /// among 16× more rows, so this is the regime where the O(rows)
+    /// linear host scan falls furthest behind the O(hits) indexed path
+    /// (and where a physical TCAM's constant-time search shines).
+    pub fn deep_bank() -> Self {
+        GaasXConfig {
+            mac_geometry: MacGeometry {
+                rows: 2048,
+                ..MacGeometry::paper()
+            },
+            cam_geometry: CamGeometry {
+                rows: 2048,
+                ..CamGeometry::paper()
+            },
+            num_banks: 128,
             ..GaasXConfig::paper()
         }
     }
@@ -300,6 +328,14 @@ mod tests {
     }
 
     #[test]
+    fn deep_bank_config_matches_paper_capacity() {
+        let deep = GaasXConfig::deep_bank();
+        deep.validate().unwrap();
+        assert_eq!(deep.resident_edges(), GaasXConfig::paper().resident_edges());
+        assert_eq!(deep.cam_geometry.rows, deep.mac_geometry.rows);
+    }
+
+    #[test]
     fn paper_capacity() {
         assert_eq!(GaasXConfig::paper().resident_edges(), 2048 * 128);
     }
@@ -349,6 +385,13 @@ mod tests {
         let c = GaasXConfig::paper();
         assert!(c.fault.is_none());
         assert_eq!(c.recovery, RecoveryPolicy::off());
+    }
+
+    #[test]
+    fn search_mode_defaults_to_indexed() {
+        // Additive field: paper() and serde-defaulted configs pick the
+        // indexed host path, which is report-identical to linear.
+        assert_eq!(GaasXConfig::paper().search_mode, SearchMode::Indexed);
     }
 
     #[test]

@@ -34,10 +34,11 @@ use gaasx_sim::{
     SramBuffer, Tracer,
 };
 use gaasx_xbar::fault::{CamFaultState, MacFaultState};
-use gaasx_xbar::{CamCrossbar, HitVector, MacCrossbar, MacDirection, XbarStats};
+use gaasx_xbar::{CamCrossbar, HitVector, MacCrossbar, MacDirection, SearchMode, XbarStats};
 
 use crate::config::GaasXConfig;
 use crate::error::CoreError;
+use crate::memo::SearchMemo;
 use crate::sfu::Sfu;
 
 /// Effective parallel lanes in the SFU (it contains multiple adders,
@@ -51,8 +52,10 @@ const UNMAPPED: usize = usize::MAX;
 /// How the MAC cells of a block are populated during data loading.
 pub enum CellLayout<'a> {
     /// Write per-edge codes (e.g. edge weights, reciprocal out-degrees).
-    /// The closure returns the codes for one edge's MAC row.
-    PerEdge(&'a dyn Fn(&Edge) -> Vec<u32>),
+    /// The closure pushes one edge's MAC-row codes into a buffer the
+    /// engine clears and reuses across the block, so loading issues no
+    /// per-edge heap allocation.
+    PerEdge(&'a dyn Fn(&Edge, &mut Vec<u32>)),
     /// All cells hold a fixed preset code; no per-edge MAC writes are
     /// issued. This is the BFS optimization (§IV: BFS runs "without the
     /// overhead of loading edge weights into MAC crossbars but setting the
@@ -170,6 +173,24 @@ pub struct Engine {
     /// Recovery activity detected by this engine (verify reads, retries,
     /// remaps); merged across sharded workers and surfaced in the report.
     faults: FaultReport,
+    /// Per-block search memo (see [`crate::memo`]); only consulted when
+    /// `memo_active`.
+    memo: SearchMemo,
+    /// Memoization is sound only when device state is a pure function of
+    /// the programmed keys: indexed mode with no fault model attached.
+    memo_active: bool,
+    /// CAM key sequence of the block being loaded (memo registration).
+    key_buf: Vec<u128>,
+    /// Reused MAC-code buffer for [`CellLayout::PerEdge`] loading.
+    codes_buf: Vec<u32>,
+    /// Scratch for the phys→logical hit translation under remapping.
+    hits_scratch: HitVector,
+    /// Reused MAC input buffer for [`Engine::gather_rows`].
+    inputs_buf: Vec<u32>,
+    /// Reused MAC output buffer (one accumulated sum per crossed line).
+    mac_out: Vec<u64>,
+    /// Reused ≤16-row activation chunk for the MAC hot loops.
+    chunk_buf: Vec<usize>,
 }
 
 impl Engine {
@@ -194,6 +215,7 @@ impl Engine {
             )));
         }
         let mut cam = CamCrossbar::new(config.cam_geometry);
+        cam.set_search_mode(config.search_mode);
         // Faults apply to the edge-storage CAM/MAC pair; the auxiliary
         // attribute arrays model ECC-protected storage-class banks and
         // stay clean.
@@ -243,6 +265,14 @@ impl Engine {
             remap_active: false,
             phys_buf,
             faults: FaultReport::default(),
+            memo: SearchMemo::new(),
+            memo_active: config.search_mode == SearchMode::Indexed && !fault_active,
+            key_buf: Vec::with_capacity(rows),
+            codes_buf: Vec::new(),
+            hits_scratch: HitVector::new(0),
+            inputs_buf: Vec::with_capacity(config.mac_geometry.max_active_rows),
+            mac_out: Vec::new(),
+            chunk_buf: Vec::with_capacity(config.mac_geometry.max_active_rows),
             config,
         })
     }
@@ -382,6 +412,10 @@ impl Engine {
         self.phys2log[spare] = slot;
         self.log2phys[slot] = spare;
         self.remap_active = true;
+        // A remap decouples physical state from the programmed key
+        // sequence; drop any memoized hit vectors. (Defensive: remaps
+        // require an active fault model, which already disables the memo.)
+        self.memo.clear();
         self.faults.row_remaps = self.faults.row_remaps.saturating_add(1);
         if self.tracer.enabled() {
             self.tracer
@@ -497,6 +531,8 @@ impl Engine {
         let mut srcs: Vec<VertexId> = Vec::with_capacity(edges.len());
         let mut dsts: Vec<VertexId> = Vec::with_capacity(edges.len());
         let mut program_ns = 0.0;
+        self.key_buf.clear();
+        let mut codes = std::mem::take(&mut self.codes_buf);
         for (slot, e) in edges.iter().enumerate() {
             let key = (u128::from(e.src.raw()) << 32) | u128::from(e.dst.raw());
             // The CAM key programs as one ternary word; the MAC row
@@ -505,13 +541,23 @@ impl Engine {
             // the slot programs through write-verify/retry/remap.
             program_ns += match cells {
                 CellLayout::PerEdge(f) => {
-                    let codes = f(e);
+                    codes.clear();
+                    f(e, &mut codes);
                     self.program_slot(slot, key, Some(&codes))?
                 }
                 CellLayout::Preset => self.program_slot(slot, key, None)?,
             };
+            if self.memo_active {
+                self.key_buf.push(key);
+            }
             srcs.push(e.src);
             dsts.push(e.dst);
+        }
+        self.codes_buf = codes;
+        if self.memo_active {
+            // Re-loading a block with the same key sequence revives its
+            // memoized hit vectors; a new block starts an empty memo entry.
+            self.memo.begin_block(&self.key_buf);
         }
         srcs.sort_unstable();
         srcs.dedup();
@@ -545,49 +591,87 @@ impl Engine {
 
     /// CAM search for all edges with the given source (row-wise key field).
     pub fn search_src(&mut self, src: VertexId) -> HitVector {
-        self.searched(u128::from(src.raw()) << 32, 0xFFFF_FFFF_0000_0000)
+        let mut hits = HitVector::new(0);
+        self.search_src_into(src, &mut hits);
+        hits
     }
 
     /// CAM search for all edges with the given destination.
     pub fn search_dst(&mut self, dst: VertexId) -> HitVector {
-        self.searched(u128::from(dst.raw()), 0xFFFF_FFFF)
+        let mut hits = HitVector::new(0);
+        self.search_dst_into(dst, &mut hits);
+        hits
+    }
+
+    /// [`search_src`](Self::search_src) into a caller-owned buffer so hot
+    /// loops allocate nothing. `hits` is overwritten.
+    pub fn search_src_into(&mut self, src: VertexId, hits: &mut HitVector) {
+        self.searched_into(u128::from(src.raw()) << 32, 0xFFFF_FFFF_0000_0000, hits);
+    }
+
+    /// [`search_dst`](Self::search_dst) into a caller-owned buffer so hot
+    /// loops allocate nothing. `hits` is overwritten.
+    pub fn search_dst_into(&mut self, dst: VertexId, hits: &mut HitVector) {
+        self.searched_into(u128::from(dst.raw()), 0xFFFF_FFFF, hits);
     }
 
     /// Issues a CAM search, optionally triple-voted against transient
     /// upsets, and translates physical hit rows back to logical slots.
-    fn searched(&mut self, key: u128, mask: u128) -> HitVector {
+    ///
+    /// The search is *always* billed (time, energy, `cam_searches`) as one
+    /// physical CAM operation — the hardware searches every time. When the
+    /// memo is active the host may replay the hit vector a previous search
+    /// on this exact block content derived, which is what makes the memo
+    /// invisible in every [`RunReport`].
+    fn searched_into(&mut self, key: u128, mask: u128, out: &mut HitVector) {
         let ns = self.config.energy.cam_search_ns;
         self.current.add_phase(Phase::CamSearch, ns);
         self.trace_op(Phase::CamSearch, ns);
-        let mut hits = self.cam.search(key, mask);
+        if self.memo_active {
+            // gaasx-lint: hot
+            if let Some(hit) = self.memo.lookup(key, mask) {
+                out.copy_from(hit);
+                self.cam.count_replayed_search();
+                return;
+            }
+            // gaasx-lint: end-hot
+        }
+        self.cam.search_into(key, mask, out);
         if self.fault_active && self.config.recovery.cam_double_check {
             // Two extra searches; a per-row majority vote masks any single
             // transient upset. Each re-search is charged like the first.
+            // (A fault path — never memoized, allocation here is fine.)
             self.current.add_phase(Phase::CamSearch, ns);
             self.trace_op(Phase::CamSearch, ns);
             let second = self.cam.search(key, mask);
             self.current.add_phase(Phase::CamSearch, ns);
             self.trace_op(Phase::CamSearch, ns);
             let third = self.cam.search(key, mask);
-            hits = hits
+            let voted = out
                 .and(&second)
-                .or(&hits.and(&third))
+                .or(&out.and(&third))
                 .or(&second.and(&third));
+            out.copy_from(&voted);
             self.faults.cam_double_checks = self.faults.cam_double_checks.saturating_add(1);
         }
-        if !self.remap_active {
-            return hits;
-        }
-        // Remapped slots match at their spare's physical row; report them
-        // at their logical slot so algorithms stay oblivious to remapping.
-        let mut logical = HitVector::new(hits.len());
-        for phys in hits.iter_ones() {
-            let slot = self.phys2log[phys];
-            if slot != UNMAPPED {
-                logical.set(slot);
+        if self.remap_active {
+            // Remapped slots match at their spare's physical row; report
+            // them at their logical slot so algorithms stay oblivious to
+            // remapping. (Remaps require an active fault model, so this
+            // never runs on the memoized steady-state path.)
+            std::mem::swap(out, &mut self.hits_scratch);
+            out.reset(self.hits_scratch.len());
+            for phys in self.hits_scratch.iter_ones() {
+                let slot = self.phys2log[phys];
+                if slot != UNMAPPED {
+                    out.set(slot);
+                }
             }
+            return;
         }
-        logical
+        if self.memo_active {
+            self.memo.insert(key, mask, out);
+        }
     }
 
     /// SpMV-multiply accumulation: sums `input(row) × cell[row][out_col]`
@@ -608,36 +692,61 @@ impl Engine {
         let mut total: u64 = 0;
         let mut first = true;
         let cap = self.config.mac_geometry.max_active_rows;
-        let mut inputs: Vec<u32> = Vec::with_capacity(cap);
-        let mut chunks = hits.chunks_iter(cap);
+        let mut ones = hits.iter_ones();
         // gaasx-lint: hot
-        while let Some(chunk) = chunks.next_chunk() {
-            inputs.clear();
-            for &row in chunk {
-                self.attr_buf.read(4);
-                inputs.push(input(row));
+        loop {
+            // Fill the reused chunk buffer with the next ≤cap hit rows
+            // (hand-rolled chunking keeps the hot loop allocation-free).
+            self.chunk_buf.clear();
+            while self.chunk_buf.len() < cap {
+                match ones.next() {
+                    Some(row) => self.chunk_buf.push(row),
+                    None => break,
+                }
             }
-            let out = if self.remap_active {
+            if self.chunk_buf.is_empty() {
+                break;
+            }
+            let chunk_len = self.chunk_buf.len();
+            self.inputs_buf.clear();
+            for i in 0..chunk_len {
+                self.attr_buf.read(4);
+                let v = input(self.chunk_buf[i]);
+                self.inputs_buf.push(v);
+            }
+            // Only `out_col` is consumed, so the device restricts the
+            // functional evaluation to that line (the burst is still billed
+            // in full, and the all-lines path runs under noise or faults).
+            let v = if self.remap_active {
                 // Activate the physical rows behind the logical slots.
                 self.phys_buf.clear();
-                for &row in chunk {
-                    self.phys_buf.push(self.log2phys[row]);
+                for i in 0..chunk_len {
+                    self.phys_buf.push(self.log2phys[self.chunk_buf[i]]);
                 }
-                self.mac
-                    .mac(MacDirection::RowsToColumns, &self.phys_buf, &inputs)?
+                self.mac.mac_col(
+                    MacDirection::RowsToColumns,
+                    &self.phys_buf,
+                    &self.inputs_buf,
+                    out_col,
+                )?
             } else {
-                self.mac.mac(MacDirection::RowsToColumns, chunk, &inputs)?
+                self.mac.mac_col(
+                    MacDirection::RowsToColumns,
+                    &self.chunk_buf,
+                    &self.inputs_buf,
+                    out_col,
+                )?
             };
-            self.rows_per_mac.record(chunk.len());
+            self.rows_per_mac.record(chunk_len);
             let ns = self.config.energy.mac_op_ns;
             self.current.add_phase(Phase::MacGather, ns);
             self.trace_op(Phase::MacGather, ns);
-            self.compute_items = self.compute_items.saturating_add(chunk.len() as u64);
+            self.compute_items = self.compute_items.saturating_add(chunk_len as u64);
             if first {
-                total = out[out_col];
+                total = v;
                 first = false;
             } else {
-                total = self.sfu_add_u64(total, out[out_col]);
+                total = self.sfu_add_u64(total, v);
             }
         }
         // gaasx-lint: end-hot
@@ -658,35 +767,69 @@ impl Engine {
         cols: &[usize],
         col_inputs: &[u32],
     ) -> Result<Vec<(usize, u64)>, CoreError> {
+        let mut results = Vec::new();
+        self.propagate_rows_into(hits, cols, col_inputs, &mut results)?;
+        Ok(results)
+    }
+
+    /// [`propagate_rows`](Self::propagate_rows) into a caller-owned buffer
+    /// so hot loops allocate nothing. `results` is cleared first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn propagate_rows_into(
+        &mut self,
+        hits: &HitVector,
+        cols: &[usize],
+        col_inputs: &[u32],
+        results: &mut Vec<(usize, u64)>,
+    ) -> Result<(), CoreError> {
+        results.clear();
         // No hits means no MAC burst — and no attribute fetch either: the
         // controller only stages the column inputs once a burst is issued.
         if !hits.any() {
-            return Ok(Vec::new());
+            return Ok(());
         }
-        let mut results = Vec::with_capacity(hits.count());
+        results.reserve(hits.count());
         self.attr_buf.read(4 * col_inputs.len() as u64);
-        let mut chunks = hits.chunks_iter(self.config.mac_geometry.max_active_rows);
+        let cap = self.config.mac_geometry.max_active_rows;
+        let mut ones = hits.iter_ones();
         // gaasx-lint: hot
-        while let Some(chunk) = chunks.next_chunk() {
-            let out = self
-                .mac
-                .mac(MacDirection::ColumnsToRows, cols, col_inputs)?;
-            self.rows_per_mac.record(chunk.len());
+        loop {
+            self.chunk_buf.clear();
+            while self.chunk_buf.len() < cap {
+                match ones.next() {
+                    Some(row) => self.chunk_buf.push(row),
+                    None => break,
+                }
+            }
+            if self.chunk_buf.is_empty() {
+                break;
+            }
+            let chunk_len = self.chunk_buf.len();
+            self.mac.mac_into(
+                MacDirection::ColumnsToRows,
+                cols,
+                col_inputs,
+                &mut self.mac_out,
+            )?;
+            self.rows_per_mac.record(chunk_len);
             let ns = self.config.energy.mac_op_ns;
             self.current.add_phase(Phase::MacPropagate, ns);
             self.trace_op(Phase::MacPropagate, ns);
-            self.compute_items = self.compute_items.saturating_add(chunk.len() as u64);
-            for &row in chunk {
+            self.compute_items = self.compute_items.saturating_add(chunk_len as u64);
+            for &row in &self.chunk_buf {
                 let phys = if self.remap_active {
                     self.log2phys[row]
                 } else {
                     row
                 };
-                results.push((row, out[phys]));
+                results.push((row, self.mac_out[phys]));
             }
         }
         // gaasx-lint: end-hot
-        Ok(results)
+        Ok(())
     }
 
     /// Writes one row of the auxiliary (vertex-attribute) MAC crossbar —
@@ -858,6 +1001,9 @@ impl Engine {
             self.costs.push(self.current);
             self.current = BlockCost::default();
             self.in_block = false;
+            // Cached vectors survive for future re-loads of the same block
+            // content; only the live registration ends with the block.
+            self.memo.end_block();
         }
     }
 
@@ -1147,7 +1293,7 @@ mod tests {
 
     fn fig7_block(engine: &mut Engine) -> Block {
         let g = generators::paper_fig7_graph();
-        let cells = |e: &Edge| vec![e.weight as u32, 1];
+        let cells = |e: &Edge, c: &mut Vec<u32>| c.extend_from_slice(&[e.weight as u32, 1]);
         engine
             .load_block(g.edges(), CellLayout::PerEdge(&cells))
             .unwrap()
@@ -1218,7 +1364,7 @@ mod tests {
     fn chunking_splits_large_hit_vectors() {
         let mut e = engine();
         let g = generators::star_graph(40); // hub 0 -> 39 spokes
-        let cells = |_: &Edge| vec![1, 1];
+        let cells = |_: &Edge, c: &mut Vec<u32>| c.extend_from_slice(&[1, 1]);
         let _b = e
             .load_block(g.edges(), CellLayout::PerEdge(&cells))
             .unwrap();
@@ -1236,7 +1382,7 @@ mod tests {
     fn block_capacity_enforced() {
         let mut e = engine();
         let g = generators::path_graph(200);
-        let cells = |_: &Edge| vec![1];
+        let cells = |_: &Edge, c: &mut Vec<u32>| c.push(1);
         assert!(matches!(
             e.load_block(g.edges(), CellLayout::PerEdge(&cells)),
             Err(CoreError::InvalidInput(_))
@@ -1258,7 +1404,7 @@ mod tests {
     fn stale_rows_do_not_match_after_reload() {
         let mut e = engine();
         let big = generators::star_graph(20);
-        let cells = |_: &Edge| vec![1];
+        let cells = |_: &Edge, c: &mut Vec<u32>| c.push(1);
         let _b1 = e
             .load_block(big.edges(), CellLayout::PerEdge(&cells))
             .unwrap();
@@ -1274,7 +1420,7 @@ mod tests {
     fn makespan_pipelines_waves() {
         let mut e = engine();
         let g = generators::paper_fig7_graph();
-        let cells = |e: &Edge| vec![e.weight as u32, 1];
+        let cells = |e: &Edge, c: &mut Vec<u32>| c.extend_from_slice(&[e.weight as u32, 1]);
         for _ in 0..3 {
             let _b = e
                 .load_block(g.edges(), CellLayout::PerEdge(&cells))
@@ -1306,11 +1452,13 @@ mod tests {
             .unwrap();
             let g =
                 generators::rmat(&generators::RmatConfig::new(1 << 7, 2000).with_seed(3)).unwrap();
-            let cells = |edge: &Edge| vec![edge.weight as u32, 1];
+            let cells =
+                |edge: &Edge, c: &mut Vec<u32>| c.extend_from_slice(&[edge.weight as u32, 1]);
+            let mut hits = HitVector::new(0);
             for chunk in g.edges().chunks(128) {
                 let block = e.load_block(chunk, CellLayout::PerEdge(&cells)).unwrap();
-                for &dst in &block.distinct_dsts().to_vec() {
-                    let hits = e.search_dst(dst);
+                for &dst in block.distinct_dsts() {
+                    e.search_dst_into(dst, &mut hits);
                     let _ = e.gather_rows(&hits, &mut |_| 1, 0).unwrap();
                 }
             }
@@ -1441,7 +1589,7 @@ mod tests {
         .unwrap();
         e.set_tracer(Tracer::with_sink(agg.clone()));
         let g = generators::paper_fig7_graph();
-        let cells = |e: &Edge| vec![e.weight as u32, 1];
+        let cells = |e: &Edge, c: &mut Vec<u32>| c.extend_from_slice(&[e.weight as u32, 1]);
         for _ in 0..4 {
             let _b = e
                 .load_block(g.edges(), CellLayout::PerEdge(&cells))
@@ -1578,7 +1726,7 @@ mod tests {
         };
         let mut e = faulty(fault, RecoveryPolicy::standard());
         let g = generators::paper_fig7_graph();
-        let cells = |edge: &Edge| vec![edge.weight as u32, 1];
+        let cells = |edge: &Edge, c: &mut Vec<u32>| c.extend_from_slice(&[edge.weight as u32, 1]);
         for _ in 0..40 {
             let _b = e
                 .load_block(g.edges(), CellLayout::PerEdge(&cells))
@@ -1611,7 +1759,7 @@ mod tests {
         let mut e = faulty(fault, RecoveryPolicy::standard());
         assert_eq!(e.block_capacity(), 128 - 16);
         let edges = full_block_edges(e.block_capacity());
-        let cells = |edge: &Edge| vec![edge.weight as u32, 1];
+        let cells = |edge: &Edge, c: &mut Vec<u32>| c.extend_from_slice(&[edge.weight as u32, 1]);
         let b = e.load_block(&edges, CellLayout::PerEdge(&cells)).unwrap();
         for i in 0..edges.len() as u32 {
             // Each dst hits exactly one (possibly remapped) row, reported
@@ -1671,7 +1819,7 @@ mod tests {
         let mut e = faulty(fault, RecoveryPolicy::detect_only());
         assert_eq!(e.block_capacity(), 128, "no spares reserved");
         let edges = full_block_edges(e.block_capacity());
-        let cells = |edge: &Edge| vec![edge.weight as u32, 1];
+        let cells = |edge: &Edge, c: &mut Vec<u32>| c.extend_from_slice(&[edge.weight as u32, 1]);
         let err = e
             .load_block(&edges, CellLayout::PerEdge(&cells))
             .unwrap_err();

@@ -39,6 +39,7 @@
 
 mod accelerator;
 mod error;
+mod memo;
 mod sfu;
 
 pub mod algorithms;
@@ -50,5 +51,6 @@ pub use accelerator::{GaasX, RunOutcome};
 pub use algorithms::ShardableAlgorithm;
 pub use config::{GaasXConfig, RecoveryPolicy};
 pub use error::CoreError;
+pub use gaasx_xbar::SearchMode;
 pub use sfu::Sfu;
 pub use sharded::{ShardRunner, ShardedEngine};

@@ -308,11 +308,13 @@ mod tests {
         runner
             .for_each_shard(grid, TraversalOrder::ColumnMajor, |engine, shard| {
                 let mut total = 0u64;
+                let mut hits = gaasx_xbar::HitVector::new(0);
                 for chunk in shard.edges().chunks(capacity) {
-                    let cells = |e: &Edge| vec![e.weight as u32, 1];
+                    let cells =
+                        |e: &Edge, c: &mut Vec<u32>| c.extend_from_slice(&[e.weight as u32, 1]);
                     let block = engine.load_block(chunk, CellLayout::PerEdge(&cells))?;
-                    for &dst in &block.distinct_dsts().to_vec() {
-                        let hits = engine.search_dst(dst);
+                    for &dst in block.distinct_dsts() {
+                        engine.search_dst_into(dst, &mut hits);
                         total += engine.gather_rows(&hits, &mut |_| 1, 0)?;
                     }
                 }

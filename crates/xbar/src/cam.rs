@@ -3,10 +3,80 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::XbarError;
+use crate::fast_hash::FxHashMap;
 use crate::fault::{CamFaultState, FaultStats};
 use crate::geometry::CamGeometry;
 use crate::hit_vector::HitVector;
+use crate::small_rows::SmallRows;
 use crate::XbarStats;
+
+/// How the *functional* side of a CAM search computes its hit vector.
+///
+/// The simulated hardware always performs the same parallel TCAM operation
+/// — both modes count identical [`XbarStats`] and return identical hit
+/// vectors — the mode only selects the host algorithm that derives the
+/// result:
+///
+/// * [`Linear`](SearchMode::Linear): scan all rows, O(rows) per search.
+/// * [`Indexed`](SearchMode::Indexed): consult a per-field exact-match
+///   index, O(hits) per search, with the linear scan retained for
+///   arbitrary ternary masks and as a `debug_assert!` cross-check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum SearchMode {
+    /// Scan every row per search (the pre-index reference path).
+    Linear,
+    /// Serve full-field searches from an incremental exact-match index.
+    #[default]
+    Indexed,
+}
+
+/// Most distinct search masks indexed before falling back to the linear
+/// scan. Real workloads use exactly two (the src field and the dst field).
+const MAX_INDEXED_MASKS: usize = 4;
+
+/// Exact-match index over one maskable field: `stored_bits & mask` → rows.
+///
+/// Built from the *post-fault* stored bits, so stuck-cell corruption is
+/// indexed exactly as the device would match it. An index is **clean** when
+/// `clean_epoch` equals the crossbar's entry-store epoch; single-row
+/// mutations patch clean indexes in place, while bulk invalidation only
+/// bumps the epoch and lets the index rebuild lazily on its next use.
+#[derive(Debug, Clone)]
+struct FieldIndex {
+    mask: u128,
+    /// Keyed through [`FxHashMap`]: the default SipHash hasher costs more
+    /// per 16-byte key than the whole linear scan it replaces.
+    rows: FxHashMap<u128, SmallRows>,
+    clean_epoch: u64,
+}
+
+impl FieldIndex {
+    fn new(mask: u128) -> Self {
+        FieldIndex {
+            mask,
+            rows: FxHashMap::default(),
+            clean_epoch: 0,
+        }
+    }
+
+    fn insert_row(&mut self, bits: u128, row: u32) {
+        self.rows
+            .entry(bits & self.mask)
+            .or_insert_with(SmallRows::new)
+            .push(row);
+    }
+
+    fn remove_row(&mut self, bits: u128, row: u32) {
+        let key = bits & self.mask;
+        if let Some(rows) = self.rows.get_mut(&key) {
+            rows.remove(row);
+            if rows.is_empty() {
+                self.rows.remove(&key);
+            }
+        }
+    }
+}
 
 /// One stored CAM entry: up to 128 bits of content plus a valid flag.
 ///
@@ -49,6 +119,23 @@ pub struct CamCrossbar {
     width_mask: u128,
     faults: Option<CamFaultState>,
     stats: XbarStats,
+    /// Host algorithm used to derive hit vectors (device behaviour and
+    /// accounting are identical in both modes).
+    mode: SearchMode,
+    /// Entry-store version, bumped on every mutation. An index whose
+    /// `clean_epoch` matches is exact; anything else rebuilds lazily.
+    epoch: u64,
+    /// Lazily created per-mask exact-match indexes (at most
+    /// [`MAX_INDEXED_MASKS`]; further masks use the linear scan).
+    indexes: Vec<FieldIndex>,
+    /// How many of `indexes` are clean at the current epoch. Block loading
+    /// issues one `write` per edge while every index is stale, so the
+    /// per-write patch loop reduces to a single zero-check here.
+    clean_indexes: u32,
+    /// Debug-build scratch for cross-checking indexed results against the
+    /// linear scan without allocating per search.
+    #[cfg(debug_assertions)]
+    check_hv: HitVector,
 }
 
 impl CamCrossbar {
@@ -78,7 +165,28 @@ impl CamCrossbar {
             width_mask,
             faults: None,
             stats: XbarStats::new(),
+            mode: SearchMode::default(),
+            epoch: 1,
+            indexes: Vec::new(),
+            clean_indexes: 0,
+            #[cfg(debug_assertions)]
+            check_hv: HitVector::new(0),
         }
+    }
+
+    /// Selects the host search algorithm. Switching drops any built
+    /// indexes; they are rebuilt lazily when indexed searches resume.
+    pub fn set_search_mode(&mut self, mode: SearchMode) {
+        if mode != self.mode {
+            self.mode = mode;
+            self.indexes.clear();
+            self.clean_indexes = 0;
+        }
+    }
+
+    /// The active host search algorithm.
+    pub fn search_mode(&self) -> SearchMode {
+        self.mode
     }
 
     /// Attaches seeded device-fault state. Stuck bits corrupt entries as
@@ -124,13 +232,16 @@ impl CamCrossbar {
             });
         }
         let masked = bits & self.width_mask;
-        self.entries[row] = CamEntry {
+        let stored = CamEntry {
             bits: match self.faults.as_mut() {
                 Some(faults) => faults.programmed(row, masked) & self.width_mask,
                 None => masked,
             },
             valid: true,
         };
+        let old = self.entries[row];
+        self.entries[row] = stored;
+        self.patch_indexes(old, stored, row);
         self.stats.row_writes += 1;
         // A TCAM cell is a complementary ReRAM pair: 2 device writes per bit.
         self.stats.cells_written += 2 * self.geometry.width_bits as u64;
@@ -150,7 +261,11 @@ impl CamCrossbar {
                 rows: self.geometry.rows,
             });
         }
-        self.entries[row].valid = false;
+        let old = self.entries[row];
+        if old.valid {
+            self.entries[row].valid = false;
+            self.patch_indexes(old, self.entries[row], row);
+        }
         Ok(())
     }
 
@@ -159,27 +274,146 @@ impl CamCrossbar {
         for e in &mut self.entries {
             e.valid = false;
         }
+        // Bulk clears only bump the epoch: every index turns stale at once
+        // and rebuilds lazily on its next indexed search. Memoized
+        // steady-state iterations never physically search a reloaded block
+        // again, so they pay no index maintenance here at all.
+        self.epoch = self.epoch.wrapping_add(1);
+        self.clean_indexes = 0;
+    }
+
+    /// Bumps the entry-store epoch and patches any index that was clean
+    /// across the single-row mutation `old → new`, keeping it clean. Stale
+    /// indexes are left alone; they rebuild lazily on their next use.
+    fn patch_indexes(&mut self, old: CamEntry, new: CamEntry, row: usize) {
+        let next = self.epoch.wrapping_add(1);
+        if self.clean_indexes == 0 {
+            // Nothing to patch (the block-loading fast path): stale indexes
+            // stay stale across the bump and rebuild lazily later.
+            self.epoch = next;
+            return;
+        }
+        // gaasx-lint: hot
+        for ix in &mut self.indexes {
+            if ix.clean_epoch != self.epoch {
+                continue;
+            }
+            if old.valid {
+                ix.remove_row(old.bits, row as u32);
+            }
+            if new.valid {
+                ix.insert_row(new.bits, row as u32);
+            }
+            ix.clean_epoch = next;
+        }
+        // gaasx-lint: end-hot
+        self.epoch = next;
+    }
+
+    /// Returns the position of a clean index over `mask`, building or
+    /// rebuilding it from the valid post-fault entries when needed.
+    /// `None` once the distinct-mask cap is hit — callers fall back to the
+    /// linear scan, which is always correct.
+    fn ensure_index(&mut self, mask: u128) -> Option<usize> {
+        let pos = match self.indexes.iter().position(|ix| ix.mask == mask) {
+            Some(p) => p,
+            None => {
+                if self.indexes.len() >= MAX_INDEXED_MASKS {
+                    return None;
+                }
+                self.indexes.push(FieldIndex::new(mask));
+                self.indexes.len() - 1
+            }
+        };
+        let epoch = self.epoch;
+        let ix = &mut self.indexes[pos];
+        if ix.clean_epoch != epoch {
+            ix.rows.clear();
+            // gaasx-lint: hot
+            for (row, e) in self.entries.iter().enumerate() {
+                if e.valid {
+                    ix.insert_row(e.bits, row as u32);
+                }
+            }
+            // gaasx-lint: end-hot
+            ix.clean_epoch = epoch;
+            self.clean_indexes += 1;
+        }
+        Some(pos)
     }
 
     /// Ternary search: returns the hit vector of valid rows where
     /// `(stored ^ key) & mask == 0`. Bits outside the geometry width are
     /// ignored. One call = one 4 ns CAM operation.
     pub fn search(&mut self, key: u128, mask: u128) -> HitVector {
+        let mut hv = HitVector::new(self.geometry.rows);
+        self.search_into(key, mask, &mut hv);
+        hv
+    }
+
+    /// [`search`](Self::search), writing the result into a caller-owned
+    /// buffer so the steady state allocates nothing. `out` is resized (to
+    /// the row count) and overwritten; prior contents are irrelevant.
+    pub fn search_into(&mut self, key: u128, mask: u128, out: &mut HitVector) {
         self.stats.cam_searches += 1;
         let key = key & self.width_mask;
         let mask = mask & self.width_mask;
-        let mut hv = HitVector::new(self.geometry.rows);
+        out.reset(self.geometry.rows);
+        let mut via_index = false;
+        if self.mode == SearchMode::Indexed {
+            if let Some(pos) = self.ensure_index(mask) {
+                let ix = &self.indexes[pos];
+                // gaasx-lint: hot
+                if let Some(rows) = ix.rows.get(&(key & mask)) {
+                    for row in rows.iter() {
+                        out.set(row as usize);
+                    }
+                }
+                // gaasx-lint: end-hot
+                via_index = true;
+            }
+        }
+        if !via_index {
+            Self::linear_scan_into(&self.entries, key, mask, out);
+        }
+        #[cfg(debug_assertions)]
+        if via_index {
+            let mut check = std::mem::replace(&mut self.check_hv, HitVector::new(0));
+            check.reset(self.geometry.rows);
+            Self::linear_scan_into(&self.entries, key, mask, &mut check);
+            debug_assert!(
+                *out == check,
+                "indexed search diverged from linear scan (key={key:#x}, mask={mask:#x})"
+            );
+            self.check_hv = check;
+        }
+        if let Some(faults) = self.faults.as_mut() {
+            faults.upset(out);
+        }
+    }
+
+    /// The pre-index reference path: O(rows) scan over the post-fault
+    /// entries. Retained for arbitrary ternary masks, [`SearchMode::Linear`],
+    /// and the debug-build cross-check of indexed results.
+    fn linear_scan_into(entries: &[CamEntry], key: u128, mask: u128, out: &mut HitVector) {
         // gaasx-lint: hot
-        for (i, e) in self.entries.iter().enumerate() {
+        for (i, e) in entries.iter().enumerate() {
             if e.valid && (e.bits ^ key) & mask == 0 {
-                hv.set(i);
+                out.set(i);
             }
         }
         // gaasx-lint: end-hot
-        if let Some(faults) = self.faults.as_mut() {
-            faults.upset(&mut hv);
-        }
-        hv
+    }
+
+    /// Counts one CAM search without recomputing a hit vector.
+    ///
+    /// The engine's per-block search memo replays a previously derived hit
+    /// vector when the loaded block is untouched — but the simulated
+    /// hardware still performs the physical search every time, so the
+    /// device counter (and therefore energy accounting) must advance
+    /// exactly as for [`search`](Self::search).
+    pub fn count_replayed_search(&mut self) {
+        self.stats.cam_searches += 1;
     }
 
     /// Reads back the entry at `row` (peripheral read, not a search).
@@ -339,6 +573,149 @@ mod tests {
         // An exact search for the intended key misses every corrupted row.
         let hits = c.search(0xA5A5_A5A5_A5A5_A5A5, u128::MAX);
         assert_eq!(hits.count(), g.rows - corrupted);
+    }
+
+    /// Runs the same op sequence in both modes and asserts identical hit
+    /// vectors and stats. (Debug builds additionally cross-check every
+    /// indexed search against the linear scan inside `search_into`.)
+    fn assert_modes_agree(ops: impl Fn(&mut CamCrossbar) -> Vec<HitVector>) {
+        let mut linear = cam();
+        linear.set_search_mode(SearchMode::Linear);
+        let mut indexed = cam();
+        indexed.set_search_mode(SearchMode::Indexed);
+        let a = ops(&mut linear);
+        let b = ops(&mut indexed);
+        assert_eq!(a, b, "hit vectors diverged between search modes");
+        assert_eq!(
+            linear.stats(),
+            indexed.stats(),
+            "stats diverged between search modes"
+        );
+    }
+
+    const SRC_MASK: u128 = 0xFFFF_FFFF_0000_0000;
+    const DST_MASK: u128 = 0xFFFF_FFFF;
+
+    #[test]
+    fn indexed_matches_linear_on_field_searches() {
+        assert_modes_agree(|c| {
+            for i in 0..20 {
+                let key = (u128::from(i as u32 % 5) << 32) | u128::from(i as u32 % 7);
+                c.write(i, key).unwrap();
+            }
+            let mut out = Vec::new();
+            for v in 0..8u32 {
+                out.push(c.search(u128::from(v) << 32, SRC_MASK));
+            }
+            for v in 0..8u32 {
+                out.push(c.search(u128::from(v), DST_MASK));
+            }
+            out
+        });
+    }
+
+    #[test]
+    fn indexed_matches_linear_across_invalidate_and_rewrite() {
+        assert_modes_agree(|c| {
+            let mut out = Vec::new();
+            for i in 0..16 {
+                c.write(i, (u128::from(i as u32) << 32) | 1).unwrap();
+            }
+            out.push(c.search(1, DST_MASK));
+            c.invalidate(3).unwrap();
+            c.invalidate(3).unwrap(); // idempotent
+            out.push(c.search(1, DST_MASK));
+            c.write(3, (7u128 << 32) | 2).unwrap(); // remap-style rewrite
+            out.push(c.search(2, DST_MASK));
+            out.push(c.search(7u128 << 32, SRC_MASK));
+            c.invalidate_all();
+            out.push(c.search(1, DST_MASK));
+            for i in 0..4 {
+                c.write(i, (9u128 << 32) | u128::from(i as u32)).unwrap();
+            }
+            out.push(c.search(9u128 << 32, SRC_MASK));
+            out
+        });
+    }
+
+    #[test]
+    fn mask_cap_falls_back_to_linear_scan() {
+        assert_modes_agree(|c| {
+            for i in 0..12 {
+                c.write(i, u128::from(i as u32) * 3).unwrap();
+            }
+            // More distinct masks than MAX_INDEXED_MASKS: the excess must
+            // still return correct results via the linear fallback.
+            (0..(MAX_INDEXED_MASKS as u32 + 3))
+                .map(|b| c.search(0, 1u128 << b))
+                .collect()
+        });
+    }
+
+    #[test]
+    fn indexed_search_reflects_post_fault_bits() {
+        use crate::fault::{CamFaultState, FaultModel};
+        let g = CamGeometry::paper();
+        let model = FaultModel {
+            seed: 7,
+            cam_stuck_ber: 0.02,
+            ..FaultModel::none()
+        };
+        let run = |mode: SearchMode| {
+            let mut c = CamCrossbar::new(g);
+            c.set_search_mode(mode);
+            c.set_faults(Some(CamFaultState::new(model, &g)));
+            let key = 0xA5A5_A5A5_A5A5_A5A5u128;
+            for row in 0..g.rows {
+                c.write(row, key).unwrap();
+            }
+            c.search(key, u128::MAX)
+        };
+        // Stuck bits corrupt entries identically (same seed), and the index
+        // is built over the corrupted bits, so both modes miss the same rows.
+        assert_eq!(run(SearchMode::Linear), run(SearchMode::Indexed));
+    }
+
+    #[test]
+    fn search_into_reuses_the_buffer_and_counts() {
+        let mut c = cam();
+        c.write(0, 42).unwrap();
+        c.write(9, 42).unwrap();
+        let mut hv = HitVector::new(0);
+        c.search_into(42, u128::MAX, &mut hv);
+        assert_eq!(hv.iter_ones().collect::<Vec<_>>(), vec![0, 9]);
+        c.search_into(7, u128::MAX, &mut hv);
+        assert_eq!(hv.count(), 0);
+        assert_eq!(hv.len(), CamGeometry::paper().rows);
+        assert_eq!(c.stats().cam_searches, 2);
+    }
+
+    #[test]
+    fn replayed_searches_only_advance_the_counter() {
+        let mut c = cam();
+        c.write(0, 5).unwrap();
+        let (writes, cells) = (c.stats().row_writes, c.stats().cells_written);
+        c.count_replayed_search();
+        c.count_replayed_search();
+        assert_eq!(c.stats().cam_searches, 2);
+        assert_eq!(c.stats().row_writes, writes);
+        assert_eq!(c.stats().cells_written, cells);
+    }
+
+    #[test]
+    fn switching_modes_mid_stream_stays_correct() {
+        let mut c = cam();
+        for i in 0..10 {
+            c.write(i, u128::from(i as u32 % 3)).unwrap();
+        }
+        let a = c.search(1, DST_MASK);
+        c.set_search_mode(SearchMode::Linear);
+        let b = c.search(1, DST_MASK);
+        c.set_search_mode(SearchMode::Indexed);
+        let d = c.search(1, DST_MASK);
+        assert_eq!(a, b);
+        assert_eq!(b, d);
+        assert_eq!(c.stats().cam_searches, 3);
     }
 
     #[test]

@@ -107,24 +107,58 @@ impl HitVector {
         }
     }
 
-    /// Splits the set rows into chunks of at most `chunk` indices — the
-    /// accelerator uses this to respect the 16-row accumulation cap.
-    ///
-    /// Allocates one `Vec` per chunk plus the outer collection; on the MAC
-    /// hot path use [`HitVector::chunks_iter`], which reuses a single
-    /// buffer across chunks.
+    /// Clears every set row, keeping the allocation — the in-place reset
+    /// the allocation-free search path reuses between searches.
+    pub fn clear_all(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Reconfigures this vector to cover `len` all-zero rows, reusing the
+    /// word buffer whenever it already has the right size. After the first
+    /// call with a given length, subsequent resets allocate nothing.
+    pub fn reset(&mut self, len: usize) {
+        let words = len.div_ceil(64);
+        self.len = len;
+        if self.words.len() == words {
+            self.clear_all();
+        } else {
+            self.words.clear();
+            self.words.resize(words, 0);
+        }
+    }
+
+    /// Makes this vector a copy of `other`, reusing the word buffer when
+    /// the lengths already agree (the memoized-search replay path).
+    pub fn copy_from(&mut self, other: &HitVector) {
+        self.len = other.len;
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+    }
+
+    /// In-place bitwise OR with another hit vector of the same length.
     ///
     /// # Panics
     ///
-    /// Panics if `chunk == 0`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "allocates a Vec<Vec<usize>> per call; use `chunks_iter`"
-    )]
-    pub fn chunks(&self, chunk: usize) -> Vec<Vec<usize>> {
-        assert!(chunk > 0, "chunk size must be positive");
-        let ones: Vec<usize> = self.iter_ones().collect();
-        ones.chunks(chunk).map(<[usize]>::to_vec).collect()
+    /// Panics on length mismatch.
+    pub fn or_with(&mut self, other: &HitVector) {
+        assert_eq!(self.len, other.len, "hit vector length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place bitwise AND with another hit vector of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn and_with(&mut self, other: &HitVector) {
+        assert_eq!(self.len, other.len, "hit vector length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
     }
 
     /// Streams the set rows in chunks of at most `chunk` indices without
@@ -295,18 +329,63 @@ mod tests {
     }
 
     #[test]
-    fn chunks_iter_matches_deprecated_chunks() {
-        let hv = HitVector::from_indices(130, &[0, 3, 63, 64, 65, 100, 129]);
+    fn chunks_iter_covers_all_ones_in_order() {
+        let indices = [0usize, 3, 63, 64, 65, 100, 129];
+        let hv = HitVector::from_indices(130, &indices);
         for cap in [1, 2, 5, 16] {
-            #[allow(deprecated)]
-            let old = hv.chunks(cap);
             let mut streamed = Vec::new();
             let mut chunks = hv.chunks_iter(cap);
             while let Some(chunk) = chunks.next_chunk() {
-                streamed.push(chunk.to_vec());
+                assert!(chunk.len() <= cap, "cap {cap}");
+                streamed.extend_from_slice(chunk);
             }
-            assert_eq!(streamed, old, "cap {cap}");
+            assert_eq!(streamed, indices, "cap {cap}");
         }
+    }
+
+    #[test]
+    fn in_place_ops_match_allocating_ops() {
+        let a = HitVector::from_indices(130, &[1, 2, 3, 64, 129]);
+        let b = HitVector::from_indices(130, &[2, 3, 4, 129]);
+        let mut ored = a.clone();
+        ored.or_with(&b);
+        assert_eq!(ored, a.or(&b));
+        let mut anded = a.clone();
+        anded.and_with(&b);
+        assert_eq!(anded, a.and(&b));
+    }
+
+    #[test]
+    fn clear_all_and_reset_reuse_the_buffer() {
+        let mut hv = HitVector::from_indices(128, &[0, 64, 127]);
+        hv.clear_all();
+        assert_eq!(hv.count(), 0);
+        assert_eq!(hv.len(), 128);
+        hv.set(5);
+        hv.reset(128);
+        assert_eq!(hv.count(), 0);
+        hv.reset(200);
+        assert_eq!(hv.len(), 200);
+        hv.set(199);
+        assert_eq!(hv.iter_ones().collect::<Vec<_>>(), vec![199]);
+    }
+
+    #[test]
+    fn copy_from_duplicates_any_length() {
+        let src = HitVector::from_indices(70, &[0, 69]);
+        let mut dst = HitVector::new(0);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        let shorter = HitVector::from_indices(10, &[3]);
+        dst.copy_from(&shorter);
+        assert_eq!(dst, shorter);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn or_with_rejects_length_mismatch() {
+        let mut a = HitVector::new(10);
+        a.or_with(&HitVector::new(11));
     }
 
     #[test]

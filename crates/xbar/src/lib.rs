@@ -29,15 +29,17 @@ mod cam;
 mod error;
 mod hit_vector;
 mod mac;
+mod small_rows;
 
 pub mod energy;
+pub mod fast_hash;
 pub mod fault;
 pub mod fixed;
 pub mod geometry;
 pub mod noise;
 pub mod periphery;
 
-pub use cam::{CamCrossbar, CamEntry};
+pub use cam::{CamCrossbar, CamEntry, SearchMode};
 pub use error::XbarError;
 pub use fault::FaultModel;
 pub use hit_vector::{ChunkOnes, HitVector};

@@ -74,6 +74,9 @@ pub struct MacCrossbar {
     faults: Option<MacFaultState>,
     stats: XbarStats,
     input_bits: u32,
+    /// Reused full-width output buffer for [`MacCrossbar::mac_col`] calls
+    /// that must fall back to evaluating every crossed line.
+    col_scratch: Vec<u64>,
 }
 
 impl MacCrossbar {
@@ -94,6 +97,7 @@ impl MacCrossbar {
             faults: None,
             stats: XbarStats::new(),
             input_bits: 16,
+            col_scratch: Vec::new(),
         }
     }
 
@@ -259,6 +263,105 @@ impl MacCrossbar {
         active: &[usize],
         inputs: &[u32],
     ) -> Result<Vec<u64>, XbarError> {
+        let mut out = Vec::new();
+        self.mac_into(direction, active, inputs, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`mac`](Self::mac), accumulating into a caller-owned buffer so the
+    /// steady state allocates nothing. `out` is cleared and resized to the
+    /// crossed-line count; prior contents are irrelevant. On error the
+    /// buffer is left cleared and no cost is counted.
+    ///
+    /// # Errors
+    ///
+    /// As for [`mac`](Self::mac).
+    pub fn mac_into(
+        &mut self,
+        direction: MacDirection,
+        active: &[usize],
+        inputs: &[u32],
+        out: &mut Vec<u64>,
+    ) -> Result<(), XbarError> {
+        out.clear();
+        let out_len = self.validate_op(direction, active, inputs)?;
+        self.bill_op(active.len(), out_len);
+        out.resize(out_len, 0);
+        match self.fidelity {
+            Fidelity::Exact => self.mac_exact(direction, active, inputs, out),
+            Fidelity::Quantized => self.mac_quantized(direction, active, inputs, out),
+        }
+        Ok(())
+    }
+
+    /// [`mac_into`](Self::mac_into) for callers that consume a single
+    /// crossed line: returns `out[col]` without materializing the others.
+    ///
+    /// The analog array always evaluates every crossed line, so the cost
+    /// accounting is exactly that of a full [`mac_into`](Self::mac_into)
+    /// burst — one MAC op and the full complement of ADC samples. Only the
+    /// *functional* evaluation is restricted, and only when it is safe:
+    /// with no noise model and no fault state attached each crossed line
+    /// is independent, so the one sum computed here is bit-identical to
+    /// the full burst's. When either is attached the full evaluation runs
+    /// instead, keeping the RNG draw sequence unchanged.
+    ///
+    /// # Errors
+    ///
+    /// As for [`mac_into`](Self::mac_into), plus a range error when `col`
+    /// exceeds the crossed-line count. On error no cost is counted.
+    pub fn mac_col(
+        &mut self,
+        direction: MacDirection,
+        active: &[usize],
+        inputs: &[u32],
+        col: usize,
+    ) -> Result<u64, XbarError> {
+        let out_len = self.validate_op(direction, active, inputs)?;
+        if col >= out_len {
+            return Err(match direction {
+                MacDirection::RowsToColumns => XbarError::ColumnOutOfRange { col, cols: out_len },
+                MacDirection::ColumnsToRows => XbarError::RowOutOfRange {
+                    row: col,
+                    rows: out_len,
+                },
+            });
+        }
+        self.bill_op(active.len(), out_len);
+        if self.noise.is_some() || self.faults.is_some() {
+            let mut out = std::mem::take(&mut self.col_scratch);
+            out.clear();
+            out.resize(out_len, 0);
+            match self.fidelity {
+                Fidelity::Exact => self.mac_exact(direction, active, inputs, &mut out),
+                Fidelity::Quantized => self.mac_quantized(direction, active, inputs, &mut out),
+            }
+            let value = out[col];
+            self.col_scratch = out;
+            return Ok(value);
+        }
+        Ok(match self.fidelity {
+            Fidelity::Exact => {
+                // gaasx-lint: hot
+                let mut slot = 0u64;
+                for (&a, &x) in active.iter().zip(inputs) {
+                    slot += u64::from(x) * u64::from(self.crossed_cell(direction, a, col));
+                }
+                slot
+                // gaasx-lint: end-hot
+            }
+            Fidelity::Quantized => self.quantized_line_clean(direction, active, inputs, col),
+        })
+    }
+
+    /// Shared argument validation for MAC bursts; returns the crossed-line
+    /// count.
+    fn validate_op(
+        &self,
+        direction: MacDirection,
+        active: &[usize],
+        inputs: &[u32],
+    ) -> Result<usize, XbarError> {
         if active.len() > self.geometry.max_active_rows {
             return Err(XbarError::TooManyActiveRows {
                 requested: active.len(),
@@ -290,17 +393,17 @@ impl MacCrossbar {
                 });
             }
         }
+        Ok(out_len)
+    }
 
+    /// Counts the periphery cost of one MAC burst: one MAC op, one DAC
+    /// conversion per active line per input step, one ADC sample per
+    /// crossed line per input step per slice.
+    fn bill_op(&mut self, active_len: usize, out_len: usize) {
         let input_steps = self.input_bits.div_ceil(self.geometry.dac_bits) as u64;
-        self.stats.record_mac(active.len());
-        self.stats.dac_conversions += active.len() as u64 * input_steps;
+        self.stats.record_mac(active_len);
+        self.stats.dac_conversions += active_len as u64 * input_steps;
         self.stats.adc_samples += out_len as u64 * input_steps * self.geometry.slices as u64;
-
-        let out = match self.fidelity {
-            Fidelity::Exact => self.mac_exact(direction, active, inputs, out_len),
-            Fidelity::Quantized => self.mac_quantized(direction, active, inputs, out_len),
-        };
-        Ok(out)
     }
 
     fn cell(&self, row: usize, col: usize) -> u32 {
@@ -314,14 +417,14 @@ impl MacCrossbar {
         }
     }
 
+    /// Fills `out` (pre-sized and zeroed by [`mac_into`](Self::mac_into)).
     fn mac_exact(
         &self,
         direction: MacDirection,
         active: &[usize],
         inputs: &[u32],
-        out_len: usize,
-    ) -> Vec<u64> {
-        let mut out = vec![0u64; out_len];
+        out: &mut [u64],
+    ) {
         // gaasx-lint: hot
         for (o, slot) in out.iter_mut().enumerate() {
             for (&a, &x) in active.iter().zip(inputs) {
@@ -329,7 +432,6 @@ impl MacCrossbar {
             }
         }
         // gaasx-lint: end-hot
-        out
     }
 
     /// Bit-sliced evaluation: inputs stream `dac_bits` per step (LSB first),
@@ -341,14 +443,13 @@ impl MacCrossbar {
         direction: MacDirection,
         active: &[usize],
         inputs: &[u32],
-        out_len: usize,
-    ) -> Vec<u64> {
+        out: &mut [u64],
+    ) {
         let g = self.geometry;
         let dac_mask = (1u32 << g.dac_bits) - 1;
         let cell_mask = (1u32 << g.bits_per_cell) - 1;
         let adc_full_scale = (1u64 << g.adc_bits) - 1;
         let steps = self.input_bits.div_ceil(g.dac_bits);
-        let mut out = vec![0u64; out_len];
         // gaasx-lint: hot
         for (o, slot) in out.iter_mut().enumerate() {
             let mut acc = 0u64;
@@ -375,7 +476,39 @@ impl MacCrossbar {
             *slot = acc;
         }
         // gaasx-lint: end-hot
-        out
+    }
+
+    /// One crossed line of [`mac_quantized`](Self::mac_quantized) with no
+    /// noise or fault state attached (so no RNG is consumed): identical
+    /// bit-slicing and ADC saturation, restricted to slot `o`.
+    fn quantized_line_clean(
+        &self,
+        direction: MacDirection,
+        active: &[usize],
+        inputs: &[u32],
+        o: usize,
+    ) -> u64 {
+        let g = self.geometry;
+        let dac_mask = (1u32 << g.dac_bits) - 1;
+        let cell_mask = (1u32 << g.bits_per_cell) - 1;
+        let adc_full_scale = (1u64 << g.adc_bits) - 1;
+        let steps = self.input_bits.div_ceil(g.dac_bits);
+        // gaasx-lint: hot
+        let mut acc = 0u64;
+        for step in 0..steps {
+            for slice in 0..g.slices as u32 {
+                let mut partial = 0u64;
+                for (&a, &x) in active.iter().zip(inputs) {
+                    let x_bits = (x >> (step * g.dac_bits)) & dac_mask;
+                    let w_bits = (self.crossed_cell(direction, a, o) >> (slice * g.bits_per_cell))
+                        & cell_mask;
+                    partial += u64::from(x_bits) * u64::from(w_bits);
+                }
+                acc += partial.min(adc_full_scale) << (step * g.dac_bits + slice * g.bits_per_cell);
+            }
+        }
+        acc
+        // gaasx-lint: end-hot
     }
 
     /// Device operation counters.
@@ -587,6 +720,98 @@ mod tests {
         let out = m.mac(MacDirection::RowsToColumns, &[], &[]).unwrap();
         assert!(out.iter().all(|&v| v == 0));
         assert_eq!(m.stats().rows_per_mac.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn mac_col_matches_full_burst_and_billing() {
+        for fidelity in [Fidelity::Exact, Fidelity::Quantized] {
+            let mut full = mac(fidelity);
+            let mut single = mac(fidelity);
+            for (r, codes) in [(0usize, [0xFFu32, 7, 1]), (3, [2, 0x3FF, 5])] {
+                full.write_row(r, &codes).unwrap();
+                single.write_row(r, &codes).unwrap();
+            }
+            let inputs = [0x1234u32, 0xBEEF];
+            let out = full
+                .mac(MacDirection::RowsToColumns, &[0, 3], &inputs)
+                .unwrap();
+            for (col, &want) in out.iter().enumerate() {
+                let v = single
+                    .mac_col(MacDirection::RowsToColumns, &[0, 3], &inputs, col)
+                    .unwrap();
+                assert_eq!(v, want, "{fidelity:?} col {col}");
+            }
+            // Billing is per burst, not per line read: 16 mac_col calls
+            // cost 16× one full burst.
+            assert_eq!(single.stats().mac_ops, 16 * full.stats().mac_ops);
+            assert_eq!(
+                single.stats().dac_conversions,
+                16 * full.stats().dac_conversions
+            );
+            assert_eq!(single.stats().adc_samples, 16 * full.stats().adc_samples);
+        }
+    }
+
+    #[test]
+    fn mac_col_transposed_and_range_checks() {
+        let mut m = mac(Fidelity::Exact);
+        m.write_row(0, &[1, 2]).unwrap();
+        m.write_row(1, &[3, 4]).unwrap();
+        let v = m
+            .mac_col(MacDirection::ColumnsToRows, &[0, 1], &[5, 6], 1)
+            .unwrap();
+        assert_eq!(v, 39);
+        let before = m.stats().mac_ops;
+        assert!(matches!(
+            m.mac_col(MacDirection::RowsToColumns, &[0], &[1], 16),
+            Err(XbarError::ColumnOutOfRange { col: 16, cols: 16 })
+        ));
+        assert!(matches!(
+            m.mac_col(MacDirection::ColumnsToRows, &[0], &[1], 128),
+            Err(XbarError::RowOutOfRange {
+                row: 128,
+                rows: 128
+            })
+        ));
+        assert!(m
+            .mac_col(MacDirection::RowsToColumns, &[500], &[1], 0)
+            .is_err());
+        assert_eq!(m.stats().mac_ops, before, "failed bursts cost nothing");
+    }
+
+    #[test]
+    fn mac_col_with_faults_matches_full_burst_rng_sequence() {
+        use crate::fault::{FaultModel, MacFaultState};
+        let g = MacGeometry::paper();
+        let model = FaultModel {
+            seed: 21,
+            adc_flip_rate: 0.05,
+            ..FaultModel::none()
+        };
+        let mut full = MacCrossbar::new(g, Fidelity::Quantized);
+        full.set_faults(Some(MacFaultState::new(model, &g)));
+        let mut single = MacCrossbar::new(g, Fidelity::Quantized);
+        single.set_faults(Some(MacFaultState::new(model, &g)));
+        for m in [&mut full, &mut single] {
+            m.write_row(0, &[0x1FF, 0x2A]).unwrap();
+        }
+        // First burst: the fallback path must consume the same RNG draws as
+        // a full evaluation...
+        let a = full
+            .mac(MacDirection::RowsToColumns, &[0], &[0x7777])
+            .unwrap();
+        let b = single
+            .mac_col(MacDirection::RowsToColumns, &[0], &[0x7777], 1)
+            .unwrap();
+        assert_eq!(b, a[1]);
+        // ...so a second burst still agrees bit-for-bit.
+        let a2 = full
+            .mac(MacDirection::RowsToColumns, &[0], &[0x1234])
+            .unwrap();
+        let b2 = single
+            .mac_col(MacDirection::RowsToColumns, &[0], &[0x1234], 0)
+            .unwrap();
+        assert_eq!(b2, a2[0]);
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! An inline small-vector of crossbar row indices.
+//!
+//! The CAM exact-match index maps a field key to the rows storing it. Most
+//! keys match only a handful of rows (a vertex's edges inside one 128-edge
+//! block), so the row list stays inline — no heap allocation — and spills
+//! to a `Vec` only for hub vertices whose fan-in exceeds the inline
+//! capacity.
+
+/// Rows held inline before spilling to the heap.
+const INLINE: usize = 6;
+
+/// A row-index list that stores up to [`INLINE`] entries without
+/// allocating.
+#[derive(Debug, Clone)]
+pub(crate) enum SmallRows {
+    /// The common case: few rows, stored in place.
+    Inline {
+        /// Occupied prefix of `rows`.
+        len: u8,
+        /// Inline storage; only `rows[..len]` is meaningful.
+        rows: [u32; INLINE],
+    },
+    /// Hub case: the list outgrew the inline capacity.
+    Spilled(Vec<u32>),
+}
+
+impl SmallRows {
+    /// An empty list (inline, no allocation).
+    pub fn new() -> Self {
+        SmallRows::Inline {
+            len: 0,
+            rows: [0; INLINE],
+        }
+    }
+
+    /// Number of rows held.
+    pub fn len(&self) -> usize {
+        match self {
+            SmallRows::Inline { len, .. } => *len as usize,
+            SmallRows::Spilled(v) => v.len(),
+        }
+    }
+
+    /// Whether no rows are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a row (order is not meaningful — the consumer sets bits in
+    /// a [`HitVector`](crate::HitVector)).
+    pub fn push(&mut self, row: u32) {
+        match self {
+            SmallRows::Inline { len, rows } => {
+                let n = *len as usize;
+                if n < INLINE {
+                    rows[n] = row;
+                    *len += 1;
+                } else {
+                    let mut spilled = Vec::with_capacity(INLINE * 2);
+                    spilled.extend_from_slice(&rows[..]);
+                    spilled.push(row);
+                    *self = SmallRows::Spilled(spilled);
+                }
+            }
+            SmallRows::Spilled(v) => v.push(row),
+        }
+    }
+
+    /// Removes one occurrence of `row` (swap-remove; order is not
+    /// meaningful). Returns whether the row was present.
+    pub fn remove(&mut self, row: u32) -> bool {
+        match self {
+            SmallRows::Inline { len, rows } => {
+                let n = *len as usize;
+                match rows[..n].iter().position(|&r| r == row) {
+                    Some(p) => {
+                        rows[p] = rows[n - 1];
+                        *len -= 1;
+                        true
+                    }
+                    None => false,
+                }
+            }
+            SmallRows::Spilled(v) => match v.iter().position(|&r| r == row) {
+                Some(p) => {
+                    v.swap_remove(p);
+                    true
+                }
+                None => false,
+            },
+        }
+    }
+
+    /// Iterates the held rows (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        let (inline, spilled): (&[u32], &[u32]) = match self {
+            SmallRows::Inline { len, rows } => (&rows[..*len as usize], &[]),
+            SmallRows::Spilled(v) => (&[], v.as_slice()),
+        };
+        inline.iter().chain(spilled.iter()).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted(s: &SmallRows) -> Vec<u32> {
+        let mut v: Vec<u32> = s.iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut s = SmallRows::new();
+        assert!(s.is_empty());
+        for i in 0..INLINE as u32 {
+            s.push(i);
+        }
+        assert!(matches!(s, SmallRows::Inline { .. }));
+        assert_eq!(s.len(), INLINE);
+        assert_eq!(sorted(&s), (0..INLINE as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spills_past_capacity_and_keeps_all_rows() {
+        let mut s = SmallRows::new();
+        for i in 0..40u32 {
+            s.push(i);
+        }
+        assert!(matches!(s, SmallRows::Spilled(_)));
+        assert_eq!(s.len(), 40);
+        assert_eq!(sorted(&s), (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn remove_works_inline_and_spilled() {
+        let mut s = SmallRows::new();
+        for i in 0..4u32 {
+            s.push(i);
+        }
+        assert!(s.remove(2));
+        assert!(!s.remove(2));
+        assert_eq!(sorted(&s), vec![0, 1, 3]);
+
+        let mut big = SmallRows::new();
+        for i in 0..20u32 {
+            big.push(i);
+        }
+        assert!(big.remove(7));
+        assert!(!big.remove(99));
+        assert_eq!(big.len(), 19);
+        assert!(!big.iter().any(|r| r == 7));
+    }
+
+    #[test]
+    fn duplicate_rows_remove_one_at_a_time() {
+        let mut s = SmallRows::new();
+        s.push(5);
+        s.push(5);
+        assert!(s.remove(5));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(5));
+        assert!(s.is_empty());
+    }
+}

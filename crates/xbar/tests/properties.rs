@@ -3,9 +3,12 @@
 #![allow(clippy::unwrap_used)]
 use proptest::prelude::*;
 
+use gaasx_xbar::fault::CamFaultState;
 use gaasx_xbar::fixed::Quantizer;
 use gaasx_xbar::geometry::{CamGeometry, MacGeometry};
-use gaasx_xbar::{CamCrossbar, Fidelity, MacCrossbar, MacDirection};
+use gaasx_xbar::{
+    CamCrossbar, FaultModel, Fidelity, HitVector, MacCrossbar, MacDirection, SearchMode,
+};
 
 /// Strategy: cell contents for up to 16 rows × 16 cols plus matching
 /// active-row inputs.
@@ -25,8 +28,75 @@ fn loaded_mac(cells: &[Vec<u32>]) -> MacCrossbar {
     mac
 }
 
+/// Decodes one raw tuple into a CAM operation — program, invalidate
+/// (single row or bulk, the same paths spare-row remap exercises), or a
+/// search over the src field, the dst field, the exact key, or an
+/// arbitrary ternary mask — and applies it. Searches push their hit
+/// vector into `out`.
+fn apply_cam_op(cam: &mut CamCrossbar, op: (u8, u8, u8, u8), out: &mut Vec<HitVector>) {
+    const SRC_MASK: u128 = 0xFFFF_FFFF_0000_0000;
+    const DST_MASK: u128 = 0xFFFF_FFFF;
+    let (code, a, b, c) = op;
+    let row = usize::from(a) % 128;
+    // Small vertex spaces force key collisions across rows.
+    let src = u32::from(b) % 8;
+    let dst = u32::from(c) % 8;
+    let key = (u128::from(src) << 32) | u128::from(dst);
+    match code % 8 {
+        // Bias toward writes so searches see populated arrays.
+        0..=2 => cam.write(row, key).unwrap(),
+        3 => cam.invalidate(row).unwrap(),
+        4 => cam.invalidate_all(),
+        5 => out.push(cam.search(u128::from(src) << 32, SRC_MASK)),
+        6 => out.push(cam.search(u128::from(dst), DST_MASK)),
+        _ => out.push(cam.search(key, (u128::from(b) << 32) | u128::from(c))),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any interleaving of program/invalidate/remap/search operations —
+    /// with or without a seeded fault model — yields identical hit
+    /// vectors, device stats, and fault stats under `SearchMode::Linear`
+    /// and `SearchMode::Indexed`.
+    #[test]
+    fn linear_and_indexed_modes_agree(
+        ops in prop::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()),
+            1..80,
+        ),
+        seed in any::<u64>(),
+        faulty in any::<bool>(),
+    ) {
+        let g = CamGeometry::paper();
+        let run = |mode: SearchMode| {
+            let mut cam = CamCrossbar::new(g);
+            cam.set_search_mode(mode);
+            if faulty {
+                cam.set_faults(Some(CamFaultState::new(
+                    FaultModel {
+                        seed,
+                        cam_stuck_ber: 0.01,
+                        write_fail_rate: 0.05,
+                        cam_upset_rate: 0.02,
+                        ..FaultModel::none()
+                    },
+                    &g,
+                )));
+            }
+            let mut hits = Vec::new();
+            for &op in &ops {
+                apply_cam_op(&mut cam, op, &mut hits);
+            }
+            (hits, cam.stats().clone(), cam.fault_stats().copied())
+        };
+        let lin = run(SearchMode::Linear);
+        let idx = run(SearchMode::Indexed);
+        prop_assert_eq!(&lin.0, &idx.0, "hit vectors diverged");
+        prop_assert_eq!(&lin.1, &idx.1, "device stats diverged");
+        prop_assert_eq!(&lin.2, &idx.2, "fault stats diverged");
+    }
 
     /// The exact MAC equals the host-side dot product, per column.
     #[test]

@@ -32,4 +32,7 @@ GAASX_CAP_EDGES=20000 cargo run -q --release --offline -p gaasx-bench \
 echo "==> fault campaign smoke: recovery bit-identity + graceful degradation"
 cargo run -q --release --offline -p gaasx-bench --bin fault_campaign -- --smoke
 
+echo "==> search-mode smoke: Linear vs Indexed report bit-identity"
+cargo run -q --release --offline -p gaasx-bench --bin bench_snapshot -- --smoke
+
 echo "CI gate passed."

@@ -21,7 +21,7 @@ use std::process::ExitCode;
 
 use gaasx::baselines::{GraphR, GraphRConfig};
 use gaasx::core::algorithms::{Bfs, ConnectedComponents, PageRank, Sssp};
-use gaasx::core::{GaasX, GaasXConfig};
+use gaasx::core::{GaasX, GaasXConfig, SearchMode};
 use gaasx::graph::generators::{erdos_renyi, rmat, ErdosRenyiConfig, RmatConfig};
 use gaasx::graph::stats::{GraphSummary, TileDensityProfile};
 use gaasx::graph::{io as gio, CooGraph, VertexId};
@@ -65,7 +65,10 @@ fn print_usage() {
          \x20 sssp <file> --source V\n\
          \x20 bfs <file> --source V\n\
          \x20 cc <file>                           weakly connected components\n\
-         \x20 compare <file> [--iters N]          GaaS-X vs GraphR on PageRank\n"
+         \x20 compare <file> [--iters N]          GaaS-X vs GraphR on PageRank\n\n\
+         OPTIONS (pagerank/sssp/bfs/cc/compare):\n\
+         \x20 --search-mode linear|indexed        host hit-vector algorithm (default\n\
+         \x20                                     indexed; reports are bit-identical)\n"
     );
 }
 
@@ -83,6 +86,24 @@ fn flag_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> 
             .parse()
             .map_err(|_| format!("invalid value '{v}' for {name}")),
     }
+}
+
+/// Builds the accelerator config from the shared CLI flags
+/// (`--search-mode linear|indexed`, defaulting to indexed — both modes
+/// produce bit-identical reports; linear keeps the O(rows) reference
+/// scan for cross-checking).
+fn cli_config(args: &[String]) -> Result<GaasXConfig, String> {
+    let mut config = GaasXConfig::paper();
+    config.search_mode = match flag(args, "--search-mode").as_deref() {
+        None | Some("indexed") => SearchMode::Indexed,
+        Some("linear") => SearchMode::Linear,
+        Some(other) => {
+            return Err(format!(
+                "invalid value '{other}' for --search-mode (linear | indexed)"
+            ))
+        }
+    };
+    Ok(config)
 }
 
 fn positional(args: &[String]) -> Result<&str, String> {
@@ -175,7 +196,7 @@ fn cmd_pagerank(args: &[String]) -> CliResult {
     let graph = load(positional(args)?)?;
     let iters: u32 = flag_parse(args, "--iters", 20)?;
     let top: usize = flag_parse(args, "--top", 10)?;
-    let mut accel = GaasX::new(GaasXConfig::paper());
+    let mut accel = GaasX::new(cli_config(args)?);
     let out = accel.run(&PageRank::fixed_iterations(iters), &graph)?;
     report_line(&out.report);
     let mut ranked: Vec<(usize, f64)> = out.result.iter().copied().enumerate().collect();
@@ -190,7 +211,7 @@ fn cmd_traversal(args: &[String], bfs: bool) -> CliResult {
     let graph = load(positional(args)?)?;
     let source: u32 = flag_parse(args, "--source", 0)?;
     let src = VertexId::new(source);
-    let mut accel = GaasX::new(GaasXConfig::paper());
+    let mut accel = GaasX::new(cli_config(args)?);
     let (report, dist) = if bfs {
         let out = accel.run(&Bfs::from_source(src), &graph)?;
         (out.report, out.result)
@@ -215,7 +236,7 @@ fn cmd_traversal(args: &[String], bfs: bool) -> CliResult {
 
 fn cmd_cc(args: &[String]) -> CliResult {
     let graph = load(positional(args)?)?.symmetrized();
-    let mut accel = GaasX::new(GaasXConfig::paper());
+    let mut accel = GaasX::new(cli_config(args)?);
     let out = accel.run(&ConnectedComponents::new(), &graph)?;
     report_line(&out.report);
     let mut labels = out.result;
@@ -228,7 +249,7 @@ fn cmd_cc(args: &[String]) -> CliResult {
 fn cmd_compare(args: &[String]) -> CliResult {
     let graph = load(positional(args)?)?;
     let iters: u32 = flag_parse(args, "--iters", 10)?;
-    let mut accel = GaasX::new(GaasXConfig::paper());
+    let mut accel = GaasX::new(cli_config(args)?);
     let a = accel
         .run(&PageRank::fixed_iterations(iters), &graph)?
         .report;
