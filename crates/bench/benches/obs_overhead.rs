@@ -2,7 +2,11 @@
 //!
 //! The acceptance bar: running with an enabled tracer draining into
 //! `NullSink` must stay within 5% of the fully untraced path (default
-//! `Tracer::null()`, which skips all event construction).
+//! `Tracer::null()`, which skips all event construction). The same bar
+//! covers the timeline layer: `NullSink` observes no intervals, so the
+//! engine must skip the per-op ledger entirely, and the untraced and
+//! null-sink rows bound the timeline-disabled cost. The
+//! `pagerank_timeline_sink` row measures the enabled cost for contrast.
 
 #![allow(clippy::unwrap_used)]
 use std::sync::Arc;
@@ -12,7 +16,7 @@ use gaasx_core::algorithms::PageRank;
 use gaasx_core::{GaasX, GaasXConfig};
 use gaasx_graph::generators::{rmat, RmatConfig};
 use gaasx_graph::CooGraph;
-use gaasx_sim::{AggregateSink, NullSink, Tracer};
+use gaasx_sim::{AggregateSink, NullSink, TimelineSink, Tracer};
 
 fn demo_graph() -> CooGraph {
     rmat(&RmatConfig::new(1 << 9, 4_000).with_seed(17)).unwrap()
@@ -44,6 +48,17 @@ fn obs_overhead(c: &mut Criterion) {
         let mut accel = GaasX::new(GaasXConfig::small())
             .with_tracer(Tracer::with_sink(Arc::new(AggregateSink::new())));
         b.iter(|| black_box(pagerank_ns(&mut accel, &graph)));
+    });
+    group.bench_function("pagerank_timeline_sink", |b| {
+        let sink = Arc::new(TimelineSink::new());
+        let mut accel =
+            GaasX::new(GaasXConfig::small()).with_tracer(Tracer::with_sink(sink.clone()));
+        b.iter(|| {
+            let ns = black_box(pagerank_ns(&mut accel, &graph));
+            // Drain so the interval buffer doesn't grow across iterations.
+            black_box(sink.take().len());
+            ns
+        });
     });
     group.finish();
 }

@@ -18,6 +18,15 @@
 //! `--smoke` runs a reduced matrix for CI: identity checks only, a small
 //! graph, no JSON artifact, no speedup gate. `GAASX_CAP_EDGES` caps the
 //! full-matrix edge count and `GAASX_PR_ITERS` the PageRank iterations.
+//!
+//! `--baseline <path>` switches the full run into perf-regression mode:
+//! the artifact is written to `results/BENCH_06.json` instead and every
+//! matrix row's Indexed-over-Linear speedup is gated against the matching
+//! `(algorithm, bank, jobs, fault)` row of the baseline artifact — the
+//! run fails when any row drops below `baseline * (1 - tolerance)`
+//! (`--tolerance`, default 0.5; speedup *ratios* are far more stable than
+//! raw wall clocks, but CI machines still jitter). The absolute 3× gate
+//! on deep-bank PageRank applies only without `--baseline`.
 
 #![allow(clippy::unwrap_used)]
 use std::time::Instant;
@@ -138,6 +147,82 @@ where
     })
 }
 
+/// One `(algorithm, bank, jobs, fault)` row recovered from a baseline
+/// artifact, with its recorded speedup.
+struct BaselineRow {
+    algorithm: String,
+    bank: String,
+    jobs: usize,
+    fault: bool,
+    speedup: f64,
+}
+
+/// Extracts the raw text of `"key": <value>` from one JSON line, tolerating
+/// optional whitespace after the colon; string values lose their quotes.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)? + needle.len();
+    let rest = line[at..].trim_start();
+    if let Some(stripped) = rest.strip_prefix('"') {
+        let end = stripped.find('"')?;
+        Some(&stripped[..end])
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+/// Parses the `runs` rows out of a `BENCH_0x.json` artifact. Lines that
+/// don't carry an `algorithm` field (header, brackets) are skipped.
+fn parse_baseline(text: &str) -> Vec<BaselineRow> {
+    text.lines()
+        .filter_map(|line| {
+            Some(BaselineRow {
+                algorithm: field(line, "algorithm")?.to_string(),
+                bank: field(line, "bank")?.to_string(),
+                jobs: field(line, "jobs")?.parse().ok()?,
+                fault: field(line, "fault")?.parse().ok()?,
+                speedup: field(line, "speedup")?.parse().ok()?,
+            })
+        })
+        .collect()
+}
+
+/// Gates every current row against the matching baseline row. Returns the
+/// failures; rows absent from the baseline are reported but don't fail.
+fn gate_against_baseline(rows: &[Row], baseline: &[BaselineRow], tolerance: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for r in rows {
+        let key = (r.algorithm, r.bank, r.jobs, r.fault);
+        let Some(b) = baseline
+            .iter()
+            .find(|b| (b.algorithm.as_str(), b.bank.as_str(), b.jobs, b.fault) == key)
+        else {
+            println!(
+                "perf-gate: no baseline row for {} bank={} jobs={} fault={} — skipping",
+                r.algorithm, r.bank, r.jobs, r.fault
+            );
+            continue;
+        };
+        let floor = b.speedup * (1.0 - tolerance);
+        if r.speedup() < floor {
+            failures.push(format!(
+                "{} bank={} jobs={} fault={}: speedup {:.3}x fell below {:.3}x \
+                 (baseline {:.3}x, tolerance {:.0}%)",
+                r.algorithm,
+                r.bank,
+                r.jobs,
+                r.fault,
+                r.speedup(),
+                floor,
+                b.speedup,
+                100.0 * tolerance,
+            ));
+        }
+    }
+    failures
+}
+
 fn json_artifact(rows: &[Row], edges: u64, pr_iters: u32) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"bench\": \"search_modes\",\n");
@@ -164,7 +249,26 @@ fn json_artifact(rows: &[Row], edges: u64, pr_iters: u32) -> String {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut smoke = false;
+    let mut baseline_path: Option<String> = None;
+    let mut tolerance = 0.5f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--baseline" => {
+                baseline_path = Some(args.next().ok_or("--baseline requires a path argument")?);
+            }
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|t| (0.0..1.0).contains(t))
+                    .ok_or("--tolerance requires a fraction in [0, 1)")?;
+            }
+            other => return Err(format!("unknown argument `{other}`").into()),
+        }
+    }
     let (cap, pr_iters, jobs_list): (usize, u32, &[usize]) = if smoke {
         (4_000, 3, &[1, 2])
     } else {
@@ -254,7 +358,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{t}");
 
     if !smoke {
-        let path = "results/BENCH_05.json";
+        let path = if baseline_path.is_some() {
+            "results/BENCH_06.json"
+        } else {
+            "results/BENCH_05.json"
+        };
         std::fs::write(
             path,
             json_artifact(&rows, graph.num_edges() as u64, pr_iters),
@@ -273,7 +381,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              shared per-search accounting).",
             paper.speedup()
         );
-        if deep.speedup() < 3.0 {
+        if let Some(bpath) = &baseline_path {
+            let text = std::fs::read_to_string(bpath)
+                .map_err(|e| format!("cannot read baseline {bpath}: {e}"))?;
+            let baseline = parse_baseline(&text);
+            if baseline.is_empty() {
+                return Err(format!("baseline {bpath} holds no parseable runs").into());
+            }
+            let failures = gate_against_baseline(&rows, &baseline, tolerance);
+            if !failures.is_empty() {
+                return Err(format!(
+                    "perf-gate: {} row(s) regressed vs {bpath}:\n  {}",
+                    failures.len(),
+                    failures.join("\n  "),
+                )
+                .into());
+            }
+            println!(
+                "perf-gate: all {} rows within {:.0}% of {bpath}.",
+                rows.len(),
+                100.0 * tolerance
+            );
+        } else if deep.speedup() < 3.0 {
             return Err(format!(
                 "deep-bank PageRank Indexed speedup {:.2}x below the 3x gate \
                  (linear {:.3}s, indexed {:.3}s)",
@@ -283,11 +412,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             )
             .into());
         }
-        println!(
-            "PageRank matrix workload, deep banks (2048-row): Indexed {:.2}x \
-             faster than Linear (gate: >= 3x).",
-            deep.speedup()
-        );
+        if baseline_path.is_none() {
+            println!(
+                "PageRank matrix workload, deep banks (2048-row): Indexed {:.2}x \
+                 faster than Linear (gate: >= 3x).",
+                deep.speedup()
+            );
+        }
     }
     println!("All search-mode runs matched bit-for-bit.");
     Ok(())

@@ -2,6 +2,8 @@
 //!
 //! `--trace <path>` additionally streams the trace-demo run's JSONL
 //! events to `<path>` (replay with the `trace_summary` binary).
+//! `--timeline-out <path>` writes the trace-demo run's bank-occupancy
+//! timeline as Chrome trace-event JSON (load in Perfetto).
 //! `--jobs <N>` fans the GaaS-X shard streams of the main matrix out over
 //! `N` worker threads (default `GAASX_JOBS` or 1); reported totals are
 //! bit-identical to the serial run.
@@ -16,11 +18,13 @@ use gaasx_sim::{EnergyBreakdown, OpSummary};
 
 struct Cli {
     trace: Option<PathBuf>,
+    timeline: Option<PathBuf>,
     jobs: usize,
 }
 
 fn cli() -> Result<Cli, String> {
     let mut trace = None;
+    let mut timeline = None;
     let mut jobs = gaasx_bench::jobs();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -28,6 +32,12 @@ fn cli() -> Result<Cli, String> {
             "--trace" => {
                 trace = Some(PathBuf::from(
                     args.next().ok_or("--trace requires a path argument")?,
+                ));
+            }
+            "--timeline-out" => {
+                timeline = Some(PathBuf::from(
+                    args.next()
+                        .ok_or("--timeline-out requires a path argument")?,
                 ));
             }
             "--jobs" => {
@@ -40,13 +50,21 @@ fn cli() -> Result<Cli, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    Ok(Cli { trace, jobs })
+    Ok(Cli {
+        trace,
+        timeline,
+        jobs,
+    })
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cap = gaasx_bench::cap_edges();
     let iters = gaasx_bench::pr_iterations();
-    let Cli { trace, jobs } = cli()?;
+    let Cli {
+        trace,
+        timeline,
+        jobs,
+    } = cli()?;
     let start = Instant::now();
     fs::create_dir_all("results")?;
 
@@ -66,7 +84,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sections.push(("phases", exp::phase_table(&matrix)));
 
     eprintln!("[run_all] trace demo...");
-    sections.push(("trace_demo", exp::trace_demo(trace.as_deref())?));
+    sections.push((
+        "trace_demo",
+        exp::trace_demo(trace.as_deref(), timeline.as_deref())?,
+    ));
 
     eprintln!("[run_all] running software baselines...");
     let sw = exp::run_software(&matrix, cap, iters)?;

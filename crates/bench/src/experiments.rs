@@ -764,30 +764,61 @@ pub fn phase_table(matrix: &[MatrixEntry]) -> String {
 /// Tracing demo: PageRank on one RMAT graph, GaaS-X vs GraphR, with the
 /// per-phase breakdown side by side. When `trace` is given, the GaaS-X
 /// run streams its JSONL events there (replayable with `trace_summary`).
+/// When `timeline` is given, the run's bank-occupancy timeline is written
+/// there as Chrome trace-event JSON (loadable in Perfetto or
+/// `chrome://tracing`).
 ///
 /// # Errors
 ///
 /// Propagates generator, simulation, and trace-file errors.
-pub fn trace_demo(trace: Option<&std::path::Path>) -> BenchResult<String> {
+pub fn trace_demo(
+    trace: Option<&std::path::Path>,
+    timeline: Option<&std::path::Path>,
+) -> BenchResult<String> {
     use gaasx_graph::generators::{rmat, RmatConfig};
+    use gaasx_sim::{chrome_trace_json, Sink, Timeline, TimelineSink};
+    use std::sync::Arc;
 
     let iters = 5;
     let graph = rmat(&RmatConfig::new(1 << 10, 8_000).with_seed(42))?;
     let mut accel = GaasX::new(GaasXConfig::paper());
     let mut note = String::new();
+    let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
     if let Some(path) = trace {
-        accel.set_tracer(Tracer::with_sink(std::sync::Arc::new(JsonlSink::create(
-            path,
-        )?)));
-        note = format!(
+        sinks.push(Arc::new(JsonlSink::create(path)?));
+        note.push_str(&format!(
             "\nJSONL events written to {} — replay with `cargo run --bin trace_summary -- {}`.\n",
             path.display(),
             path.display()
-        );
+        ));
+    }
+    let timeline_sink = timeline.map(|_| Arc::new(TimelineSink::new()));
+    if let Some(sink) = &timeline_sink {
+        sinks.push(sink.clone());
+    }
+    if !sinks.is_empty() {
+        accel.set_tracer(Tracer::new(sinks));
     }
     let gx = accel
         .run_labeled(&PageRank::fixed_iterations(iters), &graph, "RMAT")?
         .report;
+    if let (Some(path), Some(sink)) = (timeline, &timeline_sink) {
+        let tl = Timeline::from_intervals(gx.elapsed_ns, &sink.take());
+        std::fs::write(path, chrome_trace_json(&tl))?;
+        note.push_str(&format!(
+            "Chrome trace written to {} — load in Perfetto (ui.perfetto.dev) or chrome://tracing.\n",
+            path.display()
+        ));
+    }
+    if let Some(util) = &gx.utilization {
+        note.push_str(&format!(
+            "Bank occupancy: mean utilization {:.1}%, critical bank {}, pipeline overlap {:.1}%.\n",
+            100.0 * util.mean_utilization(),
+            util.critical_bank
+                .map_or("-".to_string(), |b| b.to_string()),
+            100.0 * util.pipeline_overlap_ratio,
+        ));
+    }
     let gr = GraphR::new(GraphRConfig::paper())
         .pagerank(&graph, 0.85, iters)?
         .report;
@@ -908,18 +939,38 @@ mod tests {
     #[test]
     fn trace_demo_round_trips_through_trace_summary() {
         let path = std::env::temp_dir().join("gaasx_trace_demo_test.jsonl");
-        let s = trace_demo(Some(&path)).unwrap();
+        let s = trace_demo(Some(&path), None).unwrap();
         assert!(s.contains("load_block"));
         assert!(s.contains("Elapsed"));
+        assert!(s.contains("Bank occupancy"), "utilization note missing");
         let text = std::fs::read_to_string(&path).unwrap();
         let summary = crate::trace::TraceSummary::parse(&text);
         assert!(summary.skipped == 0, "{} skipped lines", summary.skipped);
         assert!(!summary.spans.is_empty());
+        assert!(
+            !summary.intervals.is_empty(),
+            "JsonlSink should stream timeline intervals"
+        );
         let banks = summary.bank_rollup();
         assert!(!banks.is_empty(), "dispatch spans should carry bank ids");
         assert!(banks.iter().all(|&(_, _, _, util)| util <= 1.0 + 1e-9));
         let rendered = summary.render();
         assert!(rendered.contains("Per-bank utilization"));
+        assert!(rendered.contains("Per-bank timeline occupancy"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_demo_exports_a_chrome_trace() {
+        let path = std::env::temp_dir().join("gaasx_trace_demo_test.trace.json");
+        let s = trace_demo(None, Some(&path)).unwrap();
+        assert!(s.contains("Chrome trace written"));
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("mac_gather"));
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -23,11 +23,32 @@ pub struct TraceSpan {
     pub bank: Option<u32>,
 }
 
+/// One parsed bank-occupancy timeline interval of a trace (written by
+/// interval-observing sinks such as [`gaasx_sim::TimelineSink`] or
+/// [`gaasx_sim::JsonlSink`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceInterval {
+    /// Bank id, or [`gaasx_sim::CONTROLLER_BANK`] for controller work.
+    pub bank: u32,
+    /// Lane within the bank (0 = load, 1 = compute).
+    pub lane: u32,
+    /// Execution phase.
+    pub phase: Phase,
+    /// Interval start on the modeled time axis, ns.
+    pub start_ns: f64,
+    /// Interval duration, ns.
+    pub dur_ns: f64,
+    /// Block id for per-block work; `None` for controller extras.
+    pub block: Option<u32>,
+}
+
 /// Everything recovered from one trace file.
 #[derive(Debug, Clone, Default)]
 pub struct TraceSummary {
     /// All span events, in file order.
     pub spans: Vec<TraceSpan>,
+    /// All timeline intervals, in file order.
+    pub intervals: Vec<TraceInterval>,
     /// Final counter snapshot (`name`, value).
     pub counters: Vec<(String, u64)>,
     /// Final gauge snapshot (`name`, value).
@@ -76,6 +97,17 @@ pub fn parse_line(line: &str) -> Option<ParsedLine> {
                 bank: num_field(line, "bank").map(|b| b as u32),
             }))
         }
+        "interval" => {
+            let phase = Phase::from_name(field(line, "phase")?)?;
+            Some(ParsedLine::Interval(TraceInterval {
+                bank: field(line, "bank")?.parse().ok()?,
+                lane: field(line, "lane")?.parse().ok()?,
+                phase,
+                start_ns: num_field(line, "start_ns")?,
+                dur_ns: num_field(line, "dur_ns")?,
+                block: field(line, "block").and_then(|b| b.parse().ok()),
+            }))
+        }
         "counter" => Some(ParsedLine::Counter(
             field(line, "name")?.to_string(),
             field(line, "value")?.parse().ok()?,
@@ -93,6 +125,8 @@ pub fn parse_line(line: &str) -> Option<ParsedLine> {
 pub enum ParsedLine {
     /// A phase span.
     Span(TraceSpan),
+    /// A bank-occupancy timeline interval.
+    Interval(TraceInterval),
     /// A counter snapshot entry.
     Counter(String, u64),
     /// A gauge snapshot entry.
@@ -109,6 +143,7 @@ impl TraceSummary {
             }
             match parse_line(line) {
                 Some(ParsedLine::Span(s)) => out.spans.push(s),
+                Some(ParsedLine::Interval(iv)) => out.intervals.push(iv),
                 Some(ParsedLine::Counter(name, v)) => out.counters.push((name, v)),
                 Some(ParsedLine::Gauge(name, v)) => out.gauges.push((name, v)),
                 None => out.skipped += 1,
@@ -161,6 +196,31 @@ impl TraceSummary {
             .collect()
     }
 
+    /// Per-bank `(bank, load_busy_ns, compute_busy_ns, intervals)` over all
+    /// timeline intervals, sorted by bank id with the controller pseudo-bank
+    /// last. Lane 0 counts as load occupancy, every other lane as compute.
+    pub fn interval_rollup(&self) -> Vec<(u32, f64, f64, u64)> {
+        let mut per: Vec<(u32, f64, f64, u64)> = Vec::new();
+        for iv in &self.intervals {
+            let idx = per
+                .iter()
+                .position(|(b, ..)| *b == iv.bank)
+                .unwrap_or_else(|| {
+                    per.push((iv.bank, 0.0, 0.0, 0));
+                    per.len() - 1
+                });
+            let slot = &mut per[idx];
+            if iv.lane == 0 {
+                slot.1 += iv.dur_ns;
+            } else {
+                slot.2 += iv.dur_ns;
+            }
+            slot.3 += 1;
+        }
+        per.sort_by_key(|&(b, ..)| b);
+        per
+    }
+
     /// Renders the phase table, the bank utilization table, and the final
     /// counter snapshot as one report.
     pub fn render(&self) -> String {
@@ -197,6 +257,25 @@ impl TraceSummary {
                 ]);
             }
             out.push_str(&format!("Per-bank utilization\n\n{bt}\n"));
+        }
+
+        let lanes = self.interval_rollup();
+        if !lanes.is_empty() {
+            let mut lt = Table::new(&["Bank", "Load busy (ns)", "Compute busy (ns)", "Intervals"]);
+            for &(bank, load, compute, n) in &lanes {
+                let label = if bank == u32::MAX {
+                    "ctrl".to_string()
+                } else {
+                    bank.to_string()
+                };
+                lt.row_owned(vec![
+                    label,
+                    format!("{load:.1}"),
+                    format!("{compute:.1}"),
+                    n.to_string(),
+                ]);
+            }
+            out.push_str(&format!("Per-bank timeline occupancy\n\n{lt}\n"));
         }
 
         if !self.counters.is_empty() || !self.gauges.is_empty() {
@@ -282,6 +361,28 @@ not json at all\n";
         assert!(r.contains("Per-bank utilization"));
         assert!(r.contains("mac_ops"));
         assert!(r.contains("unrecognized"));
+    }
+
+    const INTERVAL_SAMPLE: &str = "\
+{\"type\":\"interval\",\"bank\":0,\"lane\":0,\"phase\":\"load_block\",\"start_ns\":0.000,\"dur_ns\":4.000,\"block\":0}\n\
+{\"type\":\"interval\",\"bank\":0,\"lane\":1,\"phase\":\"mac_gather\",\"start_ns\":4.000,\"dur_ns\":2.500,\"block\":0}\n\
+{\"type\":\"interval\",\"bank\":4294967295,\"lane\":1,\"phase\":\"sfu\",\"start_ns\":0.000,\"dur_ns\":1.000}\n";
+
+    #[test]
+    fn parses_timeline_intervals() {
+        let t = TraceSummary::parse(INTERVAL_SAMPLE);
+        assert_eq!(t.skipped, 0);
+        assert_eq!(t.intervals.len(), 3);
+        assert_eq!(t.intervals[0].phase, Phase::LoadBlock);
+        assert_eq!(t.intervals[0].block, Some(0));
+        assert_eq!(t.intervals[2].bank, u32::MAX);
+        assert_eq!(t.intervals[2].block, None);
+        let rollup = t.interval_rollup();
+        assert_eq!(rollup.len(), 2);
+        assert_eq!(rollup[0], (0, 4.0, 2.5, 2));
+        assert_eq!(rollup[1], (u32::MAX, 0.0, 1.0, 1));
+        assert!(t.render().contains("Per-bank timeline occupancy"));
+        assert!(t.render().contains("ctrl"));
     }
 
     #[test]

@@ -28,10 +28,11 @@
 
 use gaasx_graph::{CooGraph, Edge, GraphError, VertexId};
 use gaasx_sim::des::{BankScheduler, SchedulePolicy};
-use gaasx_sim::pipeline::PipelineClock;
+use gaasx_sim::pipeline::{pipelined_makespan, serial_makespan, PipelineClock};
+use gaasx_sim::timeline::{COMPUTE_LANE, LOAD_LANE};
 use gaasx_sim::{
     attribute_makespan, EnergyBreakdown, FaultReport, Histogram, OpSummary, Phase, RunReport,
-    SramBuffer, Tracer,
+    SramBuffer, Timeline, Tracer, UtilizationReport, CONTROLLER_BANK,
 };
 use gaasx_xbar::fault::{CamFaultState, MacFaultState};
 use gaasx_xbar::{CamCrossbar, HitVector, MacCrossbar, MacDirection, SearchMode, XbarStats};
@@ -112,7 +113,7 @@ impl Block {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct BlockCost {
     stream_bytes: u64,
     program_ns: f64,
@@ -120,12 +121,21 @@ pub(crate) struct BlockCost {
     /// Partition of `compute_ns` by [`Phase`] (indexed by `Phase::index`).
     /// Scheduling consumes the total; phase attribution the split.
     compute_phase_ns: [f64; 7],
+    /// Per-operation `(phase, ns)` ledger in issue order, kept only when
+    /// the attached tracer observes timeline intervals. Timeline
+    /// construction replays it to lay each compute op on its bank's
+    /// occupancy track; summing the entries per phase reproduces
+    /// `compute_phase_ns` bit-exactly (same accumulation order).
+    ops: Vec<(Phase, f64)>,
 }
 
 impl BlockCost {
-    fn add_phase(&mut self, phase: Phase, ns: f64) {
+    fn add_phase(&mut self, phase: Phase, ns: f64, record_op: bool) {
         self.compute_ns += ns;
         self.compute_phase_ns[phase.index()] += ns;
+        if record_op {
+            self.ops.push((phase, ns));
+        }
     }
 }
 
@@ -151,6 +161,10 @@ pub struct Engine {
     extra_aux_row_writes: u64,
     extra_aux_cells: u64,
     tracer: Tracer,
+    /// Whether block costs keep their per-operation ledger (derived from
+    /// [`Tracer::observes_intervals`] at `set_tracer` time; sharded
+    /// worker engines have it forced on by the primary).
+    record_ops: bool,
     /// Functional (serial) time cursor for span placement, ns.
     cursor_ns: f64,
     /// Whether the config injects any device faults. Gates every recovery
@@ -255,6 +269,7 @@ impl Engine {
             extra_aux_row_writes: 0,
             extra_aux_cells: 0,
             tracer: Tracer::null(),
+            record_ops: false,
             cursor_ns: 0.0,
             fault_active,
             log2phys: (0..capacity).collect(),
@@ -286,7 +301,16 @@ impl Engine {
     /// the engine's functional (serial) time axis, and `finish` publishes
     /// the op counters and per-bank dispatch events through it.
     pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.record_ops = tracer.observes_intervals();
         self.tracer = tracer;
+    }
+
+    /// Forces the per-operation ledger on or off regardless of this
+    /// engine's own tracer. The sharded layer uses this on worker engines
+    /// (which carry null or memory-sink tracers) so their block costs
+    /// still feed the primary's timeline.
+    pub(crate) fn set_record_ops(&mut self, on: bool) {
+        self.record_ops = on;
     }
 
     /// The attached tracer (disabled by default).
@@ -625,7 +649,8 @@ impl Engine {
     /// invisible in every [`RunReport`].
     fn searched_into(&mut self, key: u128, mask: u128, out: &mut HitVector) {
         let ns = self.config.energy.cam_search_ns;
-        self.current.add_phase(Phase::CamSearch, ns);
+        self.current
+            .add_phase(Phase::CamSearch, ns, self.record_ops);
         self.trace_op(Phase::CamSearch, ns);
         if self.memo_active {
             // gaasx-lint: hot
@@ -641,10 +666,12 @@ impl Engine {
             // Two extra searches; a per-row majority vote masks any single
             // transient upset. Each re-search is charged like the first.
             // (A fault path — never memoized, allocation here is fine.)
-            self.current.add_phase(Phase::CamSearch, ns);
+            self.current
+                .add_phase(Phase::CamSearch, ns, self.record_ops);
             self.trace_op(Phase::CamSearch, ns);
             let second = self.cam.search(key, mask);
-            self.current.add_phase(Phase::CamSearch, ns);
+            self.current
+                .add_phase(Phase::CamSearch, ns, self.record_ops);
             self.trace_op(Phase::CamSearch, ns);
             let third = self.cam.search(key, mask);
             let voted = out
@@ -739,7 +766,8 @@ impl Engine {
             };
             self.rows_per_mac.record(chunk_len);
             let ns = self.config.energy.mac_op_ns;
-            self.current.add_phase(Phase::MacGather, ns);
+            self.current
+                .add_phase(Phase::MacGather, ns, self.record_ops);
             self.trace_op(Phase::MacGather, ns);
             self.compute_items = self.compute_items.saturating_add(chunk_len as u64);
             if first {
@@ -816,7 +844,8 @@ impl Engine {
             )?;
             self.rows_per_mac.record(chunk_len);
             let ns = self.config.energy.mac_op_ns;
-            self.current.add_phase(Phase::MacPropagate, ns);
+            self.current
+                .add_phase(Phase::MacPropagate, ns, self.record_ops);
             self.trace_op(Phase::MacPropagate, ns);
             self.compute_items = self.compute_items.saturating_add(chunk_len as u64);
             for &row in &self.chunk_buf {
@@ -938,7 +967,7 @@ impl Engine {
 
     fn add_compute(&mut self, phase: Phase, ns: f64) {
         if self.in_block {
-            self.current.add_phase(phase, ns);
+            self.current.add_phase(phase, ns, self.record_ops);
         } else {
             self.extra_ns += ns;
             self.extra_phase_ns[phase.index()] += ns;
@@ -998,8 +1027,7 @@ impl Engine {
     /// Closes the current block, committing its costs to the wave schedule.
     pub fn end_block(&mut self) {
         if self.in_block {
-            self.costs.push(self.current);
-            self.current = BlockCost::default();
+            self.costs.push(std::mem::take(&mut self.current));
             self.in_block = false;
             // Cached vectors survive for future re-loads of the same block
             // content; only the live registration ends with the block.
@@ -1132,6 +1160,121 @@ impl Engine {
         }
     }
 
+    /// Lays one block's occupancy on its bank's tracks: a single load
+    /// interval (stream + row programming, the same one-term sum the
+    /// accounting fold uses) ending where compute starts, then the
+    /// per-operation compute ledger laid end to end from the scheduled
+    /// compute start.
+    fn push_block_intervals(
+        &self,
+        tl: &mut Timeline,
+        bank: u32,
+        b: &BlockCost,
+        compute_start: f64,
+        block: u32,
+    ) {
+        let load_ns = self.config.stream_ns(b.stream_bytes) + b.program_ns;
+        tl.push(
+            bank,
+            LOAD_LANE,
+            Phase::LoadBlock,
+            compute_start - load_ns,
+            load_ns,
+            Some(block),
+        );
+        let mut t = compute_start;
+        for &(phase, ns) in &b.ops {
+            tl.push(bank, COMPUTE_LANE, phase, t, ns, Some(block));
+            t += ns;
+        }
+    }
+
+    /// Replays the committed block schedule into a bank-occupancy
+    /// [`Timeline`]: controller extras first (one interval per phase on
+    /// the synthetic controller track), then every block's load and
+    /// compute intervals placed by the same scheduler math that produced
+    /// the makespan. Folding the result per phase reproduces
+    /// [`Engine::phase_busy_ns`] bit-exactly.
+    fn build_timeline(&self, makespan: f64) -> Timeline {
+        let mut tl = Timeline::new(makespan);
+        for phase in Phase::ALL {
+            tl.push(
+                CONTROLLER_BANK,
+                LOAD_LANE,
+                phase,
+                0.0,
+                self.extra_phase_ns[phase.index()],
+                None,
+            );
+        }
+        let banks = self.config.num_banks.max(1);
+        match self.config.scheduler {
+            SchedulePolicy::Waves => {
+                let mut clock = PipelineClock::new();
+                for (w, wave) in self.costs.chunks(banks).enumerate() {
+                    let stream_ns: f64 = wave
+                        .iter()
+                        .map(|b| self.config.stream_ns(b.stream_bytes))
+                        .sum();
+                    let program_ns = wave.iter().map(|b| b.program_ns).fold(0.0, f64::max);
+                    let compute_ns = wave.iter().map(|b| b.compute_ns).fold(0.0, f64::max);
+                    let done = clock.advance(stream_ns.max(program_ns), compute_ns);
+                    let compute_start = done - compute_ns;
+                    for (i, b) in wave.iter().enumerate() {
+                        self.push_block_intervals(
+                            &mut tl,
+                            i as u32,
+                            b,
+                            compute_start,
+                            (w * banks + i) as u32,
+                        );
+                    }
+                }
+            }
+            SchedulePolicy::EventDriven => {
+                let mut sched = BankScheduler::new(banks);
+                for (idx, b) in self.costs.iter().enumerate() {
+                    let d = sched.dispatch(
+                        self.config.stream_ns(b.stream_bytes),
+                        b.program_ns,
+                        b.compute_ns,
+                    );
+                    let compute_start = d.done_ns - b.compute_ns;
+                    self.push_block_intervals(&mut tl, d.bank, b, compute_start, idx as u32);
+                }
+            }
+        }
+        tl
+    }
+
+    /// How much of the serial (unpipelined) wave makespan the
+    /// double-buffered load/compute pipeline hides:
+    /// `(serial − pipelined) / serial`, 0 when there is nothing to
+    /// overlap. Always evaluated on the wave model's stage times,
+    /// regardless of the configured scheduler, so the ratio is comparable
+    /// across scheduler policies.
+    fn wave_overlap_ratio(&self) -> f64 {
+        let banks = self.config.num_banks.max(1);
+        let waves = self.costs.chunks(banks);
+        let mut loads = Vec::with_capacity(waves.len());
+        let mut computes = Vec::with_capacity(waves.len());
+        for wave in waves {
+            let stream_ns: f64 = wave
+                .iter()
+                .map(|b| self.config.stream_ns(b.stream_bytes))
+                .sum();
+            let program_ns = wave.iter().map(|b| b.program_ns).fold(0.0, f64::max);
+            let compute_ns = wave.iter().map(|b| b.compute_ns).fold(0.0, f64::max);
+            loads.push(stream_ns.max(program_ns));
+            computes.push(compute_ns);
+        }
+        let serial = serial_makespan(&loads, &computes);
+        if serial <= 0.0 {
+            return 0.0;
+        }
+        (serial - pipelined_makespan(&loads, &computes)) / serial
+    }
+
     /// Assembles the final report: wave-scheduled makespan, energy
     /// breakdown, op summary, the rows-per-MAC histogram, and the
     /// per-phase makespan attribution.
@@ -1201,8 +1344,37 @@ impl Engine {
         );
 
         self.emit_dispatch_events();
+        // Replay the schedule into a bank-occupancy timeline when some
+        // sink wants it. The per-phase fold over the timeline must
+        // conserve the accounting's busy attribution bit-for-bit — per
+        // block the load collapses to the same one-term sum and the
+        // compute ledger re-accumulates in issue order, so the folds are
+        // term-by-term identical.
+        let utilization = if self.record_ops {
+            let tl = self.build_timeline(makespan);
+            debug_assert!(
+                tl.phase_busy_ns() == busy,
+                "timeline phase fold diverged from accounting: {:?} != {busy:?}",
+                tl.phase_busy_ns(),
+            );
+            for interval in tl.intervals() {
+                self.tracer.emit_interval(interval);
+            }
+            Some(UtilizationReport::from_timeline(
+                &tl,
+                self.wave_overlap_ratio(),
+            ))
+        } else {
+            None
+        };
         if let Some(metrics) = self.tracer.metrics() {
             metrics.publish_op_summary(&ops);
+            // Mirror the report's rows-per-MAC distribution into the
+            // registry so sharded merges carry it losslessly.
+            metrics
+                .histogram("rows_per_mac")
+                .lock()
+                .merge(&self.rows_per_mac);
         }
         if self.fault_active {
             // Recovery counters publish once here (already merged across
@@ -1232,6 +1404,7 @@ impl Engine {
         report.rows_per_mac = self.rows_per_mac.clone();
         report.num_edges = num_edges;
         report.phases = phases;
+        report.utilization = utilization;
         report
     }
 
@@ -1849,5 +2022,86 @@ mod tests {
         assert!(r.faults.cam_double_checks >= 1);
         // Three physical searches per logical one.
         assert_eq!(r.ops.cam_searches, 3);
+    }
+
+    #[test]
+    fn timeline_conserves_phase_attribution_under_both_schedulers() {
+        use gaasx_sim::TimelineSink;
+        use std::sync::Arc;
+        for policy in [SchedulePolicy::Waves, SchedulePolicy::EventDriven] {
+            let sink = Arc::new(TimelineSink::new());
+            let mut e = Engine::new(GaasXConfig {
+                num_banks: 4,
+                scheduler: policy,
+                ..GaasXConfig::small()
+            })
+            .unwrap();
+            e.set_tracer(Tracer::with_sink(sink.clone()));
+            let g =
+                generators::rmat(&generators::RmatConfig::new(1 << 7, 1200).with_seed(5)).unwrap();
+            let cells =
+                |edge: &Edge, c: &mut Vec<u32>| c.extend_from_slice(&[edge.weight as u32, 1]);
+            let mut hits = HitVector::new(0);
+            for chunk in g.edges().chunks(128) {
+                let block = e.load_block(chunk, CellLayout::PerEdge(&cells)).unwrap();
+                for &dst in block.distinct_dsts() {
+                    e.search_dst_into(dst, &mut hits);
+                    let _ = e.gather_rows(&hits, &mut |_| 1, 0).unwrap();
+                }
+            }
+            // Some controller-side (out-of-block) work too, so the
+            // synthetic bank shows.
+            e.end_block();
+            let _ = e.sfu_add(1.0, 2.0);
+            let r = e.finish("t", "t", "t", 1, 1200);
+            let util = r.utilization.as_ref().unwrap_or_else(|| {
+                panic!("{policy:?}: interval-observing sink must attach a utilization report")
+            });
+            // Bit-exact conservation against the phase attribution.
+            for p in &r.phases {
+                assert_eq!(
+                    util.phase_busy_ns[p.phase.index()],
+                    p.busy_ns,
+                    "{policy:?}: busy ns diverged for {:?}",
+                    p.phase
+                );
+            }
+            assert_eq!(util.makespan_ns, r.elapsed_ns);
+            assert!(util.critical_bank.is_some());
+            assert!((0.0..=1.0).contains(&util.pipeline_overlap_ratio));
+            // The sink saw the same intervals, non-overlapping per track.
+            let intervals = sink.take();
+            assert!(!intervals.is_empty());
+            let mut tracks: std::collections::BTreeMap<(u32, u32), f64> =
+                std::collections::BTreeMap::new();
+            for iv in &intervals {
+                let cursor = tracks.entry((iv.bank, iv.lane)).or_insert(0.0);
+                assert!(
+                    iv.start_ns >= *cursor,
+                    "{policy:?}: overlap on bank {} lane {}",
+                    iv.bank,
+                    iv.lane
+                );
+                *cursor = iv.start_ns + iv.dur_ns;
+            }
+            // Controller SFU work landed on the synthetic bank.
+            assert!(intervals
+                .iter()
+                .any(|iv| iv.bank == gaasx_sim::CONTROLLER_BANK));
+        }
+    }
+
+    #[test]
+    fn untraced_runs_attach_no_utilization() {
+        let mut e = engine();
+        let _ = fig7_block(&mut e);
+        let r = e.finish("t", "t", "t", 1, 8);
+        assert!(r.utilization.is_none());
+        // A null-sink tracer observes no intervals either.
+        let mut e2 = engine();
+        e2.set_tracer(Tracer::with_sink(std::sync::Arc::new(gaasx_sim::NullSink)));
+        let _ = fig7_block(&mut e2);
+        let r2 = e2.finish("t", "t", "t", 1, 8);
+        assert!(r2.utilization.is_none());
     }
 }

@@ -164,6 +164,7 @@ impl ShardedEngine {
     /// [`finish`]: ShardedEngine::finish
     pub fn set_tracer(&mut self, tracer: Tracer) {
         let record_spans = tracer.observes_spans();
+        let record_intervals = tracer.observes_intervals();
         self.primary.set_tracer(tracer);
         for (worker, slot) in self.workers.iter_mut().zip(self.sinks.iter_mut()) {
             if record_spans {
@@ -174,6 +175,10 @@ impl ShardedEngine {
                 worker.set_tracer(Tracer::null());
                 *slot = None;
             }
+            // After set_tracer: the worker's own tracer never observes
+            // intervals, but its block costs must still carry the per-op
+            // ledger the primary's timeline is built from.
+            worker.set_record_ops(record_intervals);
         }
     }
 
@@ -198,6 +203,15 @@ impl ShardedEngine {
         }
         for worker in &self.workers {
             self.primary.absorb_functional(worker);
+        }
+        // Fold worker-tracer metrics into the primary registry so nothing
+        // recorded on a worker (counters, histograms) is lost at merge.
+        if let Some(primary_metrics) = self.primary.tracer().metrics() {
+            for worker in &self.workers {
+                if let Some(worker_metrics) = worker.tracer().metrics() {
+                    primary_metrics.merge_from(worker_metrics);
+                }
+            }
         }
         for sink in self.sinks.iter().flatten() {
             for event in sink.take_events() {
@@ -418,5 +432,88 @@ mod tests {
             sharded.primary.tracer().metrics().unwrap().op_summary(),
             report.ops
         );
+    }
+
+    #[test]
+    fn sharded_timelines_are_bit_identical_to_serial() {
+        use gaasx_sim::TimelineSink;
+        let (_, g) = grid(900, 5);
+        let serial_sink = Arc::new(TimelineSink::new());
+        let mut serial = Engine::new(GaasXConfig::small()).unwrap();
+        serial.set_tracer(Tracer::with_sink(serial_sink.clone()));
+        let _ = gather_pass(&mut serial, &g);
+        let want = serial.finish("t", "t", "t", 1, 900);
+        let want_util = want.utilization.clone().unwrap();
+        let want_intervals = serial_sink.take();
+
+        for jobs in [1, 2, 4] {
+            let sink = Arc::new(TimelineSink::new());
+            let mut sharded = ShardedEngine::new(GaasXConfig::small(), jobs).unwrap();
+            sharded.set_tracer(Tracer::with_sink(sink.clone()));
+            let _ = gather_pass(&mut sharded, &g);
+            let got = sharded.finish("t", "t", "t", 1, 900);
+            let got_util = got.utilization.clone().unwrap();
+            assert_eq!(got_util, want_util, "jobs={jobs}");
+            assert_eq!(sink.take(), want_intervals, "jobs={jobs}");
+            // Conservation against the merged phase attribution.
+            for p in &got.phases {
+                assert_eq!(
+                    got_util.phase_busy_ns[p.phase.index()],
+                    p.busy_ns,
+                    "jobs={jobs} {:?}",
+                    p.phase
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn worker_metrics_merge_losslessly_into_the_primary() {
+        let (_, g) = grid(700, 17);
+        let run = |jobs: usize| {
+            let mut sharded = ShardedEngine::new(GaasXConfig::small(), jobs).unwrap();
+            sharded.set_tracer(Tracer::with_sink(Arc::new(AggregateSink::new())));
+            let capacity = sharded.engine().block_capacity();
+            sharded
+                .for_each_shard(&g, TraversalOrder::ColumnMajor, |engine, shard| {
+                    let mut hits = gaasx_xbar::HitVector::new(0);
+                    for chunk in shard.edges().chunks(capacity) {
+                        let block = engine.load_block(chunk, CellLayout::Preset)?;
+                        for &dst in block.distinct_dsts() {
+                            engine.search_dst_into(dst, &mut hits);
+                            // Worker-side metrics: these land in the
+                            // worker tracer's registry and must survive
+                            // the merge.
+                            engine.tracer().counter_add("shard_probes", 1);
+                            engine
+                                .tracer()
+                                .histogram_record("hits_per_search", hits.count().max(1));
+                        }
+                    }
+                    Ok(())
+                })
+                .unwrap();
+            let _ = sharded.finish("t", "t", "t", 1, 700);
+            let metrics = sharded.primary.tracer().metrics().unwrap();
+            (
+                metrics.counter("shard_probes").get(),
+                metrics.histogram("hits_per_search").lock().clone(),
+            )
+        };
+        let (whole_count, whole_hist) = run(1);
+        assert!(whole_count > 0);
+        assert!(whole_hist.total() > 0);
+        for jobs in [2, 4] {
+            let (count, hist) = run(jobs);
+            assert_eq!(count, whole_count, "jobs={jobs}");
+            assert_eq!(hist, whole_hist, "jobs={jobs}: merged quantiles diverge");
+            for q in [0.25, 0.5, 0.95] {
+                assert_eq!(
+                    hist.value_at_quantile(q),
+                    whole_hist.value_at_quantile(q),
+                    "jobs={jobs} q={q}"
+                );
+            }
+        }
     }
 }

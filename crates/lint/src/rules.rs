@@ -1,4 +1,4 @@
-//! The seven repo-specific rules, each encoding a shipped or near-miss bug.
+//! The eight repo-specific rules, each encoding a shipped or near-miss bug.
 //!
 //! | rule | historical bug |
 //! |------|----------------|
@@ -9,6 +9,7 @@
 //! | `summary-conservation` | an `OpSummary` counter was added without energy wiring |
 //! | `thread-containment` | ad-hoc threading outside the sharded merge discipline |
 //! | `seeded-rng` | OS-entropy RNGs make noise/fault runs unreproducible |
+//! | `wall-clock` | a host `Instant::now()` leaked into modeled-time cost code |
 
 use std::collections::BTreeSet;
 
@@ -25,6 +26,7 @@ pub const RULE_NAMES: &[&str] = &[
     "summary-conservation",
     "thread-containment",
     "seeded-rng",
+    "wall-clock",
     "directive",
 ];
 
@@ -46,6 +48,7 @@ pub fn check_workspace(ws: &Workspace) -> LintReport {
     summary_conservation(ws, &mut candidates);
     thread_containment(ws, &mut candidates);
     seeded_rng(ws, &mut candidates);
+    wall_clock(ws, &mut candidates);
 
     let mut suppressed = 0usize;
     for finding in candidates {
@@ -578,6 +581,44 @@ fn seeded_rng(ws: &Workspace, out: &mut Vec<Finding>) {
     }
 }
 
+// --- rule 8: wall-clock ---------------------------------------------------
+
+/// Whether `path` computes on the modeled time axis: the crossbar device
+/// models and the engine layer. Reports there are nanoseconds of
+/// *simulated* time; a host-clock read silently mixes the two axes and
+/// breaks bit-identical sharded replay (worker wall clocks differ run to
+/// run). Bench binaries measure real walls on purpose and stay exempt.
+fn modeled_time_scoped(path: &str) -> bool {
+    path.starts_with("crates/xbar/src/") || path.starts_with("crates/core/src/")
+}
+
+fn wall_clock(ws: &Workspace, out: &mut Vec<Finding>) {
+    for file in &ws.files {
+        if file.kind != FileKind::Lib || !modeled_time_scoped(&file.path) {
+            continue;
+        }
+        for (li, line) in file.lines.iter().enumerate() {
+            if file.in_test[li] {
+                continue;
+            }
+            for needle in ["Instant::now", "SystemTime::now"] {
+                if !token_positions(&line.code, needle).is_empty() {
+                    out.push(Finding::new(
+                        "wall-clock",
+                        &file.path,
+                        li + 1,
+                        &format!(
+                            "`{needle}` in modeled-time library code — cost models read the \
+                             simulated clock (`BlockCost`/`PipelineClock`), never the host's; \
+                             wall-clock reads break bit-identical sharded replay"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
 // --- rule 5: summary-conservation ---------------------------------------
 
 /// Extracts the field names of a struct whose `struct <name> {` header is
@@ -1091,6 +1132,38 @@ fn build() -> OpSummary {
             report.findings[0].path,
             "crates/baselines/src/cpu/gridgraph.rs"
         );
+    }
+
+    #[test]
+    fn wall_clock_flags_modeled_time_code_only() {
+        let engine = "\
+pub fn finish(&mut self) {
+    let start = std::time::Instant::now();
+}
+#[cfg(test)]
+mod tests {
+    fn t() { let _ = std::time::Instant::now(); }
+}
+";
+        let xbar = "pub fn search(&self) { let _t = SystemTime::now(); }\n";
+        let bench = "fn main() { let _ = std::time::Instant::now(); }\n";
+        let graph = "pub fn load() { let _ = std::time::Instant::now(); }\n";
+        let ws = ws_of(vec![
+            ("crates/core/src/engine.rs", engine),
+            ("crates/xbar/src/cam.rs", xbar),
+            ("crates/bench/src/bin/run.rs", bench),
+            ("crates/graph/src/coo.rs", graph),
+        ]);
+        let report = check_workspace(&ws);
+        let wall: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| f.rule == "wall-clock")
+            .collect();
+        assert_eq!(wall.len(), 2, "{report:#?}");
+        assert_eq!(wall[0].path, "crates/core/src/engine.rs");
+        assert_eq!(wall[0].line, 2);
+        assert_eq!(wall[1].path, "crates/xbar/src/cam.rs");
     }
 
     #[test]

@@ -30,6 +30,7 @@ const CASES: &[(&str, &str)] = &[
     ("conservation", "summary-conservation"),
     ("threads", "thread-containment"),
     ("seeded-rng", "seeded-rng"),
+    ("wall-clock", "wall-clock"),
     ("directive", "directive"),
 ];
 

@@ -1,0 +1,22 @@
+//! Fixture: a host wall-clock read leaked into modeled-time cost code.
+
+pub struct Engine {
+    elapsed_ns: f64,
+}
+
+impl Engine {
+    pub fn finish(&mut self) -> f64 {
+        // Mixing the host clock into the modeled time axis: reports stop
+        // being bit-identical across sharded replays.
+        let started = std::time::Instant::now();
+        self.elapsed_ns += started.elapsed().as_nanos() as f64;
+        self.elapsed_ns
+    }
+
+    pub fn stamp(&self) -> u128 {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0)
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixture: modeled time comes from block costs, never the host clock.
+
+pub struct Engine {
+    elapsed_ns: f64,
+}
+
+impl Engine {
+    pub fn add_block(&mut self, stream_ns: f64, compute_ns: f64) {
+        self.elapsed_ns += stream_ns.max(compute_ns);
+    }
+
+    pub fn finish(&self) -> f64 {
+        self.elapsed_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests may time themselves with the host clock.
+    #[test]
+    fn wall_timing_in_tests_is_fine() {
+        let t = std::time::Instant::now();
+        assert!(t.elapsed().as_secs() < 1);
+    }
+}

@@ -91,6 +91,26 @@ impl Histogram {
         }
     }
 
+    /// Smallest 1-based value whose cumulative count covers quantile `q`
+    /// (clamped to `[0, 1]`), or 0 for an empty histogram. `q = 0.0`
+    /// returns the smallest recorded value, `q = 1.0` the largest.
+    pub fn value_at_quantile(&self, q: f64) -> usize {
+        let total = self.total();
+        if total == 0 || self.counts.is_empty() {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= target {
+                return i + 1;
+            }
+        }
+        self.counts.len()
+    }
+
     /// Mean recorded value (1-based buckets), or 0 for an empty histogram.
     pub fn mean(&self) -> f64 {
         let total = self.total();
@@ -152,5 +172,23 @@ mod tests {
     #[test]
     fn empty_pmf_is_zero() {
         assert_eq!(Histogram::new(3).pmf(), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn quantiles_walk_the_cdf() {
+        let mut h = Histogram::new(8);
+        for v in [1, 1, 1, 1, 2, 2, 3, 5, 5, 8] {
+            h.record(v);
+        }
+        assert_eq!(h.value_at_quantile(0.0), 1);
+        assert_eq!(h.value_at_quantile(0.4), 1);
+        assert_eq!(h.value_at_quantile(0.5), 2);
+        assert_eq!(h.value_at_quantile(0.7), 3);
+        assert_eq!(h.value_at_quantile(0.9), 5);
+        assert_eq!(h.value_at_quantile(1.0), 8);
+        // Out-of-range quantiles clamp; empty histograms yield 0.
+        assert_eq!(h.value_at_quantile(2.0), 8);
+        assert_eq!(h.value_at_quantile(-1.0), 1);
+        assert_eq!(Histogram::new(4).value_at_quantile(0.5), 0);
     }
 }

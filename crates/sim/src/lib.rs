@@ -15,6 +15,8 @@
 //!   streaming execution,
 //! * [`obs`] — the tracing/metrics layer: phase spans, per-bank counters,
 //!   and pluggable sinks (in-memory rollups or JSONL event streams),
+//! * [`timeline`] — bank-occupancy timelines on the modeled time axis,
+//!   per-bank [`UtilizationReport`]s, and Chrome-trace export,
 //! * [`RunReport`] — the canonical result record each engine produces,
 //! * [`table::Table`] — plain-text table rendering for the experiment
 //!   binaries,
@@ -33,6 +35,7 @@ pub mod pipeline;
 pub mod report;
 pub mod stats;
 pub mod table;
+pub mod timeline;
 
 pub use buffer::SramBuffer;
 pub use energy::EnergyBreakdown;
@@ -42,3 +45,7 @@ pub use obs::{
     NullSink, Phase, PhaseBreakdown, Sink, SpanEvent, Tracer,
 };
 pub use report::{FaultReport, OpSummary, RunReport};
+pub use timeline::{
+    chrome_trace_json, BankUtilization, Timeline, TimelineInterval, TimelineSink,
+    UtilizationReport, CONTROLLER_BANK,
+};

@@ -289,6 +289,28 @@ impl MetricsRegistry {
         self.counter("compute_items").add(ops.compute_items);
     }
 
+    /// Merges another registry into this one: counters add, gauges take
+    /// the other registry's value (last write wins, matching how a
+    /// worker's final gauge would have landed had it written here
+    /// directly), histograms merge bucket-wise (lossless — see
+    /// [`Histogram::merge`]). The sharded execution layer uses this to
+    /// fold worker-tracer metrics into the primary's registry so nothing
+    /// recorded on a worker is dropped at merge time.
+    ///
+    /// `other` must be a different registry; merging a registry into
+    /// itself would deadlock on the histogram mutexes.
+    pub fn merge_from(&self, other: &MetricsRegistry) {
+        for &(name, ref c) in other.counters.read().iter() {
+            self.counter(name).add(c.get());
+        }
+        for &(name, ref g) in other.gauges.read().iter() {
+            self.gauge(name).set(g.get());
+        }
+        for &(name, ref h) in other.histograms.read().iter() {
+            self.histogram(name).lock().merge(&h.lock());
+        }
+    }
+
     /// Reassembles an [`OpSummary`] from the canonical counters (zero for
     /// any counter never touched).
     pub fn op_summary(&self) -> OpSummary {
@@ -395,6 +417,10 @@ struct TracerInner {
     /// Any sink actually consumes spans ([`Sink::observes_spans`]); when
     /// false, `span`/`emit` return before building an event.
     spans_active: bool,
+    /// Any sink consumes timeline intervals
+    /// ([`Sink::observes_intervals`]); when false, engines skip the
+    /// per-operation ledger entirely.
+    intervals_active: bool,
     seq: AtomicU64,
     open: Mutex<Vec<u64>>,
     metrics: MetricsRegistry,
@@ -419,10 +445,12 @@ impl Tracer {
     /// A tracer fanning out to the given sinks.
     pub fn new(sinks: Vec<Arc<dyn Sink>>) -> Self {
         let spans_active = sinks.iter().any(|s| s.observes_spans());
+        let intervals_active = sinks.iter().any(|s| s.observes_intervals());
         Tracer {
             inner: Some(Arc::new(TracerInner {
                 sinks,
                 spans_active,
+                intervals_active,
                 seq: AtomicU64::new(0),
                 open: Mutex::new(Vec::new()),
                 metrics: MetricsRegistry::new(),
@@ -447,6 +475,30 @@ impl Tracer {
         self.inner
             .as_deref()
             .is_some_and(|inner| inner.spans_active)
+    }
+
+    /// `true` when at least one sink consumes timeline intervals. Engines
+    /// gate their per-operation timeline ledger on this so
+    /// interval-blind runs (disabled tracer, [`NullSink`], pure metrics)
+    /// skip the bookkeeping entirely.
+    pub fn observes_intervals(&self) -> bool {
+        self.inner
+            .as_deref()
+            .is_some_and(|inner| inner.intervals_active)
+    }
+
+    /// Fans one timeline interval out to the interval-observing sinks
+    /// (no-op unless [`Tracer::observes_intervals`]). Engines call this
+    /// once per interval while emitting the built timeline at `finish`.
+    pub fn emit_interval(&self, interval: &crate::timeline::TimelineInterval) {
+        if let Some(inner) = &self.inner {
+            if !inner.intervals_active {
+                return;
+            }
+            for sink in &inner.sinks {
+                sink.on_interval(interval);
+            }
+        }
     }
 
     /// Re-emits a span captured elsewhere (typically from a worker
@@ -650,6 +702,41 @@ mod tests {
         let z = attribute_makespan(0.0, &[(Phase::Sfu, 5.0, 1)]);
         assert_eq!(z[0].sched_ns, 0.0);
         assert_eq!(z[0].busy_ns, 5.0);
+    }
+
+    #[test]
+    fn registry_merge_is_lossless() {
+        let whole = MetricsRegistry::new();
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        // The same value stream split across two workers vs recorded in
+        // one registry: merged quantiles must match the whole-run ones.
+        for v in 1..=64usize {
+            let value = (v % 16).max(1);
+            let shard = if v % 2 == 0 { &a } else { &b };
+            shard.histogram("rows_per_mac").lock().record(value);
+            whole.histogram("rows_per_mac").lock().record(value);
+        }
+        a.counter("mac_ops").add(10);
+        b.counter("mac_ops").add(5);
+        a.gauge("elapsed_ns").set(1.0);
+        b.gauge("elapsed_ns").set(2.0);
+
+        let merged = MetricsRegistry::new();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        assert_eq!(merged.counter("mac_ops").get(), 15);
+        assert!((merged.gauge("elapsed_ns").get() - 2.0).abs() < 1e-12);
+        let m = merged.histogram("rows_per_mac");
+        let w = whole.histogram("rows_per_mac");
+        assert_eq!(*m.lock(), *w.lock(), "bucket-wise identical");
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(
+                m.lock().value_at_quantile(q),
+                w.lock().value_at_quantile(q),
+                "quantile {q} differs after merge"
+            );
+        }
     }
 
     #[test]

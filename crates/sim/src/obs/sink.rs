@@ -10,6 +10,7 @@ use parking_lot::Mutex;
 
 use super::span::{counter_to_json, gauge_to_json, span_to_json};
 use super::{BankBreakdown, Phase, PhaseBreakdown, SpanEvent};
+use crate::timeline::{interval_to_json, TimelineInterval};
 
 /// Receives every finished span (and, at flush, the metric snapshot).
 ///
@@ -25,6 +26,10 @@ pub trait Sink: Send + Sync + fmt::Debug {
     /// Called per gauge at [`super::Tracer::flush`] time.
     fn on_gauge(&self, _name: &str, _value: f64) {}
 
+    /// Called once per bank-occupancy interval when an engine emits its
+    /// timeline at `finish` time (see [`crate::timeline`]).
+    fn on_interval(&self, _interval: &TimelineInterval) {}
+
     /// Called at the end of a run; flush buffered output.
     fn flush(&self) {}
 
@@ -33,6 +38,14 @@ pub trait Sink: Send + Sync + fmt::Debug {
     /// is never reached — metrics still flow.
     fn observes_spans(&self) -> bool {
         true
+    }
+
+    /// `true` when this sink consumes timeline intervals. Engines only
+    /// keep the per-operation ledger that timeline construction needs
+    /// when some attached sink reports `true`, so interval-blind runs
+    /// pay nothing.
+    fn observes_intervals(&self) -> bool {
+        false
     }
 }
 
@@ -206,16 +219,28 @@ impl Sink for MemorySink {
 /// Streams one JSON object per event to a writer (JSON Lines).
 ///
 /// The format is hand-rolled (the workspace's serde is an offline shim —
-/// see `shims/README.md`): `span`, `counter`, and `gauge` records as
-/// emitted by `span_to_json` and friends. Decoded by the
+/// see `shims/README.md`): `span`, `counter`, `gauge`, and `interval`
+/// records as emitted by `span_to_json` and friends. Decoded by the
 /// `trace_summary` binary in `gaasx-bench`.
+///
+/// A full disk mid-trace must not abort a simulation, so write errors do
+/// not propagate from the `Sink` callbacks; instead the first error is
+/// retained ([`JsonlSink::take_error`]) and lost lines are counted
+/// ([`JsonlSink::dropped_lines`]). Dropping the sink flushes the buffered
+/// writer, so a trace file is complete without an explicit
+/// `Tracer::flush`; if events were lost, the drop prints a warning to
+/// stderr rather than discarding them silently.
 pub struct JsonlSink {
     out: Mutex<Box<dyn Write + Send>>,
+    io_error: Mutex<Option<io::Error>>,
+    dropped: AtomicU64,
 }
 
 impl fmt::Debug for JsonlSink {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("JsonlSink").finish_non_exhaustive()
+        f.debug_struct("JsonlSink")
+            .field("dropped", &self.dropped.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
     }
 }
 
@@ -224,6 +249,8 @@ impl JsonlSink {
     pub fn to_writer(writer: impl Write + Send + 'static) -> Self {
         JsonlSink {
             out: Mutex::new(Box::new(writer)),
+            io_error: Mutex::new(None),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -232,11 +259,31 @@ impl JsonlSink {
         Ok(Self::to_writer(BufWriter::new(File::create(path)?)))
     }
 
+    /// Takes the first I/O error hit while writing or flushing, if any.
+    pub fn take_error(&self) -> Option<io::Error> {
+        self.io_error.lock().take()
+    }
+
+    /// Number of event lines lost to write errors so far.
+    pub fn dropped_lines(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    fn record_error(&self, err: io::Error) {
+        let mut slot = self.io_error.lock();
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+    }
+
     fn write_line(&self, line: &str) {
         let mut out = self.out.lock();
-        // A full disk mid-trace should not abort a simulation; drop the
-        // event instead.
-        let _ = writeln!(out, "{line}");
+        if let Err(err) = writeln!(out, "{line}") {
+            // Keep simulating on a full disk; surface the loss instead
+            // of aborting (or worse, hiding it).
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            self.record_error(err);
+        }
     }
 }
 
@@ -253,8 +300,28 @@ impl Sink for JsonlSink {
         self.write_line(&gauge_to_json(name, value));
     }
 
+    fn on_interval(&self, interval: &TimelineInterval) {
+        self.write_line(&interval_to_json(interval));
+    }
+
+    fn observes_intervals(&self) -> bool {
+        true
+    }
+
     fn flush(&self) {
-        let _ = self.out.lock().flush();
+        if let Err(err) = self.out.lock().flush() {
+            self.record_error(err);
+        }
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+        let dropped = self.dropped.load(Ordering::Relaxed);
+        if let Some(err) = self.io_error.lock().as_ref() {
+            eprintln!("warning: JSONL trace incomplete ({dropped} line(s) dropped): {err}");
+        }
     }
 }
 
@@ -344,6 +411,83 @@ mod tests {
         }
         assert!((agg.total_busy_ns() - 34.0).abs() < 1e-12);
         assert_eq!(agg.bank_rollup().len(), 1);
+    }
+
+    #[test]
+    fn dropped_jsonl_sink_leaves_a_complete_parseable_file() {
+        let path = std::env::temp_dir().join(format!(
+            "gaasx_jsonl_drop_flush_{}.jsonl",
+            std::process::id()
+        ));
+        {
+            let sink = Arc::new(JsonlSink::create(&path).unwrap());
+            let t = Tracer::with_sink(sink);
+            for i in 0..64 {
+                t.emit(Phase::CamSearch, i as f64, 4.0);
+            }
+            t.counter_add("cam_searches", 64);
+            // No Tracer::flush: the trailing events sit in the BufWriter
+            // and only the sink's Drop can save them.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 64);
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn jsonl_sink_surfaces_write_errors_and_counts_losses() {
+        struct FailingWriter;
+        impl std::io::Write for FailingWriter {
+            fn write(&mut self, _data: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::WriteZero, "disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let sink = Arc::new(JsonlSink::to_writer(FailingWriter));
+        let t = Tracer::with_sink(sink.clone());
+        for i in 0..5 {
+            t.emit(Phase::Sfu, i as f64, 1.0);
+        }
+        assert_eq!(sink.dropped_lines(), 5);
+        let err = sink.take_error().expect("first error is retained");
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        assert!(sink.take_error().is_none(), "take_error drains the slot");
+    }
+
+    #[test]
+    fn jsonl_sink_streams_intervals() {
+        use crate::timeline::{TimelineInterval, COMPUTE_LANE};
+        let buf = Arc::new(Mutex::new(Vec::<u8>::new()));
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for SharedBuf {
+            fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+                self.0.lock().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = Arc::new(JsonlSink::to_writer(SharedBuf(buf.clone())));
+        assert!(sink.observes_intervals());
+        let t = Tracer::with_sink(sink);
+        t.emit_interval(&TimelineInterval {
+            bank: 1,
+            lane: COMPUTE_LANE,
+            phase: Phase::MacGather,
+            start_ns: 0.0,
+            dur_ns: 30.0,
+            block: Some(0),
+        });
+        t.flush();
+        let text = String::from_utf8(buf.lock().clone()).unwrap();
+        assert!(text.contains("\"type\":\"interval\""));
+        assert!(text.contains("\"phase\":\"mac_gather\""));
     }
 
     #[test]

@@ -146,6 +146,12 @@ pub struct RunReport {
     /// without a recovery layer).
     #[serde(default)]
     pub faults: FaultReport,
+    /// Per-bank utilization derived from the occupancy timeline, present
+    /// only when the run recorded one (an interval-observing sink was
+    /// attached — see [`crate::timeline`]). Its `phase_busy_ns` conserves
+    /// the `phases` busy attribution bit-exactly.
+    #[serde(default)]
+    pub utilization: Option<crate::timeline::UtilizationReport>,
 }
 
 impl RunReport {
@@ -167,6 +173,7 @@ impl RunReport {
             num_edges: 0,
             phases: Vec::new(),
             faults: FaultReport::default(),
+            utilization: None,
         }
     }
 

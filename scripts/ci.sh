@@ -35,4 +35,18 @@ cargo run -q --release --offline -p gaasx-bench --bin fault_campaign -- --smoke
 echo "==> search-mode smoke: Linear vs Indexed report bit-identity"
 cargo run -q --release --offline -p gaasx-bench --bin bench_snapshot -- --smoke
 
+echo "==> trace-export smoke: Chrome-trace JSON well-formedness"
+GAASX_CAP_EDGES=8000 GAASX_PR_ITERS=3 cargo run -q --release --offline -p gaasx-bench \
+    --bin trace_export -- results/ci_trace.json --check
+rm -f results/ci_trace.json
+
+echo "==> perf-gate: search-mode speedups vs results/BENCH_05.json"
+# A reduced matrix keeps the gate fast; speedup *ratios* (not wall clocks)
+# are compared, so the smaller workload still guards the deep-bank wins
+# (baseline 3.8-6.3x; a real regression collapses them toward 1x). The
+# paper-bank rows hover near 1x by design, so the tolerance leaves them
+# headroom for scheduler jitter at this scale.
+GAASX_CAP_EDGES=60000 GAASX_PR_ITERS=5 cargo run -q --release --offline -p gaasx-bench \
+    --bin bench_snapshot -- --baseline results/BENCH_05.json --tolerance 0.6
+
 echo "CI gate passed."
