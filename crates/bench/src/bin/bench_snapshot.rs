@@ -1,32 +1,41 @@
 //! Search-mode identity snapshot: runs the standard workload matrix —
 //! PageRank, SSSP, BFS, and connected components, each at jobs ∈ {1, 4}
-//! with fault injection off and on — once with [`SearchMode::Linear`] and
-//! once with [`SearchMode::Indexed`], asserts the merged `RunReport` and
-//! the algorithm output are **bit-identical** across the two modes for
-//! every combination, and writes the host wall-clock comparison to
-//! `results/BENCH_05.json`.
+//! with fault injection off and on — under [`SearchMode::Linear`],
+//! [`SearchMode::Indexed`], and the cost-modeled [`SearchMode::Auto`]
+//! default, asserts the merged `RunReport` and the algorithm output are
+//! **bit-identical** across all three modes for every combination, and
+//! writes the host wall-clock comparison to `results/BENCH_05.json`.
 //!
 //! The matrix covers both bank geometries: the Table I configuration
 //! (128-row banks) and the [`GaasXConfig::deep_bank`] design point
 //! (2048-row banks, same resident edges). At 128 rows the linear host
 //! scan is nearly as cheap as the shared per-search accounting, so the
-//! indexed win is modest; at 1024 rows the O(rows) scan dominates and
-//! the O(hits) path pulls far ahead. The full run exits nonzero on any
-//! report divergence, and when Indexed mode fails to deliver at least a
-//! 3× wall-clock speedup on the deep-bank PageRank matrix workload.
+//! indexed win is modest (and the frontier traversals lose outright —
+//! the BENCH_06 regression Auto exists to fix); at 2048 rows the O(rows)
+//! scan dominates and the O(hits) path pulls far ahead. Auto must track
+//! the better fixed mode per row: the full run exits nonzero when any
+//! Auto row falls below `--auto-floor` (default 0.95) of
+//! `min(linear, indexed)`, on any report divergence, and — without
+//! `--baseline` — when Indexed fails the absolute 3× deep-bank PageRank
+//! gate. Full-mode wall clocks are the min of five runs per mode, with
+//! reps interleaved across modes, so the ratio gates measure the code,
+//! not scheduler jitter.
 //!
-//! `--smoke` runs a reduced matrix for CI: identity checks only, a small
-//! graph, no JSON artifact, no speedup gate. `GAASX_CAP_EDGES` caps the
-//! full-matrix edge count and `GAASX_PR_ITERS` the PageRank iterations.
+//! `--smoke` runs a reduced matrix for CI: identity checks only (all
+//! three modes), a small graph, no JSON artifact, no speedup gates.
+//! `GAASX_CAP_EDGES` caps the full-matrix edge count and `GAASX_PR_ITERS`
+//! the PageRank iterations.
 //!
 //! `--baseline <path>` switches the full run into perf-regression mode:
-//! the artifact is written to `results/BENCH_06.json` instead and every
-//! matrix row's Indexed-over-Linear speedup is gated against the matching
-//! `(algorithm, bank, jobs, fault)` row of the baseline artifact — the
-//! run fails when any row drops below `baseline * (1 - tolerance)`
-//! (`--tolerance`, default 0.5; speedup *ratios* are far more stable than
-//! raw wall clocks, but CI machines still jitter). The absolute 3× gate
-//! on deep-bank PageRank applies only without `--baseline`.
+//! the artifact is written to `results/BENCH_07.json` instead and every
+//! matrix row's Indexed-over-Linear speedup is gated against the
+//! `(algorithm, bank, jobs, fault)`-keyed row of the baseline artifact —
+//! the run fails when any matched row drops below
+//! `baseline * (1 - tolerance)` (`--tolerance`, default 0.5; speedup
+//! *ratios* are far more stable than raw wall clocks, but CI machines
+//! still jitter). Rows present on only one side are *reported* as
+//! added/missing rather than mis-paired or failed, so the row set can
+//! evolve across snapshots.
 
 #![allow(clippy::unwrap_used)]
 use std::time::Instant;
@@ -37,7 +46,7 @@ use gaasx_graph::generators::{rmat, RmatConfig};
 use gaasx_sim::table::{count, Table};
 use gaasx_xbar::FaultModel;
 
-/// One cell of the workload matrix, measured in both modes.
+/// One cell of the workload matrix, measured in all three modes.
 struct Row {
     algorithm: &'static str,
     /// Bank geometry: "paper" (128-row) or "deep" (2048-row).
@@ -46,11 +55,24 @@ struct Row {
     fault: bool,
     linear_s: f64,
     indexed_s: f64,
+    auto_s: f64,
 }
 
 impl Row {
+    /// Indexed-over-Linear speedup (the baseline-gated ratio).
     fn speedup(&self) -> f64 {
         self.linear_s / self.indexed_s.max(f64::MIN_POSITIVE)
+    }
+
+    /// Wall time of the better fixed mode.
+    fn best_fixed_s(&self) -> f64 {
+        self.linear_s.min(self.indexed_s)
+    }
+
+    /// How Auto compares to the better fixed mode: `best / auto`, so 1.0
+    /// is parity, above 1.0 Auto wins, below the floor it regressed.
+    fn auto_vs_best(&self) -> f64 {
+        self.best_fixed_s() / self.auto_s.max(f64::MIN_POSITIVE)
     }
 }
 
@@ -95,7 +117,15 @@ fn run_once<A: ShardableAlgorithm>(
     Ok((outcome, start.elapsed().as_secs_f64()))
 }
 
-/// Runs one matrix cell in both modes and checks bit-identity.
+/// Runs one matrix cell in all three modes and checks bit-identity of
+/// Indexed and Auto against the Linear reference.
+///
+/// Timing takes the minimum of `timing_reps` wall clocks per mode, with
+/// the reps *interleaved* across modes (L,I,A, L,I,A, ...) rather than
+/// run back-to-back per mode: the runs are deterministic, so repeats
+/// only squeeze out host scheduling noise, and interleaving ensures a
+/// slow spell on the host machine hits every mode alike instead of
+/// skewing whichever mode it landed on.
 fn run_pair<A>(
     name: &'static str,
     bank: &'static str,
@@ -103,47 +133,52 @@ fn run_pair<A>(
     input: &A::Input,
     jobs: usize,
     fault: bool,
+    timing_reps: usize,
 ) -> Result<Row, String>
 where
     A: ShardableAlgorithm,
     A::Output: PartialEq,
 {
-    let (lin, linear_s) = run_once(
-        algorithm,
-        input,
-        jobs,
-        config(bank, SearchMode::Linear, fault),
-    )?;
-    let (idx, indexed_s) = run_once(
-        algorithm,
-        input,
-        jobs,
-        config(bank, SearchMode::Indexed, fault),
-    )?;
-    if lin.report != idx.report {
-        return Err(format!(
-            "{name}: bank={bank} jobs={jobs} fault={fault}: Indexed report diverged from Linear \
-             (ops {:?} vs {:?}, elapsed {} vs {} ns, energy {} vs {} nJ)",
-            idx.report.ops,
-            lin.report.ops,
-            idx.report.elapsed_ns,
-            lin.report.elapsed_ns,
-            idx.report.energy.total_nj(),
-            lin.report.energy.total_nj(),
-        ));
+    const MODES: [SearchMode; 3] = [SearchMode::Linear, SearchMode::Indexed, SearchMode::Auto];
+    // First rep: functional outcomes + identity checks.
+    let (lin, linear_s) = run_once(algorithm, input, jobs, config(bank, MODES[0], fault))?;
+    let mut walls = [linear_s, 0.0, 0.0];
+    for (i, mode) in MODES.into_iter().enumerate().skip(1) {
+        let (got, wall) = run_once(algorithm, input, jobs, config(bank, mode, fault))?;
+        if lin.report != got.report {
+            return Err(format!(
+                "{name}: bank={bank} jobs={jobs} fault={fault}: {mode} report diverged from \
+                 Linear (ops {:?} vs {:?}, elapsed {} vs {} ns, energy {} vs {} nJ)",
+                got.report.ops,
+                lin.report.ops,
+                got.report.elapsed_ns,
+                lin.report.elapsed_ns,
+                got.report.energy.total_nj(),
+                lin.report.energy.total_nj(),
+            ));
+        }
+        if lin.result != got.result {
+            return Err(format!(
+                "{name}: bank={bank} jobs={jobs} fault={fault}: {mode} output diverged from Linear"
+            ));
+        }
+        walls[i] = wall;
     }
-    if lin.result != idx.result {
-        return Err(format!(
-            "{name}: bank={bank} jobs={jobs} fault={fault}: Indexed output diverged from Linear"
-        ));
+    // Remaining reps: timing only.
+    for _ in 1..timing_reps.max(1) {
+        for (i, mode) in MODES.into_iter().enumerate() {
+            let (_, wall) = run_once(algorithm, input, jobs, config(bank, mode, fault))?;
+            walls[i] = walls[i].min(wall);
+        }
     }
     Ok(Row {
         algorithm: name,
         bank,
         jobs,
         fault,
-        linear_s,
-        indexed_s,
+        linear_s: walls[0],
+        indexed_s: walls[1],
+        auto_s: walls[2],
     })
 }
 
@@ -188,18 +223,22 @@ fn parse_baseline(text: &str) -> Vec<BaselineRow> {
         .collect()
 }
 
-/// Gates every current row against the matching baseline row. Returns the
-/// failures; rows absent from the baseline are reported but don't fail.
+/// Gates every current row against the baseline row sharing its
+/// `(algorithm, bank, jobs, fault)` key. Returns the failures; rows
+/// present on only one side are reported as added/missing and never
+/// mis-paired or failed.
 fn gate_against_baseline(rows: &[Row], baseline: &[BaselineRow], tolerance: f64) -> Vec<String> {
     let mut failures = Vec::new();
+    let mut added = 0usize;
     for r in rows {
         let key = (r.algorithm, r.bank, r.jobs, r.fault);
         let Some(b) = baseline
             .iter()
             .find(|b| (b.algorithm.as_str(), b.bank.as_str(), b.jobs, b.fault) == key)
         else {
+            added += 1;
             println!(
-                "perf-gate: no baseline row for {} bank={} jobs={} fault={} — skipping",
+                "perf-gate: row {} bank={} jobs={} fault={} added since baseline — not gated",
                 r.algorithm, r.bank, r.jobs, r.fault
             );
             continue;
@@ -220,7 +259,44 @@ fn gate_against_baseline(rows: &[Row], baseline: &[BaselineRow], tolerance: f64)
             ));
         }
     }
+    let mut missing = 0usize;
+    for b in baseline {
+        let here = rows.iter().any(|r| {
+            (r.algorithm, r.bank, r.jobs, r.fault)
+                == (b.algorithm.as_str(), b.bank.as_str(), b.jobs, b.fault)
+        });
+        if !here {
+            missing += 1;
+            println!(
+                "perf-gate: baseline row {} bank={} jobs={} fault={} missing from this run",
+                b.algorithm, b.bank, b.jobs, b.fault
+            );
+        }
+    }
+    if added + missing > 0 {
+        println!("perf-gate: row-set drift vs baseline: {added} added, {missing} missing.");
+    }
     failures
+}
+
+/// Rows where Auto fell below `floor` of the better fixed mode.
+fn gate_auto_floor(rows: &[Row], floor: f64) -> Vec<String> {
+    rows.iter()
+        .filter(|r| r.auto_vs_best() < floor)
+        .map(|r| {
+            format!(
+                "{} bank={} jobs={} fault={}: auto {:.3}s is {:.3}x of the better fixed mode \
+                 {:.3}s (floor {floor:.2}x)",
+                r.algorithm,
+                r.bank,
+                r.jobs,
+                r.fault,
+                r.auto_s,
+                r.auto_vs_best(),
+                r.best_fixed_s(),
+            )
+        })
+        .collect()
 }
 
 fn json_artifact(rows: &[Row], edges: u64, pr_iters: u32) -> String {
@@ -233,14 +309,17 @@ fn json_artifact(rows: &[Row], edges: u64, pr_iters: u32) -> String {
     for (i, r) in rows.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"algorithm\": \"{}\", \"bank\": \"{}\", \"jobs\": {}, \"fault\": {}, \
-             \"linear_wall_s\": {:.6}, \"indexed_wall_s\": {:.6}, \"speedup\": {:.3}}}{}\n",
+             \"linear_wall_s\": {:.6}, \"indexed_wall_s\": {:.6}, \"auto_wall_s\": {:.6}, \
+             \"speedup\": {:.3}, \"auto_vs_best\": {:.3}}}{}\n",
             r.algorithm,
             r.bank,
             r.jobs,
             r.fault,
             r.linear_s,
             r.indexed_s,
+            r.auto_s,
             r.speedup(),
+            r.auto_vs_best(),
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
@@ -252,6 +331,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut smoke = false;
     let mut baseline_path: Option<String> = None;
     let mut tolerance = 0.5f64;
+    let mut auto_floor = 0.95f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -266,6 +346,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .filter(|t| (0.0..1.0).contains(t))
                     .ok_or("--tolerance requires a fraction in [0, 1)")?;
             }
+            "--auto-floor" => {
+                auto_floor = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|f| (0.0..=1.0).contains(f))
+                    .ok_or("--auto-floor requires a fraction in [0, 1]")?;
+            }
             other => return Err(format!("unknown argument `{other}`").into()),
         }
     }
@@ -278,12 +365,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &[1, 4],
         )
     };
+    // Smoke checks identity only; full runs time each mode three times
+    // (interleaved across modes, min kept) so the ratio gates are stable
+    // against host jitter.
+    let timing_reps = if smoke { 1 } else { 5 };
     let vertices = (cap / 16).clamp(64, 1 << 17).next_power_of_two();
     let graph = rmat(&RmatConfig::new(vertices as u32, cap).with_seed(29))?;
     let src = gaasx_bench::traversal_source(&graph);
     println!(
         "Search-mode snapshot — RMAT |V|={} |E|={}, PageRank x{pr_iters}, \
-         jobs {jobs_list:?}, fault off/on{}\nEvery cell runs Linear and Indexed \
+         jobs {jobs_list:?}, fault off/on{}\nEvery cell runs Linear, Indexed, and Auto \
          and is checked bit-identical (full RunReport + output).\n",
         count(graph.num_vertices() as u64),
         count(graph.num_edges() as u64),
@@ -295,7 +386,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &jobs in jobs_list {
         for fault in [false, true] {
             rows.push(run_pair(
-                "pagerank", "paper", &pagerank, &graph, jobs, fault,
+                "pagerank",
+                "paper",
+                &pagerank,
+                &graph,
+                jobs,
+                fault,
+                timing_reps,
             )?);
             rows.push(run_pair(
                 "sssp",
@@ -304,6 +401,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 &graph,
                 jobs,
                 fault,
+                timing_reps,
             )?);
             rows.push(run_pair(
                 "bfs",
@@ -312,6 +410,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 &graph,
                 jobs,
                 fault,
+                timing_reps,
             )?);
             rows.push(run_pair(
                 "cc",
@@ -320,6 +419,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 &graph,
                 jobs,
                 fault,
+                timing_reps,
             )?);
         }
     }
@@ -328,7 +428,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &jobs in jobs_list {
         for fault in [false, true] {
             rows.push(run_pair(
-                "pagerank", "deep", &pagerank, &graph, jobs, fault,
+                "pagerank",
+                "deep",
+                &pagerank,
+                &graph,
+                jobs,
+                fault,
+                timing_reps,
             )?);
         }
     }
@@ -340,7 +446,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "fault",
         "linear (s)",
         "indexed (s)",
+        "auto (s)",
         "speedup",
+        "auto/best",
         "report",
     ]);
     for r in &rows {
@@ -351,7 +459,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if r.fault { "on" } else { "off" }.into(),
             format!("{:.3}", r.linear_s),
             format!("{:.3}", r.indexed_s),
+            format!("{:.3}", r.auto_s),
             format!("{:.2}x", r.speedup()),
+            format!("{:.2}x", r.auto_vs_best()),
             "identical".into(),
         ]);
     }
@@ -359,7 +469,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     if !smoke {
         let path = if baseline_path.is_some() {
-            "results/BENCH_06.json"
+            "results/BENCH_07.json"
         } else {
             "results/BENCH_05.json"
         };
@@ -381,6 +491,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              shared per-search accounting).",
             paper.speedup()
         );
+        let auto_failures = gate_auto_floor(&rows, auto_floor);
+        if !auto_failures.is_empty() {
+            return Err(format!(
+                "auto-gate: {} row(s) below {auto_floor:.2}x of the better fixed mode:\n  {}",
+                auto_failures.len(),
+                auto_failures.join("\n  "),
+            )
+            .into());
+        }
+        println!("auto-gate: every Auto row within {auto_floor:.2}x of the better fixed mode.");
         if let Some(bpath) = &baseline_path {
             let text = std::fs::read_to_string(bpath)
                 .map_err(|e| format!("cannot read baseline {bpath}: {e}"))?;
@@ -398,8 +518,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .into());
             }
             println!(
-                "perf-gate: all {} rows within {:.0}% of {bpath}.",
-                rows.len(),
+                "perf-gate: all matched rows within {:.0}% of {bpath}.",
                 100.0 * tolerance
             );
         } else if deep.speedup() < 3.0 {

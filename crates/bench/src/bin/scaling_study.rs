@@ -9,32 +9,45 @@
 
 //! `--jobs <N>` runs the GaaS-X side on the sharded engine with `N`
 //! worker threads (default `GAASX_JOBS` or 1); the simulated numbers are
-//! bit-identical either way.
+//! bit-identical either way. `--search-mode linear|indexed|auto` picks
+//! the GaaS-X host hit-vector algorithm (default auto), also
+//! report-invariant.
 
 #![allow(clippy::unwrap_used)]
 use gaasx_baselines::{GraphR, GraphRConfig};
 use gaasx_core::algorithms::PageRank;
-use gaasx_core::{GaasX, GaasXConfig};
+use gaasx_core::{GaasX, GaasXConfig, SearchMode};
 use gaasx_graph::datasets::PaperDataset;
 use gaasx_sim::table::{count, ratio, Table};
 
-fn jobs_arg() -> Result<usize, String> {
+fn cli_args() -> Result<(usize, SearchMode), String> {
+    let mut jobs = gaasx_bench::jobs();
+    let mut search_mode = SearchMode::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--jobs" {
-            return args
-                .next()
-                .and_then(|v| v.parse().ok())
-                .filter(|&j| j >= 1)
-                .ok_or_else(|| "--jobs requires a worker count >= 1".into());
+        match arg.as_str() {
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&j| j >= 1)
+                    .ok_or_else(|| String::from("--jobs requires a worker count >= 1"))?;
+            }
+            "--search-mode" => {
+                search_mode = args
+                    .next()
+                    .ok_or("--search-mode requires a value (linear | indexed | auto)")?
+                    .parse()?;
+            }
+            other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    Ok(gaasx_bench::jobs())
+    Ok((jobs, search_mode))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let iters = 5;
-    let jobs = jobs_arg()?;
+    let (jobs, search_mode) = cli_args()?;
     let mut t = Table::new(&[
         "edges",
         "GaaS-X ns/edge/iter",
@@ -45,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for cap in [30_000usize, 100_000, 300_000, 1_000_000] {
         let scale = (cap as f64 / PaperDataset::LiveJournal.full_edges() as f64).min(1.0);
         let graph = PaperDataset::LiveJournal.instantiate_graph(scale)?;
-        let mut gx = GaasX::new(GaasXConfig::paper());
+        let mut gx = GaasX::new(GaasXConfig {
+            search_mode,
+            ..GaasXConfig::paper()
+        });
         let pr = PageRank::fixed_iterations(iters);
         let a = if jobs > 1 {
             gx.run_labeled_sharded(&pr, &graph, "LJ", jobs)?.report

@@ -48,6 +48,11 @@ impl Algorithm for Bfs {
         input.num_edges() as u64
     }
 
+    fn search_profile(&self) -> gaasx_xbar::SearchProfile {
+        // Searches only frontier sources per superstep, not every key.
+        gaasx_xbar::SearchProfile::Frontier
+    }
+
     fn execute(
         &self,
         engine: &mut Engine,

@@ -48,6 +48,11 @@ impl Algorithm for ConnectedComponents {
         input.num_edges() as u64
     }
 
+    fn search_profile(&self) -> gaasx_xbar::SearchProfile {
+        // Label propagation searches only vertices whose label changed.
+        gaasx_xbar::SearchProfile::Frontier
+    }
+
     fn execute(
         &self,
         engine: &mut Engine,

@@ -31,6 +31,8 @@ use crate::engine::Engine;
 use crate::error::CoreError;
 use crate::sharded::ShardRunner;
 
+use gaasx_xbar::SearchProfile;
+
 /// Result of executing an algorithm: its output plus the iteration count
 /// the engine ran (supersteps / epochs).
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +55,14 @@ pub trait Algorithm {
 
     /// Number of edges in the input, for throughput reporting.
     fn input_edges(input: &Self::Input) -> u64;
+
+    /// How the algorithm queries the blocks it loads — the workload input
+    /// of the [`SearchMode::Auto`](gaasx_xbar::SearchMode) cost model.
+    /// Dense sweeps (the default) search every distinct key per visit;
+    /// frontier traversals override this to declare their sparse access.
+    fn search_profile(&self) -> SearchProfile {
+        SearchProfile::OnePerKey
+    }
 
     /// Executes the algorithm on the engine.
     ///

@@ -61,6 +61,11 @@ impl Algorithm for Sssp {
         input.num_edges() as u64
     }
 
+    fn search_profile(&self) -> gaasx_xbar::SearchProfile {
+        // Searches only active (relaxed-last-superstep) sources.
+        gaasx_xbar::SearchProfile::Frontier
+    }
+
     fn execute(
         &self,
         engine: &mut Engine,

@@ -99,8 +99,10 @@ pub struct GaasXConfig {
     #[serde(default)]
     pub recovery: RecoveryPolicy,
     /// Host algorithm for deriving CAM hit vectors
-    /// ([`SearchMode::Indexed`] by default). Purely a functional-simulator
-    /// speed knob: reports are bit-identical in both modes.
+    /// ([`SearchMode::Auto`] by default: a per-block cost model resolves
+    /// each loaded block to Linear or Indexed at program time). Purely a
+    /// functional-simulator speed knob: reports are bit-identical in all
+    /// modes.
     #[serde(default)]
     pub search_mode: SearchMode,
 }
@@ -388,10 +390,13 @@ mod tests {
     }
 
     #[test]
-    fn search_mode_defaults_to_indexed() {
+    fn search_mode_defaults_to_auto() {
         // Additive field: paper() and serde-defaulted configs pick the
-        // indexed host path, which is report-identical to linear.
-        assert_eq!(GaasXConfig::paper().search_mode, SearchMode::Indexed);
+        // cost-modeled Auto path, which resolves per block and is
+        // report-identical to both fixed modes. (Indexed-by-default was a
+        // measured regression: BENCH_06 showed it slowing fault-free
+        // BFS/CC/SSSP on the paper bank by up to 1.66x.)
+        assert_eq!(GaasXConfig::paper().search_mode, SearchMode::Auto);
     }
 
     #[test]

@@ -35,7 +35,10 @@ use gaasx_sim::{
     SramBuffer, Timeline, Tracer, UtilizationReport, CONTROLLER_BANK,
 };
 use gaasx_xbar::fault::{CamFaultState, MacFaultState};
-use gaasx_xbar::{CamCrossbar, HitVector, MacCrossbar, MacDirection, SearchMode, XbarStats};
+use gaasx_xbar::{
+    BlockShape, CamCrossbar, HitVector, MacCrossbar, MacDirection, SearchCostModel, SearchMode,
+    SearchProfile, XbarStats,
+};
 
 use crate::config::GaasXConfig;
 use crate::error::CoreError;
@@ -190,9 +193,20 @@ pub struct Engine {
     /// Per-block search memo (see [`crate::memo`]); only consulted when
     /// `memo_active`.
     memo: SearchMemo,
-    /// Memoization is sound only when device state is a pure function of
-    /// the programmed keys: indexed mode with no fault model attached.
+    /// Whether memoization is permitted at all: the config's mode can
+    /// resolve to Indexed and no fault model is attached (device state
+    /// must be a pure function of the programmed keys).
+    memo_enabled: bool,
+    /// Whether the *current block* memoizes — re-derived at every
+    /// [`load_block`](Engine::load_block) from the block's resolved
+    /// search mode. A mixed Auto bank memoizes only its Indexed blocks.
     memo_active: bool,
+    /// The querying algorithm's declared access pattern — the
+    /// [`SearchCostModel`]'s workload input when resolving `Auto` blocks.
+    search_profile: SearchProfile,
+    /// Per-block Linear-vs-Indexed cost model, calibrated against the
+    /// config's device time base.
+    search_costs: SearchCostModel,
     /// CAM key sequence of the block being loaded (memo registration).
     key_buf: Vec<u128>,
     /// Reused MAC-code buffer for [`CellLayout::PerEdge`] loading.
@@ -281,7 +295,13 @@ impl Engine {
             phys_buf,
             faults: FaultReport::default(),
             memo: SearchMemo::new(),
+            memo_enabled: config.search_mode != SearchMode::Linear && !fault_active,
+            // Per-block; re-derived at each load_block from the resolved
+            // mode. Before any block loads, only a fixed Indexed config
+            // can replay (Auto has nothing resolved yet).
             memo_active: config.search_mode == SearchMode::Indexed && !fault_active,
+            search_profile: SearchProfile::default(),
+            search_costs: SearchCostModel::calibrated(&config.energy),
             key_buf: Vec::with_capacity(rows),
             codes_buf: Vec::new(),
             hits_scratch: HitVector::new(0),
@@ -295,6 +315,64 @@ impl Engine {
     /// The engine's configuration.
     pub fn config(&self) -> &GaasXConfig {
         &self.config
+    }
+
+    /// Declares how the running algorithm queries its blocks — the
+    /// [`SearchCostModel`]'s workload input. Only consulted when the
+    /// config's search mode is [`SearchMode::Auto`]; takes effect at the
+    /// next [`load_block`](Engine::load_block).
+    pub fn set_search_profile(&mut self, profile: SearchProfile) {
+        self.search_profile = profile;
+    }
+
+    /// The declared access pattern ([`SearchProfile::OnePerKey`] until
+    /// overridden).
+    pub fn search_profile(&self) -> SearchProfile {
+        self.search_profile
+    }
+
+    /// The concrete host search algorithm serving the current block.
+    /// Under a fixed config mode this is that mode; under
+    /// [`SearchMode::Auto`] it is whatever the cost model resolved the
+    /// most recently loaded block to.
+    pub fn resolved_search_mode(&self) -> SearchMode {
+        self.cam.search_mode()
+    }
+
+    /// Resolves the search mode for a block about to be programmed: fixed
+    /// config modes pass through; `Auto` asks the cost model, feeding it
+    /// the distinct-key count of the field the declared profile searches
+    /// (dense sweeps probe destinations, frontier expansion probes
+    /// sources) and the physical-search multiplier CAM majority voting
+    /// would impose.
+    fn resolve_block_mode(
+        &self,
+        occupancy: usize,
+        distinct_srcs: usize,
+        distinct_dsts: usize,
+    ) -> SearchMode {
+        match self.config.search_mode {
+            SearchMode::Auto => {
+                let distinct_keys = match self.search_profile {
+                    SearchProfile::OnePerKey => distinct_dsts,
+                    SearchProfile::Frontier => distinct_srcs,
+                };
+                let physical_per_logical =
+                    if self.fault_active && self.config.recovery.cam_double_check {
+                        3
+                    } else {
+                        1
+                    };
+                self.search_costs.resolve(&BlockShape {
+                    rows: self.config.cam_geometry.rows,
+                    occupancy,
+                    distinct_keys,
+                    physical_per_logical,
+                    profile: self.search_profile,
+                })
+            }
+            fixed => fixed,
+        }
     }
 
     /// Attaches a tracer: every subsequent operation emits a phase span on
@@ -554,6 +632,22 @@ impl Engine {
         self.cam.invalidate_all();
         let mut srcs: Vec<VertexId> = Vec::with_capacity(edges.len());
         let mut dsts: Vec<VertexId> = Vec::with_capacity(edges.len());
+        for e in edges {
+            srcs.push(e.src);
+            dsts.push(e.dst);
+        }
+        srcs.sort_unstable();
+        srcs.dedup();
+        dsts.sort_unstable();
+        dsts.dedup();
+
+        // Resolve the host search algorithm for this block before
+        // programming: the memo registers key sequences only for blocks
+        // that resolve Indexed, so the decision must precede the loop.
+        let resolved = self.resolve_block_mode(edges.len(), srcs.len(), dsts.len());
+        self.cam.set_search_mode(resolved);
+        self.memo_active = self.memo_enabled && resolved == SearchMode::Indexed;
+
         let mut program_ns = 0.0;
         self.key_buf.clear();
         let mut codes = std::mem::take(&mut self.codes_buf);
@@ -574,8 +668,6 @@ impl Engine {
             if self.memo_active {
                 self.key_buf.push(key);
             }
-            srcs.push(e.src);
-            dsts.push(e.dst);
         }
         self.codes_buf = codes;
         if self.memo_active {
@@ -583,10 +675,6 @@ impl Engine {
             // memoized hit vectors; a new block starts an empty memo entry.
             self.memo.begin_block(&self.key_buf);
         }
-        srcs.sort_unstable();
-        srcs.dedup();
-        dsts.sort_unstable();
-        dsts.dedup();
 
         let bytes = edges.len() as u64 * self.config.edge_record_bytes;
         self.input_buf.write(bytes);
@@ -2103,5 +2191,90 @@ mod tests {
         let _ = fig7_block(&mut e2);
         let r2 = e2.finish("t", "t", "t", 1, 8);
         assert!(r2.utilization.is_none());
+    }
+
+    #[test]
+    fn auto_resolves_per_block_and_gates_the_memo_on_the_resolved_mode() {
+        // Regression for the construction-time memo gate: with Auto (the
+        // default) a single bank can mix Linear and Indexed blocks, and
+        // only the Indexed ones may memoize. small() keeps the default
+        // Auto mode and OnePerKey profile.
+        let mut e = engine();
+        assert_eq!(e.config().search_mode, SearchMode::Auto);
+
+        // Dense block: 128 edges, all-distinct dsts → cost model picks
+        // Indexed, which enables the memo for this block.
+        let dense: Vec<Edge> = (0..128u32).map(|i| Edge::new(i, 1000 + i, 1.0)).collect();
+        let b = e.load_block(&dense, CellLayout::Preset).unwrap();
+        assert_eq!(e.resolved_search_mode(), SearchMode::Indexed);
+        assert!(e.memo_active, "Indexed-resolved block must memoize");
+        let first = e.search_dst(VertexId::new(1000));
+        assert_eq!(first.count(), 1);
+        // The replay path serves the repeat without touching the device's
+        // index bookkeeping — same hits, device counter still advances.
+        let searches_before = e.cam.stats().cam_searches;
+        let again = e.search_dst(VertexId::new(1000));
+        assert_eq!(again, first);
+        assert_eq!(e.cam.stats().cam_searches, searches_before + 1);
+        assert_eq!(b.distinct_dsts().len(), 128);
+
+        // Degenerate block on the same bank: 100 edges, 2 distinct dsts →
+        // 2 searches per visit never amortize an index build; the model
+        // picks Linear and the memo must stay off.
+        let skewed: Vec<Edge> = (0..100u32)
+            .map(|i| Edge::new(i, 5000 + i % 2, 1.0))
+            .collect();
+        let _b2 = e.load_block(&skewed, CellLayout::Preset).unwrap();
+        assert_eq!(e.resolved_search_mode(), SearchMode::Linear);
+        assert!(!e.memo_active, "Linear-resolved block must not memoize");
+        let hits = e.search_dst(VertexId::new(5000));
+        assert_eq!(hits.count(), 50);
+        // Repeated searches on the linear block stay correct too.
+        assert_eq!(e.search_dst(VertexId::new(5000)), hits);
+
+        // A third dense block flips back to Indexed with the memo alive.
+        let dense2: Vec<Edge> = (0..128u32).map(|i| Edge::new(i, 7000 + i, 1.0)).collect();
+        let _b3 = e.load_block(&dense2, CellLayout::Preset).unwrap();
+        assert_eq!(e.resolved_search_mode(), SearchMode::Indexed);
+        assert!(e.memo_active);
+        assert_eq!(e.search_dst(VertexId::new(7003)).count(), 1);
+    }
+
+    #[test]
+    fn fixed_modes_bypass_the_cost_model() {
+        // A fixed config mode must never be second-guessed per block: the
+        // degenerate 2-distinct-dst shape resolves Linear under Auto, but
+        // an Indexed config keeps Indexed (and its memo).
+        let skewed: Vec<Edge> = (0..100u32)
+            .map(|i| Edge::new(i, 5000 + i % 2, 1.0))
+            .collect();
+        for fixed in [SearchMode::Linear, SearchMode::Indexed] {
+            let mut e = Engine::new(GaasXConfig {
+                search_mode: fixed,
+                ..GaasXConfig::small()
+            })
+            .unwrap();
+            let _b = e.load_block(&skewed, CellLayout::Preset).unwrap();
+            assert_eq!(e.resolved_search_mode(), fixed);
+            assert_eq!(e.memo_active, fixed == SearchMode::Indexed);
+        }
+    }
+
+    #[test]
+    fn frontier_profile_feeds_the_resolver() {
+        // The same dense-dst block resolves differently by declared
+        // profile: a dense sweep amortizes the index, a frontier
+        // traversal (sqrt(D) expected searches) does not at paper depth.
+        let dense: Vec<Edge> = (0..128u32).map(|i| Edge::new(i, 1000 + i, 1.0)).collect();
+        let mut e = engine();
+        e.set_search_profile(SearchProfile::Frontier);
+        assert_eq!(e.search_profile(), SearchProfile::Frontier);
+        let _b = e.load_block(&dense, CellLayout::Preset).unwrap();
+        assert_eq!(e.resolved_search_mode(), SearchMode::Linear);
+
+        let mut e2 = engine();
+        e2.set_search_profile(SearchProfile::OnePerKey);
+        let _b = e2.load_block(&dense, CellLayout::Preset).unwrap();
+        assert_eq!(e2.resolved_search_mode(), SearchMode::Indexed);
     }
 }

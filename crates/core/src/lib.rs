@@ -51,6 +51,6 @@ pub use accelerator::{GaasX, RunOutcome};
 pub use algorithms::ShardableAlgorithm;
 pub use config::{GaasXConfig, RecoveryPolicy};
 pub use error::CoreError;
-pub use gaasx_xbar::SearchMode;
+pub use gaasx_xbar::{SearchCostModel, SearchMode, SearchProfile};
 pub use sfu::Sfu;
 pub use sharded::{ShardRunner, ShardedEngine};

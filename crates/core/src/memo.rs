@@ -10,11 +10,14 @@
 //! per search.
 //!
 //! The memo is only safe when device state is a pure function of the
-//! programmed keys: the engine enables it exclusively under
-//! [`SearchMode::Indexed`](gaasx_xbar::SearchMode) with **no** fault model
+//! programmed keys: the engine enables it per block, exclusively for
+//! blocks whose *resolved* search mode is
+//! [`SearchMode::Indexed`](gaasx_xbar::SearchMode) — whether fixed by the
+//! config or chosen by the `Auto` cost model — with **no** fault model
 //! attached (stuck bits, write retries, remaps, and search upsets all make
 //! physical results diverge from the logical key sequence and consume RNG
-//! draws that replaying would skip).
+//! draws that replaying would skip). A mixed `Auto` bank therefore
+//! memoizes only its Indexed blocks.
 
 use gaasx_xbar::fast_hash::FxHashMap;
 use gaasx_xbar::HitVector;

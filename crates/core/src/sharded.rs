@@ -182,6 +182,18 @@ impl ShardedEngine {
         }
     }
 
+    /// Declares the running algorithm's access pattern on the primary and
+    /// every worker engine, so all of them resolve `Auto` blocks with the
+    /// same cost-model inputs. Resolution is deterministic per block, so
+    /// sharded runs stay bit-identical to serial regardless of which
+    /// engine loads which shard.
+    pub fn set_search_profile(&mut self, profile: gaasx_xbar::SearchProfile) {
+        self.primary.set_search_profile(profile);
+        for worker in &mut self.workers {
+            worker.set_search_profile(profile);
+        }
+    }
+
     /// Merges every worker into the primary and assembles the final
     /// report — see [`Engine::finish`].
     pub fn finish(

@@ -13,7 +13,7 @@ use crate::XbarStats;
 /// How the *functional* side of a CAM search computes its hit vector.
 ///
 /// The simulated hardware always performs the same parallel TCAM operation
-/// — both modes count identical [`XbarStats`] and return identical hit
+/// — all modes count identical [`XbarStats`] and return identical hit
 /// vectors — the mode only selects the host algorithm that derives the
 /// result:
 ///
@@ -21,14 +21,57 @@ use crate::XbarStats;
 /// * [`Indexed`](SearchMode::Indexed): consult a per-field exact-match
 ///   index, O(hits) per search, with the linear scan retained for
 ///   arbitrary ternary masks and as a `debug_assert!` cross-check.
+/// * [`Auto`](SearchMode::Auto) (the default): let the engine resolve
+///   each loaded block to `Linear` or `Indexed` through the analytical
+///   [`SearchCostModel`](crate::auto::SearchCostModel). Resolution
+///   happens above the device — an `Auto` left unresolved on the
+///   crossbar itself behaves exactly like `Indexed` (always correct,
+///   and what standalone device users got before `Auto` existed).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 #[serde(rename_all = "snake_case")]
 pub enum SearchMode {
     /// Scan every row per search (the pre-index reference path).
     Linear,
     /// Serve full-field searches from an incremental exact-match index.
-    #[default]
     Indexed,
+    /// Resolve per block via the cost model (device-side: as `Indexed`).
+    #[default]
+    Auto,
+}
+
+impl SearchMode {
+    /// Whether this is a concrete host algorithm rather than the
+    /// resolve-per-block marker.
+    pub fn is_resolved(self) -> bool {
+        self != SearchMode::Auto
+    }
+}
+
+impl std::fmt::Display for SearchMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SearchMode::Linear => "linear",
+            SearchMode::Indexed => "indexed",
+            SearchMode::Auto => "auto",
+        })
+    }
+}
+
+impl std::str::FromStr for SearchMode {
+    type Err = String;
+
+    /// Parses the CLI spelling (`linear | indexed | auto`), matching the
+    /// serde snake_case encoding.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "linear" => Ok(SearchMode::Linear),
+            "indexed" => Ok(SearchMode::Indexed),
+            "auto" => Ok(SearchMode::Auto),
+            other => Err(format!(
+                "invalid search mode '{other}' (linear | indexed | auto)"
+            )),
+        }
+    }
 }
 
 /// Most distinct search masks indexed before falling back to the linear
@@ -360,7 +403,9 @@ impl CamCrossbar {
         let mask = mask & self.width_mask;
         out.reset(self.geometry.rows);
         let mut via_index = false;
-        if self.mode == SearchMode::Indexed {
+        // An unresolved `Auto` takes the indexed path (see the enum docs);
+        // engines resolve it per block before searching.
+        if self.mode != SearchMode::Linear {
             if let Some(pos) = self.ensure_index(mask) {
                 let ix = &self.indexes[pos];
                 // gaasx-lint: hot
@@ -575,22 +620,25 @@ mod tests {
         assert_eq!(hits.count(), g.rows - corrupted);
     }
 
-    /// Runs the same op sequence in both modes and asserts identical hit
-    /// vectors and stats. (Debug builds additionally cross-check every
-    /// indexed search against the linear scan inside `search_into`.)
+    /// Runs the same op sequence in every mode (including a device-level
+    /// unresolved `Auto`) and asserts identical hit vectors and stats.
+    /// (Debug builds additionally cross-check every indexed search
+    /// against the linear scan inside `search_into`.)
     fn assert_modes_agree(ops: impl Fn(&mut CamCrossbar) -> Vec<HitVector>) {
         let mut linear = cam();
         linear.set_search_mode(SearchMode::Linear);
-        let mut indexed = cam();
-        indexed.set_search_mode(SearchMode::Indexed);
         let a = ops(&mut linear);
-        let b = ops(&mut indexed);
-        assert_eq!(a, b, "hit vectors diverged between search modes");
-        assert_eq!(
-            linear.stats(),
-            indexed.stats(),
-            "stats diverged between search modes"
-        );
+        for mode in [SearchMode::Indexed, SearchMode::Auto] {
+            let mut other = cam();
+            other.set_search_mode(mode);
+            let b = ops(&mut other);
+            assert_eq!(a, b, "hit vectors diverged between Linear and {mode}");
+            assert_eq!(
+                linear.stats(),
+                other.stats(),
+                "stats diverged between Linear and {mode}"
+            );
+        }
     }
 
     const SRC_MASK: u128 = 0xFFFF_FFFF_0000_0000;
@@ -716,6 +764,16 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(b, d);
         assert_eq!(c.stats().cam_searches, 3);
+    }
+
+    #[test]
+    fn auto_is_the_default_and_round_trips_its_spellings() {
+        assert_eq!(SearchMode::default(), SearchMode::Auto);
+        assert!(!SearchMode::Auto.is_resolved());
+        for mode in [SearchMode::Linear, SearchMode::Indexed, SearchMode::Auto] {
+            assert!(mode.to_string().parse::<SearchMode>() == Ok(mode));
+        }
+        assert!("fast".parse::<SearchMode>().is_err());
     }
 
     #[test]

@@ -31,6 +31,7 @@ mod hit_vector;
 mod mac;
 mod small_rows;
 
+pub mod auto;
 pub mod energy;
 pub mod fast_hash;
 pub mod fault;
@@ -39,6 +40,7 @@ pub mod geometry;
 pub mod noise;
 pub mod periphery;
 
+pub use auto::{BlockShape, SearchCostModel, SearchProfile};
 pub use cam::{CamCrossbar, CamEntry, SearchMode};
 pub use error::XbarError;
 pub use fault::FaultModel;

@@ -58,8 +58,8 @@ proptest! {
 
     /// Any interleaving of program/invalidate/remap/search operations —
     /// with or without a seeded fault model — yields identical hit
-    /// vectors, device stats, and fault stats under `SearchMode::Linear`
-    /// and `SearchMode::Indexed`.
+    /// vectors, device stats, and fault stats under `SearchMode::Linear`,
+    /// `SearchMode::Indexed`, and (unresolved) `SearchMode::Auto`.
     #[test]
     fn linear_and_indexed_modes_agree(
         ops in prop::collection::vec(
@@ -92,10 +92,12 @@ proptest! {
             (hits, cam.stats().clone(), cam.fault_stats().copied())
         };
         let lin = run(SearchMode::Linear);
-        let idx = run(SearchMode::Indexed);
-        prop_assert_eq!(&lin.0, &idx.0, "hit vectors diverged");
-        prop_assert_eq!(&lin.1, &idx.1, "device stats diverged");
-        prop_assert_eq!(&lin.2, &idx.2, "fault stats diverged");
+        for mode in [SearchMode::Indexed, SearchMode::Auto] {
+            let other = run(mode);
+            prop_assert_eq!(&lin.0, &other.0, "hit vectors diverged under {}", mode);
+            prop_assert_eq!(&lin.1, &other.1, "device stats diverged under {}", mode);
+            prop_assert_eq!(&lin.2, &other.2, "fault stats diverged under {}", mode);
+        }
     }
 
     /// The exact MAC equals the host-side dot product, per column.

@@ -32,7 +32,7 @@ GAASX_CAP_EDGES=20000 cargo run -q --release --offline -p gaasx-bench \
 echo "==> fault campaign smoke: recovery bit-identity + graceful degradation"
 cargo run -q --release --offline -p gaasx-bench --bin fault_campaign -- --smoke
 
-echo "==> search-mode smoke: Linear vs Indexed report bit-identity"
+echo "==> search-mode smoke: Linear vs Indexed vs Auto report bit-identity"
 cargo run -q --release --offline -p gaasx-bench --bin bench_snapshot -- --smoke
 
 echo "==> trace-export smoke: Chrome-trace JSON well-formedness"
@@ -40,13 +40,16 @@ GAASX_CAP_EDGES=8000 GAASX_PR_ITERS=3 cargo run -q --release --offline -p gaasx-
     --bin trace_export -- results/ci_trace.json --check
 rm -f results/ci_trace.json
 
-echo "==> perf-gate: search-mode speedups vs results/BENCH_05.json"
+echo "==> perf-gate: search-mode speedups vs results/BENCH_06.json + Auto floor"
 # A reduced matrix keeps the gate fast; speedup *ratios* (not wall clocks)
 # are compared, so the smaller workload still guards the deep-bank wins
-# (baseline 3.8-6.3x; a real regression collapses them toward 1x). The
+# (baseline 2.6-3.9x; a real regression collapses them toward 1x). The
 # paper-bank rows hover near 1x by design, so the tolerance leaves them
-# headroom for scheduler jitter at this scale.
+# headroom for scheduler jitter at this scale. The same run writes
+# results/BENCH_07.json and asserts every Auto row stays within 0.95x of
+# the better fixed mode (the ISSUE-7 no-regression floor, default
+# --auto-floor 0.95).
 GAASX_CAP_EDGES=60000 GAASX_PR_ITERS=5 cargo run -q --release --offline -p gaasx-bench \
-    --bin bench_snapshot -- --baseline results/BENCH_05.json --tolerance 0.6
+    --bin bench_snapshot -- --baseline results/BENCH_06.json --tolerance 0.6
 
 echo "CI gate passed."

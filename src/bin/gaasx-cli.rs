@@ -67,8 +67,10 @@ fn print_usage() {
          \x20 cc <file>                           weakly connected components\n\
          \x20 compare <file> [--iters N]          GaaS-X vs GraphR on PageRank\n\n\
          OPTIONS (pagerank/sssp/bfs/cc/compare):\n\
-         \x20 --search-mode linear|indexed        host hit-vector algorithm (default\n\
-         \x20                                     indexed; reports are bit-identical)\n"
+         \x20 --search-mode linear|indexed|auto   host hit-vector algorithm (default\n\
+         \x20                                     auto: a per-block cost model picks\n\
+         \x20                                     the faster mode; reports are\n\
+         \x20                                     bit-identical in all modes)\n"
     );
 }
 
@@ -89,19 +91,14 @@ fn flag_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> 
 }
 
 /// Builds the accelerator config from the shared CLI flags
-/// (`--search-mode linear|indexed`, defaulting to indexed — both modes
+/// (`--search-mode linear|indexed|auto`, defaulting to auto — all modes
 /// produce bit-identical reports; linear keeps the O(rows) reference
-/// scan for cross-checking).
+/// scan for cross-checking, auto resolves per block via the cost model).
 fn cli_config(args: &[String]) -> Result<GaasXConfig, String> {
     let mut config = GaasXConfig::paper();
-    config.search_mode = match flag(args, "--search-mode").as_deref() {
-        None | Some("indexed") => SearchMode::Indexed,
-        Some("linear") => SearchMode::Linear,
-        Some(other) => {
-            return Err(format!(
-                "invalid value '{other}' for --search-mode (linear | indexed)"
-            ))
-        }
+    config.search_mode = match flag(args, "--search-mode") {
+        None => SearchMode::default(),
+        Some(v) => v.parse::<SearchMode>()?,
     };
     Ok(config)
 }
