@@ -96,7 +96,7 @@ impl GapbsCpu {
         let report = self.power.report(
             "cpu-gapbs",
             "pagerank",
-            elapsed,
+            gaasx_sim::Nanos::from_ns(elapsed),
             iterations,
             graph.num_edges() as u64,
         );
@@ -128,7 +128,7 @@ impl GapbsCpu {
         let report = self.power.report(
             "cpu-gapbs",
             "bfs",
-            elapsed,
+            gaasx_sim::Nanos::from_ns(elapsed),
             frontiers.len() as u32,
             graph.num_edges() as u64,
         );
@@ -154,9 +154,13 @@ impl GapbsCpu {
         let start = Instant::now();
         let result = reference::dijkstra(graph, source);
         let elapsed = start.elapsed().as_nanos() as f64;
-        let report = self
-            .power
-            .report("cpu-gapbs", "sssp", elapsed, 1, graph.num_edges() as u64);
+        let report = self.power.report(
+            "cpu-gapbs",
+            "sssp",
+            gaasx_sim::Nanos::from_ns(elapsed),
+            1,
+            graph.num_edges() as u64,
+        );
         Ok(RunOutcome { result, report })
     }
 }

@@ -98,7 +98,7 @@ impl GraphChiCpu {
         let report = self.power.report(
             "cpu-graphchi",
             "cf",
-            elapsed,
+            gaasx_sim::Nanos::from_ns(elapsed),
             epochs,
             ratings.num_ratings() as u64,
         );

@@ -12,7 +12,7 @@ use std::time::Instant;
 use gaasx_core::RunOutcome;
 use gaasx_graph::partition::GridPartition;
 use gaasx_graph::{CooGraph, GraphError, VertexId};
-use gaasx_sim::{attribute_makespan, Phase, Tracer};
+use gaasx_sim::{attribute_makespan, Nanos, Phase, Tracer};
 
 use crate::cpu::{default_threads, HostPowerModel};
 
@@ -51,12 +51,19 @@ impl<'a> WallPhases<'a> {
     }
 
     fn attribute(&self, elapsed_ns: f64) -> Vec<gaasx_sim::PhaseBreakdown> {
-        let tallies: Vec<(Phase, f64, u64)> = Phase::ALL
+        // Wall-clock tallies live as raw f64 until this single typed exit.
+        let tallies: Vec<(Phase, Nanos, u64)> = Phase::ALL
             .iter()
             .filter(|&&p| p != Phase::Dispatch)
-            .map(|&p| (p, self.busy[p.index()], self.counts[p.index()]))
+            .map(|&p| {
+                (
+                    p,
+                    Nanos::from_ns(self.busy[p.index()]),
+                    self.counts[p.index()],
+                )
+            })
             .collect();
-        attribute_makespan(elapsed_ns, &tallies)
+        attribute_makespan(Nanos::from_ns(elapsed_ns), &tallies)
     }
 }
 
@@ -175,7 +182,7 @@ impl GridGraphCpu {
         let mut report = self.power.report(
             "cpu-gridgraph",
             "pagerank",
-            elapsed,
+            Nanos::from_ns(elapsed),
             iterations,
             graph.num_edges() as u64,
         );
@@ -305,7 +312,7 @@ impl GridGraphCpu {
         let mut report = self.power.report(
             "cpu-gridgraph",
             name,
-            elapsed,
+            Nanos::from_ns(elapsed),
             supersteps,
             graph.num_edges() as u64,
         );
@@ -384,8 +391,8 @@ mod tests {
         let g = generators::paper_fig7_graph();
         let cpu = GridGraphCpu::with_threads(2);
         let out = cpu.pagerank(&g, 0.85, 3).unwrap();
-        assert!(out.report.elapsed_ns > 0.0);
-        assert!(out.report.energy.total_nj() > 0.0);
+        assert!(out.report.elapsed_ns.ns() > 0.0);
+        assert!(out.report.energy.total_nj().nj() > 0.0);
         assert_eq!(out.report.engine, "cpu-gridgraph");
     }
 

@@ -1,6 +1,6 @@
 //! Host power models converting measured wall-clock into energy.
 
-use gaasx_sim::RunReport;
+use gaasx_sim::{Nanojoules, Nanos, RunReport};
 use serde::{Deserialize, Serialize};
 
 /// Dynamic (idle-subtracted) power draw of a host executing a graph kernel.
@@ -33,7 +33,7 @@ impl HostPowerModel {
         &self,
         engine: &str,
         algorithm: &str,
-        elapsed_ns: f64,
+        elapsed_ns: Nanos,
         iterations: u32,
         num_edges: u64,
     ) -> RunReport {
@@ -42,7 +42,7 @@ impl HostPowerModel {
         r.iterations = iterations;
         r.num_edges = num_edges;
         // W × ns = nJ.
-        r.energy.static_nj = self.dynamic_power_w * elapsed_ns;
+        r.energy.static_nj = Nanojoules::from_nj(self.dynamic_power_w * elapsed_ns.ns());
         r
     }
 }
@@ -62,9 +62,9 @@ mod tests {
         let m = HostPowerModel {
             dynamic_power_w: 10.0,
         };
-        let r = m.report("cpu", "pagerank", 1e9, 5, 100);
+        let r = m.report("cpu", "pagerank", Nanos::from_ns(1e9), 5, 100);
         // 10 W for 1 s = 10 J = 1e10 nJ.
-        assert!((r.energy.total_nj() - 1e10).abs() < 1.0);
+        assert!((r.energy.total_nj().nj() - 1e10).abs() < 1.0);
         assert_eq!(r.iterations, 5);
     }
 }

@@ -12,7 +12,7 @@
 use gaasx_core::RunOutcome;
 use gaasx_graph::bipartite::BipartiteGraph;
 use gaasx_graph::{CooGraph, GraphError, VertexId};
-use gaasx_sim::RunReport;
+use gaasx_sim::{Nanojoules, Nanos, RunReport};
 use serde::{Deserialize, Serialize};
 
 use crate::reference;
@@ -70,10 +70,12 @@ impl GpuModel {
         num_edges: u64,
     ) -> RunReport {
         let mut r = RunReport::new(engine, algorithm, "unlabeled");
-        r.elapsed_ns = elapsed_ns;
+        // The roofline math above is dimensionless ratios of model
+        // parameters; the result enters the typed accounting here.
+        r.elapsed_ns = Nanos::from_ns(elapsed_ns);
         r.iterations = iterations;
         r.num_edges = num_edges;
-        r.energy.static_nj = self.dynamic_power_w * elapsed_ns;
+        r.energy.static_nj = Nanojoules::from_nj(self.dynamic_power_w * elapsed_ns);
         r
     }
 
@@ -221,7 +223,7 @@ mod tests {
         let gpu = GpuModel::titan_v();
         let g = generators::paper_fig7_graph();
         let r = gpu.pagerank(&g, 5);
-        assert!((r.energy.total_nj() - gpu.dynamic_power_w * r.elapsed_ns).abs() < 1e-9);
+        assert!((r.energy.total_nj().nj() - gpu.dynamic_power_w * r.elapsed_ns.ns()).abs() < 1e-9);
     }
 
     #[test]

@@ -7,7 +7,8 @@ use gaasx_graph::partition::{GridPartition, TraversalOrder};
 use gaasx_graph::CooGraph;
 use gaasx_sim::pipeline::PipelineClock;
 use gaasx_sim::{
-    attribute_makespan, EnergyBreakdown, Histogram, OpSummary, Phase, RunReport, SramBuffer, Tracer,
+    attribute_makespan, EnergyBreakdown, Histogram, Nanojoules, Nanos, OpSummary, Phase, RunReport,
+    SramBuffer, Tracer,
 };
 use gaasx_xbar::energy::DeviceEnergyModel;
 
@@ -59,8 +60,8 @@ impl Default for GraphRConfig {
 #[derive(Debug, Clone, Copy, Default)]
 struct TileCost {
     stream_bytes: u64,
-    program_ns: f64,
-    compute_ns: f64,
+    program_ns: Nanos,
+    compute_ns: Nanos,
 }
 
 /// Cost tally shared by all GraphR algorithm runs.
@@ -76,14 +77,14 @@ struct Tally {
     row_writes: u64,
     sfu_ops: u64,
     compute_items: u64,
-    extra_parallel_ns: f64,
+    extra_parallel_ns: Nanos,
     input_buf: SramBuffer,
     attr_buf: SramBuffer,
     output_buf: SramBuffer,
     tracer: Tracer,
-    /// Functional (serial) time cursor for span placement, ns.
-    cursor_ns: f64,
-    phase_busy: [f64; 7],
+    /// Functional (serial) time cursor for span placement.
+    cursor_ns: Nanos,
+    phase_busy: [Nanos; 7],
     phase_counts: [u64; 7],
 }
 
@@ -100,25 +101,27 @@ impl Tally {
             row_writes: 0,
             sfu_ops: 0,
             compute_items: 0,
-            extra_parallel_ns: 0.0,
+            extra_parallel_ns: Nanos::ZERO,
             input_buf: SramBuffer::input_16kb(),
             attr_buf: SramBuffer::attribute_512kb(),
             output_buf: SramBuffer::output_64kb(),
             tracer,
-            cursor_ns: 0.0,
-            phase_busy: [0.0; 7],
+            cursor_ns: Nanos::ZERO,
+            phase_busy: [Nanos::ZERO; 7],
             phase_counts: [0; 7],
         }
     }
 
     /// Tallies one operation's busy time and emits its span on the
     /// functional (serial) time axis.
-    fn trace_op(&mut self, phase: Phase, dur_ns: f64, count: u64) {
+    fn trace_op(&mut self, phase: Phase, dur_ns: Nanos, count: u64) {
         self.phase_busy[phase.index()] += dur_ns;
         self.phase_counts[phase.index()] += count;
         let start = self.cursor_ns;
         self.cursor_ns += dur_ns;
-        self.tracer.emit(phase, start, dur_ns);
+        // The span/telemetry boundary is untyped; `.ns()` marks the exit
+        // from the typed accounting.
+        self.tracer.emit(phase, start.ns(), dur_ns.ns());
     }
 
     /// Sparse→dense conversion and programming of one tile holding `nnz`
@@ -139,7 +142,7 @@ impl Tally {
                 .row_program_ns(self.config.tile_size as usize);
         self.row_writes += t;
         self.cells_written += t * t * self.config.slices;
-        let stream_ns = bytes as f64 / self.config.stream_bandwidth_gbps;
+        let stream_ns = Nanos::from_ns(bytes as f64 / self.config.stream_bandwidth_gbps);
         self.trace_op(Phase::LoadBlock, stream_ns + self.current.program_ns, 1);
     }
 
@@ -192,37 +195,48 @@ impl Tally {
         let pes = self.config.num_pe.max(1);
         let mut clock = PipelineClock::new();
         for (w, wave) in self.costs.chunks(pes).enumerate() {
-            let stream_ns: f64 = wave
+            let stream_ns: Nanos = wave
                 .iter()
-                .map(|t| t.stream_bytes as f64 / self.config.stream_bandwidth_gbps)
+                .map(|t| Nanos::from_ns(t.stream_bytes as f64 / self.config.stream_bandwidth_gbps))
                 .sum();
-            let program_ns = wave.iter().map(|t| t.program_ns).fold(0.0, f64::max);
-            let compute_ns = wave.iter().map(|t| t.compute_ns).fold(0.0, f64::max);
-            let done = clock.advance(stream_ns.max(program_ns), compute_ns);
+            let program_ns = wave
+                .iter()
+                .map(|t| t.program_ns)
+                .fold(Nanos::ZERO, Nanos::max);
+            let compute_ns = wave
+                .iter()
+                .map(|t| t.compute_ns)
+                .fold(Nanos::ZERO, Nanos::max);
+            // The pipeline clock is an untyped scheduling core; `.ns()`
+            // marks the exit from the typed accounting.
+            let done = clock.advance(stream_ns.max(program_ns).ns(), compute_ns.ns());
             if self.tracer.enabled() {
                 // One dispatch event per tile; PE = position in the wave.
-                let compute_start = done - compute_ns;
+                let compute_start = done - compute_ns.ns();
                 for (i, t) in wave.iter().enumerate() {
                     self.tracer
-                        .span(Phase::Dispatch, (compute_start - t.program_ns).max(0.0))
+                        .span(
+                            Phase::Dispatch,
+                            (compute_start - t.program_ns.ns()).max(0.0),
+                        )
                         .bank(i as u32)
                         .attr("tile", w * pes + i)
                         .attr("wave", w)
-                        .end(compute_start + t.compute_ns);
+                        .end(compute_start + t.compute_ns.ns());
                 }
             }
         }
-        let makespan = clock.makespan() + self.extra_parallel_ns;
+        let makespan = Nanos::from_ns(clock.makespan()) + self.extra_parallel_ns;
         let e = &self.config.energy;
         let buffer_nj =
             self.input_buf.energy_nj() + self.attr_buf.energy_nj() + self.output_buf.energy_nj();
         let energy = EnergyBreakdown {
-            mac_nj: self.mac_ops as f64 * e.mac_op_pj / 1_000.0,
-            cam_nj: 0.0,
-            write_nj: self.cells_written as f64 * e.cell_write_pj / 1_000.0,
-            sfu_nj: self.sfu_ops as f64 * e.sfu_op_pj / 1_000.0,
+            mac_nj: (self.mac_ops as f64 * e.mac_op_pj).to_nanojoules(),
+            cam_nj: Nanojoules::ZERO,
+            write_nj: (self.cells_written as f64 * e.cell_write_pj).to_nanojoules(),
+            sfu_nj: (self.sfu_ops as f64 * e.sfu_op_pj).to_nanojoules(),
             buffer_nj,
-            static_nj: e.static_mw * makespan / 1_000.0,
+            static_nj: e.static_energy_nj(makespan),
         };
         let ops = OpSummary {
             mac_ops: self.mac_ops,
@@ -236,7 +250,7 @@ impl Tally {
                 + self.output_buf.accesses(),
             compute_items: self.compute_items,
         };
-        let tallies: Vec<(Phase, f64, u64)> = Phase::ALL
+        let tallies: Vec<(Phase, Nanos, u64)> = Phase::ALL
             .iter()
             .filter(|&&p| p != Phase::Dispatch)
             .map(|&p| (p, self.phase_busy[p.index()], self.phase_counts[p.index()]))
@@ -245,8 +259,9 @@ impl Tally {
         if let Some(metrics) = self.tracer.metrics() {
             metrics.publish_op_summary(&ops);
         }
-        self.tracer.gauge_set("elapsed_ns", makespan);
-        self.tracer.gauge_set("energy_total_nj", energy.total_nj());
+        self.tracer.gauge_set("elapsed_ns", makespan.ns());
+        self.tracer
+            .gauge_set("energy_total_nj", energy.total_nj().nj());
         self.tracer.flush();
 
         let mut report = RunReport::new("graphr", algorithm, "unlabeled");
@@ -606,9 +621,9 @@ mod tests {
         let mut gr = GraphR::new(GraphRConfig::small());
         let out = gr.pagerank(&g, 0.85, 2).unwrap();
         assert_eq!(out.report.engine, "graphr");
-        assert!(out.report.elapsed_ns > 0.0);
-        assert!(out.report.energy.total_nj() > 0.0);
-        assert_eq!(out.report.energy.cam_nj, 0.0);
+        assert!(out.report.elapsed_ns.ns() > 0.0);
+        assert!(out.report.energy.total_nj().nj() > 0.0);
+        assert_eq!(out.report.energy.cam_nj, Nanojoules::ZERO);
     }
 
     #[test]

@@ -70,11 +70,12 @@ impl Default for TesseractModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gaasx_sim::{Nanojoules, Nanos};
 
     fn graphr_report() -> RunReport {
         let mut r = RunReport::new("graphr", "pagerank", "LJ");
-        r.elapsed_ns = 1e6;
-        r.energy.mac_nj = 1e6;
+        r.elapsed_ns = Nanos::from_ns(1e6);
+        r.energy.mac_nj = Nanojoules::from_nj(1e6);
         r.iterations = 5;
         r.num_edges = 100;
         r

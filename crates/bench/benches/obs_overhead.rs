@@ -28,6 +28,7 @@ fn pagerank_ns(accel: &mut GaasX, graph: &CooGraph) -> f64 {
         .unwrap()
         .report
         .elapsed_ns
+        .ns()
 }
 
 fn obs_overhead(c: &mut Criterion) {

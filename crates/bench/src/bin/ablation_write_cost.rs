@@ -26,8 +26,8 @@ fn main() {
     for vp in [0.0, 5.0, 10.0, 20.0] {
         for wp in [5.0, 20.0, 50.0] {
             let mut energy = gaasx_xbar::energy::DeviceEnergyModel::paper();
-            energy.value_program_ns = vp;
-            energy.cell_write_pj = wp;
+            energy.value_program_ns = gaasx_sim::Nanos::from_ns(vp);
+            energy.cell_write_pj = gaasx_sim::Picojoules::from_pj(wp);
             let mut gx = GaasX::new(GaasXConfig {
                 num_banks: units,
                 energy,

@@ -192,20 +192,7 @@ struct BaselineRow {
     speedup: f64,
 }
 
-/// Extracts the raw text of `"key": <value>` from one JSON line, tolerating
-/// optional whitespace after the colon; string values lose their quotes.
-fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    let needle = format!("\"{key}\":");
-    let at = line.find(&needle)? + needle.len();
-    let rest = line[at..].trim_start();
-    if let Some(stripped) = rest.strip_prefix('"') {
-        let end = stripped.find('"')?;
-        Some(&stripped[..end])
-    } else {
-        let end = rest.find([',', '}']).unwrap_or(rest.len());
-        Some(rest[..end].trim())
-    }
-}
+use gaasx_bench::artifact::{self, field, SearchModeArtifact, SearchModeRow};
 
 /// Parses the `runs` rows out of a `BENCH_0x.json` artifact. Lines that
 /// don't carry an `algorithm` field (header, brackets) are skipped.
@@ -299,32 +286,28 @@ fn gate_auto_floor(rows: &[Row], floor: f64) -> Vec<String> {
         .collect()
 }
 
+/// Bridges the timing rows into the shared serialization contract
+/// ([`gaasx_bench::artifact`]) so the committed artifact and this
+/// writer can never drift apart.
 fn json_artifact(rows: &[Row], edges: u64, pr_iters: u32) -> String {
-    let mut s = String::from("{\n");
-    s.push_str("  \"bench\": \"search_modes\",\n");
-    s.push_str(&format!("  \"edges\": {edges},\n"));
-    s.push_str(&format!("  \"pr_iterations\": {pr_iters},\n"));
-    s.push_str("  \"identity\": \"every row bit-identical (RunReport + output) across modes\",\n");
-    s.push_str("  \"runs\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        s.push_str(&format!(
-            "    {{\"algorithm\": \"{}\", \"bank\": \"{}\", \"jobs\": {}, \"fault\": {}, \
-             \"linear_wall_s\": {:.6}, \"indexed_wall_s\": {:.6}, \"auto_wall_s\": {:.6}, \
-             \"speedup\": {:.3}, \"auto_vs_best\": {:.3}}}{}\n",
-            r.algorithm,
-            r.bank,
-            r.jobs,
-            r.fault,
-            r.linear_s,
-            r.indexed_s,
-            r.auto_s,
-            r.speedup(),
-            r.auto_vs_best(),
-            if i + 1 == rows.len() { "" } else { "," },
-        ));
-    }
-    s.push_str("  ]\n}\n");
-    s
+    artifact::render(&SearchModeArtifact {
+        edges,
+        pr_iterations: pr_iters,
+        rows: rows
+            .iter()
+            .map(|r| SearchModeRow {
+                algorithm: r.algorithm.to_string(),
+                bank: r.bank.to_string(),
+                jobs: r.jobs,
+                fault: r.fault,
+                linear_wall_s: r.linear_s,
+                indexed_wall_s: r.indexed_s,
+                auto_wall_s: r.auto_s,
+                speedup: r.speedup(),
+                auto_vs_best: r.auto_vs_best(),
+            })
+            .collect(),
+    })
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -325,15 +325,20 @@ fn per_algo_table(matrix: &[MatrixEntry], metric: impl Fn(&MatrixEntry) -> f64) 
         let mut cells = vec![algo.to_string()];
         let mut row_vals = Vec::new();
         for ds in PaperDataset::GRAPH_DATASETS {
-            let entry = matrix
+            match matrix
                 .iter()
                 .find(|e| e.dataset == ds && e.algorithm == algo)
-                // gaasx-lint: allow(panic-in-lib) -- the matrix is built from the same dataset x algorithm cross product iterated here
-                .expect("full matrix");
-            let v = metric(entry);
-            row_vals.push(v);
-            all.push(v);
-            cells.push(ratio(v));
+            {
+                Some(entry) => {
+                    let v = metric(entry);
+                    row_vals.push(v);
+                    all.push(v);
+                    cells.push(ratio(v));
+                }
+                // A partial matrix renders with a gap instead of
+                // aborting the whole figure run.
+                None => cells.push("n/a".to_string()),
+            }
         }
         cells.push(ratio(geometric_mean(&row_vals).unwrap_or(0.0)));
         t.row_owned(cells);
@@ -407,7 +412,10 @@ pub fn fig14(matrix: &[MatrixEntry]) -> String {
         if !gram_sets.contains(&e.dataset) {
             continue;
         }
-        let gram = GramModel::for_algorithm(e.algorithm).report_from_graphr(&e.graphr);
+        let Some(model) = GramModel::for_algorithm(e.algorithm) else {
+            continue; // GRAM published no numbers for this algorithm (CF).
+        };
+        let gram = model.report_from_graphr(&e.graphr);
         let s = e.gaasx.speedup_over(&gram);
         let en = e.gaasx.energy_savings_over(&gram);
         perf.push(s);
@@ -495,8 +503,7 @@ pub fn run_software(
             let entry = matrix
                 .iter()
                 .find(|e| e.dataset == ds && e.algorithm == algo)
-                // gaasx-lint: allow(panic-in-lib) -- the matrix is built from the same dataset x algorithm cross product iterated here
-                .expect("full matrix");
+                .ok_or_else(|| format!("missing matrix entry for {}/{algo}", ds.abbrev()))?;
             let (gx, c, ga, gp) = match algo {
                 "pagerank" => (
                     accel
@@ -754,9 +761,11 @@ pub fn phase_table(matrix: &[MatrixEntry]) -> String {
     for e in matrix {
         for (engine, report) in [("gaasx", &e.gaasx), ("graphr", &e.graphr)] {
             let share = |phase| {
-                let ns = report.phase(phase).map_or(0.0, |p| p.sched_ns);
-                if report.elapsed_ns > 0.0 {
-                    format!("{:.1}%", 100.0 * ns / report.elapsed_ns)
+                let ns = report
+                    .phase(phase)
+                    .map_or(gaasx_sim::Nanos::ZERO, |p| p.sched_ns);
+                if report.elapsed_ns > gaasx_sim::Nanos::ZERO {
+                    format!("{:.1}%", 100.0 * ns.ns() / report.elapsed_ns.ns())
                 } else {
                     "-".into()
                 }
@@ -866,8 +875,8 @@ pub fn trace_demo(
             ],
             None => ["-".into(), "-".into(), "-".into()],
         };
-        let [an, ashare, ac] = cell(a, gx.elapsed_ns);
-        let [bn, bshare, bc] = cell(b, gr.elapsed_ns);
+        let [an, ashare, ac] = cell(a, gx.elapsed_ns.ns());
+        let [bn, bshare, bc] = cell(b, gr.elapsed_ns.ns());
         t.row_owned(vec![phase.name().into(), an, ashare, ac, bn, bshare, bc]);
     }
     Ok(format!(

@@ -19,6 +19,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod experiments;
 pub mod trace;
 

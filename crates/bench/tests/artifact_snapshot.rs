@@ -1,0 +1,61 @@
+//! Snapshot gate on the BENCH JSON serialization contract.
+//!
+//! The typed `Nanos`/`Picojoules` migration must not move a single byte
+//! of the benchmark artifacts: the perf-regression gate diffs them
+//! across commits and the line-oriented parser depends on their exact
+//! framing. This test round-trips the *committed* `results/BENCH_07.json`
+//! through [`gaasx_bench::artifact::parse`] → [`gaasx_bench::artifact::render`]
+//! and asserts byte identity, so any drift in key order, float widths,
+//! or row framing fails loudly against the real artifact — not just a
+//! synthetic sample.
+
+#![allow(clippy::unwrap_used)]
+
+use gaasx_bench::artifact;
+
+fn workspace_file(rel: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+#[test]
+fn committed_bench_artifact_round_trips_byte_identically() {
+    let path = workspace_file("results/BENCH_07.json");
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let parsed = artifact::parse(&text).expect("committed artifact parses");
+    assert!(
+        !parsed.rows.is_empty(),
+        "committed artifact has no rows — the snapshot gate would be vacuous"
+    );
+    assert_eq!(
+        artifact::render(&parsed),
+        text,
+        "re-serializing results/BENCH_07.json changed its bytes; \
+         the BENCH serialization contract drifted"
+    );
+}
+
+#[test]
+fn committed_bench_artifact_matrix_is_complete() {
+    let path = workspace_file("results/BENCH_07.json");
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let parsed = artifact::parse(&text).expect("committed artifact parses");
+    for bank in ["paper", "deep"] {
+        assert!(
+            parsed
+                .rows
+                .iter()
+                .any(|r| r.bank == bank && r.algorithm == "pagerank"),
+            "missing pagerank row for bank `{bank}`"
+        );
+    }
+    for r in &parsed.rows {
+        assert!(
+            r.linear_wall_s > 0.0 && r.indexed_wall_s > 0.0 && r.auto_wall_s > 0.0,
+            "non-positive wall clock in row {r:?}"
+        );
+    }
+}

@@ -22,7 +22,7 @@ use crate::sharded::ShardedEngine;
 /// let graph = generators::paper_fig7_graph();
 /// let outcome = accel.run(&PageRank::fixed_iterations(5), &graph)?;
 /// assert_eq!(outcome.result.len(), 5);
-/// assert!(outcome.report.elapsed_ns > 0.0);
+/// assert!(outcome.report.elapsed_ns.ns() > 0.0);
 /// # Ok::<(), gaasx_core::CoreError>(())
 /// ```
 #[derive(Debug, Clone)]
@@ -319,13 +319,13 @@ mod tests {
         assert!(!r.phases.is_empty());
         let total = r.phases_total_sched_ns();
         assert!(
-            (total - r.elapsed_ns).abs() <= 0.01 * r.elapsed_ns,
+            (total.ns() - r.elapsed_ns.ns()).abs() <= 0.01 * r.elapsed_ns.ns(),
             "phase sum {total} vs elapsed {}",
             r.elapsed_ns
         );
         assert_eq!(total, r.elapsed_ns, "attribution is exact, not just close");
         for p in &r.phases {
-            assert!(p.sched_ns >= 0.0 && p.busy_ns >= 0.0);
+            assert!(p.sched_ns >= gaasx_sim::Nanos::ZERO && p.busy_ns >= gaasx_sim::Nanos::ZERO);
         }
     }
 

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use gaasx_sim::des::SchedulePolicy;
+use gaasx_sim::Nanos;
 use gaasx_xbar::energy::DeviceEnergyModel;
 use gaasx_xbar::geometry::{CamGeometry, MacGeometry};
 use gaasx_xbar::{FaultModel, Fidelity, SearchMode};
@@ -214,9 +215,9 @@ impl GaasXConfig {
         self.num_banks * self.cam_geometry.rows
     }
 
-    /// Nanoseconds to stream `bytes` from storage into the compute arrays.
-    pub fn stream_ns(&self, bytes: u64) -> f64 {
-        bytes as f64 / self.stream_bandwidth_gbps
+    /// Time to stream `bytes` from storage into the compute arrays.
+    pub fn stream_ns(&self, bytes: u64) -> Nanos {
+        Nanos::from_ns(bytes as f64 / self.stream_bandwidth_gbps)
     }
 }
 
@@ -411,6 +412,6 @@ mod tests {
     fn stream_time_scales() {
         let c = GaasXConfig::paper();
         // 128 bytes at 128 GB/s = 1 ns.
-        assert!((c.stream_ns(128) - 1.0).abs() < 1e-12);
+        assert!((c.stream_ns(128).ns() - 1.0).abs() < 1e-12);
     }
 }

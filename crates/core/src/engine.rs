@@ -31,8 +31,8 @@ use gaasx_sim::des::{BankScheduler, SchedulePolicy};
 use gaasx_sim::pipeline::{pipelined_makespan, serial_makespan, PipelineClock};
 use gaasx_sim::timeline::{COMPUTE_LANE, LOAD_LANE};
 use gaasx_sim::{
-    attribute_makespan, EnergyBreakdown, FaultReport, Histogram, OpSummary, Phase, RunReport,
-    SramBuffer, Timeline, Tracer, UtilizationReport, CONTROLLER_BANK,
+    attribute_makespan, EnergyBreakdown, FaultReport, Histogram, Nanos, OpSummary, Phase,
+    RunReport, SramBuffer, Timeline, Tracer, UtilizationReport, CONTROLLER_BANK,
 };
 use gaasx_xbar::fault::{CamFaultState, MacFaultState};
 use gaasx_xbar::{
@@ -119,21 +119,21 @@ impl Block {
 #[derive(Debug, Clone, Default)]
 pub(crate) struct BlockCost {
     stream_bytes: u64,
-    program_ns: f64,
-    compute_ns: f64,
+    program_ns: Nanos,
+    compute_ns: Nanos,
     /// Partition of `compute_ns` by [`Phase`] (indexed by `Phase::index`).
     /// Scheduling consumes the total; phase attribution the split.
-    compute_phase_ns: [f64; 7],
+    compute_phase_ns: [Nanos; 7],
     /// Per-operation `(phase, ns)` ledger in issue order, kept only when
     /// the attached tracer observes timeline intervals. Timeline
     /// construction replays it to lay each compute op on its bank's
     /// occupancy track; summing the entries per phase reproduces
     /// `compute_phase_ns` bit-exactly (same accumulation order).
-    ops: Vec<(Phase, f64)>,
+    ops: Vec<(Phase, Nanos)>,
 }
 
 impl BlockCost {
-    fn add_phase(&mut self, phase: Phase, ns: f64, record_op: bool) {
+    fn add_phase(&mut self, phase: Phase, ns: Nanos, record_op: bool) {
         self.compute_ns += ns;
         self.compute_phase_ns[phase.index()] += ns;
         if record_op {
@@ -157,8 +157,8 @@ pub struct Engine {
     costs: Vec<BlockCost>,
     current: BlockCost,
     in_block: bool,
-    extra_ns: f64,
-    extra_phase_ns: [f64; 7],
+    extra_ns: Nanos,
+    extra_phase_ns: [Nanos; 7],
     phase_counts: [u64; 7],
     compute_items: u64,
     extra_aux_row_writes: u64,
@@ -168,8 +168,8 @@ pub struct Engine {
     /// [`Tracer::observes_intervals`] at `set_tracer` time; sharded
     /// worker engines have it forced on by the primary).
     record_ops: bool,
-    /// Functional (serial) time cursor for span placement, ns.
-    cursor_ns: f64,
+    /// Functional (serial) time cursor for span placement.
+    cursor_ns: Nanos,
     /// Whether the config injects any device faults. Gates every recovery
     /// code path so a fault-free engine is bit-identical to one predating
     /// the fault layer.
@@ -276,15 +276,15 @@ impl Engine {
             costs: Vec::new(),
             current: BlockCost::default(),
             in_block: false,
-            extra_ns: 0.0,
-            extra_phase_ns: [0.0; 7],
+            extra_ns: Nanos::ZERO,
+            extra_phase_ns: [Nanos::ZERO; 7],
             phase_counts: [0; 7],
             compute_items: 0,
             extra_aux_row_writes: 0,
             extra_aux_cells: 0,
             tracer: Tracer::null(),
             record_ops: false,
-            cursor_ns: 0.0,
+            cursor_ns: Nanos::ZERO,
             fault_active,
             log2phys: (0..capacity).collect(),
             phys2log,
@@ -398,11 +398,13 @@ impl Engine {
 
     /// Counts one operation in `phase`, advances the functional-time
     /// cursor, and emits a leaf span when tracing is on.
-    fn trace_op(&mut self, phase: Phase, dur_ns: f64) {
+    fn trace_op(&mut self, phase: Phase, dur_ns: Nanos) {
         self.phase_counts[phase.index()] = self.phase_counts[phase.index()].saturating_add(1);
         let start = self.cursor_ns;
         self.cursor_ns += dur_ns;
-        self.tracer.emit(phase, start, dur_ns);
+        // The span/telemetry boundary is untyped; `.ns()` marks the exit
+        // from the typed accounting.
+        self.tracer.emit(phase, start.ns(), dur_ns.ns());
     }
 
     /// Maximum edges per block: CAM rows per bank, minus the spare rows
@@ -459,7 +461,7 @@ impl Engine {
     fn audit_preset(&mut self, code: u32) -> Result<(), CoreError> {
         let cols = self.config.mac_geometry.cols;
         let per_row_ns = self.config.energy.verify_read_ns;
-        let mut verify_ns = 0.0;
+        let mut verify_ns = Nanos::ZERO;
         let spares = std::mem::take(&mut self.spares);
         let mut good = Vec::with_capacity(spares.len());
         for spare in spares {
@@ -521,11 +523,11 @@ impl Engine {
         self.faults.row_remaps = self.faults.row_remaps.saturating_add(1);
         if self.tracer.enabled() {
             self.tracer
-                .span(Phase::LoadBlock, self.cursor_ns)
+                .span(Phase::LoadBlock, self.cursor_ns.ns())
                 .attr("remap_slot", slot)
                 .attr("from_phys", phys)
                 .attr("to_phys", spare)
-                .end(self.cursor_ns);
+                .end(self.cursor_ns.ns());
         }
         Ok(())
     }
@@ -569,14 +571,14 @@ impl Engine {
         slot: usize,
         key: u128,
         codes: Option<&[u32]>,
-    ) -> Result<f64, CoreError> {
+    ) -> Result<Nanos, CoreError> {
         let cam_ns = self.config.energy.row_program_ns(1);
         let attempt_ns = match codes {
             Some(c) => cam_ns.max(self.config.energy.row_program_ns(c.len())),
             None => cam_ns,
         };
         let verify = self.verify_on();
-        let mut ns = 0.0;
+        let mut ns = Nanos::ZERO;
         loop {
             let phys = self.log2phys[slot];
             let mut tries: u32 = 0;
@@ -648,7 +650,7 @@ impl Engine {
         self.cam.set_search_mode(resolved);
         self.memo_active = self.memo_enabled && resolved == SearchMode::Indexed;
 
-        let mut program_ns = 0.0;
+        let mut program_ns = Nanos::ZERO;
         self.key_buf.clear();
         let mut codes = std::mem::take(&mut self.codes_buf);
         for (slot, e) in edges.iter().enumerate() {
@@ -688,10 +690,10 @@ impl Engine {
         self.cursor_ns += load_ns;
         if self.tracer.enabled() {
             self.tracer
-                .span(Phase::LoadBlock, start)
+                .span(Phase::LoadBlock, start.ns())
                 .attr("edges", edges.len())
                 .attr("bytes", bytes)
-                .end(start + load_ns);
+                .end((start + load_ns).ns());
         }
 
         Ok(Block {
@@ -1004,10 +1006,10 @@ impl Engine {
         self.cursor_ns += ns;
         if self.tracer.enabled() {
             self.tracer
-                .span(Phase::LoadBlock, start)
+                .span(Phase::LoadBlock, start.ns())
                 .attr("aux_rows", rows)
                 .attr("values_per_row", values_per_row)
-                .end(start + ns);
+                .end((start + ns).ns());
         }
     }
 
@@ -1053,7 +1055,7 @@ impl Engine {
         Ok(out)
     }
 
-    fn add_compute(&mut self, phase: Phase, ns: f64) {
+    fn add_compute(&mut self, phase: Phase, ns: Nanos) {
         if self.in_block {
             self.current.add_phase(phase, ns, self.record_ops);
         } else {
@@ -1174,7 +1176,7 @@ impl Engine {
             .iter_mut()
             .zip(worker.extra_phase_ns.iter())
         {
-            *acc += v;
+            *acc += *v;
         }
     }
 
@@ -1186,12 +1188,12 @@ impl Engine {
     /// Per-phase busy totals (functional serial time per phase) over all
     /// committed blocks plus the out-of-block extras. `LoadBlock` busy is
     /// each block's stream time plus its row-programming time.
-    fn phase_busy_ns(&self) -> [f64; 7] {
+    fn phase_busy_ns(&self) -> [Nanos; 7] {
         let mut busy = self.extra_phase_ns;
         for b in &self.costs {
             busy[Phase::LoadBlock.index()] += self.config.stream_ns(b.stream_bytes) + b.program_ns;
             for (acc, ns) in busy.iter_mut().zip(b.compute_phase_ns.iter()) {
-                *acc += ns;
+                *acc += *ns;
             }
         }
         busy
@@ -1209,24 +1211,33 @@ impl Engine {
             SchedulePolicy::Waves => {
                 let mut clock = PipelineClock::new();
                 for (w, wave) in self.costs.chunks(banks).enumerate() {
-                    let stream_ns: f64 = wave
+                    let stream_ns: Nanos = wave
                         .iter()
                         .map(|b| self.config.stream_ns(b.stream_bytes))
                         .sum();
-                    let program_ns = wave.iter().map(|b| b.program_ns).fold(0.0, f64::max);
-                    let compute_ns = wave.iter().map(|b| b.compute_ns).fold(0.0, f64::max);
-                    let done = clock.advance(stream_ns.max(program_ns), compute_ns);
+                    let program_ns = wave
+                        .iter()
+                        .map(|b| b.program_ns)
+                        .fold(Nanos::ZERO, Nanos::max);
+                    let compute_ns = wave
+                        .iter()
+                        .map(|b| b.compute_ns)
+                        .fold(Nanos::ZERO, Nanos::max);
+                    let done = clock.advance(stream_ns.max(program_ns).ns(), compute_ns.ns());
                     // Within a wave, bank = position; the span covers the
                     // bank's occupancy (program + compute) aligned to the
                     // wave's compute window.
-                    let compute_start = done - compute_ns;
+                    let compute_start = done - compute_ns.ns();
                     for (i, b) in wave.iter().enumerate() {
                         self.tracer
-                            .span(Phase::Dispatch, (compute_start - b.program_ns).max(0.0))
+                            .span(
+                                Phase::Dispatch,
+                                (compute_start - b.program_ns.ns()).max(0.0),
+                            )
                             .bank(i as u32)
                             .attr("block", w * banks + i)
                             .attr("wave", w)
-                            .end(compute_start + b.compute_ns);
+                            .end(compute_start + b.compute_ns.ns());
                     }
                 }
             }
@@ -1239,10 +1250,10 @@ impl Engine {
                         b.compute_ns,
                     );
                     self.tracer
-                        .span(Phase::Dispatch, d.start_ns)
+                        .span(Phase::Dispatch, d.start_ns.ns())
                         .bank(d.bank)
                         .attr("block", idx)
-                        .end(d.done_ns);
+                        .end(d.done_ns.ns());
                 }
             }
         }
@@ -1258,7 +1269,7 @@ impl Engine {
         tl: &mut Timeline,
         bank: u32,
         b: &BlockCost,
-        compute_start: f64,
+        compute_start: Nanos,
         block: u32,
     ) {
         let load_ns = self.config.stream_ns(b.stream_bytes) + b.program_ns;
@@ -1283,14 +1294,14 @@ impl Engine {
     /// compute intervals placed by the same scheduler math that produced
     /// the makespan. Folding the result per phase reproduces
     /// [`Engine::phase_busy_ns`] bit-exactly.
-    fn build_timeline(&self, makespan: f64) -> Timeline {
+    fn build_timeline(&self, makespan: Nanos) -> Timeline {
         let mut tl = Timeline::new(makespan);
         for phase in Phase::ALL {
             tl.push(
                 CONTROLLER_BANK,
                 LOAD_LANE,
                 phase,
-                0.0,
+                Nanos::ZERO,
                 self.extra_phase_ns[phase.index()],
                 None,
             );
@@ -1300,14 +1311,20 @@ impl Engine {
             SchedulePolicy::Waves => {
                 let mut clock = PipelineClock::new();
                 for (w, wave) in self.costs.chunks(banks).enumerate() {
-                    let stream_ns: f64 = wave
+                    let stream_ns: Nanos = wave
                         .iter()
                         .map(|b| self.config.stream_ns(b.stream_bytes))
                         .sum();
-                    let program_ns = wave.iter().map(|b| b.program_ns).fold(0.0, f64::max);
-                    let compute_ns = wave.iter().map(|b| b.compute_ns).fold(0.0, f64::max);
-                    let done = clock.advance(stream_ns.max(program_ns), compute_ns);
-                    let compute_start = done - compute_ns;
+                    let program_ns = wave
+                        .iter()
+                        .map(|b| b.program_ns)
+                        .fold(Nanos::ZERO, Nanos::max);
+                    let compute_ns = wave
+                        .iter()
+                        .map(|b| b.compute_ns)
+                        .fold(Nanos::ZERO, Nanos::max);
+                    let done = clock.advance(stream_ns.max(program_ns).ns(), compute_ns.ns());
+                    let compute_start = Nanos::from_ns(done) - compute_ns;
                     for (i, b) in wave.iter().enumerate() {
                         self.push_block_intervals(
                             &mut tl,
@@ -1347,14 +1364,20 @@ impl Engine {
         let mut loads = Vec::with_capacity(waves.len());
         let mut computes = Vec::with_capacity(waves.len());
         for wave in waves {
-            let stream_ns: f64 = wave
+            let stream_ns: Nanos = wave
                 .iter()
                 .map(|b| self.config.stream_ns(b.stream_bytes))
                 .sum();
-            let program_ns = wave.iter().map(|b| b.program_ns).fold(0.0, f64::max);
-            let compute_ns = wave.iter().map(|b| b.compute_ns).fold(0.0, f64::max);
-            loads.push(stream_ns.max(program_ns));
-            computes.push(compute_ns);
+            let program_ns = wave
+                .iter()
+                .map(|b| b.program_ns)
+                .fold(Nanos::ZERO, Nanos::max);
+            let compute_ns = wave
+                .iter()
+                .map(|b| b.compute_ns)
+                .fold(Nanos::ZERO, Nanos::max);
+            loads.push(stream_ns.max(program_ns).ns());
+            computes.push(compute_ns.ns());
         }
         let serial = serial_makespan(&loads, &computes);
         if serial <= 0.0 {
@@ -1389,17 +1412,17 @@ impl Engine {
         let buffer_nj =
             self.input_buf.energy_nj() + self.output_buf.energy_nj() + self.attr_buf.energy_nj();
         let energy = EnergyBreakdown {
-            mac_nj: stats.mac_ops as f64 * e.mac_op_pj / 1_000.0,
-            cam_nj: stats.cam_searches as f64 * e.cam_search_pj / 1_000.0,
+            mac_nj: (stats.mac_ops as f64 * e.mac_op_pj).to_nanojoules(),
+            cam_nj: (stats.cam_searches as f64 * e.cam_search_pj).to_nanojoules(),
             // Write-verify read-backs bill to the write path: they guard
             // programming bursts, not MAC compute.
             write_nj: (mac_cells as f64 * e.cell_write_pj
                 + cam_cells as f64 * e.cam_bit_write_pj
                 + self.faults.verify_reads as f64 * e.verify_read_pj)
-                / 1_000.0,
-            sfu_nj: self.sfu.total_ops() as f64 * e.sfu_op_pj / 1_000.0,
+                .to_nanojoules(),
+            sfu_nj: (self.sfu.total_ops() as f64 * e.sfu_op_pj).to_nanojoules(),
             buffer_nj,
-            static_nj: e.static_mw * makespan / 1_000.0,
+            static_nj: e.static_energy_nj(makespan),
         };
         let ops = OpSummary {
             mac_ops: stats.mac_ops,
@@ -1416,7 +1439,7 @@ impl Engine {
         // Attribute the makespan to the five pipeline phases in proportion
         // to their busy time; the shares sum to `elapsed_ns` exactly.
         let busy = self.phase_busy_ns();
-        let tallies: Vec<(Phase, f64, u64)> = Phase::ALL
+        let tallies: Vec<(Phase, Nanos, u64)> = Phase::ALL
             .iter()
             .filter(|&&p| p != Phase::Dispatch)
             .map(|&p| (p, busy[p.index()], self.phase_counts[p.index()]))
@@ -1426,9 +1449,9 @@ impl Engine {
         // funnels through the primary's `finish`) — must conserve the
         // makespan across the phase attribution, bit-for-bit.
         debug_assert!(
-            phases.is_empty() || phases.iter().map(|p| p.sched_ns).sum::<f64>() == makespan,
+            phases.is_empty() || phases.iter().map(|p| p.sched_ns).sum::<Nanos>() == makespan,
             "phase attribution dropped schedule time: {} != {makespan}",
-            phases.iter().map(|p| p.sched_ns).sum::<f64>(),
+            phases.iter().map(|p| p.sched_ns).sum::<Nanos>(),
         );
 
         self.emit_dispatch_events();
@@ -1479,8 +1502,9 @@ impl Engine {
             self.tracer
                 .counter_add("fault_cam_double_checks", self.faults.cam_double_checks);
         }
-        self.tracer.gauge_set("elapsed_ns", makespan);
-        self.tracer.gauge_set("energy_total_nj", energy.total_nj());
+        self.tracer.gauge_set("elapsed_ns", makespan.ns());
+        self.tracer
+            .gauge_set("energy_total_nj", energy.total_nj().nj());
         self.tracer.flush();
 
         let mut report = RunReport::new(engine, algorithm, workload);
@@ -1496,22 +1520,28 @@ impl Engine {
         report
     }
 
-    /// The scheduled makespan of all blocks committed so far, ns, under
-    /// the configured [`SchedulePolicy`].
-    pub fn makespan_ns(&self) -> f64 {
+    /// The scheduled makespan of all blocks committed so far under the
+    /// configured [`SchedulePolicy`].
+    pub fn makespan_ns(&self) -> Nanos {
         let body = match self.config.scheduler {
             SchedulePolicy::Waves => {
                 let mut clock = PipelineClock::new();
                 for wave in self.costs.chunks(self.config.num_banks.max(1)) {
-                    let stream_ns: f64 = wave
+                    let stream_ns: Nanos = wave
                         .iter()
                         .map(|b| self.config.stream_ns(b.stream_bytes))
                         .sum();
-                    let program_ns = wave.iter().map(|b| b.program_ns).fold(0.0, f64::max);
-                    let compute_ns = wave.iter().map(|b| b.compute_ns).fold(0.0, f64::max);
-                    clock.advance(stream_ns.max(program_ns), compute_ns);
+                    let program_ns = wave
+                        .iter()
+                        .map(|b| b.program_ns)
+                        .fold(Nanos::ZERO, Nanos::max);
+                    let compute_ns = wave
+                        .iter()
+                        .map(|b| b.compute_ns)
+                        .fold(Nanos::ZERO, Nanos::max);
+                    clock.advance(stream_ns.max(program_ns).ns(), compute_ns.ns());
                 }
-                clock.makespan()
+                Nanos::from_ns(clock.makespan())
             }
             SchedulePolicy::EventDriven => {
                 let mut sched = BankScheduler::new(self.config.num_banks.max(1));
@@ -1547,6 +1577,7 @@ pub fn partition_for_streaming(
 mod tests {
     use super::*;
     use gaasx_graph::generators;
+    use gaasx_sim::Nanojoules;
 
     fn engine() -> Engine {
         Engine::new(GaasXConfig::small()).unwrap()
@@ -1690,13 +1721,13 @@ mod tests {
             let _ = e.gather_rows(&hits, &mut |_| 1, 0).unwrap();
         }
         e.end_block();
-        let m = e.makespan_ns();
+        let m = e.makespan_ns().ns();
         assert!(m > 0.0);
         // All three blocks fit one wave of 8 banks: load is the max program
         // time (8 edges × one CAM/MAC row pair each, the 2-value MAC row
         // pacing) vs serial stream; compute is one search + one MAC.
-        let row_ns = e.config().energy.row_program_ns(2);
-        let expected_load = (8.0 * row_ns).max(3.0 * e.config().stream_ns(8 * 12));
+        let row_ns = e.config().energy.row_program_ns(2).ns();
+        let expected_load = (8.0 * row_ns).max(3.0 * e.config().stream_ns(8 * 12).ns());
         let expected_compute = 4.0 + 30.0 + 2.0 * (4.0 + 30.0 + 1.0 / 16.0);
         assert!(m >= expected_load);
         assert!(m <= expected_load + expected_compute + 1.0);
@@ -1724,7 +1755,7 @@ mod tests {
                 }
             }
             e.end_block();
-            e.makespan_ns()
+            e.makespan_ns().ns()
         };
         let waves = run(SchedulePolicy::Waves);
         let des = run(SchedulePolicy::EventDriven);
@@ -1740,9 +1771,9 @@ mod tests {
         let hits = e.search_dst(VertexId::new(1));
         let _ = e.gather_rows(&hits, &mut |_| 1, 0).unwrap();
         let r = e.finish("gaasx", "test", "fig7", 1, 8);
-        assert!(r.elapsed_ns > 0.0);
-        assert!(r.energy.total_nj() > 0.0);
-        assert!(r.energy.write_nj > 0.0);
+        assert!(r.elapsed_ns > Nanos::ZERO);
+        assert!(r.energy.total_nj() > Nanojoules::ZERO);
+        assert!(r.energy.write_nj > Nanojoules::ZERO);
         assert_eq!(r.ops.cam_searches, 1);
         assert_eq!(r.ops.mac_ops, 1);
         assert_eq!(r.ops.compute_items, 3);
@@ -1776,7 +1807,7 @@ mod tests {
         // Same energy (same cells programmed)...
         assert_eq!(ra.ops.cells_written, rb.ops.cells_written);
         assert_eq!(ra.ops.cells_written, 80 * 16 * 8);
-        assert!((ra.energy.write_nj - rb.energy.write_nj).abs() < 1e-9);
+        assert!((ra.energy.write_nj.nj() - rb.energy.write_nj.nj()).abs() < 1e-9);
         // ...but 8 banks load 8× faster than 1 bank.
         assert!((rb.elapsed_ns / ra.elapsed_ns - 8.0).abs() < 1e-6);
     }
@@ -1798,7 +1829,7 @@ mod tests {
         assert!(!r.phases.is_empty());
         // Exact: the largest share absorbs the rounding residue.
         assert_eq!(r.phases_total_sched_ns(), r.elapsed_ns);
-        assert!(r.phase(Phase::LoadBlock).unwrap().busy_ns > 0.0);
+        assert!(r.phase(Phase::LoadBlock).unwrap().busy_ns > Nanos::ZERO);
         assert_eq!(r.phase(Phase::CamSearch).unwrap().count, 1);
         assert_eq!(r.phase(Phase::MacGather).unwrap().count, 1);
         // One chunk: no SFU accumulator adds, so no Sfu entry.
@@ -1824,7 +1855,7 @@ mod tests {
             let seen = rollup.iter().find(|p| p.phase == phase).unwrap();
             let want = r.phase(phase).unwrap();
             assert!(
-                (seen.busy_ns - want.busy_ns).abs() < 1e-9,
+                (seen.busy_ns.ns() - want.busy_ns.ns()).abs() < 1e-9,
                 "{phase:?}: {} vs {}",
                 seen.busy_ns,
                 want.busy_ns
@@ -2005,7 +2036,7 @@ mod tests {
         assert_eq!(r.ops.verify_reads, r.faults.verify_reads);
         // Verify reads bill read-class energy to the write path.
         let e_model = &GaasXConfig::small().energy;
-        let floor = r.faults.verify_reads as f64 * e_model.verify_read_pj / 1_000.0;
+        let floor = (r.faults.verify_reads as f64 * e_model.verify_read_pj).to_nanojoules();
         assert!(r.energy.write_nj > floor);
     }
 
@@ -2160,10 +2191,10 @@ mod tests {
             // The sink saw the same intervals, non-overlapping per track.
             let intervals = sink.take();
             assert!(!intervals.is_empty());
-            let mut tracks: std::collections::BTreeMap<(u32, u32), f64> =
+            let mut tracks: std::collections::BTreeMap<(u32, u32), Nanos> =
                 std::collections::BTreeMap::new();
             for iv in &intervals {
-                let cursor = tracks.entry((iv.bank, iv.lane)).or_insert(0.0);
+                let cursor = tracks.entry((iv.bank, iv.lane)).or_insert(Nanos::ZERO);
                 assert!(
                     iv.start_ns >= *cursor,
                     "{policy:?}: overlap on bank {} lane {}",

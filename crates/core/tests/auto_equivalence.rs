@@ -76,8 +76,8 @@ where
             algorithm.name()
         );
         assert_eq!(
-            auto.report.elapsed_ns.to_bits(),
-            want.report.elapsed_ns.to_bits(),
+            auto.report.elapsed_ns.ns().to_bits(),
+            want.report.elapsed_ns.ns().to_bits(),
             "{}: elapsed bits diverged from {fixed}",
             algorithm.name()
         );

@@ -33,8 +33,8 @@ where
     prop_assert_eq!(&sharded.result, &serial.result, "outputs diverged");
     prop_assert_eq!(sharded.report.ops, serial.report.ops);
     prop_assert_eq!(
-        sharded.report.elapsed_ns.to_bits(),
-        serial.report.elapsed_ns.to_bits(),
+        sharded.report.elapsed_ns.ns().to_bits(),
+        serial.report.elapsed_ns.ns().to_bits(),
         "elapsed {} vs {}",
         sharded.report.elapsed_ns,
         serial.report.elapsed_ns

@@ -50,24 +50,31 @@ fn traced_run(
 fn assert_conserves(report: &RunReport) {
     let util = report.utilization.as_ref().unwrap();
     for phase in Phase::ALL {
-        let busy = report.phase(phase).map_or(0.0, |p| p.busy_ns);
+        let busy = report
+            .phase(phase)
+            .map_or(gaasx_sim::Nanos::ZERO, |p| p.busy_ns);
         prop_assert_eq!(
-            util.phase_busy_ns[phase.index()].to_bits(),
-            busy.to_bits(),
+            util.phase_busy_ns[phase.index()].ns().to_bits(),
+            busy.ns().to_bits(),
             "phase {} diverged: timeline {} vs report {}",
             phase.name(),
             util.phase_busy_ns[phase.index()],
             busy
         );
     }
-    prop_assert_eq!(util.makespan_ns.to_bits(), report.elapsed_ns.to_bits());
+    prop_assert_eq!(
+        util.makespan_ns.ns().to_bits(),
+        report.elapsed_ns.ns().to_bits()
+    );
 }
 
 /// Checks that no two intervals on the same `(bank, lane)` track overlap.
 fn assert_non_overlapping(intervals: &[gaasx_sim::TimelineInterval]) {
-    let mut cursors: BTreeMap<(u32, u32), f64> = BTreeMap::new();
+    let mut cursors: BTreeMap<(u32, u32), gaasx_sim::Nanos> = BTreeMap::new();
     for iv in intervals {
-        let cursor = cursors.entry((iv.bank, iv.lane)).or_insert(0.0);
+        let cursor = cursors
+            .entry((iv.bank, iv.lane))
+            .or_insert(gaasx_sim::Nanos::ZERO);
         prop_assert!(
             iv.start_ns >= *cursor,
             "overlap on bank {} lane {}: starts {} before {}",
@@ -76,7 +83,10 @@ fn assert_non_overlapping(intervals: &[gaasx_sim::TimelineInterval]) {
             iv.start_ns,
             *cursor
         );
-        prop_assert!(iv.dur_ns > 0.0, "zero-length interval survived");
+        prop_assert!(
+            iv.dur_ns > gaasx_sim::Nanos::ZERO,
+            "zero-length interval survived"
+        );
         *cursor = iv.start_ns + iv.dur_ns;
     }
 }

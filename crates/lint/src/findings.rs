@@ -37,6 +37,19 @@ impl Finding {
     }
 }
 
+/// Per-rule tallies: surviving findings and silenced candidates. The CI
+/// baseline ratchet (`--baseline`) compares these against a committed
+/// snapshot so suppression debt can only shrink.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuleCount {
+    /// Rule id.
+    pub rule: String,
+    /// Findings that survived suppression.
+    pub findings: usize,
+    /// Candidates silenced by justified `allow(...)` directives.
+    pub suppressed: usize,
+}
+
 /// The result of linting one root: every surviving finding plus scan
 /// statistics.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -47,12 +60,23 @@ pub struct LintReport {
     pub files_scanned: usize,
     /// Number of would-be findings silenced by `allow(...)` directives.
     pub suppressed: usize,
+    /// Per-rule tallies in [`crate::rules::RULE_NAMES`] order, including
+    /// all-zero rows so the baseline schema is stable across runs.
+    pub rules: Vec<RuleCount>,
 }
 
 impl LintReport {
     /// Whether the scanned tree is violation-free.
     pub fn is_clean(&self) -> bool {
         self.findings.is_empty()
+    }
+
+    /// The suppressed count recorded for `rule` (0 when absent).
+    pub fn suppressed_for(&self, rule: &str) -> usize {
+        self.rules
+            .iter()
+            .find(|r| r.rule == rule)
+            .map_or(0, |r| r.suppressed)
     }
 
     /// The human-readable (non-JSON) report.
@@ -89,6 +113,11 @@ mod tests {
             )],
             files_scanned: 3,
             suppressed: 1,
+            rules: vec![RuleCount {
+                rule: "panic-in-lib".to_string(),
+                findings: 1,
+                suppressed: 1,
+            }],
         };
         let text = report.render_human();
         assert!(text.contains("crates/x/src/lib.rs:7: [panic-in-lib] boom"));
@@ -98,5 +127,19 @@ mod tests {
     #[test]
     fn clean_report_is_clean() {
         assert!(LintReport::default().is_clean());
+    }
+
+    #[test]
+    fn suppressed_for_defaults_to_zero() {
+        let report = LintReport {
+            rules: vec![RuleCount {
+                rule: "wall-clock".to_string(),
+                findings: 0,
+                suppressed: 4,
+            }],
+            ..LintReport::default()
+        };
+        assert_eq!(report.suppressed_for("wall-clock"), 4);
+        assert_eq!(report.suppressed_for("mixed-units"), 0);
     }
 }

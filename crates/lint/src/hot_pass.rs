@@ -1,0 +1,240 @@
+//! Hot-path reachability: `hot-reachable-alloc`, `hot-reachable-panic`.
+//!
+//! The lexical `alloc-in-hot` rule polices the fenced dispatch loops
+//! themselves; these two rules extend the fence *transitively* through
+//! the intra-crate call graph ([`crate::callgraph::HotSet`]): a helper
+//! called (directly or through further helpers) from a fenced line must
+//! be as allocation-free and panic-free as the fence itself.
+//!
+//! Directly-fenced lines are skipped here — they are `alloc-in-hot`'s
+//! jurisdiction — so the two layers never double-report one site. Test
+//! regions and test files are skipped; `debug_assert!` family is allowed
+//! (compiled out in release, which is the only build whose latency the
+//! model bills).
+
+use crate::callgraph::HotSet;
+use crate::findings::Finding;
+use crate::source::{FileKind, Workspace};
+use crate::symbols::SymbolTable;
+
+/// Allocation-capable needles, mirroring (and extending) `alloc-in-hot`.
+const ALLOC_NEEDLES: &[&str] = &[
+    "Vec::new(",
+    "Vec::with_capacity(",
+    "vec![",
+    ".to_vec(",
+    ".collect",
+    "format!(",
+    "Box::new(",
+    "String::new(",
+    ".to_string(",
+    ".to_owned(",
+    "String::from(",
+];
+
+/// Panic-capable needles. `debug_assert!` is deliberately absent; plain
+/// `assert!` in reachable helpers aborts a whole sharded run in release.
+const PANIC_NEEDLES: &[&str] = &[
+    ".unwrap(",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+    "assert!(",
+    "assert_eq!(",
+    "assert_ne!(",
+];
+
+fn scan_needles(
+    ws: &Workspace,
+    symbols: &SymbolTable,
+    hot: &HotSet,
+    rule: &'static str,
+    needles: &[&str],
+    verb: &str,
+    out: &mut Vec<Finding>,
+) {
+    for (&f, reason) in &hot.reasons {
+        let def = &symbols.fns[f];
+        let Some((start, end)) = def.body else {
+            continue;
+        };
+        let file = &ws.files[def.file];
+        if file.kind == FileKind::Test {
+            continue;
+        }
+        for li in start..=end.min(file.lines.len().saturating_sub(1)) {
+            if file.in_test.get(li).copied().unwrap_or(false) {
+                continue;
+            }
+            // Directly-fenced lines belong to the lexical `alloc-in-hot`
+            // rule; re-flagging them here would double-report.
+            if file.hot.get(li).copied().unwrap_or(false) {
+                continue;
+            }
+            let code = &file.lines[li].code;
+            for needle in needles {
+                if let Some(col) = code.find(needle) {
+                    // `debug_assert!(…)` contains `assert!(`; identifier-
+                    // initial needles must start at a token boundary
+                    // (`.`-initial ones are boundaries by construction).
+                    let ident_initial = needle
+                        .chars()
+                        .next()
+                        .is_some_and(crate::lexer::is_ident_char);
+                    let boundary = !ident_initial
+                        || col == 0
+                        || !crate::lexer::is_ident_char(
+                            code[..col].chars().next_back().unwrap_or(' '),
+                        );
+                    if !boundary {
+                        continue;
+                    }
+                    out.push(Finding {
+                        rule: rule.into(),
+                        path: file.path.clone(),
+                        line: li + 1,
+                        message: format!(
+                            "`{}` can {verb} inside hot-reachable fn `{}` ({reason})",
+                            needle.trim_end_matches('('),
+                            def.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// `hot-reachable-alloc`: heap allocation in a fn reachable from a fence.
+pub fn hot_reachable_alloc(
+    ws: &Workspace,
+    symbols: &SymbolTable,
+    hot: &HotSet,
+    out: &mut Vec<Finding>,
+) {
+    scan_needles(
+        ws,
+        symbols,
+        hot,
+        "hot-reachable-alloc",
+        ALLOC_NEEDLES,
+        "allocate",
+        out,
+    );
+}
+
+/// `hot-reachable-panic`: a panic path in a fn reachable from a fence.
+pub fn hot_reachable_panic(
+    ws: &Workspace,
+    symbols: &SymbolTable,
+    hot: &HotSet,
+    out: &mut Vec<Finding>,
+) {
+    scan_needles(
+        ws,
+        symbols,
+        hot,
+        "hot-reachable-panic",
+        PANIC_NEEDLES,
+        "panic",
+        out,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::analyze_file;
+
+    fn run_on(src: &str) -> Vec<Finding> {
+        let ws = Workspace {
+            root: std::path::PathBuf::from("."),
+            files: vec![analyze_file(
+                "crates/core/src/engine.rs",
+                src,
+                &["directive"],
+            )],
+        };
+        let symbols = SymbolTable::build(&ws);
+        let hot = HotSet::compute(&ws, &symbols);
+        let mut out = Vec::new();
+        hot_reachable_alloc(&ws, &symbols, &hot, &mut out);
+        hot_reachable_panic(&ws, &symbols, &hot, &mut out);
+        out
+    }
+
+    const HOT_CALLER: &str = "\
+pub fn dispatch(&mut self) {
+    // gaasx-lint: hot
+    for c in chunks {
+        step(c);
+    }
+    // gaasx-lint: end-hot
+}
+";
+
+    #[test]
+    fn transitive_alloc_and_panic_flag_with_witness() {
+        let src = format!(
+            "{HOT_CALLER}fn step(c: &Chunk) {{\n    let v: Vec<u64> = c.ids().collect();\n    let x = v.first().unwrap();\n    touch(*x);\n}}\nfn touch(_x: u64) {{}}\n"
+        );
+        let out = run_on(&src);
+        assert!(
+            out.iter()
+                .any(|f| f.rule == "hot-reachable-alloc" && f.message.contains("step")),
+            "{out:?}"
+        );
+        assert!(
+            out.iter()
+                .any(|f| f.rule == "hot-reachable-panic" && f.message.contains("hot fence")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn cold_helpers_and_fenced_lines_are_not_reflagged() {
+        let src = "\
+pub fn dispatch(&mut self) {
+    // gaasx-lint: hot
+    for c in chunks {
+        step(c);
+    }
+    // gaasx-lint: end-hot
+    summary();
+}
+fn step(c: &Chunk) {
+    c.touch();
+}
+fn summary() {
+    let s = format!(\"done\");
+    drop(s);
+}
+";
+        let out = run_on(src);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn debug_assert_is_allowed() {
+        let src = format!(
+            "{HOT_CALLER}fn step(c: &Chunk) {{\n    debug_assert!(c.ok());\n    c.touch();\n}}\n"
+        );
+        let out = run_on(&src);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn second_hop_helpers_are_covered() {
+        let src = format!(
+            "{HOT_CALLER}fn step(c: &Chunk) {{\n    deeper(c);\n}}\nfn deeper(c: &Chunk) {{\n    c.buf.to_vec();\n}}\n"
+        );
+        let out = run_on(&src);
+        assert!(
+            out.iter()
+                .any(|f| f.rule == "hot-reachable-alloc" && f.message.contains("deeper")),
+            "{out:?}"
+        );
+    }
+}

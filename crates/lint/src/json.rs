@@ -6,13 +6,26 @@
 //! understands exactly the JSON this crate produces. The round-trip is
 //! covered by `tests/` so `--json` output stays machine-readable.
 
-use crate::findings::{Finding, LintReport};
+use crate::findings::{Finding, LintReport, RuleCount};
 
 /// Serializes a report to a single-line JSON object.
 pub fn to_json(report: &LintReport) -> String {
     let mut out = String::from("{");
     out.push_str(&format!("\"files_scanned\":{},", report.files_scanned));
     out.push_str(&format!("\"suppressed\":{},", report.suppressed));
+    out.push_str("\"rules\":[");
+    for (i, r) in report.rules.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":{},\"findings\":{},\"suppressed\":{}}}",
+            escape(&r.rule),
+            r.findings,
+            r.suppressed
+        ));
+    }
+    out.push_str("],");
     out.push_str("\"findings\":[");
     for (i, f) in report.findings.iter().enumerate() {
         if i > 0 {
@@ -74,10 +87,32 @@ pub fn from_json(text: &str) -> Result<LintReport, String> {
                     report.findings.push(finding_from(item)?);
                 }
             }
+            "rules" => {
+                for item in val.as_array()? {
+                    report.rules.push(rule_count_from(item)?);
+                }
+            }
             other => return Err(format!("unknown report key `{other}`")),
         }
     }
     Ok(report)
+}
+
+fn rule_count_from(value: &Value) -> Result<RuleCount, String> {
+    let mut r = RuleCount {
+        rule: String::new(),
+        findings: 0,
+        suppressed: 0,
+    };
+    for (key, val) in value.as_object()? {
+        match key.as_str() {
+            "rule" => r.rule = val.as_str()?.to_string(),
+            "findings" => r.findings = val.as_usize()?,
+            "suppressed" => r.suppressed = val.as_usize()?,
+            other => return Err(format!("unknown rule-count key `{other}`")),
+        }
+    }
+    Ok(r)
 }
 
 fn finding_from(value: &Value) -> Result<Finding, String> {
@@ -297,6 +332,18 @@ mod tests {
             ],
             files_scanned: 42,
             suppressed: 7,
+            rules: vec![
+                RuleCount {
+                    rule: "panic-in-lib".to_string(),
+                    findings: 1,
+                    suppressed: 5,
+                },
+                RuleCount {
+                    rule: "directive".to_string(),
+                    findings: 1,
+                    suppressed: 0,
+                },
+            ],
         }
     }
 

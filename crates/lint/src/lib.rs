@@ -19,14 +19,25 @@
 //!
 //! and hot regions are fenced with `// gaasx-lint: hot` /
 //! `// gaasx-lint: end-hot`. See [`rules::RULE_NAMES`] for the rule set.
+//!
+//! Beyond the per-file lexical rules, two multi-pass analyses run over a
+//! cross-file model of the workspace ([`symbols`] + [`callgraph`]):
+//! unit-of-measure checking ([`units_pass`]: `mixed-units`,
+//! `unit-ambiguous-sig`, `unit-cast`) and transitive hot-path
+//! reachability ([`hot_pass`]: `hot-reachable-alloc`,
+//! `hot-reachable-panic`).
 
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod callgraph;
 pub mod findings;
+pub mod hot_pass;
 pub mod json;
 pub mod lexer;
 pub mod rules;
 pub mod source;
+pub mod symbols;
+pub mod units_pass;
 
 use std::path::Path;
 

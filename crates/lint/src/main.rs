@@ -1,22 +1,56 @@
 //! CLI for `gaasx-lint`.
 //!
 //! ```text
-//! gaasx-lint [ROOT] [--json]
+//! gaasx-lint [ROOT] [--json] [--baseline FILE]
 //! ```
 //!
-//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+//! `--baseline FILE` compares this run's per-rule suppression counts
+//! against a committed snapshot (itself produced with `--json`) and fails
+//! when any rule's suppression debt *grew* — a one-way ratchet: paying
+//! debt down never requires touching the baseline, adding debt does, and
+//! the diff review is the approval gate.
+//!
+//! Exit codes: `0` clean, `1` findings or ratchet violations, `2` usage
+//! or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use gaasx_lint::LintReport;
+
+/// Checks the ratchet; returns violation lines (empty = pass).
+fn baseline_violations(report: &LintReport, baseline: &LintReport) -> Vec<String> {
+    let mut out = Vec::new();
+    for r in &report.rules {
+        let allowed = baseline.suppressed_for(&r.rule);
+        if r.suppressed > allowed {
+            out.push(format!(
+                "rule `{}`: {} suppression(s) exceed the committed baseline of {} \
+                 (pay down a suppression or update results/lint_baseline.json in review)",
+                r.rule, r.suppressed, allowed
+            ));
+        }
+    }
+    out
+}
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json = false;
-    for arg in std::env::args().skip(1) {
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--baseline" => {
+                let Some(path) = args.next() else {
+                    eprintln!("gaasx-lint: --baseline needs a FILE argument");
+                    return ExitCode::from(2);
+                };
+                baseline_path = Some(PathBuf::from(path));
+            }
             "--help" | "-h" => {
-                println!("usage: gaasx-lint [ROOT] [--json]");
+                println!("usage: gaasx-lint [ROOT] [--json] [--baseline FILE]");
                 return ExitCode::SUCCESS;
             }
             other if other.starts_with('-') => {
@@ -33,22 +67,41 @@ fn main() -> ExitCode {
         }
     }
     let root = root.unwrap_or_else(|| PathBuf::from("."));
-    match gaasx_lint::run_lint(&root) {
-        Ok(report) => {
-            if json {
-                println!("{}", gaasx_lint::json::to_json(&report));
-            } else {
-                print!("{}", report.render_human());
-            }
-            if report.is_clean() {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::from(1)
-            }
-        }
+    let report = match gaasx_lint::run_lint(&root) {
+        Ok(report) => report,
         Err(err) => {
             eprintln!("gaasx-lint: {err}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+
+    let mut ratchet_failed = false;
+    if let Some(path) = baseline_path {
+        let baseline = std::fs::read_to_string(&path)
+            .map_err(|e| format!("read {}: {e}", path.display()))
+            .and_then(|text| gaasx_lint::json::from_json(&text));
+        match baseline {
+            Ok(baseline) => {
+                for violation in baseline_violations(&report, &baseline) {
+                    eprintln!("gaasx-lint: {violation}");
+                    ratchet_failed = true;
+                }
+            }
+            Err(err) => {
+                eprintln!("gaasx-lint: baseline: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if json {
+        println!("{}", gaasx_lint::json::to_json(&report));
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.is_clean() && !ratchet_failed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
     }
 }

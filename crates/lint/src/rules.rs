@@ -27,6 +27,11 @@ pub const RULE_NAMES: &[&str] = &[
     "thread-containment",
     "seeded-rng",
     "wall-clock",
+    "mixed-units",
+    "unit-ambiguous-sig",
+    "unit-cast",
+    "hot-reachable-alloc",
+    "hot-reachable-panic",
     "directive",
 ];
 
@@ -50,13 +55,28 @@ pub fn check_workspace(ws: &Workspace) -> LintReport {
     seeded_rng(ws, &mut candidates);
     wall_clock(ws, &mut candidates);
 
+    // Multi-pass analyses: one symbol table + hot closure shared by the
+    // unit-of-measure and hot-reachability rules.
+    let symbols = crate::symbols::SymbolTable::build(ws);
+    let hot = crate::callgraph::HotSet::compute(ws, &symbols);
+    crate::units_pass::mixed_units(ws, &symbols, &mut candidates);
+    crate::units_pass::unit_ambiguous_sig(ws, &symbols, &mut candidates);
+    crate::units_pass::unit_cast(ws, &mut candidates);
+    crate::hot_pass::hot_reachable_alloc(ws, &symbols, &hot, &mut candidates);
+    crate::hot_pass::hot_reachable_panic(ws, &symbols, &hot, &mut candidates);
+
     let mut suppressed = 0usize;
+    let mut suppressed_by_rule: Vec<usize> = vec![0; RULE_NAMES.len()];
+    let rule_slot = |rule: &str| RULE_NAMES.iter().position(|r| *r == rule);
     for finding in candidates {
         let silenced = ws
             .file(&finding.path)
             .is_some_and(|f| finding.line > 0 && f.is_suppressed(finding.line - 1, &finding.rule));
         if silenced {
             suppressed += 1;
+            if let Some(slot) = rule_slot(&finding.rule) {
+                suppressed_by_rule[slot] += 1;
+            }
         } else {
             findings.push(finding);
         }
@@ -65,10 +85,22 @@ pub fn check_workspace(ws: &Workspace) -> LintReport {
         (&a.path, a.line, &a.rule, &a.message).cmp(&(&b.path, b.line, &b.rule, &b.message))
     });
     findings.dedup();
+
+    let rules = RULE_NAMES
+        .iter()
+        .enumerate()
+        .map(|(slot, rule)| crate::findings::RuleCount {
+            rule: (*rule).to_string(),
+            findings: findings.iter().filter(|f| f.rule == *rule).count(),
+            suppressed: suppressed_by_rule[slot],
+        })
+        .collect();
+
     LintReport {
         findings,
         files_scanned: ws.files.len(),
         suppressed,
+        rules,
     }
 }
 

@@ -1,0 +1,540 @@
+//! Cross-file symbol table: per-crate function definitions with parsed
+//! signatures and body ranges, plus unit-of-measure inference.
+//!
+//! This is the first of the two multi-pass foundations (the other is
+//! [`crate::callgraph`]): one scan over the lexed workspace recovers
+//! every `fn` item — name, visibility, parameter list, return type, and
+//! the 0-based body line range — keyed by the crate the file belongs to.
+//! The unit model is deliberately small: the five measures the accounting
+//! ledger actually mixes up when it goes wrong.
+//!
+//! Everything here runs on the blanked *code view* from [`crate::lexer`],
+//! so string contents and comments cannot fake a definition.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::is_ident_char;
+use crate::source::{SourceFile, Workspace};
+
+/// A unit of measure inferred from naming conventions or declared types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Modeled time in nanoseconds (`_ns`, `Nanos`).
+    Nanos,
+    /// Per-op energy in picojoules (`_pj`, `Picojoules`).
+    Picojoules,
+    /// Aggregated energy in nanojoules (`_nj`, `Nanojoules`).
+    Nanojoules,
+    /// Dimensionless event/op counters (`_ops`, `_count`, `_searches`, …).
+    Count,
+    /// Dimensionless ratios and scale factors (`_ratio`, `_frac`, …).
+    Ratio,
+}
+
+impl Unit {
+    /// Short display name used in findings.
+    pub fn name(self) -> &'static str {
+        match self {
+            Unit::Nanos => "ns",
+            Unit::Picojoules => "pJ",
+            Unit::Nanojoules => "nJ",
+            Unit::Count => "count",
+            Unit::Ratio => "ratio",
+        }
+    }
+
+    /// Whether two units may legally meet under `+`/`-`/comparison.
+    pub fn compatible(self, other: Unit) -> bool {
+        self == other
+    }
+}
+
+/// Identifier suffixes that *declare* a unit by convention.
+const COUNT_SUFFIXES: &[&str] = &[
+    "ops",
+    "op",
+    "count",
+    "counts",
+    "searches",
+    "reads",
+    "writes",
+    "items",
+    "accesses",
+    "edges",
+    "rows",
+    "cols",
+    "len",
+    "iters",
+    "iterations",
+    "hits",
+    "misses",
+    "lookups",
+    "events",
+    "spans",
+];
+const RATIO_SUFFIXES: &[&str] = &[
+    "ratio",
+    "frac",
+    "fraction",
+    "share",
+    "pct",
+    "scale",
+    "factor",
+    "util",
+    "efficiency",
+];
+
+/// Suffixes that carry *some* explicit physical unit outside the modeled
+/// five — enough for a signature to be unambiguous even though the lint
+/// does not track the dimension (bandwidths, powers, sizes, frequencies).
+const OTHER_UNIT_SUFFIXES: &[&str] = &[
+    "gbps", "mw", "w", "watts", "ghz", "hz", "bytes", "bits", "s", "secs", "us", "ms", "kb", "mb",
+    "volts", "mv", "gflops",
+];
+
+/// The trailing `_`-separated segment of an identifier (or the whole
+/// identifier when it has no `_`).
+fn suffix(name: &str) -> &str {
+    name.rsplit('_').next().unwrap_or(name)
+}
+
+/// Infers a unit from an identifier's suffix convention (`elapsed_ns`,
+/// `mac_op_pj`, `cam_searches`, `overlap_ratio`, …).
+pub fn unit_of_ident(name: &str) -> Option<Unit> {
+    let sfx = suffix(name);
+    match sfx {
+        "ns" => Some(Unit::Nanos),
+        "pj" => Some(Unit::Picojoules),
+        "nj" => Some(Unit::Nanojoules),
+        _ if COUNT_SUFFIXES.contains(&sfx) => Some(Unit::Count),
+        _ if RATIO_SUFFIXES.contains(&sfx) => Some(Unit::Ratio),
+        _ => None,
+    }
+}
+
+/// Whether an identifier's suffix names *any* recognized physical unit —
+/// the five modeled ones or the wider explicit set (`_gbps`, `_mw`, …).
+pub fn has_declared_unit(name: &str) -> bool {
+    unit_of_ident(name).is_some() || OTHER_UNIT_SUFFIXES.contains(&suffix(name))
+}
+
+/// Infers a unit from a declared Rust type (after stripping references
+/// and one layer of `Vec<…>`/`[…]` containers).
+pub fn unit_of_type(ty: &str) -> Option<Unit> {
+    let mut t = ty.trim();
+    loop {
+        if let Some(rest) = t.strip_prefix('&') {
+            t = rest
+                .trim_start()
+                .strip_prefix("mut ")
+                .unwrap_or(rest)
+                .trim();
+        } else if let Some(rest) = t.strip_prefix('[') {
+            t = rest.trim_start();
+        } else if let Some(rest) = t.strip_prefix("Vec<") {
+            t = rest.trim_start();
+        } else if let Some(rest) = t.strip_prefix("gaasx_sim::") {
+            t = rest;
+        } else {
+            break;
+        }
+    }
+    let head: String = t.chars().take_while(|&c| is_ident_char(c)).collect();
+    match head.as_str() {
+        "Nanos" => Some(Unit::Nanos),
+        "Picojoules" => Some(Unit::Picojoules),
+        "Nanojoules" => Some(Unit::Nanojoules),
+        _ => None,
+    }
+}
+
+/// One function parameter: pattern name and the raw type text.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// The bound name (last identifier of the pattern; `_` stays `_`).
+    pub name: String,
+    /// Raw (trimmed) type text, e.g. `f64`, `&mut Nanos`.
+    pub ty: String,
+}
+
+/// One `fn` item recovered from the lexical scan.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// Index of the defining file in [`Workspace::files`].
+    pub file: usize,
+    /// 0-based line of the `fn` keyword.
+    pub line: usize,
+    /// Whether the item carries a `pub` visibility (any variant).
+    pub is_pub: bool,
+    /// Declared parameters (excluding `self` receivers).
+    pub params: Vec<Param>,
+    /// Raw return-type text (empty for `()`).
+    pub ret: String,
+    /// 0-based inclusive body line range; `None` for bodyless trait decls.
+    pub body: Option<(usize, usize)>,
+}
+
+impl FnDef {
+    /// The unit a parameter carries, from its declared type first and its
+    /// name suffix second.
+    pub fn param_unit(p: &Param) -> Option<Unit> {
+        unit_of_type(&p.ty).or_else(|| unit_of_ident(&p.name))
+    }
+}
+
+/// Per-crate symbol table over a workspace.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// Every recovered function, in scan order.
+    pub fns: Vec<FnDef>,
+    /// `crate name → fn name → indices into fns`.
+    pub by_crate: BTreeMap<String, BTreeMap<String, Vec<usize>>>,
+}
+
+/// The crate a workspace-relative path belongs to (`crates/<name>/…` →
+/// `<name>`; anything else shares the `<root>` pseudo-crate).
+pub fn crate_of(path: &str) -> &str {
+    path.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("<root>")
+}
+
+impl SymbolTable {
+    /// Builds the table from every scanned file.
+    pub fn build(ws: &Workspace) -> Self {
+        let mut table = SymbolTable::default();
+        for (fi, file) in ws.files.iter().enumerate() {
+            let start = table.fns.len();
+            extract_fns(file, fi, &mut table.fns);
+            let crate_name = crate_of(&file.path).to_string();
+            let per_crate = table.by_crate.entry(crate_name).or_default();
+            for idx in start..table.fns.len() {
+                per_crate
+                    .entry(table.fns[idx].name.clone())
+                    .or_default()
+                    .push(idx);
+            }
+        }
+        table
+    }
+
+    /// All definitions of `name` within `crate_name`.
+    pub fn resolve(&self, crate_name: &str, name: &str) -> &[usize] {
+        self.by_crate
+            .get(crate_name)
+            .and_then(|m| m.get(name))
+            .map_or(&[], Vec::as_slice)
+    }
+}
+
+/// States of the per-file `fn` extractor.
+enum ScanState {
+    /// Looking for the `fn` keyword.
+    Idle,
+    /// Saw `fn`; the next identifier names the function.
+    Armed { is_pub: bool },
+    /// Collecting signature text until the body `{` or a `;`.
+    InSig {
+        def: FnDef,
+        sig: String,
+        paren_depth: i64,
+    },
+}
+
+fn extract_fns(file: &SourceFile, file_idx: usize, out: &mut Vec<FnDef>) {
+    let mut state = ScanState::Idle;
+    let mut depth: i64 = 0;
+    // Open bodies: (depth at `{`, index into `out`).
+    let mut open: Vec<(i64, usize)> = Vec::new();
+
+    for (li, line) in file.lines.iter().enumerate() {
+        let bytes = line.code.as_bytes();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            if c.is_ascii_alphabetic() || c == '_' {
+                let start = i;
+                while i < bytes.len() && is_ident_char(bytes[i] as char) {
+                    i += 1;
+                }
+                let word = &line.code[start..i];
+                match &mut state {
+                    ScanState::Idle => {
+                        if word == "fn" {
+                            // `fn` as a pointer type (`fn(u32) -> u32`) is
+                            // followed by `(`, not a name; peek ahead.
+                            let next = line.code[i..].trim_start().chars().next();
+                            if !matches!(next, Some(n) if !n.is_ascii_alphabetic() && n != '_') {
+                                let is_pub = line.code[..start].contains("pub");
+                                state = ScanState::Armed { is_pub };
+                            }
+                        }
+                    }
+                    ScanState::Armed { is_pub } => {
+                        state = ScanState::InSig {
+                            def: FnDef {
+                                name: word.to_string(),
+                                file: file_idx,
+                                line: li,
+                                is_pub: *is_pub,
+                                params: Vec::new(),
+                                ret: String::new(),
+                                body: None,
+                            },
+                            sig: String::new(),
+                            paren_depth: 0,
+                        };
+                    }
+                    ScanState::InSig { sig, .. } => sig.push_str(word),
+                }
+            } else {
+                match &mut state {
+                    ScanState::InSig {
+                        def,
+                        sig,
+                        paren_depth,
+                    } => match c {
+                        '(' => {
+                            *paren_depth += 1;
+                            sig.push(c);
+                        }
+                        ')' => {
+                            *paren_depth -= 1;
+                            sig.push(c);
+                        }
+                        '{' if *paren_depth == 0 => {
+                            let mut finished = match std::mem::replace(&mut state, ScanState::Idle)
+                            {
+                                ScanState::InSig { def, sig, .. } => finish_signature(def, &sig),
+                                _ => unreachable!(),
+                            };
+                            finished.body = Some((li, li));
+                            open.push((depth, out.len()));
+                            out.push(finished);
+                            depth += 1;
+                        }
+                        ';' if *paren_depth == 0 => {
+                            // Bodyless trait declaration.
+                            let finished = match std::mem::replace(&mut state, ScanState::Idle) {
+                                ScanState::InSig { def, sig, .. } => finish_signature(def, &sig),
+                                _ => unreachable!(),
+                            };
+                            out.push(finished);
+                        }
+                        _ => {
+                            let _ = def;
+                            sig.push(c);
+                        }
+                    },
+                    _ => match c {
+                        '{' => depth += 1,
+                        '}' => {
+                            depth -= 1;
+                            while let Some(&(d, idx)) = open.last() {
+                                if d < depth {
+                                    break;
+                                }
+                                open.pop();
+                                if let Some((_, end)) = &mut out[idx].body {
+                                    *end = li;
+                                }
+                            }
+                        }
+                        _ => {}
+                    },
+                }
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Parses the collected signature text (`<generics>(params) -> Ret`) into
+/// the def's `params`/`ret` fields.
+fn finish_signature(mut def: FnDef, sig: &str) -> FnDef {
+    // Find the parameter parens: the first `(` at angle-bracket depth 0
+    // (generic bounds like `<F: Fn(u32)>` hide parens inside `<…>`).
+    let mut angle = 0i64;
+    let mut open = None;
+    for (i, c) in sig.char_indices() {
+        match c {
+            '<' => angle += 1,
+            '>' if angle > 0 => angle -= 1,
+            '(' if angle == 0 => {
+                open = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let Some(open) = open else {
+        return def;
+    };
+    // Matching close paren.
+    let mut depth = 0i64;
+    let mut close = sig.len();
+    for (i, c) in sig[open..].char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = open + i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let params_text = &sig[open + 1..close.min(sig.len())];
+    def.params = split_params(params_text);
+    let tail = sig[close.min(sig.len())..].trim_start_matches(')').trim();
+    def.ret = tail.strip_prefix("->").unwrap_or("").trim().to_string();
+    def
+}
+
+/// Splits a parameter list on top-level commas and parses `pat: Type`
+/// pairs, skipping `self` receivers.
+fn split_params(text: &str) -> Vec<Param> {
+    let mut params = Vec::new();
+    let mut nest = 0i64;
+    let mut seg = String::new();
+    for c in text.chars().chain(std::iter::once(',')) {
+        match c {
+            '<' | '(' | '[' => nest += 1,
+            '>' | ')' | ']' => nest -= 1,
+            ',' if nest == 0 => {
+                if let Some(p) = parse_param(&seg) {
+                    params.push(p);
+                }
+                seg.clear();
+                continue;
+            }
+            _ => {}
+        }
+        seg.push(c);
+    }
+    params
+}
+
+fn parse_param(seg: &str) -> Option<Param> {
+    let seg = seg.trim();
+    if seg.is_empty() {
+        return None;
+    }
+    let (pat, ty) = seg.split_once(':')?;
+    let name = pat
+        .split(|c: char| !is_ident_char(c))
+        .rfind(|w| !w.is_empty() && *w != "mut" && *w != "ref")?
+        .to_string();
+    if name == "self" {
+        return None;
+    }
+    Some(Param {
+        name,
+        ty: ty.trim().to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::analyze_file;
+
+    fn table_of(path: &str, src: &str) -> SymbolTable {
+        let ws = Workspace {
+            root: std::path::PathBuf::from("."),
+            files: vec![analyze_file(path, src, &["directive"])],
+        };
+        SymbolTable::build(&ws)
+    }
+
+    #[test]
+    fn suffix_units_resolve() {
+        assert_eq!(unit_of_ident("elapsed_ns"), Some(Unit::Nanos));
+        assert_eq!(unit_of_ident("mac_op_pj"), Some(Unit::Picojoules));
+        assert_eq!(unit_of_ident("write_nj"), Some(Unit::Nanojoules));
+        assert_eq!(unit_of_ident("cam_searches"), Some(Unit::Count));
+        assert_eq!(unit_of_ident("overlap_ratio"), Some(Unit::Ratio));
+        assert_eq!(unit_of_ident("damping"), None);
+        assert!(has_declared_unit("stream_bandwidth_gbps"));
+        assert!(!has_declared_unit("threshold"));
+    }
+
+    #[test]
+    fn type_units_resolve_through_containers() {
+        assert_eq!(unit_of_type("Nanos"), Some(Unit::Nanos));
+        assert_eq!(unit_of_type("&mut Nanojoules"), Some(Unit::Nanojoules));
+        assert_eq!(unit_of_type("[Nanos; 7]"), Some(Unit::Nanos));
+        assert_eq!(unit_of_type("Vec<Picojoules>"), Some(Unit::Picojoules));
+        assert_eq!(unit_of_type("f64"), None);
+    }
+
+    #[test]
+    fn extracts_fn_signatures_and_bodies() {
+        let src = "\
+pub fn bill(&self, elapsed_ns: Nanos, scale: f64) -> Nanojoules {
+    inner(elapsed_ns)
+}
+fn inner(t: Nanos) -> Nanojoules {
+    Nanojoules::ZERO
+}
+trait T {
+    fn decl(&self, x: u64);
+}
+";
+        let t = table_of("crates/sim/src/cost.rs", src);
+        assert_eq!(t.fns.len(), 3);
+        let bill = &t.fns[0];
+        assert_eq!(bill.name, "bill");
+        assert!(bill.is_pub);
+        assert_eq!(bill.params.len(), 2);
+        assert_eq!(bill.params[0].name, "elapsed_ns");
+        assert_eq!(bill.params[0].ty, "Nanos");
+        assert_eq!(bill.ret, "Nanojoules");
+        assert_eq!(bill.body, Some((0, 2)));
+        let inner = &t.fns[1];
+        assert_eq!(inner.body, Some((3, 5)));
+        let decl = &t.fns[2];
+        assert_eq!(decl.name, "decl");
+        assert!(decl.body.is_none());
+        assert_eq!(t.resolve("sim", "inner").len(), 1);
+        assert!(t.resolve("sim", "absent").is_empty());
+    }
+
+    #[test]
+    fn multi_line_signatures_parse() {
+        let src = "\
+pub fn report(
+    &self,
+    engine: &str,
+    elapsed_ns: Nanos,
+) -> RunReport {
+    todo()
+}
+";
+        let t = table_of("crates/baselines/src/power.rs", src);
+        assert_eq!(t.fns.len(), 1);
+        let f = &t.fns[0];
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[1].name, "elapsed_ns");
+        assert_eq!(FnDef::param_unit(&f.params[1]), Some(Unit::Nanos));
+        assert_eq!(f.body, Some((4, 6)));
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_defs() {
+        let src = "pub fn apply(f: fn(u32) -> u32) -> u32 {\n    f(3)\n}\n";
+        let t = table_of("crates/sim/src/x.rs", src);
+        assert_eq!(t.fns.len(), 1);
+        assert_eq!(t.fns[0].name, "apply");
+    }
+
+    #[test]
+    fn crate_classification() {
+        assert_eq!(crate_of("crates/sim/src/report.rs"), "sim");
+        assert_eq!(crate_of("src/main.rs"), "<root>");
+    }
+}

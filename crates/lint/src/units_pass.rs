@@ -1,0 +1,481 @@
+//! Unit-of-measure analysis: `mixed-units`, `unit-ambiguous-sig`,
+//! `unit-cast`.
+//!
+//! The accounting ledger bills three physical measures (ns, pJ, nJ) plus
+//! dimensionless counts and ratios. Before the typed newtypes in
+//! `gaasx-sim::units`, nothing stopped `elapsed_ns + energy_pj` from
+//! compiling; the newtypes close that hole for *typed* code, and this pass
+//! closes it for the raw-`f64` code that remains at the edges (wall-clock
+//! tallies, roofline math, JSON writers).
+//!
+//! Units come from two places, in priority order:
+//!
+//! 1. **Declared types** — `Nanos`, `Picojoules`, `Nanojoules` in `let`
+//!    bindings, struct fields, and fn parameters (via the symbol table).
+//! 2. **Suffix conventions** — `_ns`, `_pj`, `_nj`, `_ops`/`_count`/…,
+//!    `_ratio`/`_frac`/… on the identifier itself.
+//!
+//! The operand model is deliberately shallow: a unit is only assigned to
+//! a *plain identifier* (optionally at the end of a field chain) directly
+//! adjacent to the operator. Parenthesised expressions and method-call
+//! results resolve to "unknown" and are never flagged — this pass trades
+//! recall for a near-zero false-positive rate, because every finding must
+//! either be a real bug or carry a justified suppression.
+
+use crate::findings::Finding;
+use crate::lexer::is_ident_char;
+use crate::source::{FileKind, SourceFile, Workspace};
+use crate::symbols::{has_declared_unit, unit_of_ident, unit_of_type, SymbolTable, Unit};
+
+/// Files whose public signatures must name their units: the accounting
+/// ledger itself plus the device energy models. Engine/SFU value-plane
+/// code is out of scope — SFU operands are graph property values
+/// (ranks, distances), not modeled costs, and carry no unit by design.
+fn accounting_scoped(path: &str) -> bool {
+    path.starts_with("crates/sim/src/") || path.ends_with("/energy.rs")
+}
+
+/// Parameter names that are dimensionless by convention even without a
+/// ratio suffix: generic telemetry values, quantiles, and math operands.
+const DIMENSIONLESS_PARAMS: &[&str] = &["value", "delta", "q", "x"];
+
+/// Per-file unit environment: identifier → unit, from declared types.
+///
+/// File-wide scoping (like the accounting rule's accumulator tracking) is
+/// a mild over-approximation of Rust scoping, acceptable because a name
+/// that means `Nanos` in one fn and `Picojoules` in another within one
+/// file is itself a bug waiting to happen.
+fn typed_env(file: &SourceFile, symbols: &SymbolTable, file_idx: usize) -> Vec<(String, Unit)> {
+    let mut env: Vec<(String, Unit)> = Vec::new();
+    let mut note = |name: &str, unit: Unit| {
+        if !env.iter().any(|(n, _)| n == name) {
+            env.push((name.to_string(), unit));
+        }
+    };
+    // `let name: Ty` / `name: Ty,` (field or binding declarations).
+    for line in &file.lines {
+        let code = &line.code;
+        for (col, name) in crate::source::idents(code) {
+            let tail = &code[col + name.len()..];
+            let Some(rest) = tail.strip_prefix(':') else {
+                continue;
+            };
+            // `::` is a path, not a type ascription.
+            if rest.starts_with(':') {
+                continue;
+            }
+            if let Some(unit) = unit_of_type(rest.trim_start()) {
+                note(name, unit);
+            }
+        }
+    }
+    // Fn parameters from the symbol table (declared type first, suffix
+    // second — suffix-only params are covered by `unit_of_ident` at use
+    // sites anyway, so only typed params add information here).
+    for def in &symbols.fns {
+        if def.file != file_idx {
+            continue;
+        }
+        for p in &def.params {
+            if let Some(unit) = unit_of_type(&p.ty) {
+                note(&p.name, unit);
+            }
+        }
+    }
+    env
+}
+
+fn env_unit(env: &[(String, Unit)], name: &str) -> Option<Unit> {
+    env.iter()
+        .find(|(n, _)| n == name)
+        .map(|&(_, u)| u)
+        .or_else(|| unit_of_ident(name))
+}
+
+/// The identifier ending immediately before byte `pos` (skipping spaces),
+/// or `None` when the left operand is not a plain identifier.
+fn ident_ending_at(code: &str, pos: usize) -> Option<&str> {
+    let trimmed = code[..pos].trim_end();
+    let end = trimmed.len();
+    if end == 0 {
+        return None;
+    }
+    let bytes = trimmed.as_bytes();
+    if !is_ident_char(bytes[end - 1] as char) {
+        return None;
+    }
+    let mut start = end;
+    while start > 0 && is_ident_char(bytes[start - 1] as char) {
+        start -= 1;
+    }
+    let word = &trimmed[start..end];
+    if word.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    Some(word)
+}
+
+/// The *last* identifier of the field chain starting right after `pos`
+/// (`self.energy.mac_pj` → `mac_pj`), or `None` if the right operand is
+/// not a plain chain (literals, calls, parens all resolve to unknown).
+fn chain_ident_after(code: &str, pos: usize) -> Option<&str> {
+    let rest = code[pos..].trim_start();
+    let bytes = rest.as_bytes();
+    let mut i = 0usize;
+    // Leading borrows/derefs keep the operand a plain place expression.
+    while i < bytes.len() && (bytes[i] == b'&' || bytes[i] == b'*') {
+        i += 1;
+    }
+    let word = loop {
+        let start = i;
+        while i < bytes.len() && is_ident_char(bytes[i] as char) {
+            i += 1;
+        }
+        if i == start {
+            return None;
+        }
+        if i < bytes.len() && bytes[i] == b'.' {
+            // A digit after `.` would be a float literal / tuple index.
+            if !bytes
+                .get(i + 1)
+                .is_some_and(|b| (*b as char).is_ascii_digit())
+            {
+                i += 1;
+                continue;
+            }
+        }
+        break &rest[start..i];
+    };
+    // A call result is not a plain place: unknown unit.
+    if bytes.get(i) == Some(&b'(') {
+        return None;
+    }
+    if word.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    Some(word)
+}
+
+/// Whether the identifier ending at `op_pos` is preceded by `*` or `/` —
+/// i.e. it is one factor of a product, not the whole operand.
+fn operand_is_partial_lhs(code: &str, op_pos: usize, lhs: &str) -> bool {
+    let before_ident = code[..op_pos].trim_end();
+    let Some(chain_start) = before_ident.len().checked_sub(lhs.len()) else {
+        return true;
+    };
+    // Walk back over the full `a.b.c` place chain the ident terminates.
+    let mut start = chain_start;
+    let bytes = before_ident.as_bytes();
+    while start > 0 {
+        let prev = bytes[start - 1] as char;
+        if prev == '.' || is_ident_char(prev) {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    matches!(
+        before_ident[..start].trim_end().chars().next_back(),
+        Some('*' | '/')
+    )
+}
+
+/// Whether the place chain following the operator is continued by `*`,
+/// `/`, or an `as` cast — making the chain a sub-expression, not the
+/// operand itself.
+fn operand_is_partial_rhs(code: &str, after_op: usize) -> bool {
+    let rest = code[after_op..].trim_start();
+    let bytes = rest.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() && (bytes[i] == b'&' || bytes[i] == b'*') {
+        i += 1;
+    }
+    while i < bytes.len() && (is_ident_char(bytes[i] as char) || bytes[i] == b'.') {
+        i += 1;
+    }
+    let tail = rest[i..].trim_start();
+    tail.starts_with('*') || tail.starts_with('/') || tail.starts_with("as ")
+}
+
+/// `mixed-units`: two operands with *different* known units meeting under
+/// `+`, `-`, `+=`, `-=`, or an ordering comparison.
+pub fn mixed_units(ws: &Workspace, symbols: &SymbolTable, out: &mut Vec<Finding>) {
+    for (fi, file) in ws.files.iter().enumerate() {
+        if file.kind == FileKind::Test {
+            continue;
+        }
+        let env = typed_env(file, symbols, fi);
+        for (li, line) in file.lines.iter().enumerate() {
+            if file.in_test.get(li).copied().unwrap_or(false) {
+                continue;
+            }
+            let code = &line.code;
+            let bytes = code.as_bytes();
+            for (i, &b) in bytes.iter().enumerate() {
+                let c = b as char;
+                let (op_len, op_str) = match c {
+                    '+' | '-' => {
+                        // Skip `->`, `?`-chains are impossible here; `+=`
+                        // and `-=` still mix units across the assignment.
+                        if c == '-' && bytes.get(i + 1) == Some(&b'>') {
+                            continue;
+                        }
+                        if bytes.get(i + 1) == Some(&b'=') {
+                            (2, if c == '+' { "+=" } else { "-=" })
+                        } else {
+                            (1, if c == '+' { "+" } else { "-" })
+                        }
+                    }
+                    '<' | '>' => {
+                        // `<<`/`>>` shifts and `<=`/`>=` handling: shifts
+                        // never mix physical units meaningfully enough to
+                        // outweigh generic-bracket ambiguity, so only the
+                        // single-char and `=`-suffixed forms are checked.
+                        if bytes.get(i + 1) == Some(&b) {
+                            continue;
+                        }
+                        if i > 0
+                            && (bytes[i - 1] == b'<'
+                                || bytes[i - 1] == b'>'
+                                || bytes[i - 1] == b'=')
+                        {
+                            continue;
+                        }
+                        if bytes.get(i + 1) == Some(&b'=') {
+                            (2, if c == '<' { "<=" } else { ">=" })
+                        } else {
+                            (1, if c == '<' { "<" } else { ">" })
+                        }
+                    }
+                    _ => continue,
+                };
+                let Some(lhs) = ident_ending_at(code, i) else {
+                    continue;
+                };
+                let Some(rhs) = chain_ident_after(code, i + op_len) else {
+                    continue;
+                };
+                // A `*`/`/` next to either ident means the ident is only a
+                // factor of the real operand, whose unit is the product's
+                // (`reads as f64 * read_pj + writes as f64 * write_pj` is
+                // all-pJ even though `writes` is a count). Same for a
+                // cast: the unit belongs to the whole cast expression.
+                if operand_is_partial_lhs(code, i, lhs) || operand_is_partial_rhs(code, i + op_len)
+                {
+                    continue;
+                }
+                let (Some(lu), Some(ru)) = (env_unit(&env, lhs), env_unit(&env, rhs)) else {
+                    continue;
+                };
+                if !lu.compatible(ru) {
+                    out.push(Finding {
+                        rule: "mixed-units".into(),
+                        path: file.path.clone(),
+                        line: li + 1,
+                        message: format!(
+                            "`{lhs}` ({}) and `{rhs}` ({}) meet under `{op_str}`; convert \
+                             explicitly before mixing units",
+                            lu.name(),
+                            ru.name()
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// `unit-ambiguous-sig`: a `pub fn` in accounting code taking a bare
+/// `f64` whose parameter name declares no unit. Returns are not checked:
+/// a returned `f64` is named at the *call site* binding, where the suffix
+/// conventions (and `mixed-units`) take over.
+pub fn unit_ambiguous_sig(ws: &Workspace, symbols: &SymbolTable, out: &mut Vec<Finding>) {
+    for def in &symbols.fns {
+        let file = &ws.files[def.file];
+        if !def.is_pub || file.kind == FileKind::Test || !accounting_scoped(&file.path) {
+            continue;
+        }
+        if file.in_test.get(def.line).copied().unwrap_or(false) {
+            continue;
+        }
+        for p in &def.params {
+            let bare_f64 = p.ty == "f64" || p.ty == "&f64" || p.ty == "&mut f64";
+            if bare_f64
+                && !has_declared_unit(&p.name)
+                && !DIMENSIONLESS_PARAMS.contains(&p.name.as_str())
+            {
+                out.push(Finding {
+                    rule: "unit-ambiguous-sig".into(),
+                    path: file.path.clone(),
+                    line: def.line + 1,
+                    message: format!(
+                        "pub fn `{}` takes bare `f64` param `{}` with no unit suffix; name \
+                         the unit (e.g. `{}_ns`) or use a typed quantity",
+                        def.name, p.name, p.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `unit-cast`: an `as` cast applied directly to a physically-united
+/// identifier (`elapsed_ns as u64`), which silently truncates or launders
+/// the unit. Dimensionless counts cast freely (`len as f64 * write_pj` is
+/// the canonical billing idiom).
+pub fn unit_cast(ws: &Workspace, out: &mut Vec<Finding>) {
+    for file in &ws.files {
+        if file.kind == FileKind::Test {
+            continue;
+        }
+        for (li, line) in file.lines.iter().enumerate() {
+            if file.in_test.get(li).copied().unwrap_or(false) {
+                continue;
+            }
+            let code = &line.code;
+            for (col, word) in crate::source::idents(code) {
+                if word != "as" {
+                    continue;
+                }
+                let Some(lhs) = ident_ending_at(code, col) else {
+                    continue;
+                };
+                let physical = matches!(
+                    unit_of_ident(lhs),
+                    Some(Unit::Nanos | Unit::Picojoules | Unit::Nanojoules)
+                );
+                if physical {
+                    let target: String = code[col + 2..]
+                        .trim_start()
+                        .chars()
+                        .take_while(|&c| is_ident_char(c))
+                        .collect();
+                    out.push(Finding {
+                        rule: "unit-cast".into(),
+                        path: file.path.clone(),
+                        line: li + 1,
+                        message: format!(
+                            "`as {target}` cast launders the unit of `{lhs}` \
+                             ({}); convert through the typed constructors instead",
+                            unit_of_ident(lhs).map_or("?", Unit::name)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::analyze_file;
+
+    fn run_on(path: &str, src: &str) -> Vec<Finding> {
+        let ws = Workspace {
+            root: std::path::PathBuf::from("."),
+            files: vec![analyze_file(path, src, &["directive"])],
+        };
+        let symbols = SymbolTable::build(&ws);
+        let mut out = Vec::new();
+        mixed_units(&ws, &symbols, &mut out);
+        unit_ambiguous_sig(&ws, &symbols, &mut out);
+        unit_cast(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_suffix_mixed_add_and_compare() {
+        let out = run_on(
+            "crates/baselines/src/x.rs",
+            "fn f(a_ns: f64, b_pj: f64) -> f64 {\n    let t = a_ns + b_pj;\n    if a_ns < b_pj { t } else { t }\n}\n",
+        );
+        let mixed: Vec<_> = out.iter().filter(|f| f.rule == "mixed-units").collect();
+        assert_eq!(mixed.len(), 2, "{out:?}");
+        assert!(mixed[0].message.contains("`a_ns` (ns)"));
+    }
+
+    #[test]
+    fn flags_declared_type_mixed_with_suffix() {
+        let out = run_on(
+            "crates/baselines/src/x.rs",
+            "fn f(total: Nanos, e_pj: f64) {\n    let bad = total + e_pj;\n    let _ = bad;\n}\n",
+        );
+        assert!(
+            out.iter()
+                .any(|f| f.rule == "mixed-units" && f.message.contains("`total` (ns)")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn same_unit_and_unknown_operands_stay_silent() {
+        let out = run_on(
+            "crates/baselines/src/x.rs",
+            "fn f(a_ns: f64, b_ns: f64, x: f64) -> f64 {\n    let t = a_ns + b_ns;\n    let u = t + x;\n    let v = compute(a_ns) + b_ns;\n    t + u + v\n}\n",
+        );
+        assert!(out.iter().all(|f| f.rule != "mixed-units"), "{out:?}");
+    }
+
+    #[test]
+    fn generics_and_shifts_do_not_false_positive() {
+        let out = run_on(
+            "crates/baselines/src/x.rs",
+            "fn f(map: BTreeMap<Phase, Nanos>, count: u64) -> u64 {\n    let _ = map;\n    count << 3\n}\n",
+        );
+        assert!(out.iter().all(|f| f.rule != "mixed-units"), "{out:?}");
+    }
+
+    #[test]
+    fn ambiguous_pub_sig_in_accounting_scope() {
+        let out = run_on(
+            "crates/sim/src/cost.rs",
+            "pub fn bill(elapsed: f64) -> f64 {\n    elapsed\n}\n",
+        );
+        let sigs: Vec<_> = out
+            .iter()
+            .filter(|f| f.rule == "unit-ambiguous-sig")
+            .collect();
+        assert_eq!(sigs.len(), 1, "{out:?}");
+        assert!(sigs[0].message.contains("`elapsed`"), "{out:?}");
+    }
+
+    #[test]
+    fn united_or_private_or_out_of_scope_sigs_pass() {
+        for (path, src) in [
+            (
+                "crates/sim/src/cost.rs",
+                "pub fn bill(elapsed_ns: f64) -> Nanos {\n    Nanos::from_ns(elapsed_ns)\n}\n",
+            ),
+            (
+                "crates/sim/src/cost.rs",
+                "fn private(elapsed: f64) -> f64 {\n    elapsed\n}\n",
+            ),
+            (
+                "crates/sim/src/obs.rs",
+                "pub fn gauge_set(value: f64) {\n    record(value)\n}\n",
+            ),
+            (
+                "crates/bench/src/table.rs",
+                "pub fn cell(width: f64) -> f64 {\n    width\n}\n",
+            ),
+        ] {
+            let out = run_on(path, src);
+            assert!(
+                out.iter().all(|f| f.rule != "unit-ambiguous-sig"),
+                "{path}: {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn physical_casts_flag_and_count_casts_pass() {
+        let out = run_on(
+            "crates/baselines/src/x.rs",
+            "fn f(elapsed_ns: f64, items: usize, w_pj: f64) -> f64 {\n    let t = elapsed_ns as u64;\n    let _ = t;\n    items as f64 * w_pj\n}\n",
+        );
+        let casts: Vec<_> = out.iter().filter(|f| f.rule == "unit-cast").collect();
+        assert_eq!(casts.len(), 1, "{out:?}");
+        assert!(casts[0].message.contains("`elapsed_ns`"));
+    }
+}

@@ -31,6 +31,11 @@ const CASES: &[(&str, &str)] = &[
     ("threads", "thread-containment"),
     ("seeded-rng", "seeded-rng"),
     ("wall-clock", "wall-clock"),
+    ("units-mixed", "mixed-units"),
+    ("units-sig", "unit-ambiguous-sig"),
+    ("units-cast", "unit-cast"),
+    ("hot-alloc", "hot-reachable-alloc"),
+    ("hot-panic", "hot-reachable-panic"),
     ("directive", "directive"),
 ];
 
@@ -108,4 +113,69 @@ fn binary_exit_codes_and_json_output() {
 
     let usage = run(&["--definitely-not-a-flag"]);
     assert_eq!(usage.status.code(), Some(2), "{usage:?}");
+}
+
+#[test]
+fn per_rule_counts_cover_every_rule() {
+    let report = lint("hot-panic/fail");
+    let ids: Vec<&str> = report.rules.iter().map(|r| r.rule.as_str()).collect();
+    for rule in gaasx_lint::rules::RULE_NAMES {
+        assert!(ids.contains(rule), "missing per-rule row for `{rule}`");
+    }
+    assert_eq!(report.suppressed_for("hot-reachable-panic"), 0);
+    let row = report
+        .rules
+        .iter()
+        .find(|r| r.rule == "hot-reachable-panic")
+        .unwrap();
+    assert_eq!(row.findings, report.findings.len());
+}
+
+#[test]
+fn baseline_ratchet_gates_suppression_growth() {
+    let bin = env!("CARGO_BIN_EXE_gaasx-lint");
+    let tmp = std::env::temp_dir().join(format!("gaasx_lint_baseline_{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).unwrap();
+    let run = |args: &[&str]| Command::new(bin).args(args).output().expect("spawn");
+
+    // `directive/pass` has exactly one justified suppression; snapshot it.
+    let root = fixture("directive/pass");
+    let snap = run(&[root.to_str().unwrap(), "--json"]);
+    assert_eq!(snap.status.code(), Some(0), "{snap:?}");
+    let baseline_path = tmp.join("lint_baseline.json");
+    std::fs::write(&baseline_path, String::from_utf8_lossy(&snap.stdout).trim()).unwrap();
+
+    // Same tree vs its own snapshot: the ratchet holds.
+    let ok = run(&[
+        root.to_str().unwrap(),
+        "--baseline",
+        baseline_path.to_str().unwrap(),
+    ]);
+    assert_eq!(ok.status.code(), Some(0), "{ok:?}");
+
+    // Zero out the allowance: the same suppression now exceeds it.
+    let report = json::from_json(String::from_utf8_lossy(&snap.stdout).trim()).unwrap();
+    let mut zeroed = report.clone();
+    for r in &mut zeroed.rules {
+        r.suppressed = 0;
+    }
+    std::fs::write(&baseline_path, json::to_json(&zeroed)).unwrap();
+    let grown = run(&[
+        root.to_str().unwrap(),
+        "--baseline",
+        baseline_path.to_str().unwrap(),
+    ]);
+    assert_eq!(grown.status.code(), Some(1), "{grown:?}");
+    let err = String::from_utf8_lossy(&grown.stderr);
+    assert!(err.contains("exceed the committed baseline"), "{err}");
+
+    // A missing or malformed baseline is an I/O error, not a pass.
+    let missing = run(&[
+        root.to_str().unwrap(),
+        "--baseline",
+        tmp.join("nope.json").to_str().unwrap(),
+    ]);
+    assert_eq!(missing.status.code(), Some(2), "{missing:?}");
+
+    std::fs::remove_dir_all(&tmp).ok();
 }

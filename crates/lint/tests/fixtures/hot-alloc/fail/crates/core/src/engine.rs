@@ -1,0 +1,15 @@
+//! Fixture: the fenced dispatch loop is clean, but a helper it calls
+//! allocates per chunk — invisible to the lexical fence rule.
+
+pub fn dispatch() {
+    // gaasx-lint: hot
+    for chunk in 0..4 {
+        stage(chunk);
+    }
+    // gaasx-lint: end-hot
+}
+
+fn stage(chunk: usize) {
+    let scratch = vec![chunk; 4];
+    drop(scratch);
+}

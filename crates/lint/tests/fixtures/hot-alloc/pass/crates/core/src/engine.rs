@@ -1,0 +1,21 @@
+//! Fixture: hot-reachable helpers reuse fixed storage; cold helpers may
+//! allocate.
+
+pub fn dispatch() {
+    // gaasx-lint: hot
+    for chunk in 0..4 {
+        stage(chunk);
+    }
+    // gaasx-lint: end-hot
+    summarize();
+}
+
+fn stage(chunk: usize) {
+    let mut scratch = [0usize; 4];
+    scratch[0] = chunk;
+}
+
+fn summarize() {
+    let report = vec![0u64; 8];
+    drop(report);
+}

@@ -1,0 +1,18 @@
+//! Fixture: an `assert!` two hops below the fence aborts a whole sharded
+//! run from inside the dispatch loop.
+
+pub fn dispatch() {
+    // gaasx-lint: hot
+    for chunk in 0..4 {
+        stage(chunk);
+    }
+    // gaasx-lint: end-hot
+}
+
+fn stage(chunk: usize) {
+    deeper(chunk);
+}
+
+fn deeper(chunk: usize) {
+    assert!(chunk < 4, "chunk out of range");
+}

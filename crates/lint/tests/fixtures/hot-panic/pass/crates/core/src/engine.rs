@@ -1,0 +1,15 @@
+//! Fixture: `debug_assert!` is compiled out of release builds (the only
+//! builds whose latency the model bills), so hot-reachable helpers may
+//! keep their invariant checks.
+
+pub fn dispatch() {
+    // gaasx-lint: hot
+    for chunk in 0..4 {
+        stage(chunk);
+    }
+    // gaasx-lint: end-hot
+}
+
+fn stage(chunk: usize) {
+    debug_assert!(chunk < 4, "chunk out of range");
+}

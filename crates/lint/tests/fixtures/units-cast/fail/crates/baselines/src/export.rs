@@ -1,0 +1,5 @@
+//! Fixture: an `as` cast silently truncating a physical quantity.
+
+pub fn stamp(elapsed_ns: f64) -> u64 {
+    elapsed_ns as u64
+}

@@ -1,0 +1,6 @@
+//! Fixture: dimensionless counts cast freely — `count as f64 * pj` is
+//! the canonical billing idiom.
+
+pub fn bill(items: u64, write_pj: f64) -> f64 {
+    items as f64 * write_pj
+}

@@ -1,0 +1,6 @@
+//! Fixture: an elapsed time and a per-op energy meet under `+` — the
+//! exact class of silent corruption the typed newtypes exist to stop.
+
+pub fn total(elapsed_ns: f64, op_pj: f64) -> f64 {
+    elapsed_ns + op_pj
+}

@@ -1,0 +1,8 @@
+//! Fixture: like-united quantities may add; products and casts resolve
+//! to the product's unit, not a factor's.
+
+pub fn total(busy_ns: f64, idle_ns: f64, reads: u64, read_pj: f64, write_pj: f64) -> f64 {
+    let elapsed_ns = busy_ns + idle_ns;
+    let energy_pj = reads as f64 * read_pj + reads as f64 * write_pj;
+    elapsed_ns.max(energy_pj)
+}

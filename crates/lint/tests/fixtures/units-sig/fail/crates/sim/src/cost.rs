@@ -1,0 +1,6 @@
+//! Fixture: a public accounting entry point taking a bare `f64` nobody
+//! can tell the unit of at the call site.
+
+pub fn bill(elapsed: f64) -> Option<f64> {
+    Some(elapsed)
+}

@@ -1,0 +1,6 @@
+//! Fixture: unit-suffixed and dimensionless-by-convention params are
+//! both unambiguous.
+
+pub fn bill(elapsed_ns: f64, scale: f64, value: f64) -> Option<f64> {
+    Some(elapsed_ns.max(scale).max(value))
+}

@@ -5,7 +5,7 @@ pub struct Engine {
 }
 
 impl Engine {
-    pub fn finish(&mut self) -> f64 {
+    pub fn finish_ns(&mut self) -> f64 {
         // Mixing the host clock into the modeled time axis: reports stop
         // being bit-identical across sharded replays.
         let started = std::time::Instant::now();

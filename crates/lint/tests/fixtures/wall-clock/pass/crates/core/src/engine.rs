@@ -9,7 +9,7 @@ impl Engine {
         self.elapsed_ns += stream_ns.max(compute_ns);
     }
 
-    pub fn finish(&self) -> f64 {
+    pub fn finish_ns(&self) -> f64 {
         self.elapsed_ns
     }
 }

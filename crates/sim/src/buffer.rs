@@ -8,6 +8,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::units::{Nanojoules, Nanos, Picojoules};
+
 /// Word width of one buffer access in bytes.
 pub const ACCESS_WORD_BYTES: u64 = 32;
 
@@ -16,9 +18,9 @@ pub const ACCESS_WORD_BYTES: u64 = 32;
 pub struct SramBuffer {
     name: String,
     capacity_bytes: u64,
-    read_energy_pj: f64,
-    write_energy_pj: f64,
-    access_ns: f64,
+    read_energy_pj: Picojoules,
+    write_energy_pj: Picojoules,
+    access_ns: Nanos,
     reads: u64,
     writes: u64,
     bytes_read: u64,
@@ -30,9 +32,9 @@ impl SramBuffer {
     pub fn new(
         name: impl Into<String>,
         capacity_bytes: u64,
-        read_energy_pj: f64,
-        write_energy_pj: f64,
-        access_ns: f64,
+        read_energy_pj: Picojoules,
+        write_energy_pj: Picojoules,
+        access_ns: Nanos,
     ) -> Self {
         SramBuffer {
             name: name.into(),
@@ -49,17 +51,35 @@ impl SramBuffer {
 
     /// The 16 KB input buffer of Table I.
     pub fn input_16kb() -> Self {
-        SramBuffer::new("input", 16 * 1024, 5.0, 6.0, 0.5)
+        SramBuffer::new(
+            "input",
+            16 * 1024,
+            Picojoules::from_pj(5.0),
+            Picojoules::from_pj(6.0),
+            Nanos::from_ns(0.5),
+        )
     }
 
     /// The 64 KB output buffer of Table I.
     pub fn output_64kb() -> Self {
-        SramBuffer::new("output", 64 * 1024, 10.0, 12.0, 0.7)
+        SramBuffer::new(
+            "output",
+            64 * 1024,
+            Picojoules::from_pj(10.0),
+            Picojoules::from_pj(12.0),
+            Nanos::from_ns(0.7),
+        )
     }
 
     /// The 512 KB attribute buffer of Table I.
     pub fn attribute_512kb() -> Self {
-        SramBuffer::new("attribute", 512 * 1024, 35.0, 40.0, 1.2)
+        SramBuffer::new(
+            "attribute",
+            512 * 1024,
+            Picojoules::from_pj(35.0),
+            Picojoules::from_pj(40.0),
+            Nanos::from_ns(1.2),
+        )
     }
 
     /// Buffer name.
@@ -96,15 +116,15 @@ impl SramBuffer {
     }
 
     /// Total energy so far in nanojoules.
-    pub fn energy_nj(&self) -> f64 {
+    pub fn energy_nj(&self) -> Nanojoules {
         (self.reads as f64 * self.read_energy_pj + self.writes as f64 * self.write_energy_pj)
-            / 1_000.0
+            .to_nanojoules()
     }
 
-    /// Serial access latency so far in nanoseconds (buffers are banked, so
-    /// engines typically hide most of this behind crossbar latency; the
-    /// figure is exposed for pessimistic bounds).
-    pub fn serial_latency_ns(&self) -> f64 {
+    /// Serial access latency so far (buffers are banked, so engines
+    /// typically hide most of this behind crossbar latency; the figure is
+    /// exposed for pessimistic bounds).
+    pub fn serial_latency_ns(&self) -> Nanos {
         self.accesses() as f64 * self.access_ns
     }
 
@@ -146,15 +166,21 @@ mod tests {
         b.read(0);
         b.write(0);
         assert_eq!(b.accesses(), 0);
-        assert_eq!(b.energy_nj(), 0.0);
+        assert_eq!(b.energy_nj(), Nanojoules::ZERO);
     }
 
     #[test]
     fn energy_scales_with_accesses() {
-        let mut b = SramBuffer::new("t", 1024, 10.0, 20.0, 1.0);
+        let mut b = SramBuffer::new(
+            "t",
+            1024,
+            Picojoules::from_pj(10.0),
+            Picojoules::from_pj(20.0),
+            Nanos::from_ns(1.0),
+        );
         b.read(32);
         b.write(32);
-        assert!((b.energy_nj() - 0.03).abs() < 1e-12);
+        assert!((b.energy_nj().nj() - 0.03).abs() < 1e-12);
     }
 
     #[test]
@@ -196,6 +222,6 @@ mod tests {
         b.read(100);
         b.reset();
         assert_eq!(b.accesses(), 0);
-        assert_eq!(b.energy_nj(), 0.0);
+        assert_eq!(b.energy_nj(), Nanojoules::ZERO);
     }
 }

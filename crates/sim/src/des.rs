@@ -14,6 +14,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::units::Nanos;
+
 /// Dispatch discipline for block scheduling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum SchedulePolicy {
@@ -32,23 +34,23 @@ pub enum SchedulePolicy {
 pub struct DispatchRecord {
     /// The bank the block was assigned to.
     pub bank: u32,
-    /// When the block's stream over the shared channel completed, ns.
-    pub stream_done_ns: f64,
-    /// When the bank started programming the block, ns.
-    pub start_ns: f64,
-    /// When the bank finished computing the block, ns.
-    pub done_ns: f64,
+    /// When the block's stream over the shared channel completed.
+    pub stream_done_ns: Nanos,
+    /// When the bank started programming the block.
+    pub start_ns: Nanos,
+    /// When the bank finished computing the block.
+    pub done_ns: Nanos,
 }
 
 /// An event-driven scheduler over `num_banks` independent banks fed by one
 /// serial streaming channel.
 #[derive(Debug, Clone)]
 pub struct BankScheduler {
-    /// Earliest time each bank becomes free, ns.
-    bank_free: Vec<f64>,
-    /// Earliest time the streaming channel becomes free, ns.
-    stream_free: f64,
-    makespan: f64,
+    /// Earliest time each bank becomes free.
+    bank_free: Vec<Nanos>,
+    /// Earliest time the streaming channel becomes free.
+    stream_free: Nanos,
+    makespan: Nanos,
 }
 
 impl BankScheduler {
@@ -60,9 +62,9 @@ impl BankScheduler {
     pub fn new(num_banks: usize) -> Self {
         assert!(num_banks > 0, "need at least one bank");
         BankScheduler {
-            bank_free: vec![0.0; num_banks],
-            stream_free: 0.0,
-            makespan: 0.0,
+            bank_free: vec![Nanos::ZERO; num_banks],
+            stream_free: Nanos::ZERO,
+            makespan: Nanos::ZERO,
         }
     }
 
@@ -70,7 +72,12 @@ impl BankScheduler {
     /// `stream_ns`, then the earliest-free bank programs it for
     /// `program_ns` and computes for `compute_ns`. Returns the dispatch
     /// record (bank id and start/completion times).
-    pub fn dispatch(&mut self, stream_ns: f64, program_ns: f64, compute_ns: f64) -> DispatchRecord {
+    pub fn dispatch(
+        &mut self,
+        stream_ns: Nanos,
+        program_ns: Nanos,
+        compute_ns: Nanos,
+    ) -> DispatchRecord {
         let stream_done = self.stream_free + stream_ns;
         self.stream_free = stream_done;
         // Earliest-available bank.
@@ -93,8 +100,8 @@ impl BankScheduler {
         }
     }
 
-    /// Completion time of the last finished block, ns.
-    pub fn makespan(&self) -> f64 {
+    /// Completion time of the last finished block.
+    pub fn makespan(&self) -> Nanos {
         self.makespan
     }
 
@@ -105,8 +112,8 @@ impl BankScheduler {
 
     /// Mean bank utilization up to the makespan (busy time over
     /// `banks × makespan`); `None` before any dispatch.
-    pub fn utilization(&self, total_busy_ns: f64) -> Option<f64> {
-        if self.makespan == 0.0 {
+    pub fn utilization(&self, total_busy_ns: Nanos) -> Option<f64> {
+        if self.makespan == Nanos::ZERO {
             return None;
         }
         Some(total_busy_ns / (self.bank_free.len() as f64 * self.makespan))
@@ -118,33 +125,37 @@ mod tests {
     use super::*;
     use crate::pipeline::PipelineClock;
 
+    fn ns(v: f64) -> Nanos {
+        Nanos::from_ns(v)
+    }
+
     #[test]
     fn single_bank_serializes() {
         let mut s = BankScheduler::new(1);
-        s.dispatch(1.0, 10.0, 5.0);
-        s.dispatch(1.0, 10.0, 5.0);
+        s.dispatch(ns(1.0), ns(10.0), ns(5.0));
+        s.dispatch(ns(1.0), ns(10.0), ns(5.0));
         // Stream of block 2 (done at t=2) waits for the bank (free at 16).
-        assert!((s.makespan() - 31.0).abs() < 1e-12);
+        assert!((s.makespan().ns() - 31.0).abs() < 1e-12);
     }
 
     #[test]
     fn independent_banks_run_in_parallel() {
         let mut s = BankScheduler::new(4);
         for _ in 0..4 {
-            s.dispatch(1.0, 10.0, 5.0);
+            s.dispatch(ns(1.0), ns(10.0), ns(5.0));
         }
         // Streams serialize (1,2,3,4); banks overlap: last starts at 4.
-        assert!((s.makespan() - 19.0).abs() < 1e-12);
+        assert!((s.makespan().ns() - 19.0).abs() < 1e-12);
     }
 
     #[test]
     fn stream_channel_can_be_the_bottleneck() {
         let mut s = BankScheduler::new(8);
         for _ in 0..8 {
-            s.dispatch(10.0, 1.0, 1.0);
+            s.dispatch(ns(10.0), ns(1.0), ns(1.0));
         }
         // 8 serial streams of 10 then the final 2 ns of work.
-        assert!((s.makespan() - 82.0).abs() < 1e-12);
+        assert!((s.makespan().ns() - 82.0).abs() < 1e-12);
     }
 
     #[test]
@@ -167,7 +178,7 @@ mod tests {
 
         let mut des = BankScheduler::new(banks);
         for &(s, p, c) in &blocks {
-            des.dispatch(s, p, c);
+            des.dispatch(ns(s), ns(p), ns(c));
         }
 
         let mut clock = PipelineClock::new();
@@ -177,7 +188,7 @@ mod tests {
             let compute = wave.iter().map(|b| b.2).fold(0.0, f64::max);
             clock.advance(stream.max(program), compute);
         }
-        let ratio = des.makespan() / clock.makespan();
+        let ratio = des.makespan().ns() / clock.makespan();
         assert!(
             (0.5..=2.0).contains(&ratio),
             "des {} vs waves {}",
@@ -189,33 +200,33 @@ mod tests {
         // loads overlap the previous wave's compute — so the bound does not
         // apply to it.)
         let total_work: f64 = blocks.iter().map(|b| b.1 + b.2).sum();
-        assert!(des.makespan() >= total_work / banks as f64 - 1e-9);
+        assert!(des.makespan().ns() >= total_work / banks as f64 - 1e-9);
     }
 
     #[test]
     fn dispatch_records_bank_and_times() {
         let mut s = BankScheduler::new(2);
-        let a = s.dispatch(1.0, 2.0, 3.0);
+        let a = s.dispatch(ns(1.0), ns(2.0), ns(3.0));
         assert_eq!(
             (a.bank, a.stream_done_ns, a.start_ns, a.done_ns),
-            (0, 1.0, 1.0, 6.0)
+            (0, ns(1.0), ns(1.0), ns(6.0))
         );
         // Second block streams behind the first and lands on the idle bank.
-        let b = s.dispatch(1.0, 2.0, 3.0);
-        assert_eq!((b.bank, b.start_ns, b.done_ns), (1, 2.0, 7.0));
+        let b = s.dispatch(ns(1.0), ns(2.0), ns(3.0));
+        assert_eq!((b.bank, b.start_ns, b.done_ns), (1, ns(2.0), ns(7.0)));
         // Third waits for the earliest-free bank (bank 0, free at 6).
-        let c = s.dispatch(1.0, 2.0, 3.0);
-        assert_eq!((c.bank, c.start_ns, c.done_ns), (0, 6.0, 11.0));
+        let c = s.dispatch(ns(1.0), ns(2.0), ns(3.0));
+        assert_eq!((c.bank, c.start_ns, c.done_ns), (0, ns(6.0), ns(11.0)));
     }
 
     #[test]
     fn utilization_bounds() {
         let mut s = BankScheduler::new(2);
-        s.dispatch(0.0, 5.0, 5.0);
-        s.dispatch(0.0, 5.0, 5.0);
-        let u = s.utilization(20.0).unwrap();
+        s.dispatch(ns(0.0), ns(5.0), ns(5.0));
+        s.dispatch(ns(0.0), ns(5.0), ns(5.0));
+        let u = s.utilization(ns(20.0)).unwrap();
         assert!((u - 1.0).abs() < 1e-12);
-        assert!(BankScheduler::new(2).utilization(1.0).is_none());
+        assert!(BankScheduler::new(2).utilization(ns(1.0)).is_none());
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::units::Nanojoules;
+
 /// Energy spent by an execution, split by architectural component, in
 /// nanojoules.
 ///
@@ -11,17 +13,17 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct EnergyBreakdown {
     /// Analog MAC operations.
-    pub mac_nj: f64,
+    pub mac_nj: Nanojoules,
     /// CAM searches.
-    pub cam_nj: f64,
+    pub cam_nj: Nanojoules,
     /// ReRAM cell programming (data loading).
-    pub write_nj: f64,
+    pub write_nj: Nanojoules,
     /// Scalar SFU operations.
-    pub sfu_nj: f64,
+    pub sfu_nj: Nanojoules,
     /// On-chip SRAM buffer accesses.
-    pub buffer_nj: f64,
+    pub buffer_nj: Nanojoules,
     /// Static power × elapsed time.
-    pub static_nj: f64,
+    pub static_nj: Nanojoules,
 }
 
 impl EnergyBreakdown {
@@ -32,13 +34,13 @@ impl EnergyBreakdown {
     }
 
     /// Total energy in nanojoules.
-    pub fn total_nj(&self) -> f64 {
+    pub fn total_nj(&self) -> Nanojoules {
         self.mac_nj + self.cam_nj + self.write_nj + self.sfu_nj + self.buffer_nj + self.static_nj
     }
 
     /// Total energy in millijoules.
     pub fn total_mj(&self) -> f64 {
-        self.total_nj() / 1e6
+        self.total_nj().nj() / 1e6
     }
 
     /// Adds another breakdown into this one.
@@ -55,7 +57,7 @@ impl EnergyBreakdown {
     /// quantity GaaS-X's sparse mapping attacks (paper Fig 5).
     pub fn write_fraction(&self) -> f64 {
         let total = self.total_nj();
-        if total == 0.0 {
+        if total == Nanojoules::ZERO {
             0.0
         } else {
             self.write_nj / total
@@ -63,7 +65,7 @@ impl EnergyBreakdown {
     }
 
     /// `(label, value_nj)` pairs for report rendering.
-    pub fn components(&self) -> [(&'static str, f64); 6] {
+    pub fn components(&self) -> [(&'static str, Nanojoules); 6] {
         [
             ("mac", self.mac_nj),
             ("cam", self.cam_nj),
@@ -106,32 +108,36 @@ impl<'a> std::iter::Sum<&'a EnergyBreakdown> for EnergyBreakdown {
 mod tests {
     use super::*;
 
+    fn nj(raw: f64) -> Nanojoules {
+        Nanojoules::from_nj(raw)
+    }
+
     #[test]
     fn totals_and_merge() {
         let mut a = EnergyBreakdown {
-            mac_nj: 1.0,
-            cam_nj: 2.0,
-            write_nj: 3.0,
-            sfu_nj: 4.0,
-            buffer_nj: 5.0,
-            static_nj: 6.0,
+            mac_nj: nj(1.0),
+            cam_nj: nj(2.0),
+            write_nj: nj(3.0),
+            sfu_nj: nj(4.0),
+            buffer_nj: nj(5.0),
+            static_nj: nj(6.0),
         };
-        assert_eq!(a.total_nj(), 21.0);
+        assert_eq!(a.total_nj(), nj(21.0));
         let b = a;
         a.merge(&b);
-        assert_eq!(a.total_nj(), 42.0);
-        assert_eq!((b + b).total_nj(), 42.0);
+        assert_eq!(a.total_nj(), nj(42.0));
+        assert_eq!((b + b).total_nj(), nj(42.0));
     }
 
     #[test]
     fn sum_and_add_assign() {
         let unit = EnergyBreakdown {
-            mac_nj: 1.0,
-            static_nj: 0.5,
+            mac_nj: nj(1.0),
+            static_nj: nj(0.5),
             ..Default::default()
         };
         let total: EnergyBreakdown = [unit, unit, unit].iter().sum();
-        assert!((total.total_nj() - 4.5).abs() < 1e-12);
+        assert!((total.total_nj().nj() - 4.5).abs() < 1e-12);
         let mut acc = EnergyBreakdown::new();
         acc += unit;
         acc += unit;
@@ -143,8 +149,8 @@ mod tests {
     #[test]
     fn write_fraction() {
         let e = EnergyBreakdown {
-            write_nj: 1.0,
-            mac_nj: 3.0,
+            write_nj: nj(1.0),
+            mac_nj: nj(3.0),
             ..Default::default()
         };
         assert!((e.write_fraction() - 0.25).abs() < 1e-12);
@@ -154,7 +160,7 @@ mod tests {
     #[test]
     fn unit_conversion() {
         let e = EnergyBreakdown {
-            mac_nj: 2.5e6,
+            mac_nj: nj(2.5e6),
             ..Default::default()
         };
         assert!((e.total_mj() - 2.5).abs() < 1e-12);

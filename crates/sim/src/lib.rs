@@ -36,6 +36,7 @@ pub mod report;
 pub mod stats;
 pub mod table;
 pub mod timeline;
+pub mod units;
 
 pub use buffer::SramBuffer;
 pub use energy::EnergyBreakdown;
@@ -49,3 +50,4 @@ pub use timeline::{
     chrome_trace_json, BankUtilization, Timeline, TimelineInterval, TimelineSink,
     UtilizationReport, CONTROLLER_BANK,
 };
+pub use units::{Nanojoules, Nanos, Picojoules};

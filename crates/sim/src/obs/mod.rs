@@ -39,6 +39,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::histogram::Histogram;
 use crate::report::OpSummary;
+use crate::units::Nanos;
 
 mod sink;
 mod span;
@@ -119,12 +120,12 @@ impl Phase {
 pub struct PhaseBreakdown {
     /// The phase.
     pub phase: Phase,
-    /// Share of the end-to-end makespan attributed to this phase, ns.
+    /// Share of the end-to-end makespan attributed to this phase.
     /// Summed over all entries this equals the report's `elapsed_ns`.
-    pub sched_ns: f64,
-    /// Total busy time summed over all units/spans, ns (exceeds
-    /// `sched_ns` whenever banks work in parallel).
-    pub busy_ns: f64,
+    pub sched_ns: Nanos,
+    /// Total busy time summed over all units/spans (exceeds `sched_ns`
+    /// whenever banks work in parallel).
+    pub busy_ns: Nanos,
     /// Number of operations (spans) in this phase.
     pub count: u64,
 }
@@ -134,8 +135,8 @@ pub struct PhaseBreakdown {
 pub struct BankBreakdown {
     /// Bank id.
     pub bank: u32,
-    /// Total busy time on this bank, ns.
-    pub busy_ns: f64,
+    /// Total busy time on this bank.
+    pub busy_ns: Nanos,
     /// Blocks dispatched to this bank.
     pub count: u64,
 }
@@ -343,26 +344,29 @@ impl MetricsRegistry {
 /// then adjusted so the shares sum to `makespan_ns` **exactly** — which is
 /// what makes [`crate::RunReport::phases_total_sched_ns`] equal
 /// `elapsed_ns` bit-for-bit rather than merely approximately.
-pub fn attribute_makespan(makespan_ns: f64, busy: &[(Phase, f64, u64)]) -> Vec<PhaseBreakdown> {
-    let total: f64 = busy.iter().map(|&(_, ns, _)| ns.max(0.0)).sum();
+pub fn attribute_makespan(makespan_ns: Nanos, busy: &[(Phase, Nanos, u64)]) -> Vec<PhaseBreakdown> {
+    let total: Nanos = busy.iter().map(|&(_, ns, _)| ns.max(Nanos::ZERO)).sum();
     let mut out: Vec<PhaseBreakdown> = busy
         .iter()
-        .filter(|&&(_, ns, count)| ns > 0.0 || count > 0)
+        .filter(|&&(_, ns, count)| ns > Nanos::ZERO || count > 0)
         .map(|&(phase, ns, count)| PhaseBreakdown {
             phase,
-            sched_ns: if total > 0.0 {
-                makespan_ns * ns.max(0.0) / total
+            sched_ns: if total > Nanos::ZERO {
+                // Raw f64 keeps the historical `(makespan * busy) / total`
+                // evaluation order; `makespan * (busy / total)` rounds
+                // differently and would break report bit-identity.
+                Nanos::from_ns(makespan_ns.ns() * ns.max(Nanos::ZERO).ns() / total.ns())
             } else {
-                0.0
+                Nanos::ZERO
             },
-            busy_ns: ns.max(0.0),
+            busy_ns: ns.max(Nanos::ZERO),
             count,
         })
         .collect();
     if out.is_empty() {
         return out;
     }
-    if total <= 0.0 {
+    if total <= Nanos::ZERO {
         let even = makespan_ns / out.len() as f64;
         for p in &mut out {
             p.sched_ns = even;
@@ -377,24 +381,24 @@ pub fn attribute_makespan(makespan_ns: f64, busy: &[(Phase, f64, u64)]) -> Vec<P
     // can (where one input ulp may move the re-summed total by two).
     let pinned = out
         .iter()
-        .rposition(|p| p.sched_ns > 0.0)
+        .rposition(|p| p.sched_ns > Nanos::ZERO)
         .unwrap_or(out.len() - 1);
     // Shares are non-negative finite, so stepping one ulp is a bit bump.
-    let ulp_up = |x: f64| f64::from_bits(x.to_bits() + 1);
-    let ulp_down = |x: f64| {
-        if x <= 0.0 {
-            0.0
+    let ulp_up = |x: Nanos| Nanos::from_ns(f64::from_bits(x.ns().to_bits() + 1));
+    let ulp_down = |x: Nanos| {
+        if x <= Nanos::ZERO {
+            Nanos::ZERO
         } else {
-            f64::from_bits(x.to_bits() - 1)
+            Nanos::from_ns(f64::from_bits(x.ns().to_bits() - 1))
         }
     };
     for _ in 0..64 {
-        let total: f64 = out.iter().map(|p| p.sched_ns).sum();
+        let total: Nanos = out.iter().map(|p| p.sched_ns).sum();
         if total == makespan_ns {
             break;
         }
         let cur = out[pinned].sched_ns;
-        let mut next = (cur + (makespan_ns - total)).max(0.0);
+        let mut next = (cur + (makespan_ns - total)).max(Nanos::ZERO);
         if next == cur {
             // The residue is below one ulp of the share; step directly.
             next = if total < makespan_ns {
@@ -673,16 +677,16 @@ mod tests {
 
     #[test]
     fn attribution_sums_exactly_and_drops_idle_phases() {
-        let makespan = 1234.567_f64;
+        let makespan = Nanos::from_ns(1234.567);
         let busy = [
-            (Phase::LoadBlock, 300.0, 10),
-            (Phase::CamSearch, 0.1, 3),
-            (Phase::MacGather, 7000.0, 99),
-            (Phase::Sfu, 0.0, 0), // idle: dropped
+            (Phase::LoadBlock, Nanos::from_ns(300.0), 10),
+            (Phase::CamSearch, Nanos::from_ns(0.1), 3),
+            (Phase::MacGather, Nanos::from_ns(7000.0), 99),
+            (Phase::Sfu, Nanos::ZERO, 0), // idle: dropped
         ];
         let phases = attribute_makespan(makespan, &busy);
         assert_eq!(phases.len(), 3);
-        let sum: f64 = phases.iter().map(|p| p.sched_ns).sum();
+        let sum: Nanos = phases.iter().map(|p| p.sched_ns).sum();
         assert_eq!(sum, makespan, "shares must sum exactly");
         // Shares order like busy times.
         assert!(phases[2].sched_ns > phases[0].sched_ns);
@@ -692,16 +696,23 @@ mod tests {
 
     #[test]
     fn attribution_handles_degenerate_inputs() {
-        assert!(attribute_makespan(10.0, &[]).is_empty());
-        assert!(attribute_makespan(10.0, &[(Phase::Sfu, 0.0, 0)]).is_empty());
+        let ns = Nanos::from_ns;
+        assert!(attribute_makespan(ns(10.0), &[]).is_empty());
+        assert!(attribute_makespan(ns(10.0), &[(Phase::Sfu, Nanos::ZERO, 0)]).is_empty());
         // Counted ops without busy time split the makespan evenly.
-        let phases = attribute_makespan(10.0, &[(Phase::Sfu, 0.0, 4), (Phase::CamSearch, 0.0, 1)]);
-        let sum: f64 = phases.iter().map(|p| p.sched_ns).sum();
-        assert_eq!(sum, 10.0);
+        let phases = attribute_makespan(
+            ns(10.0),
+            &[
+                (Phase::Sfu, Nanos::ZERO, 4),
+                (Phase::CamSearch, Nanos::ZERO, 1),
+            ],
+        );
+        let sum: Nanos = phases.iter().map(|p| p.sched_ns).sum();
+        assert_eq!(sum, ns(10.0));
         // Zero makespan yields zero shares.
-        let z = attribute_makespan(0.0, &[(Phase::Sfu, 5.0, 1)]);
-        assert_eq!(z[0].sched_ns, 0.0);
-        assert_eq!(z[0].busy_ns, 5.0);
+        let z = attribute_makespan(Nanos::ZERO, &[(Phase::Sfu, ns(5.0), 1)]);
+        assert_eq!(z[0].sched_ns, Nanos::ZERO);
+        assert_eq!(z[0].busy_ns, ns(5.0));
     }
 
     #[test]
@@ -762,9 +773,9 @@ mod tests {
         outer.end(10.0);
         let phases = agg.phase_rollup();
         let load = phases.iter().find(|p| p.phase == Phase::LoadBlock).unwrap();
-        assert!((load.busy_ns - 10.0).abs() < 1e-12);
+        assert!((load.busy_ns.ns() - 10.0).abs() < 1e-12);
         assert_eq!(load.count, 1);
         let cam = phases.iter().find(|p| p.phase == Phase::CamSearch).unwrap();
-        assert!((cam.busy_ns - 1.0).abs() < 1e-12);
+        assert!((cam.busy_ns.ns() - 1.0).abs() < 1e-12);
     }
 }

@@ -11,6 +11,7 @@ use parking_lot::Mutex;
 use super::span::{counter_to_json, gauge_to_json, span_to_json};
 use super::{BankBreakdown, Phase, PhaseBreakdown, SpanEvent};
 use crate::timeline::{interval_to_json, TimelineInterval};
+use crate::units::Nanos;
 
 /// Receives every finished span (and, at flush, the metric snapshot).
 ///
@@ -128,8 +129,8 @@ impl AggregateSink {
                 }
                 Some(PhaseBreakdown {
                     phase,
-                    sched_ns: 0.0,
-                    busy_ns: agg.busy_ns.get(),
+                    sched_ns: Nanos::ZERO,
+                    busy_ns: Nanos::from_ns(agg.busy_ns.get()),
                     count,
                 })
             })
@@ -144,7 +145,7 @@ impl AggregateSink {
             .iter()
             .map(|&(bank, busy_ns, count)| BankBreakdown {
                 bank,
-                busy_ns,
+                busy_ns: Nanos::from_ns(busy_ns),
                 count,
             })
             .collect();
@@ -152,9 +153,9 @@ impl AggregateSink {
         banks
     }
 
-    /// Total busy ns across every phase.
-    pub fn total_busy_ns(&self) -> f64 {
-        self.phases.iter().map(|p| p.busy_ns.get()).sum()
+    /// Total busy time across every phase.
+    pub fn total_busy_ns(&self) -> Nanos {
+        Nanos::from_ns(self.phases.iter().map(|p| p.busy_ns.get()).sum())
     }
 }
 
@@ -345,16 +346,16 @@ mod tests {
         let phases = agg.phase_rollup();
         assert_eq!(phases.len(), 2);
         let cam = phases.iter().find(|p| p.phase == Phase::CamSearch).unwrap();
-        assert!((cam.busy_ns - 5.0).abs() < 1e-12);
+        assert!((cam.busy_ns.ns() - 5.0).abs() < 1e-12);
         assert_eq!(cam.count, 2);
 
         let banks = agg.bank_rollup();
         assert_eq!(banks.len(), 2);
         assert_eq!(banks[0].bank, 1);
-        assert!((banks[0].busy_ns - 6.0).abs() < 1e-12);
+        assert!((banks[0].busy_ns.ns() - 6.0).abs() < 1e-12);
         assert_eq!(banks[0].count, 2);
         assert_eq!(banks[1].bank, 7);
-        assert!((agg.total_busy_ns() - 16.0).abs() < 1e-12);
+        assert!((agg.total_busy_ns().ns() - 16.0).abs() < 1e-12);
     }
 
     #[test]
@@ -409,7 +410,7 @@ mod tests {
         for e in &events {
             target.replay_span(e);
         }
-        assert!((agg.total_busy_ns() - 34.0).abs() < 1e-12);
+        assert!((agg.total_busy_ns().ns() - 34.0).abs() < 1e-12);
         assert_eq!(agg.bank_rollup().len(), 1);
     }
 
@@ -480,8 +481,8 @@ mod tests {
             bank: 1,
             lane: COMPUTE_LANE,
             phase: Phase::MacGather,
-            start_ns: 0.0,
-            dur_ns: 30.0,
+            start_ns: Nanos::ZERO,
+            dur_ns: Nanos::from_ns(30.0),
             block: Some(0),
         });
         t.flush();

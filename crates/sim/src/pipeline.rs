@@ -68,11 +68,11 @@ impl PipelineClock {
     /// Accounts one shard: its load starts as soon as the load unit is free
     /// and its compute starts once both the load finished and the compute
     /// unit freed up. Returns the shard's compute completion time.
-    pub fn advance(&mut self, load: f64, compute: f64) -> f64 {
-        let load_done = self.load_ready + load;
+    pub fn advance(&mut self, load_ns: f64, compute_ns: f64) -> f64 {
+        let load_done = self.load_ready + load_ns;
         self.load_ready = load_done;
         let start = load_done.max(self.compute_done);
-        self.compute_done = start + compute;
+        self.compute_done = start + compute_ns;
         self.compute_done
     }
 

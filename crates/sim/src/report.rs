@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use crate::energy::EnergyBreakdown;
 use crate::histogram::Histogram;
 use crate::obs::PhaseBreakdown;
+use crate::units::{Nanojoules, Nanos};
 
 /// Operation counts of one run, summed over all hardware units.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -128,7 +129,7 @@ pub struct RunReport {
     /// Iterations / supersteps executed.
     pub iterations: u32,
     /// Modeled (or measured) execution time in nanoseconds.
-    pub elapsed_ns: f64,
+    pub elapsed_ns: Nanos,
     /// Energy breakdown.
     pub energy: EnergyBreakdown,
     /// Operation counts.
@@ -166,7 +167,7 @@ impl RunReport {
             algorithm: algorithm.into(),
             workload: workload.into(),
             iterations: 0,
-            elapsed_ns: 0.0,
+            elapsed_ns: Nanos::ZERO,
             energy: EnergyBreakdown::new(),
             ops: OpSummary::default(),
             rows_per_mac: Histogram::new(16),
@@ -184,18 +185,18 @@ impl RunReport {
 
     /// Sum of the per-phase makespan shares (equals `elapsed_ns` when the
     /// engine attributed its schedule; 0 when `phases` is empty).
-    pub fn phases_total_sched_ns(&self) -> f64 {
+    pub fn phases_total_sched_ns(&self) -> Nanos {
         self.phases.iter().map(|p| p.sched_ns).sum()
     }
 
     /// Execution time in milliseconds.
     pub fn time_ms(&self) -> f64 {
-        self.elapsed_ns / 1e6
+        self.elapsed_ns.ns() / 1e6
     }
 
     /// Execution time in seconds.
     pub fn time_s(&self) -> f64 {
-        self.elapsed_ns / 1e9
+        self.elapsed_ns.ns() / 1e9
     }
 
     /// Total energy in millijoules.
@@ -205,7 +206,7 @@ impl RunReport {
 
     /// Edge throughput in edges/second over the whole run (all iterations).
     pub fn edges_per_second(&self) -> f64 {
-        if self.elapsed_ns == 0.0 {
+        if self.elapsed_ns == Nanos::ZERO {
             return 0.0;
         }
         self.num_edges.saturating_mul(self.iterations as u64) as f64 / self.time_s()
@@ -214,7 +215,7 @@ impl RunReport {
     /// How many times faster this run is than `other`
     /// (`other.time / self.time`).
     pub fn speedup_over(&self, other: &RunReport) -> f64 {
-        if self.elapsed_ns == 0.0 {
+        if self.elapsed_ns == Nanos::ZERO {
             return f64::INFINITY;
         }
         other.elapsed_ns / self.elapsed_ns
@@ -223,7 +224,7 @@ impl RunReport {
     /// How many times less energy this run used than `other`.
     pub fn energy_savings_over(&self, other: &RunReport) -> f64 {
         let own = self.energy.total_nj();
-        if own == 0.0 {
+        if own == Nanojoules::ZERO {
             return f64::INFINITY;
         }
         other.energy.total_nj() / own
@@ -236,8 +237,8 @@ mod tests {
 
     fn report(ns: f64, mac_nj: f64) -> RunReport {
         let mut r = RunReport::new("e", "a", "w");
-        r.elapsed_ns = ns;
-        r.energy.mac_nj = mac_nj;
+        r.elapsed_ns = Nanos::from_ns(ns);
+        r.energy.mac_nj = Nanojoules::from_nj(mac_nj);
         r.iterations = 1;
         r.num_edges = 1000;
         r
@@ -307,22 +308,22 @@ mod tests {
         use crate::obs::{Phase, PhaseBreakdown};
         let mut r = report(10.0, 0.0);
         assert_eq!(r.phase(Phase::Sfu), None);
-        assert_eq!(r.phases_total_sched_ns(), 0.0);
+        assert_eq!(r.phases_total_sched_ns(), Nanos::ZERO);
         r.phases = vec![
             PhaseBreakdown {
                 phase: Phase::LoadBlock,
-                sched_ns: 6.0,
-                busy_ns: 12.0,
+                sched_ns: Nanos::from_ns(6.0),
+                busy_ns: Nanos::from_ns(12.0),
                 count: 2,
             },
             PhaseBreakdown {
                 phase: Phase::Sfu,
-                sched_ns: 4.0,
-                busy_ns: 4.0,
+                sched_ns: Nanos::from_ns(4.0),
+                busy_ns: Nanos::from_ns(4.0),
                 count: 8,
             },
         ];
         assert_eq!(r.phase(Phase::Sfu).unwrap().count, 8);
-        assert!((r.phases_total_sched_ns() - 10.0).abs() < 1e-12);
+        assert!((r.phases_total_sched_ns().ns() - 10.0).abs() < 1e-12);
     }
 }

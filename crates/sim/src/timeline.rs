@@ -34,6 +34,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::obs::{Phase, Sink, SpanEvent};
+use crate::units::Nanos;
 use parking_lot::Mutex;
 
 /// Synthetic bank id for controller-side work performed outside any
@@ -56,19 +57,19 @@ pub struct TimelineInterval {
     pub lane: u32,
     /// Execution phase of the operation.
     pub phase: Phase,
-    /// Start on the modeled time axis, ns.
-    pub start_ns: f64,
-    /// Duration, ns. Never clamped: the conservation fold consumes these
+    /// Start on the modeled time axis.
+    pub start_ns: Nanos,
+    /// Duration. Never clamped: the conservation fold consumes these
     /// exact values.
-    pub dur_ns: f64,
+    pub dur_ns: Nanos,
     /// Index of the block this operation belongs to, in canonical
     /// cost-stream order; `None` for controller work.
     pub block: Option<u32>,
 }
 
 impl TimelineInterval {
-    /// End of the interval, ns.
-    pub fn end_ns(&self) -> f64 {
+    /// End of the interval.
+    pub fn end_ns(&self) -> Nanos {
         self.start_ns + self.dur_ns
     }
 }
@@ -79,13 +80,13 @@ impl TimelineInterval {
 pub struct Timeline {
     intervals: Vec<TimelineInterval>,
     /// End of the last interval per `(bank, lane)` track.
-    cursors: std::collections::BTreeMap<(u32, u32), f64>,
-    makespan_ns: f64,
+    cursors: std::collections::BTreeMap<(u32, u32), Nanos>,
+    makespan_ns: Nanos,
 }
 
 impl Timeline {
     /// An empty timeline for a run of the given scheduled makespan.
-    pub fn new(makespan_ns: f64) -> Self {
+    pub fn new(makespan_ns: Nanos) -> Self {
         Timeline {
             intervals: Vec::new(),
             cursors: std::collections::BTreeMap::new(),
@@ -97,7 +98,7 @@ impl Timeline {
     /// from a [`TimelineSink`]. Placement is idempotent: re-pushing a
     /// stream of per-track non-overlapping intervals in emission order
     /// reproduces their starts and durations exactly.
-    pub fn from_intervals(makespan_ns: f64, intervals: &[TimelineInterval]) -> Self {
+    pub fn from_intervals(makespan_ns: Nanos, intervals: &[TimelineInterval]) -> Self {
         let mut tl = Timeline::new(makespan_ns);
         for iv in intervals {
             tl.push(iv.bank, iv.lane, iv.phase, iv.start_ns, iv.dur_ns, iv.block);
@@ -105,8 +106,8 @@ impl Timeline {
         tl
     }
 
-    /// The scheduled makespan this timeline describes, ns.
-    pub fn makespan_ns(&self) -> f64 {
+    /// The scheduled makespan this timeline describes.
+    pub fn makespan_ns(&self) -> Nanos {
         self.makespan_ns
     }
 
@@ -120,14 +121,14 @@ impl Timeline {
         bank: u32,
         lane: u32,
         phase: Phase,
-        start_ns: f64,
-        dur_ns: f64,
+        start_ns: Nanos,
+        dur_ns: Nanos,
         block: Option<u32>,
     ) {
-        if dur_ns <= 0.0 || dur_ns.is_nan() {
+        if dur_ns <= Nanos::ZERO || dur_ns.ns().is_nan() {
             return;
         }
-        let cursor = self.cursors.entry((bank, lane)).or_insert(0.0);
+        let cursor = self.cursors.entry((bank, lane)).or_insert(Nanos::ZERO);
         let start = start_ns.max(*cursor);
         *cursor = start + dur_ns;
         self.intervals.push(TimelineInterval {
@@ -156,11 +157,13 @@ impl Timeline {
         self.intervals.is_empty()
     }
 
-    /// Latest interval end across all tracks, ns (0 when empty). Can
-    /// exceed [`Timeline::makespan_ns`] when track serialization pushed
+    /// Latest interval end across all tracks (0 when empty). Can exceed
+    /// [`Timeline::makespan_ns`] when track serialization pushed
     /// intervals past their nominal slots.
-    pub fn max_end_ns(&self) -> f64 {
-        self.cursors.values().fold(0.0, |acc, &v| acc.max(v))
+    pub fn max_end_ns(&self) -> Nanos {
+        self.cursors
+            .values()
+            .fold(Nanos::ZERO, |acc, &v| acc.max(v))
     }
 
     /// Folds interval durations into per-phase busy totals (indexed by
@@ -169,18 +172,18 @@ impl Timeline {
     /// one load term followed by the block's per-phase compute subtotals
     /// (rebuilt from the ops in issue order, added as one term per
     /// phase). See the module docs for why the grouping matters.
-    pub fn phase_busy_ns(&self) -> [f64; 7] {
-        let mut busy = [0.0f64; 7];
+    pub fn phase_busy_ns(&self) -> [Nanos; 7] {
+        let mut busy = [Nanos::ZERO; 7];
         let mut cur_block: Option<u32> = None;
-        let mut pending_load = 0.0f64;
-        let mut pending_compute = [0.0f64; 7];
-        let flush = |busy: &mut [f64; 7], load: &mut f64, compute: &mut [f64; 7]| {
+        let mut pending_load = Nanos::ZERO;
+        let mut pending_compute = [Nanos::ZERO; 7];
+        let flush = |busy: &mut [Nanos; 7], load: &mut Nanos, compute: &mut [Nanos; 7]| {
             busy[Phase::LoadBlock.index()] += *load;
             for (acc, ns) in busy.iter_mut().zip(compute.iter()) {
-                *acc += ns;
+                *acc += *ns;
             }
-            *load = 0.0;
-            *compute = [0.0; 7];
+            *load = Nanos::ZERO;
+            *compute = [Nanos::ZERO; 7];
         };
         for iv in &self.intervals {
             if iv.block != cur_block {
@@ -213,15 +216,15 @@ impl Timeline {
 pub struct BankUtilization {
     /// Bank id ([`CONTROLLER_BANK`] for the controller row).
     pub bank: u32,
-    /// Total load-lane occupancy (streaming + programming), ns.
-    pub load_busy_ns: f64,
-    /// Total compute-lane occupancy, ns.
-    pub compute_busy_ns: f64,
-    /// Union occupancy of both lanes (busy on *either*), ns.
-    pub busy_ns: f64,
+    /// Total load-lane occupancy (streaming + programming).
+    pub load_busy_ns: Nanos,
+    /// Total compute-lane occupancy.
+    pub compute_busy_ns: Nanos,
+    /// Union occupancy of both lanes (busy on *either*).
+    pub busy_ns: Nanos,
     /// Time both lanes were busy simultaneously — the double-buffering
-    /// overlap this bank actually achieved, ns.
-    pub overlap_ns: f64,
+    /// overlap this bank actually achieved.
+    pub overlap_ns: Nanos,
     /// `busy_ns / makespan_ns` (0 for a zero makespan). Can nudge past
     /// 1.0 when track serialization pushed work past the makespan.
     pub utilization: f64,
@@ -231,15 +234,14 @@ pub struct BankUtilization {
 /// [`crate::RunReport`] when the run recorded a timeline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct UtilizationReport {
-    /// Scheduled makespan of the run, ns (equals the report's
-    /// `elapsed_ns`).
-    pub makespan_ns: f64,
+    /// Scheduled makespan of the run (equals the report's `elapsed_ns`).
+    pub makespan_ns: Nanos,
     /// Per-bank rows, ascending by bank id with the controller row last.
     pub banks: Vec<BankUtilization>,
     /// Per-phase busy totals (indexed by [`Phase::index`]) — the
     /// conservation anchor: bit-identical to the `busy_ns` values of the
     /// report's phase attribution.
-    pub phase_busy_ns: [f64; 7],
+    pub phase_busy_ns: [Nanos; 7],
     /// The busiest physical bank (the critical path under the bank-
     /// parallel schedule); `None` when no physical bank saw work.
     pub critical_bank: Option<u32>,
@@ -272,13 +274,13 @@ impl UtilizationReport {
                 .intervals()
                 .iter()
                 .filter(|iv| iv.bank == bank && iv.lane == LOAD_LANE)
-                .map(|iv| (iv.start_ns, iv.end_ns()))
+                .map(|iv| (iv.start_ns.ns(), iv.end_ns().ns()))
                 .collect();
             let compute: Vec<(f64, f64)> = timeline
                 .intervals()
                 .iter()
                 .filter(|iv| iv.bank == bank && iv.lane != LOAD_LANE)
-                .map(|iv| (iv.start_ns, iv.end_ns()))
+                .map(|iv| (iv.start_ns.ns(), iv.end_ns().ns()))
                 .collect();
             // `+ 0.0` normalizes the `-0.0` an empty lane's sum produces.
             let load_busy_ns: f64 = load.iter().map(|&(s, e)| e - s).sum::<f64>() + 0.0;
@@ -287,12 +289,12 @@ impl UtilizationReport {
             let overlap_ns = (load_busy_ns + compute_busy_ns - busy_ns).max(0.0);
             banks.push(BankUtilization {
                 bank,
-                load_busy_ns,
-                compute_busy_ns,
-                busy_ns,
-                overlap_ns,
-                utilization: if makespan_ns > 0.0 {
-                    busy_ns / makespan_ns
+                load_busy_ns: Nanos::from_ns(load_busy_ns),
+                compute_busy_ns: Nanos::from_ns(compute_busy_ns),
+                busy_ns: Nanos::from_ns(busy_ns),
+                overlap_ns: Nanos::from_ns(overlap_ns),
+                utilization: if makespan_ns > Nanos::ZERO {
+                    busy_ns / makespan_ns.ns()
                 } else {
                     0.0
                 },
@@ -317,8 +319,8 @@ impl UtilizationReport {
         self.banks.iter().find(|b| b.bank == bank)
     }
 
-    /// Total busy ns across all phases (sum of the conservation anchor).
-    pub fn total_busy_ns(&self) -> f64 {
+    /// Total busy time across all phases (sum of the conservation anchor).
+    pub fn total_busy_ns(&self) -> Nanos {
         self.phase_busy_ns.iter().sum()
     }
 
@@ -463,9 +465,9 @@ pub fn interval_to_json(iv: &TimelineInterval) -> String {
     out.push_str(",\"phase\":\"");
     out.push_str(iv.phase.name());
     out.push_str("\",\"start_ns\":");
-    push_ns(&mut out, iv.start_ns);
+    push_ns(&mut out, iv.start_ns.ns());
     out.push_str(",\"dur_ns\":");
-    push_ns(&mut out, iv.dur_ns);
+    push_ns(&mut out, iv.dur_ns.ns());
     if let Some(block) = iv.block {
         out.push_str(",\"block\":");
         out.push_str(&block.to_string());
@@ -526,9 +528,9 @@ pub fn chrome_trace_json(timeline: &Timeline) -> String {
         out.push_str("\",\"ph\":\"X\",\"pid\":0,\"tid\":");
         out.push_str(&tid_of(iv.bank, iv.lane).to_string());
         out.push_str(",\"ts\":");
-        push_us(&mut out, iv.start_ns);
+        push_us(&mut out, iv.start_ns.ns());
         out.push_str(",\"dur\":");
-        push_us(&mut out, iv.dur_ns);
+        push_us(&mut out, iv.dur_ns.ns());
         out.push_str(",\"args\":{\"bank\":");
         out.push_str(&iv.bank.to_string());
         out.push_str(",\"lane\":");
@@ -547,22 +549,33 @@ pub fn chrome_trace_json(timeline: &Timeline) -> String {
 mod tests {
     use super::*;
 
+    fn ns(v: f64) -> Nanos {
+        Nanos::from_ns(v)
+    }
+
     #[test]
     fn push_serializes_tracks_and_skips_zero_durations() {
-        let mut tl = Timeline::new(100.0);
-        tl.push(0, COMPUTE_LANE, Phase::CamSearch, 0.0, 4.0, Some(0));
+        let mut tl = Timeline::new(ns(100.0));
+        tl.push(0, COMPUTE_LANE, Phase::CamSearch, ns(0.0), ns(4.0), Some(0));
         // Nominal start inside the previous interval: pushed right.
-        tl.push(0, COMPUTE_LANE, Phase::MacGather, 2.0, 30.0, Some(0));
+        tl.push(
+            0,
+            COMPUTE_LANE,
+            Phase::MacGather,
+            ns(2.0),
+            ns(30.0),
+            Some(0),
+        );
         // Another lane is an independent track.
-        tl.push(0, LOAD_LANE, Phase::LoadBlock, 1.0, 5.0, Some(0));
-        tl.push(0, COMPUTE_LANE, Phase::Sfu, 0.0, 0.0, Some(0));
+        tl.push(0, LOAD_LANE, Phase::LoadBlock, ns(1.0), ns(5.0), Some(0));
+        tl.push(0, COMPUTE_LANE, Phase::Sfu, ns(0.0), ns(0.0), Some(0));
         assert_eq!(tl.len(), 3);
-        assert_eq!(tl.intervals()[1].start_ns, 4.0);
-        assert_eq!(tl.intervals()[2].start_ns, 1.0);
-        assert_eq!(tl.max_end_ns(), 34.0);
+        assert_eq!(tl.intervals()[1].start_ns, ns(4.0));
+        assert_eq!(tl.intervals()[2].start_ns, ns(1.0));
+        assert_eq!(tl.max_end_ns(), ns(34.0));
         // Non-overlap per track.
         for w in [COMPUTE_LANE, LOAD_LANE] {
-            let mut end = 0.0;
+            let mut end = Nanos::ZERO;
             for iv in tl.intervals().iter().filter(|iv| iv.lane == w) {
                 assert!(iv.start_ns >= end);
                 end = iv.end_ns();
@@ -572,11 +585,25 @@ mod tests {
 
     #[test]
     fn from_intervals_round_trips_placed_streams() {
-        let mut tl = Timeline::new(50.0);
-        tl.push(CONTROLLER_BANK, LOAD_LANE, Phase::Sfu, 0.0, 0.125, None);
-        tl.push(0, LOAD_LANE, Phase::LoadBlock, 0.0, 10.0, Some(0));
-        tl.push(0, COMPUTE_LANE, Phase::CamSearch, 2.0, 4.0, Some(0));
-        tl.push(0, COMPUTE_LANE, Phase::MacGather, 3.0, 30.0, Some(0));
+        let mut tl = Timeline::new(ns(50.0));
+        tl.push(
+            CONTROLLER_BANK,
+            LOAD_LANE,
+            Phase::Sfu,
+            ns(0.0),
+            ns(0.125),
+            None,
+        );
+        tl.push(0, LOAD_LANE, Phase::LoadBlock, ns(0.0), ns(10.0), Some(0));
+        tl.push(0, COMPUTE_LANE, Phase::CamSearch, ns(2.0), ns(4.0), Some(0));
+        tl.push(
+            0,
+            COMPUTE_LANE,
+            Phase::MacGather,
+            ns(3.0),
+            ns(30.0),
+            Some(0),
+        );
         let rebuilt = Timeline::from_intervals(tl.makespan_ns(), tl.intervals());
         assert_eq!(rebuilt.intervals(), tl.intervals());
         assert_eq!(rebuilt.makespan_ns(), tl.makespan_ns());
@@ -585,41 +612,76 @@ mod tests {
 
     #[test]
     fn phase_busy_fold_matches_manual_accounting() {
-        let mut tl = Timeline::new(50.0);
+        let mut tl = Timeline::new(ns(50.0));
         // Controller extras first.
-        tl.push(CONTROLLER_BANK, LOAD_LANE, Phase::Sfu, 0.0, 0.125, None);
+        tl.push(
+            CONTROLLER_BANK,
+            LOAD_LANE,
+            Phase::Sfu,
+            ns(0.0),
+            ns(0.125),
+            None,
+        );
         // Block 0: load then two compute ops.
-        tl.push(0, LOAD_LANE, Phase::LoadBlock, 0.0, 10.0, Some(0));
-        tl.push(0, COMPUTE_LANE, Phase::CamSearch, 10.0, 4.0, Some(0));
-        tl.push(0, COMPUTE_LANE, Phase::MacGather, 14.0, 30.0, Some(0));
+        tl.push(0, LOAD_LANE, Phase::LoadBlock, ns(0.0), ns(10.0), Some(0));
+        tl.push(
+            0,
+            COMPUTE_LANE,
+            Phase::CamSearch,
+            ns(10.0),
+            ns(4.0),
+            Some(0),
+        );
+        tl.push(
+            0,
+            COMPUTE_LANE,
+            Phase::MacGather,
+            ns(14.0),
+            ns(30.0),
+            Some(0),
+        );
         // Block 1 on another bank.
-        tl.push(1, LOAD_LANE, Phase::LoadBlock, 0.0, 7.0, Some(1));
-        tl.push(1, COMPUTE_LANE, Phase::CamSearch, 7.0, 4.0, Some(1));
+        tl.push(1, LOAD_LANE, Phase::LoadBlock, ns(0.0), ns(7.0), Some(1));
+        tl.push(1, COMPUTE_LANE, Phase::CamSearch, ns(7.0), ns(4.0), Some(1));
         let busy = tl.phase_busy_ns();
-        assert_eq!(busy[Phase::LoadBlock.index()], 17.0);
-        assert_eq!(busy[Phase::CamSearch.index()], 8.0);
-        assert_eq!(busy[Phase::MacGather.index()], 30.0);
-        assert_eq!(busy[Phase::Sfu.index()], 0.125);
-        assert_eq!(busy[Phase::Init.index()], 0.0);
+        assert_eq!(busy[Phase::LoadBlock.index()], ns(17.0));
+        assert_eq!(busy[Phase::CamSearch.index()], ns(8.0));
+        assert_eq!(busy[Phase::MacGather.index()], ns(30.0));
+        assert_eq!(busy[Phase::Sfu.index()], ns(0.125));
+        assert_eq!(busy[Phase::Init.index()], Nanos::ZERO);
     }
 
     #[test]
     fn utilization_report_accounts_overlap_and_critical_bank() {
-        let mut tl = Timeline::new(40.0);
+        let mut tl = Timeline::new(ns(40.0));
         // Bank 0: load [0,10), compute [5,25) -> union 25, overlap 5.
-        tl.push(0, LOAD_LANE, Phase::LoadBlock, 0.0, 10.0, Some(0));
-        tl.push(0, COMPUTE_LANE, Phase::MacGather, 5.0, 20.0, Some(0));
+        tl.push(0, LOAD_LANE, Phase::LoadBlock, ns(0.0), ns(10.0), Some(0));
+        tl.push(
+            0,
+            COMPUTE_LANE,
+            Phase::MacGather,
+            ns(5.0),
+            ns(20.0),
+            Some(0),
+        );
         // Bank 1: compute only.
-        tl.push(1, COMPUTE_LANE, Phase::CamSearch, 0.0, 4.0, Some(1));
+        tl.push(1, COMPUTE_LANE, Phase::CamSearch, ns(0.0), ns(4.0), Some(1));
         // Controller row.
-        tl.push(CONTROLLER_BANK, LOAD_LANE, Phase::Sfu, 0.0, 2.0, None);
+        tl.push(
+            CONTROLLER_BANK,
+            LOAD_LANE,
+            Phase::Sfu,
+            ns(0.0),
+            ns(2.0),
+            None,
+        );
         let u = UtilizationReport::from_timeline(&tl, 0.25);
         assert_eq!(u.banks.len(), 3);
         let b0 = u.bank(0).unwrap();
-        assert_eq!(b0.load_busy_ns, 10.0);
-        assert_eq!(b0.compute_busy_ns, 20.0);
-        assert_eq!(b0.busy_ns, 25.0);
-        assert_eq!(b0.overlap_ns, 5.0);
+        assert_eq!(b0.load_busy_ns, ns(10.0));
+        assert_eq!(b0.compute_busy_ns, ns(20.0));
+        assert_eq!(b0.busy_ns, ns(25.0));
+        assert_eq!(b0.overlap_ns, ns(5.0));
         assert!((b0.utilization - 25.0 / 40.0).abs() < 1e-12);
         assert_eq!(u.critical_bank, Some(0));
         // Controller row is last and never the critical bank.
@@ -652,8 +714,8 @@ mod tests {
             bank: 3,
             lane: COMPUTE_LANE,
             phase: Phase::MacGather,
-            start_ns: 1.0,
-            dur_ns: 30.0,
+            start_ns: ns(1.0),
+            dur_ns: ns(30.0),
             block: Some(0),
         };
         t.emit_interval(&iv);
@@ -665,10 +727,24 @@ mod tests {
 
     #[test]
     fn chrome_trace_encoding_is_wellformed() {
-        let mut tl = Timeline::new(40.0);
-        tl.push(CONTROLLER_BANK, LOAD_LANE, Phase::Sfu, 0.0, 2.0, None);
-        tl.push(0, LOAD_LANE, Phase::LoadBlock, 0.0, 10.0, Some(0));
-        tl.push(0, COMPUTE_LANE, Phase::MacGather, 10.0, 30.0, Some(0));
+        let mut tl = Timeline::new(ns(40.0));
+        tl.push(
+            CONTROLLER_BANK,
+            LOAD_LANE,
+            Phase::Sfu,
+            ns(0.0),
+            ns(2.0),
+            None,
+        );
+        tl.push(0, LOAD_LANE, Phase::LoadBlock, ns(0.0), ns(10.0), Some(0));
+        tl.push(
+            0,
+            COMPUTE_LANE,
+            Phase::MacGather,
+            ns(10.0),
+            ns(30.0),
+            Some(0),
+        );
         let json = chrome_trace_json(&tl);
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"traceEvents\":["));
@@ -690,8 +766,8 @@ mod tests {
             bank: 2,
             lane: 1,
             phase: Phase::CamSearch,
-            start_ns: 12.5,
-            dur_ns: 4.0,
+            start_ns: ns(12.5),
+            dur_ns: ns(4.0),
             block: Some(7),
         };
         assert_eq!(

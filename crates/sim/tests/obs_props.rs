@@ -31,7 +31,7 @@ fn replay(spans: &[(usize, f64)], nested: &[bool]) -> Vec<(Phase, f64, u64)> {
     }
     sink.phase_rollup()
         .into_iter()
-        .map(|p| (p.phase, p.busy_ns, p.count))
+        .map(|p| (p.phase, p.busy_ns.ns(), p.count))
         .collect()
 }
 

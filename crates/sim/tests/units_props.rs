@@ -1,0 +1,136 @@
+//! Property tests for the unit-of-measure newtypes ([`Nanos`],
+//! [`Picojoules`], [`Nanojoules`]): every arithmetic door the accounting
+//! paths use must be **bit-identical** to the raw `f64` expression it
+//! replaced. The newtypes exist to catch unit mixing at compile time and
+//! in `gaasx-lint`'s `mixed-units` pass — they must never perturb a
+//! single mantissa bit of the BENCH artifacts.
+
+#![allow(clippy::unwrap_used)]
+
+use gaasx_sim::{Nanojoules, Nanos, Picojoules};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// One raw-vs-typed operation on the running accumulator. Encoded as
+/// `(kind % 4, magnitude)` tuples because the offline proptest shim has
+/// no `prop_oneof!`; the magnitudes span the sim's real dynamic range
+/// (sub-ns device latencies up to multi-second campaign wall clocks).
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Add(f64),
+    Sub(f64),
+    MulScalar(f64),
+    DivScalar(f64),
+}
+
+fn decode(ops: &[(u8, f64)]) -> Vec<Op> {
+    ops.iter()
+        .map(|&(kind, v)| match kind % 4 {
+            0 => Op::Add(v),
+            1 => Op::Sub(v),
+            2 => Op::MulScalar(v % 1e6),
+            _ => Op::DivScalar(v % 1e6),
+        })
+        .collect()
+}
+
+/// Applies `ops` to a raw `f64` accumulator.
+fn fold_raw(start: f64, ops: &[Op]) -> f64 {
+    let mut acc = start;
+    for &op in ops {
+        match op {
+            Op::Add(v) => acc += v,
+            Op::Sub(v) => acc -= v,
+            Op::MulScalar(s) => acc *= s,
+            Op::DivScalar(s) => acc /= s,
+        }
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `Nanos` arithmetic is bit-for-bit the raw `f64` fold.
+    #[test]
+    fn nanos_fold_is_bit_identical(
+        start in -1e12f64..1e12f64,
+        raw_ops in vec((0u8..4, -1e12f64..1e12f64), 0..48),
+    ) {
+        let ops = decode(&raw_ops);
+        let mut acc = Nanos::from_ns(start);
+        for &op in &ops {
+            match op {
+                Op::Add(v) => acc += Nanos::from_ns(v),
+                Op::Sub(v) => acc -= Nanos::from_ns(v),
+                Op::MulScalar(s) => acc *= s,
+                Op::DivScalar(s) => acc /= s,
+            }
+        }
+        let raw = fold_raw(start, &ops);
+        prop_assert_eq!(acc.ns().to_bits(), raw.to_bits());
+    }
+
+    /// `Picojoules` arithmetic is bit-for-bit the raw `f64` fold, and the
+    /// single pJ→nJ conversion door matches the literal `/ 1000.0`.
+    #[test]
+    fn picojoules_fold_is_bit_identical(
+        start in -1e12f64..1e12f64,
+        raw_ops in vec((0u8..4, -1e12f64..1e12f64), 0..48),
+    ) {
+        let ops = decode(&raw_ops);
+        let mut acc = Picojoules::from_pj(start);
+        for &op in &ops {
+            match op {
+                Op::Add(v) => acc += Picojoules::from_pj(v),
+                Op::Sub(v) => acc -= Picojoules::from_pj(v),
+                Op::MulScalar(s) => acc *= s,
+                Op::DivScalar(s) => acc /= s,
+            }
+        }
+        let raw = fold_raw(start, &ops);
+        prop_assert_eq!(acc.pj().to_bits(), raw.to_bits());
+        prop_assert_eq!(
+            acc.to_nanojoules().nj().to_bits(),
+            (raw / 1000.0).to_bits()
+        );
+    }
+
+    /// Binary `+`/`-`, scalar forms on both sides, and self-division all
+    /// match their raw counterparts bit-for-bit.
+    #[test]
+    fn binary_ops_match_raw(a in -1e12f64..1e12f64, b in -1e12f64..1e12f64) {
+        let (x, y) = (Nanos::from_ns(a), Nanos::from_ns(b));
+        prop_assert_eq!((x + y).ns().to_bits(), (a + b).to_bits());
+        prop_assert_eq!((x - y).ns().to_bits(), (a - b).to_bits());
+        prop_assert_eq!((x * b).ns().to_bits(), (a * b).to_bits());
+        prop_assert_eq!((b * x).ns().to_bits(), (b * a).to_bits());
+        prop_assert_eq!((x / b).ns().to_bits(), (a / b).to_bits());
+        // Unit / unit cancels into a bare ratio.
+        prop_assert_eq!((x / y).to_bits(), (a / b).to_bits());
+        prop_assert_eq!(x.max(y).ns().to_bits(), a.max(b).to_bits());
+        prop_assert_eq!(x.min(y).ns().to_bits(), a.min(b).to_bits());
+    }
+
+    /// `Sum` over owned and borrowed iterators matches the raw
+    /// `.sum::<f64>()` it replaced (same association order — and same
+    /// `-0.0` empty-sum identity), for both time and energy.
+    #[test]
+    fn sum_matches_raw_left_fold(values in vec(-1e9f64..1e9f64, 0..64)) {
+        let raw: f64 = values.iter().sum();
+        let owned: Nanos = values.iter().map(|&v| Nanos::from_ns(v)).sum();
+        prop_assert_eq!(owned.ns().to_bits(), raw.to_bits());
+        let typed: Vec<Picojoules> =
+            values.iter().map(|&v| Picojoules::from_pj(v)).collect();
+        let borrowed: Picojoules = typed.iter().sum();
+        prop_assert_eq!(borrowed.pj().to_bits(), raw.to_bits());
+    }
+
+    /// `Display` delegates to `f64`'s formatting exactly — the BENCH
+    /// tables print through `{:.6}`-style format strings.
+    #[test]
+    fn display_matches_f64(v in -1e12f64..1e12f64) {
+        prop_assert_eq!(format!("{:.6}", Nanos::from_ns(v)), format!("{v:.6}"));
+        prop_assert_eq!(format!("{}", Nanojoules::from_nj(v)), format!("{v}"));
+    }
+}

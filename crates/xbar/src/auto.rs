@@ -35,6 +35,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use gaasx_sim::Nanos;
+
 use crate::cam::SearchMode;
 use crate::energy::DeviceEnergyModel;
 
@@ -80,14 +82,14 @@ pub struct BlockShape {
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SearchCostModel {
     /// Cost to compare one stored row in the linear scan.
-    pub scan_row_ns: f64,
+    pub scan_row_ns: Nanos,
     /// Cost to hash-insert one valid entry while (re)building a
     /// [`FieldIndex`](crate::CamCrossbar) after a block load.
-    pub index_build_row_ns: f64,
+    pub index_build_row_ns: Nanos,
     /// Cost of one exact-match index probe.
-    pub index_probe_ns: f64,
+    pub index_probe_ns: Nanos,
     /// Cost to enumerate one hit row out of a probe's match set.
-    pub index_hit_ns: f64,
+    pub index_hit_ns: Nanos,
 }
 
 impl SearchCostModel {
@@ -123,14 +125,14 @@ impl SearchCostModel {
     }
 
     /// Modeled host cost of serving one block visit with the linear scan.
-    pub fn linear_ns(&self, shape: &BlockShape) -> f64 {
-        self.expected_searches(shape) * shape.rows as f64 * self.scan_row_ns
+    pub fn linear_ns(&self, shape: &BlockShape) -> Nanos {
+        (self.expected_searches(shape) * shape.rows as f64) * self.scan_row_ns
     }
 
     /// Modeled host cost of serving one block visit through the index:
     /// one build over the valid entries, then per-search probe plus hit
     /// enumeration (average hits per probe = occupancy / distinct keys).
-    pub fn indexed_ns(&self, shape: &BlockShape) -> f64 {
+    pub fn indexed_ns(&self, shape: &BlockShape) -> Nanos {
         let d = shape.distinct_keys.max(1) as f64;
         let hits_per_probe = shape.occupancy as f64 / d;
         shape.occupancy as f64 * self.index_build_row_ns
@@ -275,8 +277,13 @@ mod tests {
             SearchCostModel::calibrated(&slow),
         );
         let shape = paper_block(SearchProfile::OnePerKey, 1);
-        assert!((b.linear_ns(&shape) - 2.0 * a.linear_ns(&shape)).abs() < 1e-9);
-        assert!((b.indexed_ns(&shape) - 2.0 * a.indexed_ns(&shape)).abs() < 1e-9);
+        assert!((b.linear_ns(&shape) - 2.0 * a.linear_ns(&shape)).ns().abs() < 1e-9);
+        assert!(
+            (b.indexed_ns(&shape) - 2.0 * a.indexed_ns(&shape))
+                .ns()
+                .abs()
+                < 1e-9
+        );
         assert_eq!(a.resolve(&shape), b.resolve(&shape));
     }
 }

@@ -20,6 +20,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use gaasx_sim::{Nanojoules, Nanos, Picojoules};
+
 use crate::XbarStats;
 
 /// Number of MAC (and CAM) crossbar banks in the paper's configuration.
@@ -28,38 +30,38 @@ pub const PAPER_NUM_BANKS: u64 = 2048;
 /// Per-operation device energy/latency constants.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DeviceEnergyModel {
-    /// Energy of one MAC burst (array + converter periphery share), pJ.
-    pub mac_op_pj: f64,
-    /// Latency of one MAC burst, ns.
-    pub mac_op_ns: f64,
-    /// Energy of one CAM search, pJ.
-    pub cam_search_pj: f64,
-    /// Latency of one CAM search, ns.
-    pub cam_search_ns: f64,
-    /// Energy to program one MLC MAC cell (program-and-verify), pJ.
-    pub cell_write_pj: f64,
-    /// Energy to program one binary TCAM device (single SET/RESET), pJ.
-    pub cam_bit_write_pj: f64,
-    /// Setup latency of one row-programming burst, ns (word-line select,
+    /// Energy of one MAC burst (array + converter periphery share).
+    pub mac_op_pj: Picojoules,
+    /// Latency of one MAC burst.
+    pub mac_op_ns: Nanos,
+    /// Energy of one CAM search.
+    pub cam_search_pj: Picojoules,
+    /// Latency of one CAM search.
+    pub cam_search_ns: Nanos,
+    /// Energy to program one MLC MAC cell (program-and-verify).
+    pub cell_write_pj: Picojoules,
+    /// Energy to program one binary TCAM device (single SET/RESET).
+    pub cam_bit_write_pj: Picojoules,
+    /// Setup latency of one row-programming burst (word-line select,
     /// driver charge).
-    pub row_write_ns: f64,
-    /// Additional program-and-verify latency per logical value in the row,
-    /// ns. MLC cells program through serialized verify loops sharing the
+    pub row_write_ns: Nanos,
+    /// Additional program-and-verify latency per logical value in the
+    /// row. MLC cells program through serialized verify loops sharing the
     /// row's write driver, so a dense 16-value row costs
     /// `row_write_ns + 16 × value_program_ns` while a sparse 1-value row
     /// costs `row_write_ns + value_program_ns` — the timing face of the
     /// write redundancy in Fig 5.
-    pub value_program_ns: f64,
+    pub value_program_ns: Nanos,
     /// Energy of one write-verify read-back (peripheral digital read of a
-    /// programmed row: CAM word or the written MAC cells), pJ.
-    pub verify_read_pj: f64,
-    /// Latency of one write-verify read-back, ns. Read-class access, far
+    /// programmed row: CAM word or the written MAC cells).
+    pub verify_read_pj: Picojoules,
+    /// Latency of one write-verify read-back. Read-class access, far
     /// cheaper than the 50 ns programming burst it guards.
-    pub verify_read_ns: f64,
-    /// Energy of one scalar SFU operation (add/min/mul/compare), pJ.
-    pub sfu_op_pj: f64,
-    /// Latency of one scalar SFU operation, ns (1 GHz SFU clock).
-    pub sfu_op_ns: f64,
+    pub verify_read_ns: Nanos,
+    /// Energy of one scalar SFU operation (add/min/mul/compare).
+    pub sfu_op_pj: Picojoules,
+    /// Latency of one scalar SFU operation (1 GHz SFU clock).
+    pub sfu_op_ns: Nanos,
     /// Always-on static power (controller plus buffer leakage), mW.
     pub static_mw: f64,
 }
@@ -73,45 +75,44 @@ impl DeviceEnergyModel {
         // Controller is always on; buffers leak ~20 % of their active power.
         let static_mw = 50.0 + 0.2 * (34.88 + 8.72 + 279.04);
         DeviceEnergyModel {
-            mac_op_pj: mac_path_mw * 30.0,
-            mac_op_ns: 30.0,
-            cam_search_pj: cam_mw * 4.0,
-            cam_search_ns: 4.0,
-            cell_write_pj: 20.0,
-            cam_bit_write_pj: 1.0,
-            row_write_ns: 50.0,
-            value_program_ns: 10.0,
-            verify_read_pj: 2.0,
-            verify_read_ns: 10.0,
-            sfu_op_pj: 2.0,
-            sfu_op_ns: 1.0,
+            mac_op_pj: Picojoules::from_pj(mac_path_mw * 30.0),
+            mac_op_ns: Nanos::from_ns(30.0),
+            cam_search_pj: Picojoules::from_pj(cam_mw * 4.0),
+            cam_search_ns: Nanos::from_ns(4.0),
+            cell_write_pj: Picojoules::from_pj(20.0),
+            cam_bit_write_pj: Picojoules::from_pj(1.0),
+            row_write_ns: Nanos::from_ns(50.0),
+            value_program_ns: Nanos::from_ns(10.0),
+            verify_read_pj: Picojoules::from_pj(2.0),
+            verify_read_ns: Nanos::from_ns(10.0),
+            sfu_op_pj: Picojoules::from_pj(2.0),
+            sfu_op_ns: Nanos::from_ns(1.0),
             static_mw,
         }
     }
 
-    /// Dynamic energy of a device stats block, in nanojoules.
-    pub fn dynamic_energy_nj(&self, stats: &XbarStats) -> f64 {
+    /// Dynamic energy of a device stats block.
+    pub fn dynamic_energy_nj(&self, stats: &XbarStats) -> Nanojoules {
         let pj = stats.mac_ops as f64 * self.mac_op_pj
             + stats.cam_searches as f64 * self.cam_search_pj
             + stats.cells_written as f64 * self.cell_write_pj;
-        pj / 1_000.0
+        pj.to_nanojoules()
     }
 
-    /// Static energy over an elapsed time, in nanojoules
-    /// (`mW × ns = pJ`).
-    pub fn static_energy_nj(&self, elapsed_ns: f64) -> f64 {
-        self.static_mw * elapsed_ns / 1_000.0
+    /// Static energy over an elapsed time (`mW × ns = pJ`).
+    pub fn static_energy_nj(&self, elapsed_ns: Nanos) -> Nanojoules {
+        Picojoules::from_pj(self.static_mw * elapsed_ns.ns()).to_nanojoules()
     }
 
-    /// Latency to program one row holding `values` logical values, ns.
-    pub fn row_program_ns(&self, values: usize) -> f64 {
+    /// Latency to program one row holding `values` logical values.
+    pub fn row_program_ns(&self, values: usize) -> Nanos {
         self.row_write_ns + values as f64 * self.value_program_ns
     }
 
-    /// Serial latency of a stats block assuming no overlap, in nanoseconds.
-    /// The accelerator's scheduler model refines this with its own overlap
+    /// Serial latency of a stats block assuming no overlap. The
+    /// accelerator's scheduler model refines this with its own overlap
     /// accounting; this is the pessimistic bound.
-    pub fn serial_latency_ns(&self, stats: &XbarStats) -> f64 {
+    pub fn serial_latency_ns(&self, stats: &XbarStats) -> Nanos {
         stats.mac_ops as f64 * self.mac_op_ns
             + stats.cam_searches as f64 * self.cam_search_ns
             + stats.row_writes as f64 * self.row_write_ns
@@ -132,11 +133,11 @@ mod tests {
     fn paper_constants_match_table1_derivation() {
         let m = DeviceEnergyModel::paper();
         // (307.20+328.96+1.64+2.56)/2048 mW * 30 ns ≈ 9.38 pJ.
-        assert!((m.mac_op_pj - 9.38).abs() < 0.05, "{}", m.mac_op_pj);
+        assert!((m.mac_op_pj.pj() - 9.38).abs() < 0.05, "{}", m.mac_op_pj);
         // 614.4/2048 * 4 = 1.2 pJ.
-        assert!((m.cam_search_pj - 1.2).abs() < 1e-9);
-        assert_eq!(m.mac_op_ns, 30.0);
-        assert_eq!(m.cam_search_ns, 4.0);
+        assert!((m.cam_search_pj.pj() - 1.2).abs() < 1e-9);
+        assert_eq!(m.mac_op_ns, Nanos::from_ns(30.0));
+        assert_eq!(m.cam_search_ns, Nanos::from_ns(4.0));
     }
 
     #[test]
@@ -147,14 +148,15 @@ mod tests {
         s.cam_searches = 1000;
         s.cells_written = 100;
         let nj = m.dynamic_energy_nj(&s);
-        let expect = (1000.0 * m.mac_op_pj + 1000.0 * m.cam_search_pj + 100.0 * 20.0) / 1000.0;
-        assert!((nj - expect).abs() < 1e-9);
+        let expect =
+            (1000.0 * m.mac_op_pj.pj() + 1000.0 * m.cam_search_pj.pj() + 100.0 * 20.0) / 1000.0;
+        assert!((nj.nj() - expect).abs() < 1e-9);
     }
 
     #[test]
     fn static_energy_scales_with_time() {
         let m = DeviceEnergyModel::paper();
-        assert!((m.static_energy_nj(1000.0) - m.static_mw).abs() < 1e-9);
+        assert!((m.static_energy_nj(Nanos::from_ns(1000.0)).nj() - m.static_mw).abs() < 1e-9);
     }
 
     #[test]
@@ -164,6 +166,6 @@ mod tests {
         s.mac_ops = 2;
         s.cam_searches = 3;
         s.row_writes = 1;
-        assert!((m.serial_latency_ns(&s) - (60.0 + 12.0 + 50.0)).abs() < 1e-9);
+        assert!((m.serial_latency_ns(&s).ns() - (60.0 + 12.0 + 50.0)).abs() < 1e-9);
     }
 }

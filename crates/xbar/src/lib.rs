@@ -21,6 +21,7 @@
 //! algorithm validation, or `Quantized` periphery that saturates at the
 //! 6-bit ADC range like real silicon.
 
+#![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

@@ -56,6 +56,7 @@ impl SmallRows {
                     rows[n] = row;
                     *len += 1;
                 } else {
+                    // gaasx-lint: allow(hot-reachable-alloc) -- one-time inline->heap spill per long row; steady-state searches never re-enter this arm
                     let mut spilled = Vec::with_capacity(INLINE * 2);
                     spilled.extend_from_slice(&rows[..]);
                     spilled.push(row);

@@ -12,8 +12,25 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> gaasx-lint (in-tree invariant checker)"
-cargo run -q --offline -p gaasx-lint -- .
+echo "==> gaasx-lint (in-tree invariant checker + suppression ratchet)"
+# --baseline is a one-way ratchet on per-rule suppression counts: paying
+# debt down never touches the baseline; growing it fails here until
+# results/lint_baseline.json is regenerated (and reviewed) with
+#   cargo run -q --offline -p gaasx-lint -- . --json > results/lint_baseline.json
+cargo run -q --offline -p gaasx-lint -- . --baseline results/lint_baseline.json
+
+echo "==> miri (gated): unsafe-free memory-model check of gaasx-xbar"
+# The offline image ships no miri component. When a toolchain with miri
+# is available the bit-level crate (hit vectors, small-row packing) runs
+# under it; otherwise this step degrades to a visible skip rather than a
+# hidden hole. Known-skipped under miri by design (would be filtered via
+# GAASX_MIRI_SKIP if ever enabled): none today — the crate is #![forbid(unsafe_code)]
+# and file-I/O-free, so the whole suite is miri-eligible.
+if cargo miri --version >/dev/null 2>&1; then
+    MIRIFLAGS="-Zmiri-strict-provenance" cargo miri test -q --offline -p gaasx-xbar
+else
+    echo "    skipped: cargo miri not installed in this toolchain"
+fi
 
 echo "==> cargo doc -D warnings"
 RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --offline --workspace

@@ -150,7 +150,9 @@ fn gram_sits_between_gaasx_and_graphr() {
     });
     let a = gx.run(&PageRank::fixed_iterations(5), &g).unwrap().report;
     let b = gr.pagerank(&g, 0.85, 5).unwrap().report;
-    let gram = GramModel::for_algorithm("pagerank").report_from_graphr(&b);
+    let gram = GramModel::for_algorithm("pagerank")
+        .expect("GRAM publishes pagerank ratios")
+        .report_from_graphr(&b);
     assert!(gram.elapsed_ns < b.elapsed_ns, "gram faster than graphr");
     assert!(
         a.speedup_over(&gram) < a.speedup_over(&b),

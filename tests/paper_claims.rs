@@ -153,7 +153,7 @@ fn average_power_is_near_the_budget() {
         .run(&PageRank::fixed_iterations(5), &graph)
         .unwrap()
         .report;
-    let avg_w = r.energy.total_nj() / r.elapsed_ns; // nJ/ns = W
+    let avg_w = r.energy.total_nj().nj() / r.elapsed_ns.ns(); // nJ/ns = W
     assert!(
         avg_w > 0.05 && avg_w < 40.0,
         "average power {avg_w} W implausible vs the 1.66 W design"
