@@ -125,9 +125,10 @@ impl GaasX {
     }
 
     /// Graceful degradation: an unrecoverable [`CoreError::DeviceFault`]
-    /// aborts the algorithm, but the work done up to the fault still cost
-    /// time and energy — attach the partial report so callers can account
-    /// for it. Other errors pass through untouched.
+    /// or deadline [`CoreError::Cancelled`] aborts the algorithm, but the
+    /// work done up to the abort still cost time and energy — attach the
+    /// partial report so callers can account for (and bill) it. Other
+    /// errors pass through untouched.
     fn attach_partial_report(
         e: CoreError,
         engine: &mut Engine,
@@ -142,6 +143,16 @@ impl GaasX {
             } => {
                 let partial = engine.finish("gaasx", algorithm, workload, 0, num_edges);
                 CoreError::DeviceFault {
+                    detail,
+                    report: Some(Box::new(partial)),
+                }
+            }
+            CoreError::Cancelled {
+                detail,
+                report: None,
+            } => {
+                let partial = engine.finish("gaasx", algorithm, workload, 0, num_edges);
+                CoreError::Cancelled {
                     detail,
                     report: Some(Box::new(partial)),
                 }
@@ -197,6 +208,22 @@ impl GaasX {
                     A::input_edges(input),
                 );
                 return Err(CoreError::DeviceFault {
+                    detail,
+                    report: Some(Box::new(partial)),
+                });
+            }
+            Err(CoreError::Cancelled {
+                detail,
+                report: None,
+            }) => {
+                let partial = sharded.finish(
+                    "gaasx",
+                    algorithm.name(),
+                    workload,
+                    0,
+                    A::input_edges(input),
+                );
+                return Err(CoreError::Cancelled {
                     detail,
                     report: Some(Box::new(partial)),
                 });

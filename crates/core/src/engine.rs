@@ -142,6 +142,35 @@ impl BlockCost {
     }
 }
 
+/// Per-device endurance wear captured from an engine's crossbar banks.
+///
+/// A serving layer snapshots wear before tearing an engine down (e.g. to
+/// replace a worker after a panic) and restores it into the replacement so
+/// physical degradation accumulates across engine incarnations on the
+/// same modeled bank. Empty vectors mean endurance tracking is off.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WearSnapshot {
+    /// Per-CAM-row programming-burst counts.
+    pub cam_rows: Vec<u64>,
+    /// Per-MAC-cell programming-pulse counts, indexed `row * cols + col`.
+    pub mac_cells: Vec<u64>,
+}
+
+impl WearSnapshot {
+    /// True when no wear was tracked (endurance disabled or no faults).
+    pub fn is_empty(&self) -> bool {
+        self.cam_rows.is_empty() && self.mac_cells.is_empty()
+    }
+
+    /// Total programming events recorded across both banks.
+    pub fn total_writes(&self) -> u64 {
+        self.cam_rows
+            .iter()
+            .chain(self.mac_cells.iter())
+            .fold(0u64, |acc, &w| acc.saturating_add(w))
+    }
+}
+
 /// The execution engine (see module docs).
 #[derive(Debug)]
 pub struct Engine {
@@ -170,6 +199,9 @@ pub struct Engine {
     record_ops: bool,
     /// Functional (serial) time cursor for span placement.
     cursor_ns: Nanos,
+    /// Per-query modeled-time budget; checked cooperatively at block
+    /// boundaries (see [`Engine::set_deadline`]).
+    deadline_ns: Option<Nanos>,
     /// Whether the config injects any device faults. Gates every recovery
     /// code path so a fault-free engine is bit-identical to one predating
     /// the fault layer.
@@ -285,6 +317,7 @@ impl Engine {
             tracer: Tracer::null(),
             record_ops: false,
             cursor_ns: Nanos::ZERO,
+            deadline_ns: None,
             fault_active,
             log2phys: (0..capacity).collect(),
             phys2log,
@@ -621,6 +654,7 @@ impl Engine {
         edges: &[Edge],
         cells: CellLayout<'_>,
     ) -> Result<Block, CoreError> {
+        self.check_deadline()?;
         if edges.len() > self.block_capacity() {
             return Err(CoreError::InvalidInput(format!(
                 "block of {} edges exceeds bank capacity {}",
@@ -1183,6 +1217,90 @@ impl Engine {
     /// Total useful edge computations performed so far.
     pub fn compute_items(&self) -> u64 {
         self.compute_items
+    }
+
+    /// Sets (or clears) the per-query modeled-time budget, in functional
+    /// serial nanoseconds of work performed by *this* engine.
+    ///
+    /// The budget is checked cooperatively at every
+    /// [`load_block`](Engine::load_block) — the natural quantum of GaaS-X
+    /// work — so a query that exceeds it fails at the next block boundary
+    /// with [`CoreError::Cancelled`] rather than mid-block. The check
+    /// reads the monotone functional cursor, which survives the sharded
+    /// layer's per-shard cost draining; [`reset_accounting`] rewinds the
+    /// cursor so each query on a resident engine gets a fresh budget.
+    ///
+    /// [`reset_accounting`]: Engine::reset_accounting
+    pub fn set_deadline(&mut self, deadline: Option<Nanos>) {
+        self.deadline_ns = deadline;
+    }
+
+    /// The active per-query modeled-time budget, if any.
+    pub fn deadline(&self) -> Option<Nanos> {
+        self.deadline_ns
+    }
+
+    /// Cooperative cancellation checkpoint: fails once the functional
+    /// time cursor has passed the configured deadline.
+    fn check_deadline(&self) -> Result<(), CoreError> {
+        if let Some(deadline) = self.deadline_ns {
+            if self.cursor_ns > deadline {
+                return Err(CoreError::Cancelled {
+                    detail: format!(
+                        "modeled time {} ns exceeds the {} ns deadline at a block boundary",
+                        self.cursor_ns, deadline
+                    ),
+                    report: None,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Clears every per-run accounting accumulator so a resident engine
+    /// can serve its next query with a clean report, while leaving device
+    /// state in place: programmed CAM/MAC contents, endurance wear maps,
+    /// transient fault RNG streams, spare-row remappings, and warm search
+    /// memos all survive. The deadline is cleared (it is per-query).
+    pub fn reset_accounting(&mut self) {
+        self.costs.clear();
+        self.current = BlockCost::default();
+        self.in_block = false;
+        self.extra_ns = Nanos::ZERO;
+        self.extra_phase_ns = [Nanos::ZERO; 7];
+        self.phase_counts = [0; 7];
+        self.compute_items = 0;
+        self.extra_aux_row_writes = 0;
+        self.extra_aux_cells = 0;
+        self.cursor_ns = Nanos::ZERO;
+        self.deadline_ns = None;
+        self.faults = FaultReport::default();
+        self.rows_per_mac = Histogram::new(self.config.mac_geometry.max_active_rows);
+        self.sfu.reset();
+        self.input_buf.reset();
+        self.output_buf.reset();
+        self.attr_buf.reset();
+        self.cam.reset_stats();
+        self.mac.reset_stats();
+        self.aux_mac.reset_stats();
+        self.cam.reset_fault_stats();
+        self.mac.reset_fault_stats();
+    }
+
+    /// Captures the endurance wear accumulated in the CAM/MAC banks, for
+    /// carry-over into a replacement engine on the same modeled bank.
+    pub fn wear_snapshot(&self) -> WearSnapshot {
+        WearSnapshot {
+            cam_rows: self.cam.fault_wear().unwrap_or_default().to_vec(),
+            mac_cells: self.mac.fault_wear().unwrap_or_default().to_vec(),
+        }
+    }
+
+    /// Restores a wear snapshot taken from a previous incarnation of the
+    /// same bank (no-op on geometry mismatch or when faults are off).
+    pub fn restore_wear(&mut self, snapshot: &WearSnapshot) {
+        self.cam.restore_fault_wear(&snapshot.cam_rows);
+        self.mac.restore_fault_wear(&snapshot.mac_cells);
     }
 
     /// Per-phase busy totals (functional serial time per phase) over all
@@ -2307,5 +2425,83 @@ mod tests {
         e2.set_search_profile(SearchProfile::OnePerKey);
         let _b = e2.load_block(&dense, CellLayout::Preset).unwrap();
         assert_eq!(e2.resolved_search_mode(), SearchMode::Indexed);
+    }
+
+    #[test]
+    fn deadline_cancels_at_the_next_block_boundary() {
+        let mut e = engine();
+        e.set_deadline(Some(Nanos::ZERO));
+        assert_eq!(e.deadline(), Some(Nanos::ZERO));
+        // The first block starts at cursor 0, which is not *past* the
+        // budget — cooperative cancellation always lets the first quantum
+        // run, mirroring how a deadline can only fire between blocks.
+        let _b = fig7_block(&mut e);
+        let g = generators::paper_fig7_graph();
+        let cells = |e: &Edge, c: &mut Vec<u32>| c.extend_from_slice(&[e.weight as u32, 1]);
+        let err = e
+            .load_block(g.edges(), CellLayout::PerEdge(&cells))
+            .unwrap_err();
+        match err {
+            CoreError::Cancelled { detail, report } => {
+                assert!(detail.contains("deadline"), "{detail}");
+                assert!(report.is_none(), "engine-level cancel carries no report");
+            }
+            other => panic!("expected Cancelled, got {other}"),
+        }
+        // Clearing the deadline resumes service on the same engine.
+        e.set_deadline(None);
+        assert!(e.load_block(g.edges(), CellLayout::PerEdge(&cells)).is_ok());
+    }
+
+    #[test]
+    fn reset_accounting_gives_a_resident_engine_a_clean_bill() {
+        let run_once = |e: &mut Engine| {
+            let _b = fig7_block(e);
+            let hits = e.search_dst(VertexId::new(1));
+            let sum = e.gather_rows(&hits, &mut |_| 1, 0).unwrap();
+            assert_eq!(sum, 19);
+            e.finish("gaasx", "probe", "fig7", 1, 8)
+        };
+        let mut resident = engine();
+        let first = run_once(&mut resident);
+        resident.reset_accounting();
+        let second = run_once(&mut resident);
+        // The second query on the resident engine bills exactly like the
+        // first: nothing from query 1 leaks into query 2's report.
+        assert_eq!(first.ops, second.ops);
+        assert_eq!(first.elapsed_ns, second.elapsed_ns);
+        assert_eq!(first.energy, second.energy);
+        assert_eq!(first.phases, second.phases);
+        assert_eq!(first.faults, second.faults);
+    }
+
+    #[test]
+    fn wear_snapshot_round_trips_across_engine_incarnations() {
+        use gaasx_xbar::fault::FaultModel;
+        let cfg = GaasXConfig {
+            fault: FaultModel {
+                seed: 9,
+                endurance: 1_000_000,
+                ..FaultModel::none()
+            },
+            ..GaasXConfig::small()
+        };
+        let mut e = Engine::new(cfg.clone()).unwrap();
+        assert!(e.wear_snapshot().is_empty() || e.wear_snapshot().total_writes() == 0);
+        let _b = fig7_block(&mut e);
+        let snap = e.wear_snapshot();
+        assert!(!snap.is_empty(), "endurance tracking is on");
+        assert!(snap.total_writes() > 0, "programming pulses recorded");
+
+        let mut replacement = Engine::new(cfg).unwrap();
+        assert_eq!(replacement.wear_snapshot().total_writes(), 0);
+        replacement.restore_wear(&snap);
+        assert_eq!(replacement.wear_snapshot(), snap);
+
+        // A fault-free engine has no wear to snapshot and ignores restores.
+        let mut clean = engine();
+        assert!(clean.wear_snapshot().is_empty());
+        clean.restore_wear(&snap);
+        assert!(clean.wear_snapshot().is_empty());
     }
 }

@@ -30,6 +30,21 @@ pub enum CoreError {
         /// Partial run report up to the fault, when a driver attached one.
         report: Option<Box<RunReport>>,
     },
+    /// A cooperative cancellation checkpoint found the query past its
+    /// modeled-time budget (see [`Engine::set_deadline`]). Mirrors the
+    /// [`CoreError::DeviceFault`] contract: when the run was driven
+    /// through [`GaasX`](crate::GaasX), `report` carries the partial
+    /// [`RunReport`] accumulated up to the cancellation point, so the
+    /// cost of the abandoned work is still observable and billable.
+    ///
+    /// [`Engine::set_deadline`]: crate::engine::Engine::set_deadline
+    Cancelled {
+        /// Where the deadline fired and by how much it was exceeded.
+        detail: String,
+        /// Partial run report up to the cancellation, when a driver
+        /// attached one.
+        report: Option<Box<RunReport>>,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -41,6 +56,9 @@ impl fmt::Display for CoreError {
             CoreError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
             CoreError::DeviceFault { detail, .. } => {
                 write!(f, "unrecoverable device fault: {detail}")
+            }
+            CoreError::Cancelled { detail, .. } => {
+                write!(f, "query cancelled: {detail}")
             }
         }
     }
@@ -96,6 +114,28 @@ mod tests {
         };
         match with_report {
             CoreError::DeviceFault {
+                report: Some(r), ..
+            } => assert_eq!(r.engine, "gaasx"),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn cancelled_mirrors_the_device_fault_contract() {
+        use std::error::Error;
+        let bare = CoreError::Cancelled {
+            detail: "deadline 100 ns exceeded at block 3".into(),
+            report: None,
+        };
+        assert!(bare.to_string().contains("query cancelled"));
+        assert!(bare.to_string().contains("deadline 100 ns"));
+        assert!(bare.source().is_none());
+        let with_report = CoreError::Cancelled {
+            detail: "x".into(),
+            report: Some(Box::new(RunReport::new("gaasx", "bfs", "t"))),
+        };
+        match with_report {
+            CoreError::Cancelled {
                 report: Some(r), ..
             } => assert_eq!(r.engine, "gaasx"),
             _ => unreachable!(),

@@ -50,6 +50,7 @@ pub mod sharded;
 pub use accelerator::{GaasX, RunOutcome};
 pub use algorithms::ShardableAlgorithm;
 pub use config::{GaasXConfig, RecoveryPolicy};
+pub use engine::WearSnapshot;
 pub use error::CoreError;
 pub use gaasx_xbar::{SearchCostModel, SearchMode, SearchProfile};
 pub use sfu::Sfu;

@@ -37,10 +37,10 @@
 use std::sync::Arc;
 
 use gaasx_graph::partition::{GridPartition, Shard, TraversalOrder};
-use gaasx_sim::{MemorySink, RunReport, Tracer};
+use gaasx_sim::{MemorySink, Nanos, RunReport, Tracer};
 
 use crate::config::GaasXConfig;
-use crate::engine::{BlockCost, Engine};
+use crate::engine::{BlockCost, Engine, WearSnapshot};
 use crate::error::CoreError;
 
 /// Executes the per-shard passes of a shardable algorithm.
@@ -194,6 +194,64 @@ impl ShardedEngine {
         }
     }
 
+    /// Sets (or clears) the per-query modeled-time budget on the primary
+    /// and every worker engine (see [`Engine::set_deadline`]).
+    ///
+    /// Each engine checks its *own* functional cursor at block
+    /// boundaries. With `jobs > 1` the shard stream is split across
+    /// workers, so per-engine serial time grows `jobs`× slower than the
+    /// total work performed — the budget is conservative under
+    /// parallelism (a sharded run cancels no earlier than a serial run of
+    /// the same budget would).
+    pub fn set_deadline(&mut self, deadline: Option<Nanos>) {
+        self.primary.set_deadline(deadline);
+        for worker in &mut self.workers {
+            worker.set_deadline(deadline);
+        }
+    }
+
+    /// Clears per-run accounting on the primary and every worker so a
+    /// resident sharded engine can serve its next query with a clean
+    /// report (see [`Engine::reset_accounting`] — device state, wear, and
+    /// warm memos survive).
+    ///
+    /// Worker tracers are re-attached from the primary's tracer: `finish`
+    /// folds worker metric registries into the primary *without* clearing
+    /// them, so keeping the old worker tracers across queries would
+    /// re-merge (double-count) the first query's metrics at the next
+    /// finish. Re-attaching gives each worker a fresh registry and span
+    /// buffer while the primary's registry keeps aggregating.
+    pub fn reset_accounting(&mut self) {
+        self.primary.reset_accounting();
+        for worker in &mut self.workers {
+            worker.reset_accounting();
+        }
+        let tracer = self.primary.tracer().clone();
+        self.set_tracer(tracer);
+    }
+
+    /// Captures the endurance wear of every engine (primary first, then
+    /// workers in order), for carry-over into a replacement
+    /// `ShardedEngine` on the same modeled banks.
+    pub fn wear_snapshots(&self) -> Vec<WearSnapshot> {
+        std::iter::once(&self.primary)
+            .chain(self.workers.iter())
+            .map(Engine::wear_snapshot)
+            .collect()
+    }
+
+    /// Restores wear snapshots captured by
+    /// [`wear_snapshots`](ShardedEngine::wear_snapshots) (primary first).
+    /// Extra or missing entries are ignored, as are geometry mismatches.
+    pub fn restore_wear(&mut self, snapshots: &[WearSnapshot]) {
+        for (engine, snapshot) in std::iter::once(&mut self.primary)
+            .chain(self.workers.iter_mut())
+            .zip(snapshots.iter())
+        {
+            engine.restore_wear(snapshot);
+        }
+    }
+
     /// Merges every worker into the primary and assembles the final
     /// report — see [`Engine::finish`].
     pub fn finish(
@@ -267,7 +325,8 @@ impl ShardRunner for ShardedEngine {
         // the assignment independent of worker speed, so reassembly needs
         // no bookkeeping beyond the shard's stream position.
         type ShardYield<T> = (usize, Vec<BlockCost>, T);
-        let per_worker: Vec<Result<Vec<ShardYield<T>>, CoreError>> =
+        type ShardAbort = (Vec<(usize, Vec<BlockCost>)>, CoreError);
+        let per_worker: Vec<Result<Vec<ShardYield<T>>, ShardAbort>> =
             crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .workers
@@ -275,13 +334,26 @@ impl ShardRunner for ShardedEngine {
                     .enumerate()
                     .map(|(j, worker)| {
                         scope.spawn(move || {
-                            let mut yielded = Vec::new();
+                            let mut yielded: Vec<ShardYield<T>> = Vec::new();
                             let mut pos = j;
                             while pos < shards_ref.len() {
-                                let result = f(worker, shards_ref[pos])?;
-                                // Drain the shard's block costs immediately:
-                                // they are re-appended in stream order below.
-                                yielded.push((pos, worker.take_costs(), result));
+                                match f(worker, shards_ref[pos]) {
+                                    // Drain the shard's block costs
+                                    // immediately: they are re-appended in
+                                    // stream order below.
+                                    Ok(result) => yielded.push((pos, worker.take_costs(), result)),
+                                    Err(e) => {
+                                        // Salvage the costs of this worker's
+                                        // completed shards plus the failing
+                                        // shard's partial costs, so the
+                                        // partial report still bills the
+                                        // aborted work.
+                                        let mut costs: Vec<(usize, Vec<BlockCost>)> =
+                                            yielded.into_iter().map(|(p, c, _)| (p, c)).collect();
+                                        costs.push((pos, worker.take_costs()));
+                                        return Err((costs, e));
+                                    }
+                                }
                                 pos += jobs;
                             }
                             Ok(yielded)
@@ -297,10 +369,40 @@ impl ShardRunner for ShardedEngine {
 
         let mut slots: Vec<Option<(Vec<BlockCost>, T)>> = Vec::new();
         slots.resize_with(shards.len(), || None);
+        let mut aborted: Option<CoreError> = None;
+        let mut salvaged: Vec<(usize, Vec<BlockCost>)> = Vec::new();
         for outcome in per_worker {
-            for (pos, costs, result) in outcome? {
-                slots[pos] = Some((costs, result));
+            match outcome {
+                Ok(yielded) => {
+                    for (pos, costs, result) in yielded {
+                        slots[pos] = Some((costs, result));
+                    }
+                }
+                Err((costs, e)) => {
+                    salvaged.extend(costs);
+                    // Keep the error of the lowest-indexed failing worker
+                    // (workers run their shard subsets independently, so
+                    // this choice is deterministic).
+                    if aborted.is_none() {
+                        aborted = Some(e);
+                    }
+                }
             }
+        }
+        if let Some(e) = aborted {
+            // Fold every salvaged cost — from completed shards of failing
+            // and non-failing workers alike — into the primary in stream
+            // order, so `finish` prices the aborted run's real work.
+            for (pos, slot) in slots.into_iter().enumerate() {
+                if let Some((costs, _)) = slot {
+                    salvaged.push((pos, costs));
+                }
+            }
+            salvaged.sort_by_key(|&(pos, _)| pos);
+            for (_, costs) in salvaged {
+                self.primary.append_costs(costs);
+            }
+            return Err(e);
         }
         let mut results = Vec::with_capacity(shards.len());
         for slot in slots {
@@ -417,6 +519,34 @@ mod tests {
             engine.load_block(&too_big, CellLayout::Preset).map(|_| ())
         });
         assert!(matches!(r, Err(CoreError::InvalidInput(_))));
+    }
+
+    #[test]
+    fn aborted_runs_salvage_completed_shard_costs() {
+        // A failure partway through the stream must not strand the costs
+        // of already-completed shards: the partial report bills them.
+        let (_, g) = grid(900, 13);
+        for jobs in [1, 2] {
+            let mut sharded = ShardedEngine::new(GaasXConfig::small(), jobs).unwrap();
+            let capacity = sharded.engine().block_capacity();
+            let seen = std::sync::atomic::AtomicUsize::new(0);
+            let r = sharded.for_each_shard(&g, TraversalOrder::RowMajor, |engine, shard| {
+                if seen.fetch_add(1, std::sync::atomic::Ordering::SeqCst) >= jobs {
+                    return Err(CoreError::InvalidInput("synthetic abort".into()));
+                }
+                for chunk in shard.edges().chunks(capacity) {
+                    engine.load_block(chunk, CellLayout::Preset)?;
+                }
+                Ok(())
+            });
+            assert!(r.is_err(), "jobs={jobs}");
+            let partial = sharded.finish("t", "t", "t", 0, 900);
+            assert!(
+                partial.elapsed_ns > Nanos::ZERO,
+                "jobs={jobs}: completed-shard costs were dropped"
+            );
+            assert!(partial.ops.cells_written > 0, "jobs={jobs}");
+        }
     }
 
     #[test]

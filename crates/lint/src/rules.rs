@@ -32,6 +32,7 @@ pub const RULE_NAMES: &[&str] = &[
     "unit-cast",
     "hot-reachable-alloc",
     "hot-reachable-panic",
+    "unbounded-queue",
     "directive",
 ];
 
@@ -54,6 +55,7 @@ pub fn check_workspace(ws: &Workspace) -> LintReport {
     thread_containment(ws, &mut candidates);
     seeded_rng(ws, &mut candidates);
     wall_clock(ws, &mut candidates);
+    unbounded_queue(ws, &mut candidates);
 
     // Multi-pass analyses: one symbol table + hot closure shared by the
     // unit-of-measure and hot-reachability rules.
@@ -965,6 +967,48 @@ fn thread_containment(ws: &Workspace, out: &mut Vec<Finding>) {
     }
 }
 
+// --- rule 15: unbounded-queue -------------------------------------------
+
+/// Server code must not hold unbounded buffers: every queue in the
+/// serving layer is a `BoundedQueue` so overload surfaces as a typed
+/// `ServeError::Overloaded` with a retry hint instead of unbounded
+/// memory growth and silent latency collapse.
+fn unbounded_queue(ws: &Workspace, out: &mut Vec<Finding>) {
+    for file in &ws.files {
+        if !file.path.starts_with("crates/serve/")
+            || !matches!(file.kind, FileKind::Lib | FileKind::Bin)
+        {
+            continue;
+        }
+        for (li, line) in file.lines.iter().enumerate() {
+            if file.in_test[li] {
+                continue;
+            }
+            for needle in [
+                "VecDeque::new(",
+                "channel(",
+                "unbounded(",
+                "LinkedList::new(",
+            ] {
+                if !token_positions(&line.code, needle).is_empty() {
+                    out.push(Finding::new(
+                        "unbounded-queue",
+                        &file.path,
+                        li + 1,
+                        &format!(
+                            "`{}` builds an unbounded buffer in server code — queue work \
+                             through `BoundedQueue` so overload is shed as a typed \
+                             `Overloaded` rejection with a retry hint, never absorbed \
+                             into unbounded memory",
+                            needle.trim_end_matches('(')
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1164,6 +1208,37 @@ fn build() -> OpSummary {
             report.findings[0].path,
             "crates/baselines/src/cpu/gridgraph.rs"
         );
+    }
+
+    #[test]
+    fn unbounded_queue_flags_server_code_only() {
+        let serve = "\
+pub fn build() {
+    let q: VecDeque<u64> = VecDeque::new();
+    let bounded = VecDeque::with_capacity(8);
+    let (tx, rx) = std::sync::mpsc::channel();
+    let (btx, brx) = std::sync::mpsc::sync_channel(4);
+}
+#[cfg(test)]
+mod tests {
+    fn t() { let _: VecDeque<u8> = VecDeque::new(); }
+}
+";
+        let elsewhere = "pub fn f() { let _: VecDeque<u8> = VecDeque::new(); }\n";
+        let ws = ws_of(vec![
+            ("crates/serve/src/server.rs", serve),
+            ("crates/core/src/engine.rs", elsewhere),
+        ]);
+        let report = check_workspace(&ws);
+        let hits: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| f.rule == "unbounded-queue")
+            .collect();
+        assert_eq!(hits.len(), 2, "{report:#?}");
+        assert!(hits.iter().all(|f| f.path == "crates/serve/src/server.rs"));
+        assert_eq!(hits[0].line, 2);
+        assert_eq!(hits[1].line, 4);
     }
 
     #[test]

@@ -36,6 +36,7 @@ const CASES: &[(&str, &str)] = &[
     ("units-cast", "unit-cast"),
     ("hot-alloc", "hot-reachable-alloc"),
     ("hot-panic", "hot-reachable-panic"),
+    ("unbounded-queue", "unbounded-queue"),
     ("directive", "directive"),
 ];
 

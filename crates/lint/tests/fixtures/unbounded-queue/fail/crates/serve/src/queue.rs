@@ -1,0 +1,30 @@
+//! Historical bug: the serving layer buffered arrivals in unbounded
+//! queues, so overload was absorbed into memory growth and latency
+//! collapse instead of a typed `Overloaded` rejection.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+
+pub struct JobQueue<T> {
+    items: VecDeque<T>,
+}
+
+impl<T> JobQueue<T> {
+    pub fn new() -> Self {
+        Self {
+            items: VecDeque::new(),
+        }
+    }
+
+    pub fn push(&mut self, item: T) {
+        self.items.push_back(item);
+    }
+
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+}
+
+pub fn dispatch_pipe<T>() -> (mpsc::Sender<T>, mpsc::Receiver<T>) {
+    mpsc::channel()
+}

@@ -1,0 +1,31 @@
+//! Bounded job queue: capacity is fixed at admission time, so overload
+//! becomes a typed rejection instead of unbounded memory growth.
+
+use std::collections::VecDeque;
+
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            return Err(item);
+        }
+        self.items.push_back(item);
+        Ok(())
+    }
+
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+}

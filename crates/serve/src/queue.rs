@@ -1,0 +1,93 @@
+//! The bounded admission queue.
+//!
+//! Serving code must never buffer unboundedly — an overloaded server
+//! sheds load with a typed [`crate::ServeError::Overloaded`] instead of
+//! growing a queue until the host dies. [`BoundedQueue`] is the only
+//! queue the serve crate uses, and `gaasx-lint`'s `unbounded-queue` rule
+//! keeps it that way.
+
+use std::collections::VecDeque;
+
+/// A FIFO queue with a hard capacity: `push` on a full queue hands the
+/// item back instead of growing.
+#[derive(Debug, Clone)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        BoundedQueue {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Appends `item`, or returns it as `Err` when the queue is full —
+    /// the caller owes the producer a typed rejection.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            Err(item)
+        } else {
+            self.items.push_back(item);
+            Ok(())
+        }
+    }
+
+    /// Removes and returns the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// `true` when the next `push` would be rejected.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// The hard bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_past_capacity_and_preserves_fifo_order() {
+        let mut q = BoundedQueue::new(2);
+        assert_eq!(q.capacity(), 2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert!(q.is_full());
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.push(3).is_ok());
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert!(q.push("a").is_ok());
+        assert_eq!(q.push("b"), Err("b"));
+    }
+}

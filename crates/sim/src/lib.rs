@@ -35,6 +35,7 @@ pub mod pipeline;
 pub mod report;
 pub mod stats;
 pub mod table;
+pub mod tenant;
 pub mod timeline;
 pub mod units;
 
@@ -46,6 +47,7 @@ pub use obs::{
     NullSink, Phase, PhaseBreakdown, Sink, SpanEvent, Tracer,
 };
 pub use report::{FaultReport, OpSummary, RunReport};
+pub use tenant::{TenantLedger, TenantUsage};
 pub use timeline::{
     chrome_trace_json, BankUtilization, Timeline, TimelineInterval, TimelineSink,
     UtilizationReport, CONTROLLER_BANK,

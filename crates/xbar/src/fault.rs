@@ -228,6 +228,30 @@ impl MacFaultState {
         &self.stats
     }
 
+    /// Cumulative per-cell programming-pulse counts, indexed
+    /// `row * cols + col`. Empty when endurance tracking is off.
+    pub fn wear(&self) -> &[u64] {
+        &self.wear
+    }
+
+    /// Restores a wear map snapshot taken from a previous incarnation of
+    /// the same physical bank. A length mismatch (different geometry, or
+    /// endurance tracking off on either side) leaves the map untouched —
+    /// wear from a foreign geometry would land on the wrong cells.
+    pub fn restore_wear(&mut self, wear: &[u64]) {
+        if self.wear.len() == wear.len() {
+            self.wear.copy_from_slice(wear);
+        }
+    }
+
+    /// Clears the injected-event counters for a new accounting window,
+    /// preserving the wear map and the transient RNG stream. A bank that
+    /// stays resident across queries resets stats per query while its
+    /// physical degradation keeps accumulating.
+    pub fn reset_stats(&mut self) {
+        self.stats = FaultStats::default();
+    }
+
     /// Positional stuck decision for one physical device (bit-slice cell).
     fn stuck_slice(&self, row: usize, col: usize, slice: usize) -> Option<Stuck> {
         if self.model.mac_stuck_ber <= 0.0 {
@@ -374,6 +398,30 @@ impl CamFaultState {
     /// Injected-event counters.
     pub fn stats(&self) -> &FaultStats {
         &self.stats
+    }
+
+    /// Cumulative per-row programming-burst counts. Empty when endurance
+    /// tracking is off.
+    pub fn wear(&self) -> &[u64] {
+        &self.wear
+    }
+
+    /// Restores a wear map snapshot taken from a previous incarnation of
+    /// the same physical bank. A length mismatch (different geometry, or
+    /// endurance tracking off on either side) leaves the map untouched —
+    /// wear from a foreign geometry would land on the wrong rows.
+    pub fn restore_wear(&mut self, wear: &[u64]) {
+        if self.wear.len() == wear.len() {
+            self.wear.copy_from_slice(wear);
+        }
+    }
+
+    /// Clears the injected-event counters for a new accounting window,
+    /// preserving the wear map and the transient RNG stream. A bank that
+    /// stays resident across queries resets stats per query while its
+    /// physical degradation keeps accumulating.
+    pub fn reset_stats(&mut self) {
+        self.stats = FaultStats::default();
     }
 
     /// `true` once the row's wear counter has exceeded its endurance.
@@ -604,5 +652,46 @@ mod tests {
         assert_eq!(a.adc_flips, 2);
         assert_eq!(a.cam_upsets, 4);
         assert_eq!(a.wear_deaths, 6);
+    }
+
+    #[test]
+    fn wear_survives_stats_reset_and_restores_across_incarnations() {
+        let g = CamGeometry::paper();
+        let m = model(|m| m.endurance = 2);
+        let mut st = CamFaultState::new(m, &g);
+        st.programmed(5, 1);
+        st.programmed(5, 1);
+        st.programmed(5, 1); // third write kills the row
+        assert_eq!(st.stats().wear_deaths, 1);
+        let snapshot = st.wear().to_vec();
+        assert_eq!(snapshot[5], 3);
+
+        st.reset_stats();
+        assert_eq!(st.stats().wear_deaths, 0, "counters cleared");
+        assert_eq!(st.wear()[5], 3, "wear preserved across stats reset");
+
+        // A fresh incarnation of the same bank inherits the wear map: the
+        // already-dead row stays dead on its first write.
+        let mut fresh = CamFaultState::new(m, &g);
+        fresh.restore_wear(&snapshot);
+        assert_eq!(fresh.programmed(5, 1), 0, "inherited wear kills the row");
+        assert_ne!(fresh.programmed(6, 1), 0, "unworn rows still live");
+    }
+
+    #[test]
+    fn wear_restore_rejects_foreign_geometry() {
+        let g = CamGeometry::paper();
+        let mut st = CamFaultState::new(model(|m| m.endurance = 4), &g);
+        st.restore_wear(&[9; 3]); // wrong length: ignored
+        assert!(st.wear().iter().all(|&w| w == 0));
+
+        let mg = MacGeometry::paper();
+        let mut mac = MacFaultState::new(model(|m| m.endurance = 4), &mg);
+        let cells = mac.wear().len();
+        assert_eq!(cells, mg.rows * mg.cols);
+        mac.restore_wear(&vec![7u64; cells]);
+        assert!(mac.wear().iter().all(|&w| w == 7));
+        mac.reset_stats();
+        assert!(mac.wear().iter().all(|&w| w == 7));
     }
 }

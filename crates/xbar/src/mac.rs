@@ -127,6 +127,33 @@ impl MacCrossbar {
         }
     }
 
+    /// Cumulative per-cell wear counts from the attached fault state,
+    /// indexed `row * cols + col`. `None` when no fault state is attached
+    /// or endurance tracking is off.
+    pub fn fault_wear(&self) -> Option<&[u64]> {
+        self.faults
+            .as_ref()
+            .map(MacFaultState::wear)
+            .filter(|w| !w.is_empty())
+    }
+
+    /// Restores a wear map into the attached fault state (no-op without
+    /// one, or on a geometry mismatch).
+    pub fn restore_fault_wear(&mut self, wear: &[u64]) {
+        if let Some(f) = self.faults.as_mut() {
+            f.restore_wear(wear);
+        }
+    }
+
+    /// Clears the attached fault state's injected-event counters for a new
+    /// accounting window, preserving wear and the transient RNG stream
+    /// (no-op without fault state).
+    pub fn reset_fault_stats(&mut self) {
+        if let Some(f) = self.faults.as_mut() {
+            f.reset_stats();
+        }
+    }
+
     /// The geometry this crossbar was built with.
     pub fn geometry(&self) -> MacGeometry {
         self.geometry

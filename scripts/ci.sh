@@ -49,6 +49,9 @@ GAASX_CAP_EDGES=20000 cargo run -q --release --offline -p gaasx-bench \
 echo "==> fault campaign smoke: recovery bit-identity + graceful degradation"
 cargo run -q --release --offline -p gaasx-bench --bin fault_campaign -- --smoke
 
+echo "==> serving soak smoke: typed degradation + exact per-tenant billing"
+cargo run -q --release --offline -p gaasx-bench --bin serve_soak -- --smoke
+
 echo "==> search-mode smoke: Linear vs Indexed vs Auto report bit-identity"
 cargo run -q --release --offline -p gaasx-bench --bin bench_snapshot -- --smoke
 
