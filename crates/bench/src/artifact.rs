@@ -30,6 +30,13 @@ pub struct SearchModeRow {
     pub speedup: f64,
     /// Auto vs best-fixed-mode ratio (`{:.3}` in the artifact).
     pub auto_vs_best: f64,
+    /// Linear-search wall clock under the *scalar* kernel, seconds
+    /// (`{:.6}`). `None` in artifacts predating the packed kernels
+    /// (BENCH_07 and earlier); both packed fields are present together.
+    pub scalar_linear_wall_s: Option<f64>,
+    /// Packed-over-scalar speedup on the Linear scan (`{:.3}`): the
+    /// realized word-parallel kernel win this row, `None` pre-BENCH_08.
+    pub packed_vs_scalar: Option<f64>,
 }
 
 /// A parsed search-mode artifact: run metadata plus its rows.
@@ -73,10 +80,18 @@ pub fn render(artifact: &SearchModeArtifact) -> String {
     s.push_str("  \"identity\": \"every row bit-identical (RunReport + output) across modes\",\n");
     s.push_str("  \"runs\": [\n");
     for (i, r) in artifact.rows.iter().enumerate() {
+        // The packed-kernel columns only render when measured, so
+        // pre-BENCH_08 artifacts keep round-tripping byte-identically.
+        let packed = match (r.scalar_linear_wall_s, r.packed_vs_scalar) {
+            (Some(wall), Some(ratio)) => {
+                format!(", \"scalar_linear_wall_s\": {wall:.6}, \"packed_vs_scalar\": {ratio:.3}")
+            }
+            _ => String::new(),
+        };
         s.push_str(&format!(
             "    {{\"algorithm\": \"{}\", \"bank\": \"{}\", \"jobs\": {}, \"fault\": {}, \
              \"linear_wall_s\": {:.6}, \"indexed_wall_s\": {:.6}, \"auto_wall_s\": {:.6}, \
-             \"speedup\": {:.3}, \"auto_vs_best\": {:.3}}}{}\n",
+             \"speedup\": {:.3}, \"auto_vs_best\": {:.3}{}}}{}\n",
             r.algorithm,
             r.bank,
             r.jobs,
@@ -86,6 +101,7 @@ pub fn render(artifact: &SearchModeArtifact) -> String {
             r.auto_wall_s,
             r.speedup,
             r.auto_vs_best,
+            packed,
             if i + 1 == artifact.rows.len() {
                 ""
             } else {
@@ -145,7 +161,17 @@ fn parse_row(line: &str) -> Result<SearchModeRow, String> {
         auto_wall_s: num(line, "auto_wall_s")?,
         speedup: num(line, "speedup")?,
         auto_vs_best: num(line, "auto_vs_best")?,
+        scalar_linear_wall_s: opt(line, "scalar_linear_wall_s")?,
+        packed_vs_scalar: opt(line, "packed_vs_scalar")?,
     })
+}
+
+/// Parses an optional numeric field: absent keys yield `Ok(None)`,
+/// malformed values still fail loudly.
+fn opt(line: &str, key: &str) -> Result<Option<f64>, String> {
+    field(line, key)
+        .map(|v| v.parse().map_err(|e| format!("row field `{key}`: {e}")))
+        .transpose()
 }
 
 #[cfg(test)]
@@ -167,6 +193,8 @@ mod tests {
                     auto_wall_s: 0.032632,
                     speedup: 1.073,
                     auto_vs_best: 1.043,
+                    scalar_linear_wall_s: None,
+                    packed_vs_scalar: None,
                 },
                 SearchModeRow {
                     algorithm: "bfs".into(),
@@ -178,6 +206,8 @@ mod tests {
                     auto_wall_s: 0.05,
                     speedup: 2.0,
                     auto_vs_best: 1.0,
+                    scalar_linear_wall_s: Some(0.21),
+                    packed_vs_scalar: Some(2.1),
                 },
             ],
         }
@@ -203,6 +233,20 @@ mod tests {
         assert_eq!(field(line, "fault"), Some("false"));
         assert_eq!(field(line, "speedup"), Some("2.000"));
         assert_eq!(field(line, "missing"), None);
+    }
+
+    #[test]
+    fn packed_columns_are_optional_and_round_trip() {
+        let a = sample();
+        let text = render(&a);
+        // Row 0 (no packed columns) renders the pre-BENCH_08 layout.
+        assert!(!text.lines().nth(6).unwrap().contains("packed_vs_scalar"));
+        assert!(text
+            .lines()
+            .nth(7)
+            .unwrap()
+            .contains("\"packed_vs_scalar\": 2.100"));
+        assert_eq!(parse(&text).unwrap(), a);
     }
 
     #[test]

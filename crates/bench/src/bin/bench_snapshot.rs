@@ -19,23 +19,36 @@
 //! `--baseline` — when Indexed fails the absolute 3× deep-bank PageRank
 //! gate. Full-mode wall clocks are the min of five runs per mode, with
 //! reps interleaved across modes, so the ratio gates measure the code,
-//! not scheduler jitter.
+//! not scheduler jitter. Rows that still fall below a ratio floor are
+//! re-timed (up to three extra rounds, walls min-merged, before the
+//! artifact is written): a transient host spell re-measures clean while
+//! a reproducible regression keeps failing.
+//!
+//! Every cell additionally times the Linear scan under the *scalar*
+//! kernel ([`Kernel::Scalar`]) and checks it bit-identical to the packed
+//! default, recording the realized word-parallel win as the
+//! `packed_vs_scalar` column. Deep-bank rows are gated by
+//! `--packed-floor` (default 1.0): the packed kernel must never lose to
+//! scalar where the O(rows) scan dominates. Paper-bank rows are reported
+//! but not gated — at 128 rows the scan is a sliver of the wall clock,
+//! so the ratio there is mostly shared-accounting noise.
 //!
 //! `--smoke` runs a reduced matrix for CI: identity checks only (all
-//! three modes), a small graph, no JSON artifact, no speedup gates.
-//! `GAASX_CAP_EDGES` caps the full-matrix edge count and `GAASX_PR_ITERS`
-//! the PageRank iterations.
+//! three modes plus the scalar kernel), a small graph, no JSON artifact,
+//! no speedup gates. `GAASX_CAP_EDGES` caps the full-matrix edge count
+//! and `GAASX_PR_ITERS` the PageRank iterations.
 //!
 //! `--baseline <path>` switches the full run into perf-regression mode:
-//! the artifact is written to `results/BENCH_07.json` instead and every
-//! matrix row's Indexed-over-Linear speedup is gated against the
-//! `(algorithm, bank, jobs, fault)`-keyed row of the baseline artifact —
-//! the run fails when any matched row drops below
+//! the artifact is written to `results/BENCH_08.json` (override with
+//! `--out <path>`) and every matrix row's Indexed-over-Linear speedup is
+//! gated against the `(algorithm, bank, jobs, fault)`-keyed row of the
+//! baseline artifact — the run fails when any matched row drops below
 //! `baseline * (1 - tolerance)` (`--tolerance`, default 0.5; speedup
 //! *ratios* are far more stable than raw wall clocks, but CI machines
 //! still jitter). Rows present on only one side are *reported* as
 //! added/missing rather than mis-paired or failed, so the row set can
-//! evolve across snapshots.
+//! evolve across snapshots — BENCH_08 rows key cleanly against the
+//! BENCH_07 baseline because the key tuple is unchanged.
 
 #![allow(clippy::unwrap_used)]
 use std::time::Instant;
@@ -44,7 +57,7 @@ use gaasx_core::algorithms::{Bfs, ConnectedComponents, PageRank, Sssp};
 use gaasx_core::{GaasX, GaasXConfig, RecoveryPolicy, RunOutcome, SearchMode, ShardableAlgorithm};
 use gaasx_graph::generators::{rmat, RmatConfig};
 use gaasx_sim::table::{count, Table};
-use gaasx_xbar::FaultModel;
+use gaasx_xbar::{FaultModel, Kernel};
 
 /// One cell of the workload matrix, measured in all three modes.
 struct Row {
@@ -56,12 +69,21 @@ struct Row {
     linear_s: f64,
     indexed_s: f64,
     auto_s: f64,
+    /// Linear wall clock under the scalar kernel (packed is the default
+    /// for the other three columns).
+    scalar_linear_s: f64,
 }
 
 impl Row {
     /// Indexed-over-Linear speedup (the baseline-gated ratio).
     fn speedup(&self) -> f64 {
         self.linear_s / self.indexed_s.max(f64::MIN_POSITIVE)
+    }
+
+    /// Packed-over-scalar speedup on the Linear scan (the
+    /// `--packed-floor`-gated ratio on deep banks).
+    fn packed_vs_scalar(&self) -> f64 {
+        self.scalar_linear_s / self.linear_s.max(f64::MIN_POSITIVE)
     }
 
     /// Wall time of the better fixed mode.
@@ -140,6 +162,10 @@ where
     A::Output: PartialEq,
 {
     const MODES: [SearchMode; 3] = [SearchMode::Linear, SearchMode::Indexed, SearchMode::Auto];
+    let scalar_linear = |bank, fault| GaasXConfig {
+        kernel: Kernel::Scalar,
+        ..config(bank, MODES[0], fault)
+    };
     // First rep: functional outcomes + identity checks.
     let (lin, linear_s) = run_once(algorithm, input, jobs, config(bank, MODES[0], fault))?;
     let mut walls = [linear_s, 0.0, 0.0];
@@ -164,12 +190,24 @@ where
         }
         walls[i] = wall;
     }
+    // Kernel identity: the scalar reference on the same Linear cell must
+    // be bit-identical to the packed default.
+    let (sca, mut scalar_linear_s) = run_once(algorithm, input, jobs, scalar_linear(bank, fault))?;
+    if lin.report != sca.report || lin.result != sca.result {
+        return Err(format!(
+            "{name}: bank={bank} jobs={jobs} fault={fault}: scalar kernel diverged from packed \
+             on the Linear cell (elapsed {} vs {} ns)",
+            sca.report.elapsed_ns, lin.report.elapsed_ns,
+        ));
+    }
     // Remaining reps: timing only.
     for _ in 1..timing_reps.max(1) {
         for (i, mode) in MODES.into_iter().enumerate() {
             let (_, wall) = run_once(algorithm, input, jobs, config(bank, mode, fault))?;
             walls[i] = walls[i].min(wall);
         }
+        let (_, wall) = run_once(algorithm, input, jobs, scalar_linear(bank, fault))?;
+        scalar_linear_s = scalar_linear_s.min(wall);
     }
     Ok(Row {
         algorithm: name,
@@ -179,6 +217,7 @@ where
         linear_s: walls[0],
         indexed_s: walls[1],
         auto_s: walls[2],
+        scalar_linear_s,
     })
 }
 
@@ -210,40 +249,35 @@ fn parse_baseline(text: &str) -> Vec<BaselineRow> {
         .collect()
 }
 
-/// Gates every current row against the baseline row sharing its
-/// `(algorithm, bank, jobs, fault)` key. Returns the failures; rows
-/// present on only one side are reported as added/missing and never
-/// mis-paired or failed.
-fn gate_against_baseline(rows: &[Row], baseline: &[BaselineRow], tolerance: f64) -> Vec<String> {
-    let mut failures = Vec::new();
+/// Ratio floors get this many *extra* timing rounds on rows that fail:
+/// a transient host spell re-measures clean and the min-merge clears the
+/// floor, while a reproducible regression keeps failing every round.
+/// Retries cost only the failing rows (reps × four configs each), so
+/// three rounds stay cheap even when several rows sit near a floor.
+const GATE_RETRY_ROUNDS: usize = 3;
+
+/// Pairs every current row with the baseline row sharing its
+/// `(algorithm, bank, jobs, fault)` key, returning `(row index, baseline
+/// speedup)` pairs. Rows present on only one side are reported as
+/// added/missing and never mis-paired; pairing happens once, before the
+/// retry rounds re-evaluate the ratios.
+fn pair_baseline(rows: &[Row], baseline: &[BaselineRow]) -> Vec<(usize, f64)> {
+    let mut matched = Vec::new();
     let mut added = 0usize;
-    for r in rows {
+    for (i, r) in rows.iter().enumerate() {
         let key = (r.algorithm, r.bank, r.jobs, r.fault);
-        let Some(b) = baseline
+        match baseline
             .iter()
             .find(|b| (b.algorithm.as_str(), b.bank.as_str(), b.jobs, b.fault) == key)
-        else {
-            added += 1;
-            println!(
-                "perf-gate: row {} bank={} jobs={} fault={} added since baseline — not gated",
-                r.algorithm, r.bank, r.jobs, r.fault
-            );
-            continue;
-        };
-        let floor = b.speedup * (1.0 - tolerance);
-        if r.speedup() < floor {
-            failures.push(format!(
-                "{} bank={} jobs={} fault={}: speedup {:.3}x fell below {:.3}x \
-                 (baseline {:.3}x, tolerance {:.0}%)",
-                r.algorithm,
-                r.bank,
-                r.jobs,
-                r.fault,
-                r.speedup(),
-                floor,
-                b.speedup,
-                100.0 * tolerance,
-            ));
+        {
+            Some(b) => matched.push((i, b.speedup)),
+            None => {
+                added += 1;
+                println!(
+                    "perf-gate: row {} bank={} jobs={} fault={} added since baseline — not gated",
+                    r.algorithm, r.bank, r.jobs, r.fault
+                );
+            }
         }
     }
     let mut missing = 0usize;
@@ -263,27 +297,80 @@ fn gate_against_baseline(rows: &[Row], baseline: &[BaselineRow], tolerance: f64)
     if added + missing > 0 {
         println!("perf-gate: row-set drift vs baseline: {added} added, {missing} missing.");
     }
-    failures
+    matched
+}
+
+/// Matched rows whose Indexed-over-Linear speedup fell below
+/// `baseline * (1 - tolerance)`, as `(row index, baseline speedup)`.
+fn baseline_failures(rows: &[Row], matched: &[(usize, f64)], tolerance: f64) -> Vec<(usize, f64)> {
+    matched
+        .iter()
+        .filter(|&&(i, base)| rows[i].speedup() < base * (1.0 - tolerance))
+        .copied()
+        .collect()
+}
+
+fn describe_baseline_failure(r: &Row, base: f64, tolerance: f64) -> String {
+    format!(
+        "{} bank={} jobs={} fault={}: speedup {:.3}x fell below {:.3}x \
+         (baseline {:.3}x, tolerance {:.0}%)",
+        r.algorithm,
+        r.bank,
+        r.jobs,
+        r.fault,
+        r.speedup(),
+        base * (1.0 - tolerance),
+        base,
+        100.0 * tolerance,
+    )
+}
+
+/// Deep-bank rows where the packed Linear scan fell below `floor` of the
+/// scalar kernel. Paper-bank rows are never gated: their 128-row scans
+/// are too small a wall-clock fraction for the ratio to be signal.
+fn packed_floor_failures(rows: &[Row], floor: f64) -> Vec<usize> {
+    rows.iter()
+        .enumerate()
+        .filter(|(_, r)| r.bank == "deep" && r.packed_vs_scalar() < floor)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn describe_packed_failure(r: &Row, floor: f64) -> String {
+    format!(
+        "{} bank={} jobs={} fault={}: packed linear {:.3}s is {:.3}x of scalar {:.3}s \
+         (floor {floor:.2}x)",
+        r.algorithm,
+        r.bank,
+        r.jobs,
+        r.fault,
+        r.linear_s,
+        r.packed_vs_scalar(),
+        r.scalar_linear_s,
+    )
 }
 
 /// Rows where Auto fell below `floor` of the better fixed mode.
-fn gate_auto_floor(rows: &[Row], floor: f64) -> Vec<String> {
+fn auto_floor_failures(rows: &[Row], floor: f64) -> Vec<usize> {
     rows.iter()
-        .filter(|r| r.auto_vs_best() < floor)
-        .map(|r| {
-            format!(
-                "{} bank={} jobs={} fault={}: auto {:.3}s is {:.3}x of the better fixed mode \
-                 {:.3}s (floor {floor:.2}x)",
-                r.algorithm,
-                r.bank,
-                r.jobs,
-                r.fault,
-                r.auto_s,
-                r.auto_vs_best(),
-                r.best_fixed_s(),
-            )
-        })
+        .enumerate()
+        .filter(|(_, r)| r.auto_vs_best() < floor)
+        .map(|(i, _)| i)
         .collect()
+}
+
+fn describe_auto_failure(r: &Row, floor: f64) -> String {
+    format!(
+        "{} bank={} jobs={} fault={}: auto {:.3}s is {:.3}x of the better fixed mode \
+         {:.3}s (floor {floor:.2}x)",
+        r.algorithm,
+        r.bank,
+        r.jobs,
+        r.fault,
+        r.auto_s,
+        r.auto_vs_best(),
+        r.best_fixed_s(),
+    )
 }
 
 /// Bridges the timing rows into the shared serialization contract
@@ -305,6 +392,8 @@ fn json_artifact(rows: &[Row], edges: u64, pr_iters: u32) -> String {
                 auto_wall_s: r.auto_s,
                 speedup: r.speedup(),
                 auto_vs_best: r.auto_vs_best(),
+                scalar_linear_wall_s: Some(r.scalar_linear_s),
+                packed_vs_scalar: Some(r.packed_vs_scalar()),
             })
             .collect(),
     })
@@ -313,14 +402,19 @@ fn json_artifact(rows: &[Row], edges: u64, pr_iters: u32) -> String {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut smoke = false;
     let mut baseline_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
     let mut tolerance = 0.5f64;
     let mut auto_floor = 0.95f64;
+    let mut packed_floor = 1.0f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--baseline" => {
                 baseline_path = Some(args.next().ok_or("--baseline requires a path argument")?);
+            }
+            "--out" => {
+                out_path = Some(args.next().ok_or("--out requires a path argument")?);
             }
             "--tolerance" => {
                 tolerance = args
@@ -335,6 +429,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .and_then(|v| v.parse().ok())
                     .filter(|f| (0.0..=1.0).contains(f))
                     .ok_or("--auto-floor requires a fraction in [0, 1]")?;
+            }
+            "--packed-floor" => {
+                packed_floor = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|f| (0.0..=4.0).contains(f))
+                    .ok_or("--packed-floor requires a ratio in [0, 4]")?;
             }
             other => return Err(format!("unknown argument `{other}`").into()),
         }
@@ -365,60 +466,101 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let pagerank = PageRank::fixed_iterations(pr_iters);
-    let mut rows: Vec<Row> = Vec::new();
-    for &jobs in jobs_list {
-        for fault in [false, true] {
-            rows.push(run_pair(
-                "pagerank",
-                "paper",
-                &pagerank,
-                &graph,
-                jobs,
-                fault,
-                timing_reps,
-            )?);
-            rows.push(run_pair(
-                "sssp",
-                "paper",
+    // Dispatches one matrix cell by algorithm name, so the gate-retry
+    // rounds can re-measure exactly the rows that failed a ratio floor.
+    let measure = |name: &'static str, bank: &'static str, jobs, fault| -> Result<Row, String> {
+        match name {
+            "pagerank" => run_pair(name, bank, &pagerank, &graph, jobs, fault, timing_reps),
+            "sssp" => run_pair(
+                name,
+                bank,
                 &Sssp::from_source(src),
                 &graph,
                 jobs,
                 fault,
                 timing_reps,
-            )?);
-            rows.push(run_pair(
-                "bfs",
-                "paper",
+            ),
+            "bfs" => run_pair(
+                name,
+                bank,
                 &Bfs::from_source(src),
                 &graph,
                 jobs,
                 fault,
                 timing_reps,
-            )?);
-            rows.push(run_pair(
-                "cc",
-                "paper",
+            ),
+            "cc" => run_pair(
+                name,
+                bank,
                 &ConnectedComponents::new(),
                 &graph,
                 jobs,
                 fault,
                 timing_reps,
-            )?);
+            ),
+            other => Err(format!("unknown algorithm `{other}`")),
+        }
+    };
+    let mut rows: Vec<Row> = Vec::new();
+    for &jobs in jobs_list {
+        for fault in [false, true] {
+            for alg in ["pagerank", "sssp", "bfs", "cc"] {
+                rows.push(measure(alg, "paper", jobs, fault)?);
+            }
         }
     }
     // The deep-bank design point (2048-row banks): the regime where the
     // linear scan's O(rows) cost dominates the shared per-search work.
     for &jobs in jobs_list {
         for fault in [false, true] {
-            rows.push(run_pair(
-                "pagerank",
-                "deep",
-                &pagerank,
-                &graph,
-                jobs,
-                fault,
-                timing_reps,
-            )?);
+            rows.push(measure("pagerank", "deep", jobs, fault)?);
+        }
+    }
+
+    // Ratio floors are noise-hardened: rows that fail get re-timed with
+    // the same interleaved min-of-reps protocol and their walls
+    // min-merged before the verdict (and before the artifact is
+    // written), so a transient host spell cannot fail the run while a
+    // regression that reproduces across rounds still does.
+    let matched: Vec<(usize, f64)> = if smoke {
+        Vec::new()
+    } else if let Some(bpath) = &baseline_path {
+        let text = std::fs::read_to_string(bpath)
+            .map_err(|e| format!("cannot read baseline {bpath}: {e}"))?;
+        let baseline = parse_baseline(&text);
+        if baseline.is_empty() {
+            return Err(format!("baseline {bpath} holds no parseable runs").into());
+        }
+        pair_baseline(&rows, &baseline)
+    } else {
+        Vec::new()
+    };
+    if !smoke {
+        for round in 1..=GATE_RETRY_ROUNDS {
+            let mut retry: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+            retry.extend(auto_floor_failures(&rows, auto_floor));
+            retry.extend(packed_floor_failures(&rows, packed_floor));
+            retry.extend(
+                baseline_failures(&rows, &matched, tolerance)
+                    .iter()
+                    .map(|&(i, _)| i),
+            );
+            if retry.is_empty() {
+                break;
+            }
+            println!(
+                "gate-retry round {round}/{GATE_RETRY_ROUNDS}: re-timing {} row(s) below a \
+                 ratio floor.",
+                retry.len()
+            );
+            for &i in &retry {
+                let fresh = measure(rows[i].algorithm, rows[i].bank, rows[i].jobs, rows[i].fault)?;
+                let r = &mut rows[i];
+                r.linear_s = r.linear_s.min(fresh.linear_s);
+                r.indexed_s = r.indexed_s.min(fresh.indexed_s);
+                r.auto_s = r.auto_s.min(fresh.auto_s);
+                r.scalar_linear_s = r.scalar_linear_s.min(fresh.scalar_linear_s);
+            }
         }
     }
 
@@ -430,8 +572,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "linear (s)",
         "indexed (s)",
         "auto (s)",
+        "scalar-lin (s)",
         "speedup",
         "auto/best",
+        "pkd/scl",
         "report",
     ]);
     for r in &rows {
@@ -443,19 +587,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{:.3}", r.linear_s),
             format!("{:.3}", r.indexed_s),
             format!("{:.3}", r.auto_s),
+            format!("{:.3}", r.scalar_linear_s),
             format!("{:.2}x", r.speedup()),
             format!("{:.2}x", r.auto_vs_best()),
+            format!("{:.2}x", r.packed_vs_scalar()),
             "identical".into(),
         ]);
     }
     println!("{t}");
 
     if !smoke {
-        let path = if baseline_path.is_some() {
-            "results/BENCH_07.json"
+        let path = out_path.as_deref().unwrap_or(if baseline_path.is_some() {
+            "results/BENCH_08.json"
         } else {
             "results/BENCH_05.json"
-        };
+        });
         std::fs::write(
             path,
             json_artifact(&rows, graph.num_edges() as u64, pr_iters),
@@ -474,29 +620,53 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              shared per-search accounting).",
             paper.speedup()
         );
-        let auto_failures = gate_auto_floor(&rows, auto_floor);
+        let auto_failures = auto_floor_failures(&rows, auto_floor);
         if !auto_failures.is_empty() {
             return Err(format!(
                 "auto-gate: {} row(s) below {auto_floor:.2}x of the better fixed mode:\n  {}",
                 auto_failures.len(),
-                auto_failures.join("\n  "),
+                auto_failures
+                    .iter()
+                    .map(|&i| describe_auto_failure(&rows[i], auto_floor))
+                    .collect::<Vec<_>>()
+                    .join("\n  "),
             )
             .into());
         }
         println!("auto-gate: every Auto row within {auto_floor:.2}x of the better fixed mode.");
+        let deep_packed = pick("deep").packed_vs_scalar();
+        println!(
+            "PageRank, deep banks: packed Linear scan {deep_packed:.2}x over the scalar kernel \
+             (word-parallel bit planes, 64 rows per XOR/AND)."
+        );
+        let packed_failures = packed_floor_failures(&rows, packed_floor);
+        if !packed_failures.is_empty() {
+            return Err(format!(
+                "packed-gate: {} deep-bank row(s) below {packed_floor:.2}x of the scalar \
+                 kernel:\n  {}",
+                packed_failures.len(),
+                packed_failures
+                    .iter()
+                    .map(|&i| describe_packed_failure(&rows[i], packed_floor))
+                    .collect::<Vec<_>>()
+                    .join("\n  "),
+            )
+            .into());
+        }
+        println!(
+            "packed-gate: every deep-bank row at or above {packed_floor:.2}x of the scalar kernel."
+        );
         if let Some(bpath) = &baseline_path {
-            let text = std::fs::read_to_string(bpath)
-                .map_err(|e| format!("cannot read baseline {bpath}: {e}"))?;
-            let baseline = parse_baseline(&text);
-            if baseline.is_empty() {
-                return Err(format!("baseline {bpath} holds no parseable runs").into());
-            }
-            let failures = gate_against_baseline(&rows, &baseline, tolerance);
+            let failures = baseline_failures(&rows, &matched, tolerance);
             if !failures.is_empty() {
                 return Err(format!(
                     "perf-gate: {} row(s) regressed vs {bpath}:\n  {}",
                     failures.len(),
-                    failures.join("\n  "),
+                    failures
+                        .iter()
+                        .map(|&(i, base)| describe_baseline_failure(&rows[i], base, tolerance))
+                        .collect::<Vec<_>>()
+                        .join("\n  "),
                 )
                 .into());
             }

@@ -20,21 +20,47 @@ fn workspace_file(rel: &str) -> std::path::PathBuf {
 }
 
 #[test]
-fn committed_bench_artifact_round_trips_byte_identically() {
-    let path = workspace_file("results/BENCH_07.json");
+fn committed_bench_artifacts_round_trip_byte_identically() {
+    // BENCH_07 pins the pre-packed layout (no kernel columns); BENCH_08
+    // pins the extended one — the optional columns must not disturb
+    // either direction.
+    for rel in ["results/BENCH_07.json", "results/BENCH_08.json"] {
+        let path = workspace_file(rel);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let parsed = artifact::parse(&text).expect("committed artifact parses");
+        assert!(
+            !parsed.rows.is_empty(),
+            "{rel} has no rows — the snapshot gate would be vacuous"
+        );
+        assert_eq!(
+            artifact::render(&parsed),
+            text,
+            "re-serializing {rel} changed its bytes; \
+             the BENCH serialization contract drifted"
+        );
+    }
+}
+
+#[test]
+fn bench_08_rows_carry_the_packed_columns() {
+    let path = workspace_file("results/BENCH_08.json");
     let text =
         std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
     let parsed = artifact::parse(&text).expect("committed artifact parses");
-    assert!(
-        !parsed.rows.is_empty(),
-        "committed artifact has no rows — the snapshot gate would be vacuous"
-    );
-    assert_eq!(
-        artifact::render(&parsed),
-        text,
-        "re-serializing results/BENCH_07.json changed its bytes; \
-         the BENCH serialization contract drifted"
-    );
+    for r in &parsed.rows {
+        let wall = r
+            .scalar_linear_wall_s
+            .expect("BENCH_08 rows measure the scalar kernel");
+        let ratio = r.packed_vs_scalar.expect("BENCH_08 rows carry the ratio");
+        assert!(wall > 0.0 && ratio > 0.0, "degenerate packed row {r:?}");
+        if r.bank == "deep" {
+            assert!(
+                ratio >= 1.0,
+                "deep-bank packed row below scalar parity: {r:?}"
+            );
+        }
+    }
 }
 
 #[test]

@@ -6,7 +6,7 @@ use gaasx_sim::des::SchedulePolicy;
 use gaasx_sim::Nanos;
 use gaasx_xbar::energy::DeviceEnergyModel;
 use gaasx_xbar::geometry::{CamGeometry, MacGeometry};
-use gaasx_xbar::{FaultModel, Fidelity, SearchMode};
+use gaasx_xbar::{FaultModel, Fidelity, Kernel, SearchMode};
 
 use crate::error::CoreError;
 
@@ -106,6 +106,13 @@ pub struct GaasXConfig {
     /// modes.
     #[serde(default)]
     pub search_mode: SearchMode,
+    /// Host evaluation kernel for the device hot paths
+    /// ([`Kernel::Packed`] by default: word-parallel bit-plane CAM
+    /// matching and bit-sliced MAC accumulation, 64 rows per word).
+    /// Purely a functional-simulator speed knob: reports are
+    /// bit-identical in both kernels.
+    #[serde(default)]
+    pub kernel: Kernel,
 }
 
 impl GaasXConfig {
@@ -126,6 +133,7 @@ impl GaasXConfig {
             fault: FaultModel::none(),
             recovery: RecoveryPolicy::off(),
             search_mode: SearchMode::default(),
+            kernel: Kernel::default(),
         }
     }
 

@@ -28,8 +28,8 @@
 
 use gaasx_graph::{CooGraph, Edge, GraphError, VertexId};
 use gaasx_sim::des::{BankScheduler, SchedulePolicy};
-use gaasx_sim::pipeline::{pipelined_makespan, serial_makespan, PipelineClock};
-use gaasx_sim::timeline::{COMPUTE_LANE, LOAD_LANE};
+use gaasx_sim::pipeline::{pipelined_makespan, serial_makespan, PhasePipe, PipelineClock};
+use gaasx_sim::timeline::{COMPUTE_LANE, LOAD_LANE, SEARCH_LANE};
 use gaasx_sim::{
     attribute_makespan, EnergyBreakdown, FaultReport, Histogram, Nanos, OpSummary, Phase,
     RunReport, SramBuffer, Timeline, Tracer, UtilizationReport, CONTROLLER_BANK,
@@ -130,15 +130,33 @@ pub(crate) struct BlockCost {
     /// occupancy track; summing the entries per phase reproduces
     /// `compute_phase_ns` bit-exactly (same accumulation order).
     ops: Vec<(Phase, Nanos)>,
+    /// Intra-block search/MAC overlap clock, fed one op at a time as the
+    /// ledger accrues. Its makespan is the block's *pipelined* compute
+    /// time, which scheduling consumes; `compute_ns` stays the serial sum
+    /// so phase attribution and busy conservation are untouched by the
+    /// overlap model.
+    pipe: PhasePipe,
 }
 
 impl BlockCost {
     fn add_phase(&mut self, phase: Phase, ns: Nanos, record_op: bool) {
         self.compute_ns += ns;
         self.compute_phase_ns[phase.index()] += ns;
+        if phase == Phase::CamSearch {
+            self.pipe.search(ns.ns());
+        } else {
+            self.pipe.compute(ns.ns());
+        }
         if record_op {
             self.ops.push((phase, ns));
         }
+    }
+
+    /// The block's compute time under the search/MAC overlap pipeline.
+    /// For blocks without CAM searches this equals `compute_ns` bit-for-
+    /// bit (the pipe accumulates the same f64 sum in the same order).
+    fn pipelined_compute_ns(&self) -> Nanos {
+        Nanos::from_ns(self.pipe.makespan())
     }
 }
 
@@ -251,6 +269,8 @@ pub struct Engine {
     mac_out: Vec<u64>,
     /// Reused ≤16-row activation chunk for the MAC hot loops.
     chunk_buf: Vec<usize>,
+    /// Reused physical read-out line list for restricted MAC propagation.
+    lines_buf: Vec<usize>,
 }
 
 impl Engine {
@@ -276,6 +296,9 @@ impl Engine {
         }
         let mut cam = CamCrossbar::new(config.cam_geometry);
         cam.set_search_mode(config.search_mode);
+        cam.set_kernel(config.kernel);
+        mac.set_kernel(config.kernel);
+        aux_mac.set_kernel(config.kernel);
         // Faults apply to the edge-storage CAM/MAC pair; the auxiliary
         // attribute arrays model ECC-protected storage-class banks and
         // stay clean.
@@ -334,13 +357,14 @@ impl Engine {
             // can replay (Auto has nothing resolved yet).
             memo_active: config.search_mode == SearchMode::Indexed && !fault_active,
             search_profile: SearchProfile::default(),
-            search_costs: SearchCostModel::calibrated(&config.energy),
+            search_costs: SearchCostModel::calibrated_for(&config.energy, config.kernel),
             key_buf: Vec::with_capacity(rows),
             codes_buf: Vec::new(),
             hits_scratch: HitVector::new(0),
             inputs_buf: Vec::with_capacity(config.mac_geometry.max_active_rows),
             mac_out: Vec::new(),
             chunk_buf: Vec::with_capacity(config.mac_geometry.max_active_rows),
+            lines_buf: Vec::with_capacity(config.mac_geometry.max_active_rows),
             config,
         })
     }
@@ -960,10 +984,22 @@ impl Engine {
                 break;
             }
             let chunk_len = self.chunk_buf.len();
-            self.mac.mac_into(
+            // Restricted read-out: only this chunk's (physical) rows are
+            // evaluated — billing still covers the full burst, so stats,
+            // energy, and modeled time match the full-evaluation path.
+            self.lines_buf.clear();
+            for &row in &self.chunk_buf {
+                self.lines_buf.push(if self.remap_active {
+                    self.log2phys[row]
+                } else {
+                    row
+                });
+            }
+            self.mac.mac_lines_into(
                 MacDirection::ColumnsToRows,
                 cols,
                 col_inputs,
+                &self.lines_buf,
                 &mut self.mac_out,
             )?;
             self.rows_per_mac.record(chunk_len);
@@ -972,13 +1008,8 @@ impl Engine {
                 .add_phase(Phase::MacPropagate, ns, self.record_ops);
             self.trace_op(Phase::MacPropagate, ns);
             self.compute_items = self.compute_items.saturating_add(chunk_len as u64);
-            for &row in &self.chunk_buf {
-                let phys = if self.remap_active {
-                    self.log2phys[row]
-                } else {
-                    row
-                };
-                results.push((row, self.mac_out[phys]));
+            for (i, &row) in self.chunk_buf.iter().enumerate() {
+                results.push((row, self.mac_out[i]));
             }
         }
         // gaasx-lint: end-hot
@@ -1339,7 +1370,7 @@ impl Engine {
                         .fold(Nanos::ZERO, Nanos::max);
                     let compute_ns = wave
                         .iter()
-                        .map(|b| b.compute_ns)
+                        .map(|b| b.pipelined_compute_ns())
                         .fold(Nanos::ZERO, Nanos::max);
                     let done = clock.advance(stream_ns.max(program_ns).ns(), compute_ns.ns());
                     // Within a wave, bank = position; the span covers the
@@ -1355,7 +1386,7 @@ impl Engine {
                             .bank(i as u32)
                             .attr("block", w * banks + i)
                             .attr("wave", w)
-                            .end(compute_start + b.compute_ns.ns());
+                            .end(compute_start + b.pipelined_compute_ns().ns());
                     }
                 }
             }
@@ -1365,7 +1396,7 @@ impl Engine {
                     let d = sched.dispatch(
                         self.config.stream_ns(b.stream_bytes),
                         b.program_ns,
-                        b.compute_ns,
+                        b.pipelined_compute_ns(),
                     );
                     self.tracer
                         .span(Phase::Dispatch, d.start_ns.ns())
@@ -1380,8 +1411,14 @@ impl Engine {
     /// Lays one block's occupancy on its bank's tracks: a single load
     /// interval (stream + row programming, the same one-term sum the
     /// accounting fold uses) ending where compute starts, then the
-    /// per-operation compute ledger laid end to end from the scheduled
-    /// compute start.
+    /// per-operation compute ledger replayed through a fresh [`PhasePipe`]
+    /// — CAM searches land on [`SEARCH_LANE`] and everything else on
+    /// [`COMPUTE_LANE`], each at the start the pipeline clock assigned, so
+    /// the timeline shows the same overlap the makespan was billed for.
+    /// Intervals are emitted in op order (the conservation fold consumes
+    /// emission order, not placement), and each lane's starts are
+    /// monotone (the pipe's unit clocks only move forward), so
+    /// [`Timeline::push`]'s cursor clamp never shifts anything.
     fn push_block_intervals(
         &self,
         tl: &mut Timeline,
@@ -1399,10 +1436,21 @@ impl Engine {
             load_ns,
             Some(block),
         );
-        let mut t = compute_start;
+        let mut pipe = PhasePipe::new();
         for &(phase, ns) in &b.ops {
-            tl.push(bank, COMPUTE_LANE, phase, t, ns, Some(block));
-            t += ns;
+            let (lane, start) = if phase == Phase::CamSearch {
+                (SEARCH_LANE, pipe.search(ns.ns()))
+            } else {
+                (COMPUTE_LANE, pipe.compute(ns.ns()))
+            };
+            tl.push(
+                bank,
+                lane,
+                phase,
+                compute_start + Nanos::from_ns(start),
+                ns,
+                Some(block),
+            );
         }
     }
 
@@ -1439,7 +1487,7 @@ impl Engine {
                         .fold(Nanos::ZERO, Nanos::max);
                     let compute_ns = wave
                         .iter()
-                        .map(|b| b.compute_ns)
+                        .map(|b| b.pipelined_compute_ns())
                         .fold(Nanos::ZERO, Nanos::max);
                     let done = clock.advance(stream_ns.max(program_ns).ns(), compute_ns.ns());
                     let compute_start = Nanos::from_ns(done) - compute_ns;
@@ -1460,9 +1508,9 @@ impl Engine {
                     let d = sched.dispatch(
                         self.config.stream_ns(b.stream_bytes),
                         b.program_ns,
-                        b.compute_ns,
+                        b.pipelined_compute_ns(),
                     );
-                    let compute_start = d.done_ns - b.compute_ns;
+                    let compute_start = d.done_ns - b.pipelined_compute_ns();
                     self.push_block_intervals(&mut tl, d.bank, b, compute_start, idx as u32);
                 }
             }
@@ -1470,17 +1518,22 @@ impl Engine {
         tl
     }
 
-    /// How much of the serial (unpipelined) wave makespan the
-    /// double-buffered load/compute pipeline hides:
+    /// How much of the fully serial wave makespan the pipelines hide:
     /// `(serial − pipelined) / serial`, 0 when there is nothing to
-    /// overlap. Always evaluated on the wave model's stage times,
-    /// regardless of the configured scheduler, so the ratio is comparable
-    /// across scheduler policies.
+    /// overlap. The serial side sums unpipelined loads and *serial*
+    /// per-block compute; the pipelined side double-buffers loads against
+    /// the blocks' search/MAC-overlapped compute times, so the ratio
+    /// captures both overlap mechanisms (and is positive even for a
+    /// single-wave run whose blocks overlapped searches with MACs).
+    /// Always evaluated on the wave model's stage times, regardless of
+    /// the configured scheduler, so the ratio is comparable across
+    /// scheduler policies.
     fn wave_overlap_ratio(&self) -> f64 {
         let banks = self.config.num_banks.max(1);
         let waves = self.costs.chunks(banks);
         let mut loads = Vec::with_capacity(waves.len());
-        let mut computes = Vec::with_capacity(waves.len());
+        let mut serial_computes = Vec::with_capacity(waves.len());
+        let mut piped_computes = Vec::with_capacity(waves.len());
         for wave in waves {
             let stream_ns: Nanos = wave
                 .iter()
@@ -1490,18 +1543,25 @@ impl Engine {
                 .iter()
                 .map(|b| b.program_ns)
                 .fold(Nanos::ZERO, Nanos::max);
-            let compute_ns = wave
-                .iter()
-                .map(|b| b.compute_ns)
-                .fold(Nanos::ZERO, Nanos::max);
             loads.push(stream_ns.max(program_ns).ns());
-            computes.push(compute_ns.ns());
+            serial_computes.push(
+                wave.iter()
+                    .map(|b| b.compute_ns)
+                    .fold(Nanos::ZERO, Nanos::max)
+                    .ns(),
+            );
+            piped_computes.push(
+                wave.iter()
+                    .map(|b| b.pipelined_compute_ns())
+                    .fold(Nanos::ZERO, Nanos::max)
+                    .ns(),
+            );
         }
-        let serial = serial_makespan(&loads, &computes);
+        let serial = serial_makespan(&loads, &serial_computes);
         if serial <= 0.0 {
             return 0.0;
         }
-        (serial - pipelined_makespan(&loads, &computes)) / serial
+        (serial - pipelined_makespan(&loads, &piped_computes)) / serial
     }
 
     /// Assembles the final report: wave-scheduled makespan, energy
@@ -1655,7 +1715,7 @@ impl Engine {
                         .fold(Nanos::ZERO, Nanos::max);
                     let compute_ns = wave
                         .iter()
-                        .map(|b| b.compute_ns)
+                        .map(|b| b.pipelined_compute_ns())
                         .fold(Nanos::ZERO, Nanos::max);
                     clock.advance(stream_ns.max(program_ns).ns(), compute_ns.ns());
                 }
@@ -1667,7 +1727,7 @@ impl Engine {
                     sched.dispatch(
                         self.config.stream_ns(b.stream_bytes),
                         b.program_ns,
-                        b.compute_ns,
+                        b.pipelined_compute_ns(),
                     );
                 }
                 sched.makespan()
@@ -1696,6 +1756,7 @@ mod tests {
     use super::*;
     use gaasx_graph::generators;
     use gaasx_sim::Nanojoules;
+    use gaasx_xbar::Kernel;
 
     fn engine() -> Engine {
         Engine::new(GaasXConfig::small()).unwrap()
@@ -2347,8 +2408,9 @@ mod tests {
         // Regression for the construction-time memo gate: with Auto (the
         // default) a single bank can mix Linear and Indexed blocks, and
         // only the Indexed ones may memoize. small() keeps the default
-        // Auto mode and OnePerKey profile.
-        let mut e = engine();
+        // Auto mode and OnePerKey profile (resolution is kernel-invariant
+        // — see `kernel_choice_never_perturbs_auto_resolution`).
+        let mut e = Engine::new(GaasXConfig::small()).unwrap();
         assert_eq!(e.config().search_mode, SearchMode::Auto);
 
         // Dense block: 128 edges, all-distinct dsts → cost model picks
@@ -2414,17 +2476,56 @@ mod tests {
         // The same dense-dst block resolves differently by declared
         // profile: a dense sweep amortizes the index, a frontier
         // traversal (sqrt(D) expected searches) does not at paper depth.
+        let scalar = || {
+            Engine::new(GaasXConfig {
+                kernel: Kernel::Scalar,
+                ..GaasXConfig::small()
+            })
+            .unwrap()
+        };
         let dense: Vec<Edge> = (0..128u32).map(|i| Edge::new(i, 1000 + i, 1.0)).collect();
-        let mut e = engine();
+        let mut e = scalar();
         e.set_search_profile(SearchProfile::Frontier);
         assert_eq!(e.search_profile(), SearchProfile::Frontier);
         let _b = e.load_block(&dense, CellLayout::Preset).unwrap();
         assert_eq!(e.resolved_search_mode(), SearchMode::Linear);
 
-        let mut e2 = engine();
+        let mut e2 = scalar();
         e2.set_search_profile(SearchProfile::OnePerKey);
         let _b = e2.load_block(&dense, CellLayout::Preset).unwrap();
         assert_eq!(e2.resolved_search_mode(), SearchMode::Indexed);
+    }
+
+    #[test]
+    fn kernel_choice_never_perturbs_auto_resolution() {
+        // BENCH_08 measured the same per-row winner under both kernels
+        // (the fitted scan constant absorbs per-search overheads the
+        // kernel cannot touch), so the calibration is kernel-invariant:
+        // the default Packed engine must resolve exactly like a Scalar
+        // one on both block shapes, memo gating included.
+        let dense: Vec<Edge> = (0..128u32).map(|i| Edge::new(i, 1000 + i, 1.0)).collect();
+        for kernel in [Kernel::Packed, Kernel::Scalar] {
+            let mut e = Engine::new(GaasXConfig {
+                kernel,
+                ..GaasXConfig::small()
+            })
+            .unwrap();
+            assert_eq!(e.config().kernel, kernel);
+            let _b = e.load_block(&dense, CellLayout::Preset).unwrap();
+            assert_eq!(e.resolved_search_mode(), SearchMode::Indexed, "{kernel:?}");
+            assert!(e.memo_active, "{kernel:?}");
+            assert_eq!(e.search_dst(VertexId::new(1000)).count(), 1);
+
+            let mut f = Engine::new(GaasXConfig {
+                kernel,
+                ..GaasXConfig::small()
+            })
+            .unwrap();
+            f.set_search_profile(SearchProfile::Frontier);
+            let _b = f.load_block(&dense, CellLayout::Preset).unwrap();
+            assert_eq!(f.resolved_search_mode(), SearchMode::Linear, "{kernel:?}");
+            assert!(!f.memo_active, "{kernel:?}");
+        }
     }
 
     #[test]

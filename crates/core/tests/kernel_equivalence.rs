@@ -1,0 +1,146 @@
+//! Packed-kernel identity gate at the engine level: a run under
+//! `Kernel::Packed` (the default) must be **bit-identical** — same
+//! outputs, same full [`RunReport`](gaasx_sim::RunReport) — to the same
+//! run under `Kernel::Scalar`, across algorithms, bank geometries, job
+//! counts, search modes, and fault injection (whose recovery path
+//! exercises spare-row remapping). The kernel only changes how the host
+//! evaluates device semantics, never what it bills or returns.
+
+#![allow(clippy::unwrap_used)]
+use gaasx_core::algorithms::{Bfs, ConnectedComponents, PageRank, Sssp};
+use gaasx_core::{GaasX, GaasXConfig, RecoveryPolicy, SearchMode, ShardableAlgorithm};
+use gaasx_graph::generators::{rmat, RmatConfig};
+use gaasx_graph::{CooGraph, VertexId};
+use gaasx_xbar::{FaultModel, Kernel};
+use proptest::prelude::*;
+
+/// The two benchmarked design points, shrunk to 8 banks for test speed.
+fn bank_config(bank: &str, fault: bool) -> GaasXConfig {
+    let mut c = match bank {
+        "paper" => GaasXConfig::small(),
+        "deep" => GaasXConfig {
+            num_banks: 8,
+            ..GaasXConfig::deep_bank()
+        },
+        other => panic!("unknown bank {other}"),
+    };
+    if fault {
+        // Recoverable stuck cells and write failures under the standard
+        // write-verify policy — write retries consume spare rows, so the
+        // packed planes must track remapped physical rows too.
+        c.fault = FaultModel {
+            seed: 0xBE05,
+            cam_stuck_ber: 1e-4,
+            mac_stuck_ber: 1e-4,
+            write_fail_rate: 1e-3,
+            ..FaultModel::none()
+        };
+        c.recovery = RecoveryPolicy::standard();
+    }
+    c
+}
+
+/// Runs `algorithm` under both kernels (same geometry, jobs, fault
+/// setting) and checks output and full-report identity.
+fn assert_kernel_invariant<A>(algorithm: &A, input: &A::Input, cfg: &GaasXConfig, jobs: usize)
+where
+    A: ShardableAlgorithm,
+    A::Output: PartialEq + std::fmt::Debug,
+{
+    let run = |kernel: Kernel| {
+        let mut accel = GaasX::new(GaasXConfig {
+            kernel,
+            ..cfg.clone()
+        });
+        if jobs == 1 {
+            accel.run(algorithm, input).unwrap()
+        } else {
+            accel.run_sharded(algorithm, input, jobs).unwrap()
+        }
+    };
+    let packed = run(Kernel::Packed);
+    let scalar = run(Kernel::Scalar);
+    assert_eq!(
+        packed.result,
+        scalar.result,
+        "{}: packed output diverged from scalar",
+        algorithm.name()
+    );
+    assert_eq!(
+        packed.report,
+        scalar.report,
+        "{}: packed report diverged from scalar",
+        algorithm.name()
+    );
+    assert_eq!(
+        packed.report.elapsed_ns.ns().to_bits(),
+        scalar.report.elapsed_ns.ns().to_bits(),
+        "{}: elapsed bits diverged",
+        algorithm.name()
+    );
+}
+
+fn test_graph(edges: usize, seed: u64) -> CooGraph {
+    rmat(&RmatConfig::new(128, edges).with_seed(seed)).unwrap()
+}
+
+/// The full identity matrix from the ISSUE-10 gate: paper/deep banks ×
+/// PR/SSSP/BFS/CC × jobs {1,2,4} × fault on/off. The fault rows run with
+/// spare-row recovery, and the fixed search modes pin both the packed
+/// linear scan and the packed index-probe path.
+#[test]
+fn packed_matches_scalar_across_the_matrix() {
+    let graph = test_graph(600, 7);
+    let sym = graph.symmetrized();
+    for bank in ["paper", "deep"] {
+        for fault in [false, true] {
+            let cfg = bank_config(bank, fault);
+            for jobs in [1usize, 2, 4] {
+                assert_kernel_invariant(&PageRank::fixed_iterations(3), &graph, &cfg, jobs);
+                assert_kernel_invariant(&Sssp::from_source(VertexId::new(0)), &graph, &cfg, jobs);
+                assert_kernel_invariant(&Bfs::from_source(VertexId::new(0)), &graph, &cfg, jobs);
+                assert_kernel_invariant(&ConnectedComponents::new(), &sym, &cfg, jobs);
+            }
+        }
+    }
+}
+
+/// Both fixed search modes stay kernel-invariant too (Auto may resolve
+/// differently per kernel — that is allowed precisely because billing is
+/// resolution-independent, which the matrix test above pins via the
+/// default Auto mode).
+#[test]
+fn packed_matches_scalar_under_fixed_search_modes() {
+    let graph = test_graph(400, 11);
+    for mode in [SearchMode::Linear, SearchMode::Indexed] {
+        for fault in [false, true] {
+            let cfg = GaasXConfig {
+                search_mode: mode,
+                ..bank_config("paper", fault)
+            };
+            assert_kernel_invariant(&PageRank::fixed_iterations(2), &graph, &cfg, 1);
+            assert_kernel_invariant(&Bfs::from_source(VertexId::new(0)), &graph, &cfg, 2);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random graphs, job counts, and fault settings: packed stays
+    /// bit-identical to scalar on every algorithm.
+    #[test]
+    fn packed_is_bit_identical_on_random_graphs(
+        edges in 60usize..400,
+        seed in 0u64..1_000,
+        jobs in 1usize..5,
+        fault in any::<bool>(),
+        deep in any::<bool>(),
+    ) {
+        let cfg = bank_config(if deep { "deep" } else { "paper" }, fault);
+        let graph = test_graph(edges, seed);
+        assert_kernel_invariant(&PageRank::fixed_iterations(2), &graph, &cfg, jobs);
+        assert_kernel_invariant(&Bfs::from_source(VertexId::new(0)), &graph, &cfg, jobs);
+        assert_kernel_invariant(&ConnectedComponents::new(), &graph.symmetrized(), &cfg, jobs);
+    }
+}

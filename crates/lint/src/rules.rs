@@ -4,7 +4,7 @@
 //! |------|----------------|
 //! | `no-stat-wipe` | `preset_mac` called `reset_stats()` mid-run, wiping MAC counters |
 //! | `unchecked-accounting` | `u64` cycle/energy accumulators overflowed and panicked |
-//! | `alloc-in-hot` | per-MAC `Vec` allocation via deprecated `HitVector::chunks` |
+//! | `alloc-in-hot` | per-MAC `Vec` allocation in the CAM/MAC dispatch loop (the since-removed allocating `HitVector::chunks`) |
 //! | `panic-in-lib` | library panics abort whole sharded runs |
 //! | `summary-conservation` | an `OpSummary` counter was added without energy wiring |
 //! | `thread-containment` | ad-hoc threading outside the sharded merge discipline |
@@ -524,22 +524,6 @@ fn alloc_in_hot(ws: &Workspace, out: &mut Vec<Finding>) {
                         ),
                     ));
                 }
-            }
-        }
-        // Deprecated `HitVector::chunks` allocates per call; the iterator
-        // form `chunks_iter` is the hot-path replacement.
-        for tok in scan_idents(file) {
-            if !file.hot[tok.line] || file.in_test[tok.line] || tok.name(file) != "chunks" {
-                continue;
-            }
-            if tok.prev_char(file) == Some('.') && tok.tail(file).starts_with('(') {
-                out.push(Finding::new(
-                    "alloc-in-hot",
-                    &file.path,
-                    tok.line + 1,
-                    "deprecated `.chunks()` allocates per call inside a hot fence — use \
-                     `.chunks_iter()`",
-                ));
             }
         }
     }
@@ -1092,17 +1076,16 @@ let setup = Vec::new();
 let v = Vec::new();
 let w = vec![0u8; 4];
 let c = xs.iter().collect::<Vec<_>>();
-let d = hv.chunks(16);
 let ok = hv.chunks_iter(16);
 // gaasx-lint: end-hot
 let after = Vec::new();
 ";
         let ws = ws_of(vec![("crates/xbar/src/cam.rs", src)]);
         let report = check_workspace(&ws);
-        assert_eq!(rules_of(&report).len(), 4, "{report:#?}");
+        assert_eq!(rules_of(&report).len(), 3, "{report:#?}");
         assert!(report.findings.iter().all(|f| f.rule == "alloc-in-hot"));
         let lines: Vec<usize> = report.findings.iter().map(|f| f.line).collect();
-        assert_eq!(lines, vec![3, 4, 5, 6]);
+        assert_eq!(lines, vec![3, 4, 5]);
     }
 
     #[test]

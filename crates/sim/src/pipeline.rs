@@ -82,6 +82,63 @@ impl PipelineClock {
     }
 }
 
+/// Intra-block CAM-search / MAC-compute overlap clock.
+///
+/// GaaS-X pipelines the CAM search for the next vertex with the MAC
+/// accumulation of the current one (paper §III-C): the search and compute
+/// periphery are separate units, so a search may proceed while the
+/// previous MAC burst drains. The one dependency is *forward*: a compute
+/// op issued right after a search consumes that search's hit vector, so
+/// it cannot start before the search finishes. Searches never wait for
+/// computes.
+///
+/// Feed the block's op ledger in issue order — [`search`](PhasePipe::search)
+/// for CAM-search ops, [`compute`](PhasePipe::compute) for everything else
+/// — and [`makespan`](PhasePipe::makespan) yields the block's pipelined
+/// compute time. Both calls return the op's modeled start time so a
+/// timeline replay can place the op on its lane.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhasePipe {
+    search_ready: f64,
+    compute_done: f64,
+    /// Whether the most recent op was a search — the next compute op then
+    /// synchronizes on `search_ready` (it consumes the hit vector).
+    last_was_search: bool,
+}
+
+impl PhasePipe {
+    /// A clock at time zero with both units idle.
+    pub fn new() -> Self {
+        PhasePipe::default()
+    }
+
+    /// Accounts one CAM-search op on the search unit; returns its start.
+    pub fn search(&mut self, ns: f64) -> f64 {
+        let start = self.search_ready;
+        self.search_ready = start + ns;
+        self.last_was_search = true;
+        start
+    }
+
+    /// Accounts one non-search op on the compute unit; returns its start.
+    /// When the preceding op was a search, the compute first waits for the
+    /// search unit (it consumes the freshly produced hit vector).
+    pub fn compute(&mut self, ns: f64) -> f64 {
+        if self.last_was_search {
+            self.compute_done = self.compute_done.max(self.search_ready);
+            self.last_was_search = false;
+        }
+        let start = self.compute_done;
+        self.compute_done = start + ns;
+        start
+    }
+
+    /// Pipelined makespan of the ops accounted so far.
+    pub fn makespan(&self) -> f64 {
+        self.compute_done.max(self.search_ready)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +192,83 @@ mod tests {
     #[should_panic(expected = "align")]
     fn mismatched_lengths_panic() {
         pipelined_makespan(&[1.0], &[]);
+    }
+
+    #[test]
+    fn phase_pipe_overlaps_search_with_prior_compute() {
+        // S(4) C(10) S(4) C(10): the second search runs during the first
+        // MAC, so only the first search extends the makespan.
+        let mut p = PhasePipe::new();
+        assert_eq!(p.search(4.0), 0.0);
+        assert_eq!(p.compute(10.0), 4.0);
+        assert_eq!(p.search(4.0), 4.0); // overlapped with the MAC
+        assert_eq!(p.compute(10.0), 14.0);
+        assert_eq!(p.makespan(), 24.0);
+        // Serial would be 28: the pipeline hid one 4 ns search.
+    }
+
+    #[test]
+    fn phase_pipe_search_bound_blocks_compute() {
+        // Long searches dominate: each compute waits for its hit vector.
+        let mut p = PhasePipe::new();
+        p.search(10.0);
+        assert_eq!(p.compute(1.0), 10.0);
+        p.search(10.0);
+        assert_eq!(p.compute(1.0), 20.0);
+        assert_eq!(p.makespan(), 21.0);
+    }
+
+    #[test]
+    fn phase_pipe_consecutive_ops_serialize_within_a_unit() {
+        // Voting searches (3 in a row) serialize on the search unit; the
+        // following compute waits for all three. Consecutive computes
+        // serialize on the compute unit without re-syncing.
+        let mut p = PhasePipe::new();
+        p.search(4.0);
+        p.search(4.0);
+        p.search(4.0);
+        assert_eq!(p.compute(5.0), 12.0);
+        assert_eq!(p.compute(5.0), 17.0);
+        assert_eq!(p.makespan(), 22.0);
+    }
+
+    #[test]
+    fn phase_pipe_without_searches_is_serial() {
+        let mut p = PhasePipe::new();
+        p.compute(3.0);
+        p.compute(7.0);
+        assert_eq!(p.makespan(), 10.0);
+        // And search-only blocks are serial on the search unit.
+        let mut q = PhasePipe::new();
+        q.search(2.0);
+        q.search(2.0);
+        assert_eq!(q.makespan(), 4.0);
+    }
+
+    #[test]
+    fn phase_pipe_never_beats_critical_unit_or_exceeds_serial() {
+        let ops = [
+            (true, 4.0),
+            (false, 9.0),
+            (true, 2.0),
+            (true, 3.0),
+            (false, 1.0),
+            (false, 6.0),
+        ];
+        let mut p = PhasePipe::new();
+        let mut serial = 0.0;
+        let (mut s_total, mut c_total) = (0.0, 0.0);
+        for &(is_search, ns) in &ops {
+            if is_search {
+                p.search(ns);
+                s_total += ns;
+            } else {
+                p.compute(ns);
+                c_total += ns;
+            }
+            serial += ns;
+        }
+        assert!(p.makespan() <= serial);
+        assert!(p.makespan() >= s_total.max(c_total));
     }
 }

@@ -12,12 +12,15 @@
 //!
 //! ## Lanes
 //!
-//! Each physical bank carries two lanes: [`LOAD_LANE`] holds one interval
-//! per block (streaming plus row programming), [`COMPUTE_LANE`] holds one
-//! interval per compute operation (searches, MAC bursts, SFU ops), laid
-//! sequentially from the block's scheduled compute start. Controller work
-//! that happens outside any block (auxiliary loads, reduce arithmetic)
-//! lives on the synthetic [`CONTROLLER_BANK`].
+//! Each physical bank carries up to three lanes: [`LOAD_LANE`] holds one
+//! interval per block (streaming plus row programming), [`COMPUTE_LANE`]
+//! holds one interval per non-search compute operation (MAC bursts, SFU
+//! ops), and [`SEARCH_LANE`] holds CAM-search intervals, which the
+//! engine's pipeline model may overlap with compute on the same bank.
+//! Both compute-side lanes are laid from the block's scheduled compute
+//! start at the offsets the intra-block pipeline clock produced.
+//! Controller work that happens outside any block (auxiliary loads,
+//! reduce arithmetic) lives on the synthetic [`CONTROLLER_BANK`].
 //!
 //! ## The conservation invariant
 //!
@@ -46,6 +49,14 @@ pub const LOAD_LANE: u32 = 0;
 
 /// Lane holding per-operation compute intervals.
 pub const COMPUTE_LANE: u32 = 1;
+
+/// Lane holding CAM-search intervals when the engine models search/MAC
+/// pipeline overlap: searches for the next vertex proceed while the
+/// previous MAC burst drains, so they occupy their own track. The
+/// conservation fold treats any lane other than [`LOAD_LANE`] as compute,
+/// so splitting searches onto this lane leaves per-phase busy totals
+/// bit-identical.
+pub const SEARCH_LANE: u32 = 2;
 
 /// One occupancy interval on a `(bank, lane)` track of the modeled-time
 /// timeline.
@@ -218,12 +229,15 @@ pub struct BankUtilization {
     pub bank: u32,
     /// Total load-lane occupancy (streaming + programming).
     pub load_busy_ns: Nanos,
-    /// Total compute-lane occupancy.
+    /// Total compute-side occupancy (sum of compute- and search-lane
+    /// interval durations; search/MAC overlap is *not* deduplicated here,
+    /// mirroring the per-phase busy accounting).
     pub compute_busy_ns: Nanos,
-    /// Union occupancy of both lanes (busy on *either*).
+    /// Union occupancy of all lanes (busy on *any*).
     pub busy_ns: Nanos,
-    /// Time both lanes were busy simultaneously — the double-buffering
-    /// overlap this bank actually achieved.
+    /// Time the load lane and the compute-side lanes were busy
+    /// simultaneously — the double-buffering overlap this bank actually
+    /// achieved.
     pub overlap_ns: Nanos,
     /// `busy_ns / makespan_ns` (0 for a zero makespan). Can nudge past
     /// 1.0 when track serialization pushed work past the makespan.
@@ -258,8 +272,11 @@ impl UtilizationReport {
     /// makespan).
     pub fn from_timeline(timeline: &Timeline, pipeline_overlap_ratio: f64) -> Self {
         let makespan_ns = timeline.makespan_ns();
-        // Group per bank; tracks are sorted and non-overlapping per lane
-        // by construction, so per-bank sweeps are simple merges.
+        // Group per bank. Each individual lane is sorted and
+        // non-overlapping by construction, but the compute side spans two
+        // lanes (COMPUTE_LANE and SEARCH_LANE) whose intervals interleave
+        // and may genuinely overlap under the search/MAC pipeline — those
+        // are sorted and swept into a union before the load/compute merge.
         let mut bank_ids: Vec<u32> = timeline.intervals().iter().map(|iv| iv.bank).collect();
         bank_ids.sort_unstable();
         bank_ids.dedup();
@@ -276,7 +293,7 @@ impl UtilizationReport {
                 .filter(|iv| iv.bank == bank && iv.lane == LOAD_LANE)
                 .map(|iv| (iv.start_ns.ns(), iv.end_ns().ns()))
                 .collect();
-            let compute: Vec<(f64, f64)> = timeline
+            let mut compute: Vec<(f64, f64)> = timeline
                 .intervals()
                 .iter()
                 .filter(|iv| iv.bank == bank && iv.lane != LOAD_LANE)
@@ -285,8 +302,11 @@ impl UtilizationReport {
             // `+ 0.0` normalizes the `-0.0` an empty lane's sum produces.
             let load_busy_ns: f64 = load.iter().map(|&(s, e)| e - s).sum::<f64>() + 0.0;
             let compute_busy_ns: f64 = compute.iter().map(|&(s, e)| e - s).sum::<f64>() + 0.0;
+            compute.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+            let compute = merge_sorted(compute);
+            let compute_union_ns: f64 = compute.iter().map(|&(s, e)| e - s).sum::<f64>() + 0.0;
             let busy_ns = union_ns(&load, &compute);
-            let overlap_ns = (load_busy_ns + compute_busy_ns - busy_ns).max(0.0);
+            let overlap_ns = (load_busy_ns + compute_union_ns - busy_ns).max(0.0);
             banks.push(BankUtilization {
                 bank,
                 load_busy_ns: Nanos::from_ns(load_busy_ns),
@@ -337,6 +357,19 @@ impl UtilizationReport {
         }
         rows.iter().map(|b| b.utilization).sum::<f64>() / rows.len() as f64
     }
+}
+
+/// Collapses a start-sorted interval list into its non-overlapping
+/// union (touching intervals merge).
+fn merge_sorted(intervals: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    let mut merged: Vec<(f64, f64)> = Vec::with_capacity(intervals.len());
+    for (s, e) in intervals {
+        match merged.last_mut() {
+            Some((_, end)) if s <= *end => *end = end.max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+    merged
 }
 
 /// Length of the union of two sorted, internally non-overlapping
@@ -450,7 +483,7 @@ fn tid_of(bank: u32, lane: u32) -> u64 {
     if bank == CONTROLLER_BANK {
         0
     } else {
-        u64::from(bank) * 2 + u64::from(lane) + 1
+        u64::from(bank) * 3 + u64::from(lane) + 1
     }
 }
 
@@ -509,6 +542,8 @@ pub fn chrome_trace_json(timeline: &Timeline) -> String {
             "controller".to_string()
         } else if lane == LOAD_LANE {
             format!("bank {bank} load")
+        } else if lane == SEARCH_LANE {
+            format!("bank {bank} search")
         } else {
             format!("bank {bank} compute")
         };
@@ -688,6 +723,47 @@ mod tests {
         assert_eq!(u.banks.last().unwrap().bank, CONTROLLER_BANK);
         assert_eq!(u.pipeline_overlap_ratio, 0.25);
         assert!(u.mean_utilization() > 0.0);
+    }
+
+    #[test]
+    fn utilization_sweeps_overlapping_search_and_compute_lanes() {
+        let mut tl = Timeline::new(ns(40.0));
+        // Load [0,10). Compute lane [10,30). Search lane [14,18) overlaps
+        // the MAC and [32,36) runs past it.
+        tl.push(0, LOAD_LANE, Phase::LoadBlock, ns(0.0), ns(10.0), Some(0));
+        tl.push(
+            0,
+            COMPUTE_LANE,
+            Phase::MacGather,
+            ns(10.0),
+            ns(20.0),
+            Some(0),
+        );
+        tl.push(0, SEARCH_LANE, Phase::CamSearch, ns(14.0), ns(4.0), Some(0));
+        tl.push(0, SEARCH_LANE, Phase::CamSearch, ns(32.0), ns(4.0), Some(0));
+        let u = UtilizationReport::from_timeline(&tl, 0.0);
+        let b0 = u.bank(0).unwrap();
+        // Duration sum keeps the overlapped search visible...
+        assert_eq!(b0.compute_busy_ns, ns(28.0));
+        // ...while the union dedups it: [10,30) ∪ [32,36) ∪ load [0,10).
+        assert_eq!(b0.busy_ns, ns(34.0));
+        // Load never overlaps the compute side here.
+        assert_eq!(b0.overlap_ns, ns(0.0));
+        // Per-phase fold still counts every interval once.
+        let busy = u.phase_busy_ns;
+        assert_eq!(busy[Phase::CamSearch.index()], ns(8.0));
+        assert_eq!(busy[Phase::MacGather.index()], ns(20.0));
+    }
+
+    #[test]
+    fn chrome_trace_labels_search_lane_with_distinct_tid() {
+        let mut tl = Timeline::new(ns(20.0));
+        tl.push(0, SEARCH_LANE, Phase::CamSearch, ns(0.0), ns(4.0), Some(0));
+        tl.push(1, LOAD_LANE, Phase::LoadBlock, ns(0.0), ns(5.0), Some(1));
+        let json = chrome_trace_json(&tl);
+        assert!(json.contains("\"name\":\"bank 0 search\""));
+        // Bank 0's search lane must not collide with bank 1's load lane.
+        assert_ne!(tid_of(0, SEARCH_LANE), tid_of(1, LOAD_LANE));
     }
 
     #[test]

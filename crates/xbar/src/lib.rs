@@ -29,8 +29,9 @@
 mod cam;
 mod error;
 mod hit_vector;
+mod kernel;
 mod mac;
-mod small_rows;
+mod packed;
 
 pub mod auto;
 pub mod energy;
@@ -46,6 +47,7 @@ pub use cam::{CamCrossbar, CamEntry, SearchMode};
 pub use error::XbarError;
 pub use fault::FaultModel;
 pub use hit_vector::{ChunkOnes, HitVector};
+pub use kernel::Kernel;
 pub use mac::{Fidelity, MacCrossbar, MacDirection};
 
 use serde::{Deserialize, Serialize};

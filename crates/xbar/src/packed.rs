@@ -1,0 +1,247 @@
+//! Word-parallel packed bit-plane storage for the CAM search path.
+//!
+//! The scalar matcher walks one stored entry per iteration. Here the
+//! stored bits are transposed into per-bit *planes* of `u64` words —
+//! `planes[word * width_bits + bit]` holds bit `bit` of rows
+//! `word*64 .. word*64+64` — so one XOR/AND/NOT per unmasked key bit
+//! evaluates 64 rows at a time, and the accumulator going to zero ends the
+//! word early. Searches over the paper's 32-bit src/dst fields touch at
+//! most `32 × ⌈rows/64⌉` words instead of `rows` 128-bit entries.
+//!
+//! The planes always hold the *post-fault* stored bits (they are written
+//! from [`CamEntry`] contents after stuck-bit corruption), so fault
+//! composition is inherited from the entry store rather than re-modeled.
+//! Invalidation only clears the `valid` words — stale plane bits can never
+//! match, mirroring how `CamEntry::bits` survive invalidation.
+//!
+//! Maintenance is *diff-based*: the planes mirror `CamEntry::bits` for
+//! **every** row, valid or not, so a rewrite only touches the planes whose
+//! bit actually flipped (`old ^ new`, typically a handful of bits between
+//! consecutive edge keys) instead of all `width_bits` of them. Writes are
+//! the path the engine hammers — every block program rewrites the full
+//! bank — so per-write cost, not per-search cost, decides whether the
+//! packed kernel wins end-to-end.
+
+use crate::cam::CamEntry;
+use crate::hit_vector::HitVector;
+
+/// Bit-plane transposed mirror of a CAM entry store.
+#[derive(Debug, Clone)]
+pub(crate) struct PackedPlanes {
+    width_bits: usize,
+    words: usize,
+    /// `planes[word * width_bits + bit]`: bit `bit` of 64 consecutive rows.
+    planes: Vec<u64>,
+    /// One bit per row: whether the row holds live data.
+    valid: Vec<u64>,
+    /// Set while the planes are out of sync with the entry store (the
+    /// scalar kernel skips maintenance); a packed search rebuilds first.
+    dirty: bool,
+}
+
+impl PackedPlanes {
+    /// All-invalid planes covering `rows × width_bits` cells.
+    pub(crate) fn new(rows: usize, width_bits: usize) -> Self {
+        let words = rows.div_ceil(64);
+        PackedPlanes {
+            width_bits,
+            words,
+            planes: vec![0; words * width_bits],
+            valid: vec![0; words],
+            dirty: false,
+        }
+    }
+
+    /// Marks the planes stale; the next packed search rebuilds them from
+    /// the entry store. Used when maintenance was skipped (scalar kernel).
+    pub(crate) fn mark_dirty(&mut self) {
+        self.dirty = true;
+    }
+
+    /// Whether the planes need a rebuild before the next packed search.
+    pub(crate) fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Incremental rewrite: flips only the planes where the newly stored
+    /// bits differ from what the planes currently hold for this row
+    /// (`old_bits` — the entry's previous post-fault contents) and marks
+    /// the row valid. Callers must pass the true prior stored bits or the
+    /// mirror invariant breaks.
+    pub(crate) fn update_row(&mut self, row: usize, old_bits: u128, new_bits: u128) {
+        // gaasx-lint: hot
+        let (w, b) = (row / 64, row % 64);
+        let rbit = 1u64 << b;
+        let base = w * self.width_bits;
+        let mut diff = old_bits ^ new_bits;
+        while diff != 0 {
+            let bit = diff.trailing_zeros() as usize;
+            diff &= diff - 1;
+            self.planes[base + bit] ^= rbit;
+        }
+        self.valid[w] |= rbit;
+        // gaasx-lint: end-hot
+    }
+
+    /// Clears one row's valid bit (plane bits stay, and stay unmatched).
+    pub(crate) fn invalidate(&mut self, row: usize) {
+        self.valid[row / 64] &= !(1u64 << (row % 64));
+    }
+
+    /// Bulk invalidation: clears only the valid words, exactly like the
+    /// entry store's bulk clear keeps stored bits but drops valid flags.
+    pub(crate) fn invalidate_all(&mut self) {
+        for v in &mut self.valid {
+            *v = 0;
+        }
+    }
+
+    /// Full rebuild from the post-fault entry store (after the scalar
+    /// kernel skipped incremental maintenance). Mirrors the stored bits
+    /// of *every* row — invalid ones included — so that subsequent
+    /// [`Self::update_row`] diffs against entry contents stay exact.
+    pub(crate) fn rebuild(&mut self, entries: &[CamEntry]) {
+        for p in &mut self.planes {
+            *p = 0;
+        }
+        for v in &mut self.valid {
+            *v = 0;
+        }
+        for (row, e) in entries.iter().enumerate() {
+            if e.bits != 0 {
+                self.update_row(row, 0, e.bits);
+            }
+            if e.valid {
+                self.valid[row / 64] |= 1u64 << (row % 64);
+            } else {
+                self.invalidate(row);
+            }
+        }
+        self.dirty = false;
+    }
+
+    /// Word-parallel ternary match: for each 64-row word the accumulator
+    /// starts from the valid bits and AND-folds `plane` or `!plane` per
+    /// unmasked key bit, ending the word as soon as it reaches zero.
+    /// Every word of `out` is overwritten. `key`/`mask` must already be
+    /// clipped to the geometry width.
+    ///
+    /// The mask is decomposed into `(plane offset, key bit)` pairs once,
+    /// outside the word loop: the 128-bit `trailing_zeros`/`m &= m-1`
+    /// fold compiles to multi-instruction double-word sequences, and
+    /// paying them per *word* rather than per *search* used to cost more
+    /// than the word-parallelism saved.
+    pub(crate) fn search_into(&self, key: u128, mask: u128, out: &mut HitVector) {
+        // gaasx-lint: hot
+        let mut folds = [(0usize, false); 128];
+        let mut n = 0;
+        let mut m = mask;
+        while m != 0 {
+            let bit = m.trailing_zeros() as usize;
+            m &= m - 1;
+            folds[n] = (bit, key >> bit & 1 == 1);
+            n += 1;
+        }
+        let folds = &folds[..n];
+        for w in 0..self.words {
+            let mut acc = self.valid[w];
+            let base = w * self.width_bits;
+            for &(bit, key_bit) in folds {
+                if acc == 0 {
+                    break;
+                }
+                let plane = self.planes[base + bit];
+                acc &= if key_bit { plane } else { !plane };
+            }
+            out.set_word(w, acc);
+        }
+        // gaasx-lint: end-hot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar_scan(entries: &[CamEntry], key: u128, mask: u128) -> Vec<usize> {
+        entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.valid && (e.bits ^ key) & mask == 0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn packed_matches_scalar_on_partial_last_word() {
+        // 70 rows: the last word has 6 live rows and 58 padding bits.
+        let mut entries = vec![
+            CamEntry {
+                bits: 0,
+                valid: false
+            };
+            70
+        ];
+        let mut planes = PackedPlanes::new(70, 64);
+        for (row, e) in entries.iter_mut().enumerate() {
+            let bits = ((row as u128 % 5) << 32) | (row as u128 % 7);
+            *e = CamEntry { bits, valid: true };
+            planes.update_row(row, 0, bits);
+        }
+        let mut out = HitVector::new(70);
+        for v in 0..8u128 {
+            for mask in [0xFFFF_FFFFu128, 0xFFFF_FFFF_0000_0000, u64::MAX as u128] {
+                let key = if mask == 0xFFFF_FFFF { v } else { v << 32 };
+                out.reset(70);
+                planes.search_into(key, mask, &mut out);
+                assert_eq!(
+                    out.iter_ones().collect::<Vec<_>>(),
+                    scalar_scan(&entries, key, mask),
+                    "key={key:#x} mask={mask:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalidation_keeps_plane_bits_but_never_matches() {
+        let mut planes = PackedPlanes::new(64, 8);
+        planes.update_row(3, 0, 0xAB);
+        planes.invalidate(3);
+        let mut out = HitVector::new(64);
+        planes.search_into(0xAB, 0xFF, &mut out);
+        assert_eq!(out.count(), 0);
+        planes.update_row(3, 0xAB, 0xAB);
+        planes.search_into(0xAB, 0xFF, &mut out);
+        assert_eq!(out.iter_ones().collect::<Vec<_>>(), vec![3]);
+        planes.invalidate_all();
+        planes.search_into(0xAB, 0xFF, &mut out);
+        assert_eq!(out.count(), 0);
+    }
+
+    #[test]
+    fn rebuild_recovers_from_dirty_planes() {
+        let entries = vec![
+            CamEntry {
+                bits: 1,
+                valid: true,
+            },
+            CamEntry {
+                bits: 2,
+                valid: false,
+            },
+            CamEntry {
+                bits: 1,
+                valid: true,
+            },
+        ];
+        let mut planes = PackedPlanes::new(3, 2);
+        planes.mark_dirty();
+        assert!(planes.is_dirty());
+        planes.rebuild(&entries);
+        assert!(!planes.is_dirty());
+        let mut out = HitVector::new(3);
+        planes.search_into(1, 0b11, &mut out);
+        assert_eq!(out.iter_ones().collect::<Vec<_>>(), vec![0, 2]);
+    }
+}

@@ -52,24 +52,34 @@ cargo run -q --release --offline -p gaasx-bench --bin fault_campaign -- --smoke
 echo "==> serving soak smoke: typed degradation + exact per-tenant billing"
 cargo run -q --release --offline -p gaasx-bench --bin serve_soak -- --smoke
 
-echo "==> search-mode smoke: Linear vs Indexed vs Auto report bit-identity"
+echo "==> search-mode smoke: Linear vs Indexed vs Auto + scalar-kernel bit-identity"
 cargo run -q --release --offline -p gaasx-bench --bin bench_snapshot -- --smoke
+
+echo "==> packed-vs-scalar identity matrix: PR/SSSP/BFS/CC x banks x fault x jobs"
+# The workspace test pass above already runs this in the dev profile;
+# re-running it under --release also covers the packed kernel with its
+# debug_assertions cross-check compiled out — the exact binary shape the
+# perf gate below times.
+cargo test -q --release --offline -p gaasx-core --test kernel_equivalence
 
 echo "==> trace-export smoke: Chrome-trace JSON well-formedness"
 GAASX_CAP_EDGES=8000 GAASX_PR_ITERS=3 cargo run -q --release --offline -p gaasx-bench \
     --bin trace_export -- results/ci_trace.json --check
 rm -f results/ci_trace.json
 
-echo "==> perf-gate: search-mode speedups vs results/BENCH_06.json + Auto floor"
+echo "==> perf-gate: search-mode speedups vs results/BENCH_08.json + Auto/packed floors"
 # A reduced matrix keeps the gate fast; speedup *ratios* (not wall clocks)
-# are compared, so the smaller workload still guards the deep-bank wins
-# (baseline 2.6-3.9x; a real regression collapses them toward 1x). The
-# paper-bank rows hover near 1x by design, so the tolerance leaves them
-# headroom for scheduler jitter at this scale. The same run writes
-# results/BENCH_07.json and asserts every Auto row stays within 0.95x of
-# the better fixed mode (the ISSUE-7 no-regression floor, default
-# --auto-floor 0.95).
+# are compared, so the smaller workload still guards the wins. The
+# baseline must be BENCH_08, not the pre-packed BENCH_06/07 snapshots:
+# the packed kernel made the Linear scan 2-2.6x faster on deep banks, so
+# Indexed-over-Linear ratios shrank legitimately (4.3x -> ~1.5x on deep
+# fault rows) and only same-kernel baselines are comparable. The run
+# writes its artifact to a scratch path (--out) so the committed baseline
+# is never overwritten mid-gate, asserts every Auto row stays within
+# 0.95x of the better fixed mode (default --auto-floor), and every
+# deep-bank row at or above scalar parity (default --packed-floor 1.0).
 GAASX_CAP_EDGES=60000 GAASX_PR_ITERS=5 cargo run -q --release --offline -p gaasx-bench \
-    --bin bench_snapshot -- --baseline results/BENCH_06.json --tolerance 0.6
+    --bin bench_snapshot -- --baseline results/BENCH_08.json --tolerance 0.6 \
+    --out target/ci_bench_snapshot.json
 
 echo "CI gate passed."
